@@ -1,0 +1,117 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * eager vs CELF-lazy vs Rayon-parallel GTP (identical output,
+//!   different cost) at growing scale;
+//! * the DP's pseudo-polynomial blow-up with heavier flow rates vs
+//!   the constant-rate special case the paper highlights (Thm. 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdmd_bench::{tuned_group, BENCH_SEED};
+use tdmd_core::algorithms::dp::dp_optimal;
+use tdmd_core::algorithms::gtp::{gtp_budgeted, gtp_lazy, gtp_parallel};
+use tdmd_core::Instance;
+use tdmd_experiments::scenarios::{general_instance, Scenario};
+use tdmd_graph::generators::trees::random_tree;
+use tdmd_graph::RootedTree;
+use tdmd_traffic::distribution::RateDistribution;
+use tdmd_traffic::{tree_workload, WorkloadConfig};
+
+fn gtp_variants(c: &mut Criterion) {
+    let mut g = tuned_group(c, "ablation_gtp_variants");
+    for &size in &[20usize, 36, 52] {
+        let s = Scenario {
+            size,
+            k: 12,
+            ..Scenario::general_default()
+        };
+        let inst = general_instance(&mut StdRng::seed_from_u64(BENCH_SEED), s);
+        g.bench_with_input(BenchmarkId::new("eager", size), &inst, |b, i| {
+            b.iter(|| gtp_budgeted(i, 12).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("lazy", size), &inst, |b, i| {
+            b.iter(|| gtp_lazy(i, 12).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", size), &inst, |b, i| {
+            b.iter(|| gtp_parallel(i, 12).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Tree instance with a chosen rate distribution (the DP's runtime is
+/// pseudo-polynomial in the total rate).
+fn rate_instance(dist: RateDistribution) -> Instance {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let g = random_tree(22, &mut rng);
+    let t = RootedTree::from_digraph(&g, 0).unwrap();
+    let cfg = WorkloadConfig::with_count(40).distribution(dist);
+    let flows = tree_workload(&g, &t, &cfg, &mut rng);
+    Instance::new(g, flows, 0.5, 8).unwrap()
+}
+
+fn dp_rate_sensitivity(c: &mut Criterion) {
+    let mut g = tuned_group(c, "ablation_dp_rates");
+    for (label, dist) in [
+        ("constant_1", RateDistribution::Constant(1)),
+        ("constant_8", RateDistribution::Constant(8)),
+        ("uniform_1_16", RateDistribution::Uniform { lo: 1, hi: 16 }),
+        ("caida", RateDistribution::caida_default()),
+    ] {
+        let inst = rate_instance(dist);
+        g.bench_with_input(BenchmarkId::new("dp", label), &inst, |b, i| {
+            b.iter(|| dp_optimal(i).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn exact_solvers(c: &mut Criterion) {
+    let mut g = tuned_group(c, "ablation_exact_solvers");
+    // Small general instance where both exact solvers finish quickly.
+    let s = Scenario {
+        size: 13,
+        density: 0.4,
+        k: 4,
+        ..Scenario::general_default()
+    };
+    let inst = general_instance(&mut StdRng::seed_from_u64(BENCH_SEED), s);
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            tdmd_core::algorithms::exhaustive::exhaustive_optimal(&inst, 4, u128::MAX).unwrap()
+        })
+    });
+    g.bench_function("branch_and_bound", |b| {
+        b.iter(|| {
+            tdmd_core::algorithms::branch_bound::branch_and_bound(&inst, 4, u64::MAX).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn heuristic_extensions(c: &mut Criterion) {
+    let mut g = tuned_group(c, "ablation_extensions");
+    let s = Scenario::general_default();
+    let inst = general_instance(&mut StdRng::seed_from_u64(BENCH_SEED), s);
+    g.bench_function("gtp", |b| b.iter(|| gtp_budgeted(&inst, 10).unwrap()));
+    g.bench_function("gtp_local_search", |b| {
+        b.iter(|| tdmd_core::algorithms::local_search::gtp_with_local_search(&inst, 10).unwrap())
+    });
+    g.bench_function("gtp_weighted", |b| {
+        b.iter(|| tdmd_core::weighted::gtp_weighted(&inst, 10).unwrap())
+    });
+    // Capacity sized to the instance: twice the per-box average load.
+    let cap = inst.flows().len().div_ceil(10) * 2;
+    g.bench_function("gtp_capacitated", |b| {
+        b.iter(|| tdmd_core::capacitated::gtp_capacitated(&inst, 10, cap).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = gtp_variants, dp_rate_sensitivity, exact_solvers, heuristic_extensions
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Service-chain extension benches: per-flow ordered-DP evaluation and
+//! the shared-instance greedy at growing chain lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdmd_bench::{tuned_group, BENCH_SEED};
+use tdmd_chain::{chain_at_destinations, chain_gtp, evaluate_chain, ChainSpec};
+use tdmd_graph::generators::trees::random_tree;
+use tdmd_graph::RootedTree;
+use tdmd_traffic::{tree_workload, WorkloadConfig};
+
+fn fixture() -> (tdmd_graph::DiGraph, Vec<tdmd_traffic::Flow>) {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let g = random_tree(22, &mut rng);
+    let t = RootedTree::from_digraph(&g, 0).unwrap();
+    let flows = tree_workload(&g, &t, &WorkloadConfig::with_count(40), &mut rng);
+    (g, flows)
+}
+
+fn chain_of(m: usize) -> ChainSpec {
+    let ratios = [1.0, 0.5, 0.8, 2.0, 0.25];
+    ChainSpec::new(
+        (0..m)
+            .map(|i| tdmd_chain::MiddleboxType {
+                name: format!("t{i}"),
+                lambda: ratios[i % ratios.len()],
+            })
+            .collect(),
+    )
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut g = tuned_group(c, "chain");
+    let (graph, flows) = fixture();
+    for m in [1usize, 2, 4] {
+        let chain = chain_of(m);
+        let dep = chain_at_destinations(&graph, &flows, &chain);
+        g.bench_with_input(BenchmarkId::new("evaluate", m), &m, |b, _| {
+            b.iter(|| evaluate_chain(&flows, &chain, &dep))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_budget12", m), &m, |b, _| {
+            b.iter(|| chain_gtp(&graph, &flows, &chain, 12).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_chain
+}
+criterion_main!(benches);

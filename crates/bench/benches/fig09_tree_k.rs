@@ -1,0 +1,31 @@
+//! Fig. 9(b): execution time vs middlebox budget `k` on the tree
+//! topology, all five algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdmd_bench::{bench_suite, tree_fixture};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_experiments::figures::fig09::KS;
+use tdmd_experiments::scenarios::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let points: Vec<_> = KS
+        .iter()
+        .map(|&k| {
+            (
+                format!("k={k}"),
+                tree_fixture(Scenario {
+                    k,
+                    ..Scenario::tree_default()
+                }),
+            )
+        })
+        .collect();
+    bench_suite(c, "fig09_tree_k", &points, &Algorithm::tree_suite());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

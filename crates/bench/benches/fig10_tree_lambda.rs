@@ -1,0 +1,31 @@
+//! Fig. 10(b): execution time vs traffic-changing ratio `λ` on the
+//! tree topology. The paper finds λ barely affects the greedy
+//! algorithms' runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdmd_bench::{bench_suite, tree_fixture};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_experiments::scenarios::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let points: Vec<_> = [0.0, 0.3, 0.6, 0.9]
+        .iter()
+        .map(|&lambda| {
+            (
+                format!("lambda={lambda}"),
+                tree_fixture(Scenario {
+                    lambda,
+                    ..Scenario::tree_default()
+                }),
+            )
+        })
+        .collect();
+    bench_suite(c, "fig10_tree_lambda", &points, &Algorithm::tree_suite());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 11(b): execution time vs flow density on the tree topology.
+//! The DP's runtime grows fastest because the density drives the
+//! pseudo-polynomial rate dimension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdmd_bench::{bench_suite, tree_fixture};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_experiments::scenarios::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let points: Vec<_> = [0.3, 0.5, 0.8]
+        .iter()
+        .map(|&density| {
+            (
+                format!("density={density}"),
+                tree_fixture(Scenario {
+                    density,
+                    ..Scenario::tree_default()
+                }),
+            )
+        })
+        .collect();
+    bench_suite(c, "fig11_tree_density", &points, &Algorithm::tree_suite());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 12(b): execution time vs topology size on the tree topology —
+//! the fastest-growing sweep of the paper's four tree variables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdmd_bench::{bench_suite, tree_fixture};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_experiments::figures::fig12::SIZES;
+use tdmd_experiments::scenarios::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let points: Vec<_> = SIZES
+        .iter()
+        .map(|&size| {
+            (
+                format!("size={size}"),
+                tree_fixture(Scenario {
+                    size,
+                    ..Scenario::tree_default()
+                }),
+            )
+        })
+        .collect();
+    bench_suite(c, "fig12_tree_size", &points, &Algorithm::tree_suite());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

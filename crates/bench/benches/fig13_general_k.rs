@@ -1,0 +1,31 @@
+//! Fig. 13(b): execution time vs middlebox budget `k` on the general
+//! topology, three algorithms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdmd_bench::{bench_suite, general_fixture};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_experiments::figures::fig13::KS;
+use tdmd_experiments::scenarios::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let points: Vec<_> = KS
+        .iter()
+        .map(|&k| {
+            (
+                format!("k={k}"),
+                general_fixture(Scenario {
+                    k,
+                    ..Scenario::general_default()
+                }),
+            )
+        })
+        .collect();
+    bench_suite(c, "fig13_general_k", &points, &Algorithm::general_suite());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

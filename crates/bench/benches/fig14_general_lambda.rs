@@ -1,0 +1,35 @@
+//! Fig. 14(b): execution time vs traffic-changing ratio `λ` on the
+//! general topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdmd_bench::{bench_suite, general_fixture};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_experiments::scenarios::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let points: Vec<_> = [0.0, 0.3, 0.6, 0.9]
+        .iter()
+        .map(|&lambda| {
+            (
+                format!("lambda={lambda}"),
+                general_fixture(Scenario {
+                    lambda,
+                    ..Scenario::general_default()
+                }),
+            )
+        })
+        .collect();
+    bench_suite(
+        c,
+        "fig14_general_lambda",
+        &points,
+        &Algorithm::general_suite(),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 15(b): execution time vs flow density on the general
+//! topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdmd_bench::{bench_suite, general_fixture};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_experiments::scenarios::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let points: Vec<_> = [0.3, 0.5, 0.8]
+        .iter()
+        .map(|&density| {
+            (
+                format!("density={density}"),
+                general_fixture(Scenario {
+                    density,
+                    ..Scenario::general_default()
+                }),
+            )
+        })
+        .collect();
+    bench_suite(
+        c,
+        "fig15_general_density",
+        &points,
+        &Algorithm::general_suite(),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Fig. 16(b): execution time vs topology size on the general
+//! topology (12 to 52 vertices).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdmd_bench::{bench_suite, general_fixture};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_experiments::figures::fig16::SIZES;
+use tdmd_experiments::scenarios::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let points: Vec<_> = SIZES
+        .iter()
+        .map(|&size| {
+            (
+                format!("size={size}"),
+                general_fixture(Scenario {
+                    size,
+                    ..Scenario::general_default()
+                }),
+            )
+        })
+        .collect();
+    bench_suite(
+        c,
+        "fig16_general_size",
+        &points,
+        &Algorithm::general_suite(),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Fig. 17: spam filters (λ = 0) — GTP's runtime over the
+//! (k, density) grid on the tree and general topologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tdmd_bench::{bench_suite, general_fixture, tree_fixture};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_experiments::figures::fig17::{GENERAL_KS, TREE_KS};
+use tdmd_experiments::scenarios::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut tree_points = Vec::new();
+    for &k in &TREE_KS {
+        for &density in &[0.4, 0.8] {
+            let s = Scenario {
+                lambda: 0.0,
+                k,
+                density,
+                ..Scenario::tree_default()
+            };
+            tree_points.push((format!("tree k={k} d={density}"), tree_fixture(s)));
+        }
+    }
+    bench_suite(c, "fig17_spam_tree", &tree_points, &[Algorithm::Gtp]);
+
+    let mut gen_points = Vec::new();
+    for &k in &GENERAL_KS {
+        for &density in &[0.4, 0.8] {
+            let s = Scenario {
+                lambda: 0.0,
+                k,
+                density,
+                ..Scenario::general_default()
+            };
+            gen_points.push((format!("general k={k} d={density}"), general_fixture(s)));
+        }
+    }
+    bench_suite(c, "fig17_spam_general", &gen_points, &[Algorithm::Gtp]);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench
+}
+criterion_main!(benches);

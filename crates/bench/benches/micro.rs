@@ -1,0 +1,70 @@
+//! Microbenchmarks of the primitive operations the placement
+//! algorithms are built from: BFS, LCA preprocessing and queries,
+//! marginal-decrement evaluation, allocation, replay, and a single
+//! run of each tree algorithm at the paper's default scenario.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdmd_bench::{tree_fixture, tuned_group, BENCH_SEED};
+use tdmd_core::algorithms::dp::dp_optimal;
+use tdmd_core::algorithms::gtp::gtp_budgeted;
+use tdmd_core::algorithms::hat::hat;
+use tdmd_core::objective::{allocate, best_hops, marginal_decrement};
+use tdmd_core::Deployment;
+use tdmd_experiments::scenarios::Scenario;
+use tdmd_graph::generators::trees::random_tree;
+use tdmd_graph::traversal::bfs;
+use tdmd_graph::{Lca, RootedTree};
+use tdmd_sim::replay;
+
+fn bench_graph_primitives(c: &mut Criterion) {
+    let mut g = tuned_group(c, "micro_graph");
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let topo = random_tree(512, &mut rng);
+    let tree = RootedTree::from_digraph(&topo, 0).unwrap();
+
+    g.bench_function("bfs_512", |b| b.iter(|| bfs(&topo, black_box(0))));
+    g.bench_function("lca_build_512", |b| b.iter(|| Lca::new(&tree)));
+    let lca = Lca::new(&tree);
+    g.bench_function("lca_query", |b| {
+        b.iter(|| black_box(lca.query(black_box(317), black_box(411))))
+    });
+    g.bench_function("rooted_tree_build_512", |b| {
+        b.iter(|| RootedTree::from_digraph(&topo, 0).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let mut g = tuned_group(c, "micro_objective");
+    let inst = tree_fixture(Scenario::tree_default());
+    let dep = Deployment::from_vertices(inst.node_count(), [0, 3, 5]);
+    let cur: Vec<u32> = best_hops(&inst, &dep)
+        .into_iter()
+        .map(|l| l.unwrap_or(0))
+        .collect();
+
+    g.bench_function("marginal_decrement", |b| {
+        b.iter(|| marginal_decrement(&inst, &cur, black_box(7)))
+    });
+    g.bench_function("allocate", |b| b.iter(|| allocate(&inst, &dep)));
+    g.bench_function("replay", |b| b.iter(|| replay(&inst, &dep)));
+    g.finish();
+}
+
+fn bench_algorithms_once(c: &mut Criterion) {
+    let mut g = tuned_group(c, "micro_algorithms");
+    let inst = tree_fixture(Scenario::tree_default());
+    g.bench_function("gtp_k8", |b| b.iter(|| gtp_budgeted(&inst, 8).unwrap()));
+    g.bench_function("hat_k8", |b| b.iter(|| hat(&inst, 8).unwrap()));
+    g.bench_function("dp_k8", |b| b.iter(|| dp_optimal(&inst).unwrap()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_graph_primitives, bench_objective, bench_algorithms_once
+}
+criterion_main!(benches);

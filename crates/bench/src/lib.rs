@@ -1,0 +1,66 @@
+//! Shared harness for the Criterion benchmarks.
+//!
+//! Every execution-time panel of the paper's Figs. 9–16 has a bench
+//! target (see `benches/`); each sweeps the figure's independent
+//! variable and times every algorithm of the figure's suite on a
+//! deterministic pre-built instance, so `cargo bench` regenerates the
+//! paper's (b)-panels. `micro` covers the primitive operations and
+//! `ablation` the design alternatives called out in DESIGN.md (eager
+//! vs CELF vs parallel GTP).
+
+use criterion::{BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdmd_core::algorithms::Algorithm;
+use tdmd_core::Instance;
+use tdmd_experiments::scenarios::{general_instance, tree_instance, Scenario};
+
+/// Fixed seed so every bench run times identical instances.
+pub const BENCH_SEED: u64 = 0xBE7C;
+
+/// Deterministic tree instance for a scenario.
+pub fn tree_fixture(s: Scenario) -> Instance {
+    tree_instance(&mut StdRng::seed_from_u64(BENCH_SEED), s)
+}
+
+/// Deterministic general (Ark-like) instance for a scenario.
+pub fn general_fixture(s: Scenario) -> Instance {
+    general_instance(&mut StdRng::seed_from_u64(BENCH_SEED), s)
+}
+
+/// Criterion group tuned so the full figure suite completes in
+/// minutes: small sample counts, short measurement windows.
+pub fn tuned_group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.nresamples(2_000);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    g
+}
+
+/// Benches each algorithm of `suite` at each `(label, instance)`
+/// point — one figure's execution-time panel.
+pub fn bench_suite(
+    c: &mut Criterion,
+    figure: &str,
+    points: &[(String, Instance)],
+    suite: &[Algorithm],
+) {
+    let mut g = tuned_group(c, figure);
+    for (label, instance) in points {
+        for alg in suite {
+            g.bench_with_input(BenchmarkId::new(alg.name(), label), instance, |b, inst| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(BENCH_SEED ^ 1);
+                    alg.run(inst, &mut rng)
+                        .expect("bench instances are feasible")
+                })
+            });
+        }
+    }
+    g.finish();
+}

@@ -1,0 +1,215 @@
+//! Chain placement algorithms.
+//!
+//! * [`chain_at_destinations`] — the egress baseline: the full chain
+//!   stacked on every destination vertex. Always feasible (every type
+//!   is reachable last, in order), never saves a byte of the
+//!   diminishing types' potential, and anchors the greedy.
+//! * [`chain_gtp`] — shared-instance greedy in the spirit of the
+//!   paper's GTP: start from the egress baseline, then repeatedly add
+//!   the `(type, vertex)` instance whose *exact* re-evaluation lowers
+//!   the total bandwidth most, until the instance budget is spent or
+//!   no instance helps. Sharing across flows is automatic: the
+//!   per-flow DP re-homes every flow on each candidate evaluation.
+
+use crate::deployment::ChainDeployment;
+use crate::eval::{evaluate_chain, ChainEval};
+use crate::spec::ChainSpec;
+use tdmd_core::error::TdmdError;
+use tdmd_graph::{DiGraph, NodeId};
+use tdmd_traffic::Flow;
+
+/// The egress baseline: every type of the chain on every destination.
+/// Uses `m · |destinations|` instances.
+pub fn chain_at_destinations(
+    graph: &DiGraph,
+    flows: &[Flow],
+    chain: &ChainSpec,
+) -> ChainDeployment {
+    let mut dests: Vec<NodeId> = flows.iter().map(Flow::dst).collect();
+    dests.sort_unstable();
+    dests.dedup();
+    let mut dep = ChainDeployment::empty(chain.len(), graph.node_count());
+    for &d in &dests {
+        for t in 0..chain.len() {
+            dep.insert(t, d);
+        }
+    }
+    dep
+}
+
+/// Shared-instance greedy chain placement with a total instance
+/// budget.
+///
+/// # Errors
+/// [`TdmdError::Infeasible`] when the egress baseline alone exceeds
+/// the budget (no cheaper universally-feasible start exists without
+/// solving the NP-hard coverage problem).
+pub fn chain_gtp(
+    graph: &DiGraph,
+    flows: &[Flow],
+    chain: &ChainSpec,
+    budget: usize,
+) -> Result<(ChainDeployment, ChainEval), TdmdError> {
+    let mut dep = chain_at_destinations(graph, flows, chain);
+    if dep.total_instances() > budget {
+        return Err(TdmdError::Infeasible { budget });
+    }
+    let mut cur = evaluate_chain(flows, chain, &dep);
+    debug_assert!(cur.feasible(), "egress baseline must be feasible");
+    // Candidate vertices: any vertex on some flow path.
+    let mut on_path = vec![false; graph.node_count()];
+    for f in flows {
+        for &v in &f.path {
+            on_path[v as usize] = true;
+        }
+    }
+    let cands: Vec<NodeId> = (0..graph.node_count() as NodeId)
+        .filter(|&v| on_path[v as usize])
+        .collect();
+
+    // Moves are *prefix stacks*: placing types `0..=t` on a vertex in
+    // one step (only the missing ones are added). A lone mid-chain
+    // instance is often worthless — e.g. an optimizer with no upstream
+    // firewall can never be used in order — so single-instance moves
+    // alone stall; stacking the prefix captures the coordinated gain.
+    // Moves are scored by bandwidth saved per instance spent.
+    while dep.total_instances() < budget {
+        let slack = budget - dep.total_instances();
+        // (density, saved, cost, t, v)
+        let mut best: Option<(f64, f64, usize, usize, NodeId)> = None;
+        for t in 0..chain.len() {
+            for &v in &cands {
+                let missing: Vec<usize> = (0..=t).filter(|&ti| !dep.has(ti, v)).collect();
+                if missing.is_empty() || missing.len() > slack {
+                    continue;
+                }
+                for &ti in &missing {
+                    dep.insert(ti, v);
+                }
+                let eval = evaluate_chain(flows, chain, &dep);
+                for &ti in &missing {
+                    dep.remove(ti, v);
+                }
+                let saved = cur.bandwidth - eval.bandwidth;
+                if saved <= 1e-12 {
+                    continue;
+                }
+                let density = saved / missing.len() as f64;
+                let better = match best {
+                    None => true,
+                    Some((bd, bs, bc, bt, bv)) => {
+                        density > bd + 1e-12
+                            || ((density - bd).abs() <= 1e-12
+                                && (saved > bs + 1e-12
+                                    || ((saved - bs).abs() <= 1e-12
+                                        && (missing.len(), t, v) < (bc, bt, bv))))
+                    }
+                };
+                if better {
+                    best = Some((density, saved, missing.len(), t, v));
+                }
+            }
+        }
+        let Some((_, _, _, t, v)) = best else { break };
+        for ti in 0..=t {
+            dep.insert(ti, v);
+        }
+        cur = evaluate_chain(flows, chain, &dep);
+    }
+    Ok((dep, cur))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmd_graph::GraphBuilder;
+
+    /// Fig. 5-shaped tree (0-based), all flows to the root.
+    fn tree_fixture() -> (DiGraph, Vec<Flow>) {
+        let mut b = GraphBuilder::new(8);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6), (5, 7)] {
+            b.add_bidirectional(u, v);
+        }
+        let flows = vec![
+            Flow::new(0, 2, vec![3, 1, 0]),
+            Flow::new(1, 1, vec![7, 5, 2, 0]),
+            Flow::new(2, 5, vec![6, 5, 2, 0]),
+            Flow::new(3, 1, vec![4, 1, 0]),
+        ];
+        (b.build(), flows)
+    }
+
+    #[test]
+    fn egress_baseline_is_feasible_and_saves_nothing() {
+        let (g, flows) = tree_fixture();
+        let chain = ChainSpec::from_ratios(&[("fw", 0.5), ("opt", 0.5)]);
+        let dep = chain_at_destinations(&g, &flows, &chain);
+        assert_eq!(dep.total_instances(), 2, "one destination, two types");
+        let eval = evaluate_chain(&flows, &chain, &dep);
+        assert!(eval.feasible());
+        let unprocessed: f64 = flows.iter().map(|f| f.unprocessed_bandwidth() as f64).sum();
+        assert_eq!(
+            eval.bandwidth, unprocessed,
+            "processing at the egress saves nothing"
+        );
+    }
+
+    #[test]
+    fn single_type_chain_matches_the_core_dp() {
+        // A 1-type chain is exactly the paper's problem; with enough
+        // budget the greedy should land on the all-sources optimum.
+        let (g, flows) = tree_fixture();
+        let chain = ChainSpec::from_ratios(&[("m", 0.5)]);
+        let (dep, eval) = chain_gtp(&g, &flows, &chain, 5).unwrap();
+        // Core DP optimum at k = 5 is 12 (all sources; the spare root
+        // instance from the baseline costs nothing).
+        assert_eq!(eval.bandwidth, 12.0);
+        for src in [3u32, 4, 6, 7] {
+            assert!(dep.has(0, src), "source {src} should host the filter");
+        }
+    }
+
+    #[test]
+    fn budget_below_baseline_is_infeasible() {
+        let (g, flows) = tree_fixture();
+        let chain = ChainSpec::from_ratios(&[("a", 0.5), ("b", 0.5), ("c", 0.5)]);
+        assert!(chain_gtp(&g, &flows, &chain, 2).is_err());
+    }
+
+    #[test]
+    fn greedy_improves_monotonically_with_budget() {
+        let (g, flows) = tree_fixture();
+        let chain = ChainSpec::from_ratios(&[("fw", 0.5), ("opt", 0.8)]);
+        let mut prev = f64::INFINITY;
+        for budget in 2..=8 {
+            let (dep, eval) = chain_gtp(&g, &flows, &chain, budget).unwrap();
+            assert!(eval.feasible());
+            assert!(dep.total_instances() <= budget);
+            assert!(eval.bandwidth <= prev + 1e-9, "budget {budget}");
+            prev = eval.bandwidth;
+        }
+    }
+
+    #[test]
+    fn expander_types_stay_at_the_egress() {
+        // decrypt doubles the traffic: the greedy must never pull it
+        // toward the sources even with spare budget.
+        let (g, flows) = tree_fixture();
+        let chain = ChainSpec::from_ratios(&[("opt", 0.5), ("decrypt", 2.0)]);
+        let (_dep, eval) = chain_gtp(&g, &flows, &chain, 8).unwrap();
+        assert!(eval.feasible());
+        // The decrypt instances in use should effectively sit at the
+        // root: placing it anywhere earlier on a path would inflate
+        // every downstream edge. The optimizer spreads to sources.
+        let b_only_root_decrypt = {
+            let mut d = ChainDeployment::empty(2, 8);
+            for src in [3u32, 4, 6, 7] {
+                d.insert(0, src);
+            }
+            d.insert(1, 0);
+            d.insert(0, 0);
+            evaluate_chain(&flows, &chain, &d).bandwidth
+        };
+        assert!(eval.bandwidth <= b_only_root_decrypt + 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Chain specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// One middlebox type of a chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiddleboxType {
+    /// Human-readable name ("firewall", "optimizer", ...).
+    pub name: String,
+    /// Traffic-changing ratio of this type. `< 1` diminishes traffic
+    /// (filters, compressors), `> 1` expands it (decryption,
+    /// decompression), `= 1` is neutral (e.g. pure monitoring).
+    pub lambda: f64,
+}
+
+/// A totally-ordered service chain: every flow must be processed by
+/// each type, in order, exactly once.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainSpec {
+    types: Vec<MiddleboxType>,
+}
+
+impl ChainSpec {
+    /// Builds a chain; ratios must be finite and non-negative.
+    ///
+    /// # Panics
+    /// Panics on an empty chain or invalid ratios.
+    pub fn new(types: Vec<MiddleboxType>) -> Self {
+        assert!(!types.is_empty(), "a chain needs at least one type");
+        for t in &types {
+            assert!(
+                t.lambda.is_finite() && t.lambda >= 0.0,
+                "type {} has invalid ratio {}",
+                t.name,
+                t.lambda
+            );
+        }
+        Self { types }
+    }
+
+    /// Convenience constructor from `(name, λ)` pairs.
+    pub fn from_ratios(pairs: &[(&str, f64)]) -> Self {
+        Self::new(
+            pairs
+                .iter()
+                .map(|&(name, lambda)| MiddleboxType {
+                    name: name.to_string(),
+                    lambda,
+                })
+                .collect(),
+        )
+    }
+
+    /// The ordered types.
+    pub fn types(&self) -> &[MiddleboxType] {
+        &self.types
+    }
+
+    /// Number of types `m`.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// True for a single-type chain (the paper's setting).
+    pub fn is_empty(&self) -> bool {
+        false // by construction a chain has >= 1 type
+    }
+
+    /// Cumulative rate multiplier after completing the first `i`
+    /// types (`i = 0` means unprocessed: multiplier 1).
+    pub fn prefix_ratio(&self, i: usize) -> f64 {
+        self.types[..i].iter().map(|t| t.lambda).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_ratios_multiply_in_order() {
+        let c = ChainSpec::from_ratios(&[("fw", 0.5), ("dec", 2.0), ("opt", 0.25)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.prefix_ratio(0), 1.0);
+        assert_eq!(c.prefix_ratio(1), 0.5);
+        assert_eq!(c.prefix_ratio(2), 1.0);
+        assert_eq!(c.prefix_ratio(3), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one type")]
+    fn empty_chain_rejected() {
+        ChainSpec::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ratio")]
+    fn negative_ratio_rejected() {
+        ChainSpec::from_ratios(&[("bad", -0.1)]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = ChainSpec::from_ratios(&[("a", 0.5), ("b", 1.5)]);
+        let s = serde_json::to_string(&c).unwrap();
+        let d: ChainSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,119 @@
+//! Tiny `--flag value` argument parser (no external dependency).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    map: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses a flat `--key value --key2 value2` list.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut map = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got '{key}'"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            map.insert(name.to_string(), value.clone());
+        }
+        Ok(Self { map })
+    }
+
+    /// Required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.map
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.map.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Required numeric flag.
+    pub fn num_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let v = self.required(name)?;
+        v.parse()
+            .map_err(|_| format!("--{name}: cannot parse '{v}'"))
+    }
+
+    /// Comma-separated list of u32 ids.
+    pub fn id_list(&self, name: &str) -> Result<Vec<u32>, String> {
+        match self.map.get(name) {
+            None => Ok(Vec::new()),
+            Some(v) => v
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| format!("--{name}: bad id '{s}'"))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let a = Args::parse(&argv(&["--size", "30", "--kind", "ark"])).unwrap();
+        assert_eq!(a.required("size").unwrap(), "30");
+        assert_eq!(a.required("kind").unwrap(), "ark");
+        assert_eq!(a.num::<usize>("size", 0).unwrap(), 30);
+        assert_eq!(a.num::<usize>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_positional_and_dangling() {
+        assert!(Args::parse(&argv(&["size"])).is_err());
+        assert!(Args::parse(&argv(&["--size"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_is_an_error() {
+        let a = Args::parse(&argv(&[])).unwrap();
+        assert!(a.required("x").unwrap_err().contains("--x"));
+        assert!(a.num_required::<u64>("x").is_err());
+    }
+
+    #[test]
+    fn bad_numbers_are_reported() {
+        let a = Args::parse(&argv(&["--k", "banana"])).unwrap();
+        assert!(a.num::<usize>("k", 1).unwrap_err().contains("banana"));
+    }
+
+    #[test]
+    fn id_lists() {
+        let a = Args::parse(&argv(&["--dests", "0, 3,7"])).unwrap();
+        assert_eq!(a.id_list("dests").unwrap(), vec![0, 3, 7]);
+        assert_eq!(a.id_list("none").unwrap(), Vec::<u32>::new());
+        let bad = Args::parse(&argv(&["--dests", "1,x"])).unwrap();
+        assert!(bad.id_list("dests").is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! `tdmd chain place`.
+
+use crate::args::Args;
+use crate::commands::{load_topology, load_workload};
+use tdmd_chain::{chain_at_destinations, chain_gtp, evaluate_chain, ChainSpec, MiddleboxType};
+
+/// Parses a chain spec of the form `name:ratio,name:ratio,...`.
+pub fn parse_chain(spec: &str) -> Result<ChainSpec, String> {
+    let mut types = Vec::new();
+    for part in spec.split(',') {
+        let (name, ratio) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad chain element '{part}' (want name:ratio)"))?;
+        let lambda: f64 =
+            ratio.parse().map_err(|_| format!("bad ratio '{ratio}' in '{part}'"))?;
+        if !lambda.is_finite() || lambda < 0.0 {
+            return Err(format!("ratio {lambda} out of range in '{part}'"));
+        }
+        types.push(MiddleboxType { name: name.trim().to_string(), lambda });
+    }
+    if types.is_empty() {
+        return Err("empty chain spec".to_string());
+    }
+    Ok(ChainSpec::new(types))
+}
+
+/// `tdmd chain place --topo t.json --workload wl.json
+/// --types fw:1.0,opt:0.5,dec:2.0 --budget B`
+pub fn place(args: &Args) -> Result<String, String> {
+    let g = load_topology(args.required("topo")?)?;
+    let flows = load_workload(args.required("workload")?)?;
+    let chain = parse_chain(args.required("types")?)?;
+    let budget: usize = args.num_required("budget")?;
+
+    let egress = chain_at_destinations(&g, &flows, &chain);
+    let egress_eval = evaluate_chain(&flows, &chain, &egress);
+    let (dep, eval) = chain_gtp(&g, &flows, &chain, budget).map_err(|e| e.to_string())?;
+
+    let mut out = format!(
+        "chain:        {}\nflows:        {}\nbudget:       {budget} \
+         (used {})\negress:       {:.2} with {} instances\nplaced:       {:.2} \
+         ({:.1}% of egress)\n",
+        chain
+            .types()
+            .iter()
+            .map(|t| format!("{}:{}", t.name, t.lambda))
+            .collect::<Vec<_>>()
+            .join(" -> "),
+        flows.len(),
+        dep.total_instances(),
+        egress_eval.bandwidth,
+        egress.total_instances(),
+        eval.bandwidth,
+        100.0 * eval.bandwidth / egress_eval.bandwidth.max(1e-12),
+    );
+    for (t, spec) in chain.types().iter().enumerate() {
+        out.push_str(&format!("  {:<12} at {:?}\n", spec.name, dep.instances(t)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::{topo, workload};
+
+    fn args(pairs: &[(&str, &str)]) -> Args {
+        let flat: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        Args::parse(&flat).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("tdmd-cli-test-{name}"))
+            .display()
+            .to_string()
+    }
+
+    #[test]
+    fn chain_spec_parsing() {
+        let c = parse_chain("fw:1.0, opt:0.5,dec:2").unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.types()[1].name, "opt");
+        assert_eq!(c.types()[2].lambda, 2.0);
+        assert!(parse_chain("fw").is_err());
+        assert!(parse_chain("fw:x").is_err());
+        assert!(parse_chain("fw:-1").is_err());
+    }
+
+    #[test]
+    fn chain_place_end_to_end() {
+        let topo_path = tmp("chain-topo.json");
+        topo::generate(&args(&[
+            ("kind", "tree"),
+            ("size", "12"),
+            ("out", &topo_path),
+        ]))
+        .unwrap();
+        let wl_path = tmp("chain-wl.json");
+        workload::generate(&args(&[
+            ("topo", &topo_path),
+            ("count", "8"),
+            ("out", &wl_path),
+        ]))
+        .unwrap();
+        let report = place(&args(&[
+            ("topo", &topo_path),
+            ("workload", &wl_path),
+            ("types", "fw:1.0,opt:0.5"),
+            ("budget", "6"),
+        ]))
+        .unwrap();
+        assert!(report.contains("fw:1 -> opt:0.5"));
+        assert!(report.contains("egress:"));
+        assert!(report.contains("placed:"));
+    }
+
+    #[test]
+    fn impossible_budget_is_an_error() {
+        let topo_path = tmp("chain-topo2.json");
+        topo::generate(&args(&[
+            ("kind", "tree"),
+            ("size", "8"),
+            ("out", &topo_path),
+        ]))
+        .unwrap();
+        let wl_path = tmp("chain-wl2.json");
+        workload::generate(&args(&[
+            ("topo", &topo_path),
+            ("count", "4"),
+            ("out", &wl_path),
+        ]))
+        .unwrap();
+        let err = place(&args(&[
+            ("topo", &topo_path),
+            ("workload", &wl_path),
+            ("types", "a:0.5,b:0.5,c:0.5"),
+            ("budget", "2"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("feasible"));
+    }
+}

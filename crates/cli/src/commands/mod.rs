@@ -1,0 +1,36 @@
+//! CLI command implementations. Each returns the text to print so the
+//! commands are unit-testable without process spawning.
+
+pub mod chain;
+pub mod evaluate;
+pub mod place;
+pub mod topo;
+pub mod workload;
+
+use tdmd_graph::io::TopologyDoc;
+use tdmd_graph::DiGraph;
+use tdmd_traffic::Flow;
+
+/// Loads a topology JSON file.
+pub fn load_topology(path: &str) -> Result<DiGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    Ok(TopologyDoc::from_json(&text)
+        .map_err(|e| format!("parse {path}: {e}"))?
+        .to_graph())
+}
+
+/// Loads a workload JSON file (a `Vec<Flow>`).
+pub fn load_workload(path: &str) -> Result<Vec<Flow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// Writes a string to a file, creating parent directories.
+pub fn write_out(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("mkdir {parent:?}: {e}"))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| format!("write {path}: {e}"))
+}

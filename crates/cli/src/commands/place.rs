@@ -1,0 +1,158 @@
+//! `tdmd place`.
+
+use crate::args::Args;
+use crate::commands::{load_topology, load_workload, write_out};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdmd_core::algorithms::Algorithm;
+use tdmd_core::objective::{bandwidth_of, decrement, lemma1_bounds};
+use tdmd_core::Instance;
+
+/// Maps a CLI name to an [`Algorithm`].
+pub fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
+    Ok(match name {
+        "random" => Algorithm::Random,
+        "best-effort" | "besteffort" => Algorithm::BestEffort,
+        "gtp" => Algorithm::Gtp,
+        "gtp-lazy" => Algorithm::GtpLazy,
+        "gtp-parallel" => Algorithm::GtpParallel,
+        "gtp-ls" => Algorithm::GtpLs,
+        "hat" => Algorithm::Hat,
+        "dp" => Algorithm::Dp,
+        "centrality" => Algorithm::Centrality,
+        other => {
+            return Err(format!(
+                "unknown algorithm '{other}' (random|best-effort|gtp|gtp-lazy|\
+                 gtp-parallel|gtp-ls|hat|dp|centrality)"
+            ))
+        }
+    })
+}
+
+/// `tdmd place --topo t.json --workload wl.json --lambda L --k K
+/// --algorithm NAME [--seed S] [--out plan.json]`
+pub fn place(args: &Args) -> Result<String, String> {
+    let g = load_topology(args.required("topo")?)?;
+    let flows = load_workload(args.required("workload")?)?;
+    let lambda: f64 = args.num_required("lambda")?;
+    let k: usize = args.num_required("k")?;
+    let alg = algorithm_by_name(args.required("algorithm")?)?;
+    let seed: u64 = args.num("seed", 0)?;
+
+    let instance = Instance::new(g, flows, lambda, k).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = std::time::Instant::now();
+    let plan = alg.run(&instance, &mut rng).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+
+    let b = bandwidth_of(&instance, &plan);
+    let d = decrement(&instance, &plan);
+    let (_, dmax) = lemma1_bounds(&instance);
+    let mut out = format!(
+        "algorithm:    {}\nmiddleboxes:  {} / {k}\nvertices:     {:?}\n\
+         bandwidth:    {b:.2} (unprocessed {:.2})\ndecrement:    {d:.2} \
+         ({:.1}% of the Lemma-1 max)\ntime:         {elapsed:.3} ms\n",
+        alg.name(),
+        plan.len(),
+        plan.vertices(),
+        instance.unprocessed_bandwidth(),
+        if dmax > 0.0 { 100.0 * d / dmax } else { 100.0 },
+    );
+    if let Some(path) = args.optional("out") {
+        let json = serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?;
+        write_out(path, &json)?;
+        out.push_str(&format!("plan written to {path}\n"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::{topo, workload};
+
+    fn args(pairs: &[(&str, &str)]) -> Args {
+        let flat: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        Args::parse(&flat).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("tdmd-cli-test-{name}"))
+            .display()
+            .to_string()
+    }
+
+    fn fixture() -> (String, String) {
+        let topo_path = tmp("place-topo.json");
+        topo::generate(&args(&[
+            ("kind", "tree"),
+            ("size", "14"),
+            ("out", &topo_path),
+        ]))
+        .unwrap();
+        let wl_path = tmp("place-wl.json");
+        workload::generate(&args(&[
+            ("topo", &topo_path),
+            ("count", "10"),
+            ("out", &wl_path),
+        ]))
+        .unwrap();
+        (topo_path, wl_path)
+    }
+
+    #[test]
+    fn algorithm_names_resolve() {
+        for name in [
+            "random",
+            "best-effort",
+            "gtp",
+            "gtp-lazy",
+            "gtp-parallel",
+            "gtp-ls",
+            "hat",
+            "dp",
+            "centrality",
+        ] {
+            algorithm_by_name(name).unwrap();
+        }
+        assert!(algorithm_by_name("magic").is_err());
+    }
+
+    #[test]
+    fn place_runs_end_to_end_and_writes_the_plan() {
+        let (topo_path, wl_path) = fixture();
+        let plan_path = tmp("place-plan.json");
+        let report = place(&args(&[
+            ("topo", &topo_path),
+            ("workload", &wl_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+            ("algorithm", "dp"),
+            ("out", &plan_path),
+        ]))
+        .unwrap();
+        assert!(report.contains("algorithm:    DP"));
+        assert!(report.contains("bandwidth:"));
+        let plan: tdmd_core::Deployment =
+            serde_json::from_str(&std::fs::read_to_string(&plan_path).unwrap()).unwrap();
+        assert!(plan.len() <= 4);
+    }
+
+    #[test]
+    fn infeasible_budget_is_a_clean_error() {
+        let (topo_path, wl_path) = fixture();
+        let err = place(&args(&[
+            ("topo", &topo_path),
+            ("workload", &wl_path),
+            ("lambda", "0.5"),
+            ("k", "0"),
+            ("algorithm", "dp"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("feasible") || err.contains("0"));
+    }
+}

@@ -1,0 +1,147 @@
+//! `tdmd topo gen|stats|dot`.
+
+use crate::args::Args;
+use crate::commands::{load_topology, write_out};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdmd_graph::dot::{to_dot, DotStyle};
+use tdmd_graph::generators;
+use tdmd_graph::io::TopologyDoc;
+use tdmd_graph::stats::topology_stats;
+use tdmd_graph::DiGraph;
+
+/// Builds a topology of the requested kind.
+pub fn build(kind: &str, size: usize, seed: u64) -> Result<DiGraph, String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Ok(match kind {
+        "tree" => generators::trees::random_tree(size.max(1), &mut rng),
+        "binary" => {
+            let levels = (usize::BITS - size.max(1).leading_zeros()) as u32;
+            generators::trees::complete_binary_tree(levels.max(1))
+        }
+        "ark" => generators::ark::ark_like(size.max(5), 5.min(size.max(1)), &mut rng),
+        "er" => generators::random::erdos_renyi_connected(size.max(1), 0.2, &mut rng),
+        "ba" => generators::random::barabasi_albert(size.max(2), 2.min(size.max(2)), &mut rng),
+        "waxman" => generators::random::waxman(size.max(1), 0.6, 0.25, &mut rng).0,
+        "fattree" => {
+            // size = pod parameter k (rounded to even).
+            let k = (size.max(2) / 2) * 2;
+            generators::fattree::fat_tree(k.max(2)).graph
+        }
+        "bcube" => generators::bcube::bcube(size.clamp(2, 8), 1).graph,
+        other => {
+            return Err(format!(
+                "unknown topology kind '{other}' \
+                 (tree|binary|ark|er|ba|waxman|fattree|bcube)"
+            ))
+        }
+    })
+}
+
+/// `tdmd topo gen --kind K --size N [--seed S] --out file.json`
+pub fn generate(args: &Args) -> Result<String, String> {
+    let kind = args.required("kind")?;
+    let size: usize = args.num_required("size")?;
+    let seed: u64 = args.num("seed", 0)?;
+    let out = args.required("out")?;
+    let g = build(kind, size, seed)?;
+    let doc = TopologyDoc::from_graph(&g, format!("{kind}-{size}-seed{seed}"));
+    write_out(out, &doc.to_json())?;
+    Ok(format!(
+        "wrote {out}: {} vertices, {} directed links ({kind})\n",
+        g.node_count(),
+        g.edge_count()
+    ))
+}
+
+/// `tdmd topo stats --in file.json`
+pub fn stats(args: &Args) -> Result<String, String> {
+    let g = load_topology(args.required("in")?)?;
+    let s = topology_stats(&g);
+    Ok(format!(
+        "vertices:        {}\ndirected links:  {}\ndegree (min/mean/max): {} / {:.2} / {}\n\
+         diameter:        {}\n",
+        s.nodes,
+        s.directed_edges,
+        s.min_degree,
+        s.mean_degree,
+        s.max_degree,
+        s.diameter
+            .map_or("disconnected".to_string(), |d| d.to_string()),
+    ))
+}
+
+/// `tdmd topo dot --in file.json [--highlight 1,2] [--dests 0] --out file.dot`
+pub fn dot(args: &Args) -> Result<String, String> {
+    let g = load_topology(args.required("in")?)?;
+    let style = DotStyle {
+        highlighted: args.id_list("highlight")?,
+        destinations: args.id_list("dests")?,
+        undirected_pairs: true,
+        show_weights: true,
+    };
+    let rendered = to_dot(&g, "tdmd", &style);
+    match args.optional("out") {
+        Some(out) => {
+            write_out(out, &rendered)?;
+            Ok(format!("wrote {out}\n"))
+        }
+        None => Ok(rendered),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, &str)]) -> Args {
+        let flat: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        Args::parse(&flat).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("tdmd-cli-test-{name}"))
+            .display()
+            .to_string()
+    }
+
+    #[test]
+    fn build_covers_all_kinds() {
+        for kind in [
+            "tree", "binary", "ark", "er", "ba", "waxman", "fattree", "bcube",
+        ] {
+            let g = build(kind, 12, 1).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert!(g.node_count() > 0, "{kind}");
+        }
+        assert!(build("nope", 10, 0).is_err());
+    }
+
+    #[test]
+    fn gen_then_stats_round_trip() {
+        let path = tmp("topo.json");
+        let msg = generate(&args(&[("kind", "ark"), ("size", "20"), ("out", &path)])).unwrap();
+        assert!(msg.contains("20 vertices"));
+        let report = stats(&args(&[("in", &path)])).unwrap();
+        assert!(report.contains("vertices:        20"));
+        assert!(report.contains("diameter"));
+    }
+
+    #[test]
+    fn dot_renders_highlights() {
+        let path = tmp("topo2.json");
+        generate(&args(&[("kind", "tree"), ("size", "6"), ("out", &path)])).unwrap();
+        let dot = dot(&args(&[("in", &path), ("highlight", "0,2")])).unwrap();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("v0 [style=filled"));
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = stats(&args(&[("in", "/nonexistent/x.json")])).unwrap_err();
+        assert!(err.contains("read"));
+    }
+}

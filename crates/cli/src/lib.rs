@@ -1,0 +1,5 @@
+//! Library half of the `tdmd` CLI: flag parsing and command
+//! implementations, kept out of `main.rs` so they are unit-testable.
+
+pub mod args;
+pub mod commands;

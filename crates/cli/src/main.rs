@@ -1,0 +1,67 @@
+//! `tdmd` — command-line front end for the TDMD library.
+//!
+//! ```text
+//! tdmd topo gen --kind ark --size 30 --seed 1 --out topo.json
+//! tdmd topo stats --in topo.json
+//! tdmd topo dot --in topo.json --highlight 0,4 --out topo.dot
+//! tdmd workload gen --topo topo.json --dests 0,1 --density 0.5 --seed 2 --out wl.json
+//! tdmd place --topo topo.json --workload wl.json --lambda 0.5 --k 8 \
+//!            --algorithm gtp --out plan.json
+//! tdmd evaluate --topo topo.json --workload wl.json --lambda 0.5 --k 8 --plan plan.json
+//! ```
+
+use tdmd_cli::args::Args;
+use tdmd_cli::commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<String, String> {
+    let (command, rest) = argv.split_first().ok_or_else(usage)?;
+    match command.as_str() {
+        "topo" => {
+            let (sub, rest) = rest.split_first().ok_or_else(usage)?;
+            let args = Args::parse(rest)?;
+            match sub.as_str() {
+                "gen" => commands::topo::generate(&args),
+                "stats" => commands::topo::stats(&args),
+                "dot" => commands::topo::dot(&args),
+                other => Err(format!("unknown topo subcommand '{other}'")),
+            }
+        }
+        "workload" => {
+            let (sub, rest) = rest.split_first().ok_or_else(usage)?;
+            let args = Args::parse(rest)?;
+            match sub.as_str() {
+                "gen" => commands::workload::generate(&args),
+                other => Err(format!("unknown workload subcommand '{other}'")),
+            }
+        }
+        "chain" => {
+            let (sub, rest) = rest.split_first().ok_or_else(usage)?;
+            let args = Args::parse(rest)?;
+            match sub.as_str() {
+                "place" => commands::chain::place(&args),
+                other => Err(format!("unknown chain subcommand '{other}'")),
+            }
+        }
+        "place" => commands::place::place(&Args::parse(rest)?),
+        "evaluate" => commands::evaluate::evaluate(&Args::parse(rest)?),
+        "--help" | "-h" | "help" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: tdmd <topo gen|topo stats|topo dot|workload gen|place|evaluate|chain place> [--flag value ...]\n\
+     see the crate docs for the full flag list"
+        .to_string()
+}

@@ -1,0 +1,163 @@
+//! Best-effort baseline.
+//!
+//! §6.2 describes it as "deploys one middlebox on the vertex which can
+//! reduce the bandwidth of flows mostly, until it deploys k
+//! middleboxes". We interpret this as the natural *volume-greedy*
+//! baseline: each round picks the vertex through which the most
+//! still-unserved traffic passes (`Σ r_f (1 − λ)` over unserved flows
+//! crossing `v`), ignoring *where* on the path the vertex sits. That
+//! is exactly the "reduce the most flow bandwidth" intuition without
+//! GTP's positional marginal-decrement scoring — and it reproduces the
+//! paper's ordering (Best-effort between GTP and Random on trees,
+//! close to GTP on general topologies), because high-volume vertices
+//! cluster near destinations where the per-edge saving is small.
+//!
+//! Ties break by the positional decrement, then by smaller id. The
+//! same tight-budget feasibility guard as GTP applies (the paper only
+//! evaluates feasible plans).
+
+use crate::error::TdmdError;
+use crate::feasibility::{greedy_cover, is_feasible};
+use crate::instance::Instance;
+use crate::objective::marginal_decrement;
+use crate::plan::Deployment;
+use tdmd_graph::NodeId;
+
+/// Runs the volume-greedy Best-effort baseline with budget `k`.
+///
+/// # Errors
+/// [`TdmdError::Infeasible`] when the guard cannot keep the plan
+/// coverable within the budget.
+pub fn best_effort(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
+    let mut deployment = Deployment::empty(instance.node_count());
+    let mut served = vec![false; instance.flows().len()];
+    let mut cur_l = vec![0u32; instance.flows().len()];
+    let flows = instance.flows();
+
+    for round in 0..k {
+        let remaining = k - round;
+        let all_served = served.iter().all(|&s| s);
+        // Feasibility guard (same shape as GTP's).
+        let mut allowed: Option<Vec<NodeId>> = None;
+        if !all_served {
+            let cover = greedy_cover(instance, &served)
+                .ok_or(TdmdError::Infeasible { budget: remaining })?;
+            if cover.len() > remaining {
+                return Err(TdmdError::Infeasible { budget: remaining });
+            }
+            if cover.len() == remaining {
+                let ok: Vec<NodeId> = instance
+                    .candidate_vertices()
+                    .into_iter()
+                    .filter(|&v| !deployment.contains(v))
+                    .filter(|&v| {
+                        let mut s = served.clone();
+                        for &(fi, _) in instance.flows_through(v) {
+                            s[fi as usize] = true;
+                        }
+                        greedy_cover(instance, &s).map_or(usize::MAX, |c| c.len()) < remaining
+                    })
+                    .collect();
+                allowed = Some(ok);
+            }
+        }
+        let cands: Vec<NodeId> = match allowed {
+            Some(list) => list,
+            None => instance
+                .candidate_vertices()
+                .into_iter()
+                .filter(|&v| !deployment.contains(v))
+                .collect(),
+        };
+        // Volume score: unserved traffic through v (λ-independent so
+        // coverage still progresses when λ = 1 zeroes all savings).
+        let mut best: Option<(u64, f64, NodeId)> = None;
+        for v in cands {
+            let volume: u64 = instance
+                .flows_through(v)
+                .iter()
+                .filter(|&&(fi, _)| !served[fi as usize])
+                .map(|&(fi, _)| flows[fi as usize].rate)
+                .sum();
+            let tie = marginal_decrement(instance, &cur_l, v);
+            let better = match &best {
+                None => true,
+                Some((bv, bt, bid)) => {
+                    volume > *bv || (volume == *bv && (tie > *bt || (tie == *bt && v < *bid)))
+                }
+            };
+            if better {
+                best = Some((volume, tie, v));
+            }
+        }
+        let Some((volume, tie, v)) = best else { break };
+        if all_served && volume == 0 && tie <= 0.0 {
+            break; // nothing left to improve
+        }
+        deployment.insert(v);
+        for &(fi, l) in instance.flows_through(v) {
+            served[fi as usize] = true;
+            if l > cur_l[fi as usize] {
+                cur_l[fi as usize] = l;
+            }
+        }
+    }
+    if !is_feasible(instance, &deployment) {
+        return Err(TdmdError::Infeasible { budget: k });
+    }
+    Ok(deployment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::gtp::gtp_budgeted;
+    use crate::objective::bandwidth_of;
+    use crate::paper::{fig1_instance, fig5_instance};
+
+    #[test]
+    fn produces_feasible_plans() {
+        for k in 2..=4 {
+            let inst = fig1_instance(k);
+            let d = best_effort(&inst, k).unwrap();
+            assert!(is_feasible(&inst, &d));
+            assert!(d.len() <= k);
+        }
+    }
+
+    #[test]
+    fn volume_greedy_prefers_shared_vertices() {
+        // In Fig. 1, v2 (id 1) carries flows f2+f3+f4 (volume 6·0.5)
+        // vs v3 (id 2) carrying f1+f2 (volume 6·0.5 too) — tie broken
+        // by positional decrement: v3 wins (3 > 0).
+        let inst = fig1_instance(2);
+        let d = best_effort(&inst, 2).unwrap();
+        assert!(d.contains(2) || d.contains(1));
+    }
+
+    #[test]
+    fn never_better_than_gtp_on_fig5() {
+        for k in 1..=4 {
+            let inst = fig5_instance(k);
+            let be = best_effort(&inst, k).unwrap();
+            let gtp = gtp_budgeted(&inst, k).unwrap();
+            assert!(
+                bandwidth_of(&inst, &be) >= bandwidth_of(&inst, &gtp) - 1e-9,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_errors() {
+        let inst = fig1_instance(1);
+        assert!(best_effort(&inst, 1).is_err());
+    }
+
+    #[test]
+    fn k1_on_tree_places_the_root() {
+        let inst = fig5_instance(1);
+        let d = best_effort(&inst, 1).unwrap();
+        assert_eq!(d.vertices(), &[0]);
+    }
+}

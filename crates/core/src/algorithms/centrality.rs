@@ -1,0 +1,119 @@
+//! Centrality placement baseline.
+//!
+//! The folk heuristic: put middleboxes on the topologically central
+//! vertices (highest betweenness) regardless of the actual traffic.
+//! It is traffic-oblivious, so it brackets the baselines from the
+//! other side: Random ignores structure *and* traffic, Best-effort
+//! sees traffic volume but not position, GTP sees both. Useful as an
+//! extra comparison line and as a zero-knowledge fallback when no
+//! traffic matrix is available.
+
+use crate::error::TdmdError;
+use crate::feasibility::is_feasible;
+use crate::instance::Instance;
+use crate::plan::Deployment;
+use tdmd_graph::centrality::by_betweenness;
+use tdmd_graph::NodeId;
+
+/// Places middleboxes on the `k` highest-betweenness vertices. If the
+/// pure top-k set strands flows, the lowest-ranked picks are swapped
+/// for greedy-cover vertices until feasible (or the budget proves
+/// insufficient).
+///
+/// # Errors
+/// [`TdmdError::Infeasible`] if no repaired top-k deployment covers
+/// all flows.
+pub fn centrality_placement(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
+    let order = by_betweenness(instance.graph());
+    let take = k.min(order.len());
+    let mut deployment =
+        Deployment::from_vertices(instance.node_count(), order[..take].iter().copied());
+    if is_feasible(instance, &deployment) {
+        return Ok(deployment);
+    }
+    // Repair: replace the least-central choices with coverage picks.
+    let served: Vec<bool> = crate::objective::best_hops(instance, &deployment)
+        .iter()
+        .map(Option::is_some)
+        .collect();
+    let cover = crate::feasibility::greedy_cover(instance, &served)
+        .ok_or(TdmdError::Infeasible { budget: k })?;
+    let missing: Vec<NodeId> = cover
+        .into_iter()
+        .filter(|&v| !deployment.contains(v))
+        .collect();
+    if missing.len() > take {
+        return Err(TdmdError::Infeasible { budget: k });
+    }
+    // Drop from the tail of the centrality ranking.
+    let mut dropped = 0usize;
+    for &v in order[..take].iter().rev() {
+        if dropped == missing.len() {
+            break;
+        }
+        deployment.remove(v);
+        dropped += 1;
+    }
+    for v in missing {
+        deployment.insert(v);
+    }
+    if deployment.len() > k || !is_feasible(instance, &deployment) {
+        return Err(TdmdError::Infeasible { budget: k });
+    }
+    Ok(deployment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::gtp::gtp_budgeted;
+    use crate::objective::bandwidth_of;
+    use crate::paper::{fig1_instance, fig5_instance};
+
+    #[test]
+    fn tree_centrality_picks_internal_vertices() {
+        let inst = fig5_instance(3);
+        let d = centrality_placement(&inst, 3).unwrap();
+        assert!(is_feasible(&inst, &d));
+        // The root (v1) and spine (v3, v6) dominate betweenness on the
+        // Fig. 5 tree; the root must be among them.
+        assert!(d.contains(0));
+    }
+
+    #[test]
+    fn never_beats_gtp_on_the_paper_examples() {
+        for k in 2..=4 {
+            let inst = fig1_instance(k);
+            let Ok(c) = centrality_placement(&inst, k) else {
+                continue;
+            };
+            let g = gtp_budgeted(&inst, k).unwrap();
+            assert!(
+                bandwidth_of(&inst, &c) >= bandwidth_of(&inst, &g) - 1e-9,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn repair_keeps_feasibility() {
+        // Fig. 1's most central vertices may miss f3 (v4 -> v2); the
+        // repair must still produce a feasible plan at k = 2.
+        let inst = fig1_instance(2);
+        let d = centrality_placement(&inst, 2).unwrap();
+        assert!(is_feasible(&inst, &d));
+        assert!(d.len() <= 2);
+    }
+
+    #[test]
+    fn infeasible_budget_is_reported() {
+        let inst = fig1_instance(1);
+        assert!(centrality_placement(&inst, 1).is_err());
+    }
+
+    #[test]
+    fn k_zero_with_flows_fails() {
+        let inst = fig5_instance(0);
+        assert!(centrality_placement(&inst, 0).is_err());
+    }
+}

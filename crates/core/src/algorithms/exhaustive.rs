@@ -1,0 +1,132 @@
+//! Exhaustive optimum for small instances.
+//!
+//! Enumerates every deployment of at most `k` middleboxes over the
+//! candidate vertices (those on some flow path) with branch-and-bound
+//! pruning, returning the true optimum. Used by tests to certify the
+//! tree DP and to measure the heuristics' optimality gaps; guarded by
+//! a subset-count cap because the problem is NP-hard (Thm. 1).
+
+use crate::error::TdmdError;
+use crate::instance::Instance;
+use crate::objective::bandwidth_of;
+use crate::plan::Deployment;
+use tdmd_graph::NodeId;
+
+/// Default cap on the number of enumerated subsets.
+pub const DEFAULT_SUBSET_CAP: u128 = 20_000_000;
+
+/// Number of subsets of size ≤ k from n candidates.
+fn subset_count(n: usize, k: usize) -> u128 {
+    let mut total: u128 = 0;
+    let mut level: u128 = 1; // C(n, 0)
+    for i in 0..=k.min(n) {
+        total = total.saturating_add(level);
+        level = level.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    total
+}
+
+/// Finds the optimal feasible deployment with at most `k` boxes by
+/// exhaustive enumeration.
+///
+/// # Errors
+/// * [`TdmdError::SearchSpaceTooLarge`] when the enumeration would
+///   exceed `cap` subsets (use [`DEFAULT_SUBSET_CAP`]).
+/// * [`TdmdError::Infeasible`] when no subset of size ≤ `k` covers all
+///   flows.
+pub fn exhaustive_optimal(
+    instance: &Instance,
+    k: usize,
+    cap: u128,
+) -> Result<(Deployment, f64), TdmdError> {
+    if instance.flows().is_empty() {
+        return Ok((Deployment::empty(instance.node_count()), 0.0));
+    }
+    let cands = instance.candidate_vertices();
+    let subsets = subset_count(cands.len(), k);
+    if subsets > cap {
+        return Err(TdmdError::SearchSpaceTooLarge { subsets, cap });
+    }
+    let mut best: Option<(Vec<NodeId>, f64)> = None;
+    let mut chosen: Vec<NodeId> = Vec::with_capacity(k);
+    search(instance, &cands, 0, k, &mut chosen, &mut best);
+    match best {
+        Some((vs, b)) => Ok((Deployment::from_vertices(instance.node_count(), vs), b)),
+        None => Err(TdmdError::Infeasible { budget: k }),
+    }
+}
+
+/// Depth-first enumeration of candidate subsets.
+fn search(
+    instance: &Instance,
+    cands: &[NodeId],
+    from: usize,
+    slots_left: usize,
+    chosen: &mut Vec<NodeId>,
+    best: &mut Option<(Vec<NodeId>, f64)>,
+) {
+    // Evaluate the current subset.
+    let d = Deployment::from_vertices(instance.node_count(), chosen.iter().copied());
+    if crate::feasibility::is_feasible(instance, &d) {
+        let b = bandwidth_of(instance, &d);
+        if best.as_ref().is_none_or(|(_, bb)| b < *bb) {
+            *best = Some((chosen.clone(), b));
+        }
+    }
+    if slots_left == 0 || from >= cands.len() {
+        return;
+    }
+    for i in from..cands.len() {
+        chosen.push(cands[i]);
+        search(instance, cands, i + 1, slots_left - 1, chosen, best);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::dp::dp_optimal;
+    use crate::paper::{fig1_instance, fig5_instance};
+
+    #[test]
+    fn subset_count_is_correct() {
+        assert_eq!(subset_count(4, 2), 1 + 4 + 6);
+        assert_eq!(subset_count(5, 0), 1);
+        assert_eq!(subset_count(3, 5), 8);
+    }
+
+    #[test]
+    fn fig1_optima_match_the_paper() {
+        let inst = fig1_instance(2);
+        let (_, b2) = exhaustive_optimal(&inst, 2, DEFAULT_SUBSET_CAP).unwrap();
+        assert_eq!(b2, 12.0);
+        let (_, b3) = exhaustive_optimal(&inst, 3, DEFAULT_SUBSET_CAP).unwrap();
+        assert_eq!(b3, 8.0);
+    }
+
+    #[test]
+    fn matches_dp_on_fig5() {
+        for k in 1..=4 {
+            let inst = fig5_instance(k);
+            let (_, b) = exhaustive_optimal(&inst, k, DEFAULT_SUBSET_CAP).unwrap();
+            assert_eq!(b, dp_optimal(&inst).unwrap().bandwidth, "k={k}");
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_detected_exactly() {
+        let inst = fig1_instance(1);
+        assert_eq!(
+            exhaustive_optimal(&inst, 1, DEFAULT_SUBSET_CAP).unwrap_err(),
+            TdmdError::Infeasible { budget: 1 }
+        );
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let inst = fig5_instance(4);
+        let err = exhaustive_optimal(&inst, 4, 5).unwrap_err();
+        assert!(matches!(err, TdmdError::SearchSpaceTooLarge { .. }));
+    }
+}

@@ -1,0 +1,303 @@
+//! HAT — Heuristic Algorithm for Trees (Alg. 2).
+//!
+//! Start with a middlebox on every flow source (the bandwidth-minimal
+//! deployment: every flow is diminished from its first edge), then
+//! repeatedly *merge* the pair of middleboxes whose replacement by a
+//! single box on their LCA raises the total bandwidth the least, until
+//! only `k` middleboxes remain. A min-heap over pair costs `Δb(i, j)`
+//! drives the merges, giving the paper's `O(|V|² log |V|)` complexity.
+//!
+//! Two pragmatic refinements over the paper's sketch (both strictly
+//! improve accuracy at the same complexity):
+//!
+//! * the paper initializes with a box on *every leaf*; we use every
+//!   *source* vertex — identical bandwidth (leaves without flows
+//!   contribute nothing) and it also supports flows sourced at
+//!   internal vertices;
+//! * `Δb(i, j)` is recomputed against the *current* deployment when a
+//!   heap entry is popped stale (merges elsewhere can change where the
+//!   affected flows re-home), instead of trusting the stale key.
+
+use crate::algorithms::dp::validate_tree_instance;
+use crate::error::TdmdError;
+use crate::instance::Instance;
+use crate::plan::Deployment;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tdmd_graph::{Lca, NodeId};
+
+/// Total-order f64 key for the min-heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Key(f64);
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Mutable merge state.
+struct MergeState<'a> {
+    instance: &'a Instance,
+    /// Deployment bitmap (kept separate from `Deployment` for cheap
+    /// temporary flips while evaluating a merge).
+    member: Vec<bool>,
+    /// Live middlebox vertices.
+    live: Vec<NodeId>,
+    /// Per-flow current best downstream hops under `member`.
+    best_l: Vec<u32>,
+}
+
+impl MergeState<'_> {
+    /// Best downstream hops of flow `fi` under the current bitmap.
+    fn flow_best(&self, fi: usize) -> u32 {
+        let f = &self.instance.flows()[fi];
+        let hops = f.hops() as u32;
+        let mut best = 0;
+        for (pos, &v) in f.path.iter().enumerate() {
+            if self.member[v as usize] {
+                best = best.max(hops - pos as u32);
+                break; // first on-path box from the source is the max l
+            }
+        }
+        best
+    }
+
+    /// Flows whose serving box could change when `{i, j}` merge into
+    /// `lca`: everything crossing `i`, `j` or `lca`.
+    fn affected(&self, i: NodeId, j: NodeId, lca: NodeId) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .instance
+            .flows_through(i)
+            .iter()
+            .chain(self.instance.flows_through(j))
+            .chain(self.instance.flows_through(lca))
+            .map(|&(fi, _)| fi)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Exact `Δb(i, j)`: bandwidth change of merging `i, j → lca`
+    /// against the current deployment (positive = worse).
+    fn delta_b(&mut self, i: NodeId, j: NodeId, lca: NodeId) -> f64 {
+        let factor = 1.0 - self.instance.lambda();
+        let affected = self.affected(i, j, lca);
+        self.flip(i, j, lca);
+        let mut delta = 0.0;
+        for &fi in &affected {
+            let fi = fi as usize;
+            let new_l = self.flow_best(fi);
+            let old_l = self.best_l[fi];
+            delta += self.instance.flows()[fi].rate as f64 * factor * (old_l as f64 - new_l as f64);
+        }
+        self.unflip(i, j, lca);
+        delta
+    }
+
+    fn flip(&mut self, i: NodeId, j: NodeId, lca: NodeId) {
+        self.member[i as usize] = false;
+        self.member[j as usize] = false;
+        self.member[lca as usize] = true;
+    }
+
+    fn unflip(&mut self, i: NodeId, j: NodeId, lca: NodeId) {
+        self.member[lca as usize] = self.live.contains(&lca);
+        self.member[i as usize] = true;
+        self.member[j as usize] = true;
+    }
+
+    /// Commits the merge and refreshes per-flow assignments.
+    fn commit(&mut self, i: NodeId, j: NodeId, lca: NodeId) {
+        let affected = self.affected(i, j, lca);
+        self.member[i as usize] = false;
+        self.member[j as usize] = false;
+        self.member[lca as usize] = true;
+        self.live.retain(|&v| v != i && v != j);
+        if !self.live.contains(&lca) {
+            self.live.push(lca);
+        }
+        for &fi in &affected {
+            let fi = fi as usize;
+            self.best_l[fi] = self.flow_best(fi);
+        }
+    }
+}
+
+/// Runs HAT with budget `k`.
+///
+/// # Errors
+/// * [`TdmdError::NotATreeInstance`] on non-tree instances.
+/// * [`TdmdError::Infeasible`] when `k = 0` while flows exist.
+pub fn hat(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
+    let n = instance.node_count();
+    if instance.flows().is_empty() {
+        return Ok(Deployment::empty(n));
+    }
+    if k == 0 {
+        return Err(TdmdError::Infeasible { budget: 0 });
+    }
+    let (tree, _local) = validate_tree_instance(instance)?;
+    let lca = Lca::new(&tree);
+
+    // Initial deployment: one box per distinct source.
+    let mut sources: Vec<NodeId> = instance.flows().iter().map(|f| f.src()).collect();
+    sources.sort_unstable();
+    sources.dedup();
+
+    let mut member = vec![false; n];
+    for &s in &sources {
+        member[s as usize] = true;
+    }
+    let best_l = instance.flows().iter().map(|f| f.hops() as u32).collect();
+    let mut state = MergeState {
+        instance,
+        member,
+        live: sources.clone(),
+        best_l,
+    };
+
+    // Version-stamped lazy min-heap of merge candidates.
+    let mut version = 0usize;
+    let mut heap: BinaryHeap<Reverse<(Key, NodeId, NodeId, usize)>> = BinaryHeap::new();
+    for a in 0..sources.len() {
+        for b in (a + 1)..sources.len() {
+            let (i, j) = (sources[a], sources[b]);
+            let anc = lca.query(i, j);
+            let d = state.delta_b(i, j, anc);
+            heap.push(Reverse((Key(d), i, j, version)));
+        }
+    }
+
+    while state.live.len() > k {
+        let Some(Reverse((_, i, j, stamp))) = heap.pop() else {
+            // Cannot merge further (single box can't pair) — only
+            // possible when k == 0, which we rejected above.
+            return Err(TdmdError::Infeasible { budget: k });
+        };
+        if !state.member[i as usize] || !state.member[j as usize] {
+            continue; // endpoint already merged away
+        }
+        let anc = lca.query(i, j);
+        if stamp != version {
+            // Stale: refresh the cost at the current deployment.
+            let d = state.delta_b(i, j, anc);
+            heap.push(Reverse((Key(d), i, j, version)));
+            continue;
+        }
+        state.commit(i, j, anc);
+        version += 1;
+        // New candidate pairs involving the merged box.
+        for &other in state.live.clone().iter() {
+            if other == anc {
+                continue;
+            }
+            let a2 = lca.query(anc, other);
+            let d = state.delta_b(anc, other, a2);
+            heap.push(Reverse((Key(d), anc, other, version)));
+        }
+        // Refresh surviving pairs lazily: stale stamps are corrected
+        // on pop.
+    }
+    Ok(Deployment::from_vertices(n, state.live.iter().copied()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::dp::dp_optimal;
+    use crate::feasibility::is_feasible;
+    use crate::objective::bandwidth_of;
+    use crate::paper::fig5_instance;
+
+    #[test]
+    fn fig5_k4_keeps_all_sources() {
+        // |sources| = 4 ≤ k: no merging happens.
+        let inst = fig5_instance(4);
+        let d = hat(&inst, 4).unwrap();
+        assert_eq!(d.vertices(), &[3, 4, 6, 7]);
+        assert_eq!(bandwidth_of(&inst, &d), 12.0);
+    }
+
+    #[test]
+    fn fig5_k3_merges_v4_v5_into_v2() {
+        // Paper: Δb(4,5) = 1.5 is the cheapest pair → P = {v2, v7, v8}.
+        let inst = fig5_instance(3);
+        let d = hat(&inst, 3).unwrap();
+        assert_eq!(d.vertices(), &[1, 6, 7]);
+        assert_eq!(bandwidth_of(&inst, &d), 13.5);
+    }
+
+    #[test]
+    fn fig5_k2_matches_paper_outcome() {
+        // Paper: second merge ties Δb(2,8) = Δb(7,8) = 3 → {v2, v6} or
+        // {v1, v7}; both cost 16.5.
+        let inst = fig5_instance(2);
+        let d = hat(&inst, 2).unwrap();
+        let b = bandwidth_of(&inst, &d);
+        assert_eq!(b, 16.5);
+        assert!(is_feasible(&inst, &d));
+    }
+
+    #[test]
+    fn fig5_k1_collapses_to_root() {
+        let inst = fig5_instance(1);
+        let d = hat(&inst, 1).unwrap();
+        assert_eq!(d.vertices(), &[0]);
+        assert_eq!(bandwidth_of(&inst, &d), 24.0);
+    }
+
+    #[test]
+    fn hat_never_beats_dp() {
+        for k in 1..=4 {
+            let inst = fig5_instance(k);
+            let h = bandwidth_of(&inst, &hat(&inst, k).unwrap());
+            let d = dp_optimal(&inst).unwrap().bandwidth;
+            assert!(h >= d - 1e-9, "k={k}: HAT {h} beat DP {d}");
+        }
+    }
+
+    #[test]
+    fn hat_matches_dp_on_fig5() {
+        // On this example HAT happens to be optimal for every k.
+        for k in 1..=4 {
+            let inst = fig5_instance(k);
+            let h = bandwidth_of(&inst, &hat(&inst, k).unwrap());
+            assert_eq!(h, dp_optimal(&inst).unwrap().bandwidth, "k={k}");
+        }
+    }
+
+    #[test]
+    fn k0_with_flows_is_infeasible() {
+        let inst = fig5_instance(0);
+        assert_eq!(
+            hat(&inst, 0).unwrap_err(),
+            TdmdError::Infeasible { budget: 0 }
+        );
+    }
+
+    #[test]
+    fn non_tree_rejected() {
+        let inst = crate::paper::fig1_instance(2);
+        assert!(matches!(
+            hat(&inst, 2).unwrap_err(),
+            TdmdError::NotATreeInstance(_)
+        ));
+    }
+
+    #[test]
+    fn plans_are_always_feasible() {
+        for k in 1..=4 {
+            let inst = fig5_instance(k);
+            let d = hat(&inst, k).unwrap();
+            assert!(is_feasible(&inst, &d), "k={k}");
+            assert!(d.len() <= k);
+        }
+    }
+}

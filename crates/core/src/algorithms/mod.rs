@@ -1,0 +1,129 @@
+//! Placement algorithms.
+//!
+//! * [`gtp`] — Alg. 1, the `(1 − 1/e)` submodular greedy for general
+//!   topologies, in eager, lazy (CELF) and Rayon-parallel variants.
+//! * [`dp`] — the optimal tree DP of §5.1 (Eqs. 7–10), generalized to
+//!   arbitrary branching and to sources at any non-root vertex.
+//! * [`hat`] — Alg. 2, the agglomerative leaf-merging heuristic.
+//! * [`best_effort`] and [`random`] — the paper's two baselines.
+//! * [`exhaustive`] — brute-force optimum for small instances (used to
+//!   certify the DP and to measure heuristic gaps).
+
+pub mod best_effort;
+pub mod branch_bound;
+pub mod centrality;
+pub mod dp;
+pub mod exhaustive;
+pub mod gtp;
+pub mod hat;
+pub mod local_search;
+pub mod random;
+
+use crate::error::TdmdError;
+use crate::instance::Instance;
+use crate::plan::Deployment;
+use rand::Rng;
+
+/// Uniform handle over all placement algorithms, used by the
+/// experiment runner to sweep the paper's five-algorithm comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Random feasible `k`-subset (baseline).
+    Random,
+    /// Volume-greedy baseline (see module docs for the
+    /// interpretation).
+    BestEffort,
+    /// Alg. 1 budgeted greedy (eager marginal decrements).
+    Gtp,
+    /// Alg. 1 with CELF lazy evaluation (identical output).
+    GtpLazy,
+    /// Alg. 1 with Rayon-parallel candidate scoring (identical
+    /// output).
+    GtpParallel,
+    /// Alg. 2 tree heuristic.
+    Hat,
+    /// Optimal tree dynamic program.
+    Dp,
+    /// GTP followed by 1-swap/1-drop local search (extension).
+    GtpLs,
+    /// Traffic-oblivious top-betweenness placement (extension
+    /// baseline).
+    Centrality,
+}
+
+impl Algorithm {
+    /// Paper-facing display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Random => "Random",
+            Algorithm::BestEffort => "Best-effort",
+            Algorithm::Gtp => "GTP",
+            Algorithm::GtpLazy => "GTP-lazy",
+            Algorithm::GtpParallel => "GTP-par",
+            Algorithm::Hat => "HAT",
+            Algorithm::Dp => "DP",
+            Algorithm::GtpLs => "GTP+LS",
+            Algorithm::Centrality => "Centrality",
+        }
+    }
+
+    /// True if the algorithm requires a tree instance.
+    pub fn tree_only(&self) -> bool {
+        matches!(self, Algorithm::Hat | Algorithm::Dp)
+    }
+
+    /// Runs the algorithm with the instance's budget `k`.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        instance: &Instance,
+        rng: &mut R,
+    ) -> Result<Deployment, TdmdError> {
+        let k = instance.k();
+        match self {
+            Algorithm::Random => random::random_feasible(instance, k, rng, 1000),
+            Algorithm::BestEffort => best_effort::best_effort(instance, k),
+            Algorithm::Gtp => gtp::gtp_budgeted(instance, k),
+            Algorithm::GtpLazy => gtp::gtp_lazy(instance, k),
+            Algorithm::GtpParallel => gtp::gtp_parallel(instance, k),
+            Algorithm::Hat => hat::hat(instance, k),
+            Algorithm::Dp => dp::dp_optimal(instance).map(|s| s.deployment),
+            Algorithm::GtpLs => local_search::gtp_with_local_search(instance, k),
+            Algorithm::Centrality => centrality::centrality_placement(instance, k),
+        }
+    }
+
+    /// The paper's tree-topology line-up (Figs. 9–12).
+    pub fn tree_suite() -> [Algorithm; 5] {
+        [
+            Algorithm::Random,
+            Algorithm::BestEffort,
+            Algorithm::Gtp,
+            Algorithm::Hat,
+            Algorithm::Dp,
+        ]
+    }
+
+    /// The paper's general-topology line-up (Figs. 13–16).
+    pub fn general_suite() -> [Algorithm; 3] {
+        [Algorithm::Random, Algorithm::BestEffort, Algorithm::Gtp]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Algorithm::Gtp.name(), "GTP");
+        assert_eq!(Algorithm::Dp.name(), "DP");
+        assert_eq!(Algorithm::BestEffort.name(), "Best-effort");
+    }
+
+    #[test]
+    fn suites_match_the_paper() {
+        assert_eq!(Algorithm::tree_suite().len(), 5);
+        assert_eq!(Algorithm::general_suite().len(), 3);
+        assert!(Algorithm::general_suite().iter().all(|a| !a.tree_only()));
+    }
+}

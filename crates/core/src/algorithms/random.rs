@@ -1,0 +1,81 @@
+//! Random baseline: "randomly deploys middleboxes until it deploys k
+//! middleboxes" (§6.2), retried until the deployment is feasible (the
+//! paper only evaluates feasible plans).
+
+use crate::error::TdmdError;
+use crate::feasibility::is_feasible;
+use crate::instance::Instance;
+use crate::plan::Deployment;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples uniform `k`-subsets of the vertices until one covers every
+/// flow, up to `max_tries` attempts.
+///
+/// # Errors
+/// [`TdmdError::Infeasible`] if no sampled subset is feasible — the
+/// experiment protocol then resamples the workload.
+pub fn random_feasible<R: Rng + ?Sized>(
+    instance: &Instance,
+    k: usize,
+    rng: &mut R,
+    max_tries: usize,
+) -> Result<Deployment, TdmdError> {
+    let n = instance.node_count();
+    let k_eff = k.min(n);
+    let mut vertices: Vec<u32> = (0..n as u32).collect();
+    for _ in 0..max_tries {
+        vertices.shuffle(rng);
+        let d = Deployment::from_vertices(n, vertices[..k_eff].iter().copied());
+        if is_feasible(instance, &d) {
+            return Ok(d);
+        }
+    }
+    Err(TdmdError::Infeasible { budget: k })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{fig1_instance, fig5_instance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_feasible_subsets() {
+        let inst = fig1_instance(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let d = random_feasible(&inst, 3, &mut rng, 500).unwrap();
+            assert_eq!(d.len(), 3);
+            assert!(is_feasible(&inst, &d));
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_errors() {
+        // k = 1 can never cover Fig. 1's four flows.
+        let inst = fig1_instance(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(
+            random_feasible(&inst, 1, &mut rng, 200).unwrap_err(),
+            TdmdError::Infeasible { budget: 1 }
+        );
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let inst = fig5_instance(20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = random_feasible(&inst, 20, &mut rng, 10).unwrap();
+        assert_eq!(d.len(), 8, "every vertex deployed");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let inst = fig5_instance(3);
+        let a = random_feasible(&inst, 3, &mut StdRng::seed_from_u64(7), 100).unwrap();
+        let b = random_feasible(&inst, 3, &mut StdRng::seed_from_u64(7), 100).unwrap();
+        assert_eq!(a, b);
+    }
+}

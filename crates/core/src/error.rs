@@ -1,0 +1,77 @@
+//! Error type shared by the TDMD algorithms.
+
+/// Errors surfaced by instance validation and the placement
+/// algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TdmdError {
+    /// `λ` is outside `[0, 1]` — the paper only treats
+    /// traffic-diminishing middleboxes.
+    BadLambda(f64),
+    /// A flow's path uses an edge missing from the topology.
+    InvalidPath {
+        /// Offending flow id.
+        flow: u32,
+    },
+    /// No deployment within the budget can cover every flow (or the
+    /// algorithm could not find one — feasibility is NP-hard to decide
+    /// in general topologies, Thm. 1).
+    Infeasible {
+        /// The budget that was insufficient.
+        budget: usize,
+    },
+    /// A tree algorithm was invoked on an instance that is not a tree
+    /// rooted at the flows' common destination with leaf sources.
+    NotATreeInstance(String),
+    /// The exhaustive search space exceeds the configured cap.
+    SearchSpaceTooLarge {
+        /// Number of candidate subsets that would be enumerated.
+        subsets: u128,
+        /// The configured cap.
+        cap: u128,
+    },
+}
+
+impl std::fmt::Display for TdmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TdmdError::BadLambda(l) => write!(f, "traffic-changing ratio {l} outside [0, 1]"),
+            TdmdError::InvalidPath { flow } => write!(f, "flow {flow} has an invalid path"),
+            TdmdError::Infeasible { budget } => {
+                write!(
+                    f,
+                    "no feasible deployment with {budget} middleboxes was found"
+                )
+            }
+            TdmdError::NotATreeInstance(why) => write!(f, "not a tree instance: {why}"),
+            TdmdError::SearchSpaceTooLarge { subsets, cap } => {
+                write!(
+                    f,
+                    "exhaustive search over {subsets} subsets exceeds cap {cap}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TdmdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(TdmdError::BadLambda(1.5).to_string().contains("1.5"));
+        assert!(TdmdError::Infeasible { budget: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(TdmdError::NotATreeInstance("cycle".into())
+            .to_string()
+            .contains("cycle"));
+        let e = TdmdError::SearchSpaceTooLarge {
+            subsets: 10,
+            cap: 5,
+        };
+        assert!(e.to_string().contains("10") && e.to_string().contains('5'));
+    }
+}

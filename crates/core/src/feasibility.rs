@@ -1,0 +1,127 @@
+//! Feasibility of deployments (Thm. 1 territory).
+//!
+//! A deployment is feasible when every flow crosses at least one
+//! middlebox. Verifying a given plan is `O(|F|)`; *deciding* whether a
+//! feasible plan with `k` boxes exists is NP-hard in general
+//! topologies (set-cover reduction, Thm. 1), so we also provide the
+//! standard greedy set-cover routine both as a constructive upper
+//! bound and as the feasibility fallback the budgeted algorithms use.
+
+use crate::instance::Instance;
+use crate::plan::Deployment;
+use tdmd_graph::NodeId;
+
+/// True if every flow is covered by `deployment`.
+pub fn is_feasible(instance: &Instance, deployment: &Deployment) -> bool {
+    crate::objective::best_hops(instance, deployment)
+        .iter()
+        .all(Option::is_some)
+}
+
+/// Greedy set cover over the *unserved* flows: repeatedly picks the
+/// vertex covering the most still-uncovered flows (ties toward the
+/// smaller id). Returns the chosen vertices, or `None` if some flow
+/// cannot be covered at all (impossible for valid paths, kept for
+/// robustness). The result size is a `(ln |F| + 1)`-approximation of
+/// the minimum cover — a usable lower-bound hint on the feasible `k`.
+pub fn greedy_cover(instance: &Instance, already_served: &[bool]) -> Option<Vec<NodeId>> {
+    let n_flows = instance.flows().len();
+    debug_assert_eq!(already_served.len(), n_flows);
+    let mut served = already_served.to_vec();
+    let mut remaining = served.iter().filter(|&&s| !s).count();
+    let mut chosen = Vec::new();
+    while remaining > 0 {
+        let mut best: Option<(usize, NodeId)> = None;
+        for v in 0..instance.node_count() as NodeId {
+            let gain = crate::objective::coverage_gain(instance, &served, v);
+            if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
+                best = Some((gain, v));
+            }
+        }
+        let (gain, v) = best?;
+        chosen.push(v);
+        for &(fi, _) in instance.flows_through(v) {
+            served[fi as usize] = true;
+        }
+        remaining -= gain;
+    }
+    Some(chosen)
+}
+
+/// Size of the greedy cover starting from nothing — a quick upper
+/// bound on the minimum number of middleboxes needed for feasibility.
+pub fn greedy_cover_size(instance: &Instance) -> usize {
+    greedy_cover(instance, &vec![false; instance.flows().len()]).map_or(usize::MAX, |c| c.len())
+}
+
+/// Vertices that individually cover *all* currently-unserved flows —
+/// the candidates the paper's GTP walk-through falls back to when only
+/// one middlebox of budget remains (it picks `v2` in Fig. 1, k=2).
+pub fn full_cover_vertices(instance: &Instance, served: &[bool]) -> Vec<NodeId> {
+    let unserved = served.iter().filter(|&&s| !s).count();
+    (0..instance.node_count() as NodeId)
+        .filter(|&v| crate::objective::coverage_gain(instance, served, v) == unserved)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::fig1_instance;
+
+    #[test]
+    fn fig1_feasibility() {
+        let inst = fig1_instance(2);
+        assert!(is_feasible(&inst, &Deployment::from_vertices(6, [4, 1])));
+        assert!(is_feasible(&inst, &Deployment::from_vertices(6, [3, 4, 5])));
+        assert!(
+            !is_feasible(&inst, &Deployment::from_vertices(6, [4, 5])),
+            "f3 unserved"
+        );
+        assert!(!is_feasible(&inst, &Deployment::empty(6)));
+    }
+
+    #[test]
+    fn greedy_cover_covers_everything() {
+        let inst = fig1_instance(2);
+        let cover = greedy_cover(&inst, &[false; 4]).unwrap();
+        let d = Deployment::from_vertices(6, cover.iter().copied());
+        assert!(is_feasible(&inst, &d));
+        // Minimum cover of Fig. 1 is 2 ({v2, v5} or {v2, v3}); greedy
+        // finds one of size <= 3.
+        assert!(cover.len() <= 3);
+    }
+
+    #[test]
+    fn greedy_cover_respects_already_served() {
+        let inst = fig1_instance(2);
+        // f1 and f2 already served: v2 (id 1) alone finishes the job.
+        let cover = greedy_cover(&inst, &[true, true, false, false]).unwrap();
+        assert_eq!(cover.len(), 1);
+    }
+
+    #[test]
+    fn greedy_cover_of_served_instance_is_empty() {
+        let inst = fig1_instance(2);
+        assert_eq!(
+            greedy_cover(&inst, &[true; 4]).unwrap(),
+            Vec::<NodeId>::new()
+        );
+    }
+
+    #[test]
+    fn full_cover_vertices_match_fig1_walkthrough() {
+        let inst = fig1_instance(2);
+        // After {v5}: f1 served; f2, f3, f4 remain. Only v2 (id 1)
+        // covers all three — the paper's forced pick.
+        let served = [true, false, false, false];
+        assert_eq!(full_cover_vertices(&inst, &served), vec![1]);
+    }
+
+    #[test]
+    fn full_cover_empty_when_no_single_vertex_suffices() {
+        let inst = fig1_instance(2);
+        // All four flows share no common vertex.
+        assert!(full_cover_vertices(&inst, &[false; 4]).is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! A TDMD problem instance and its precomputed indices.
+
+use crate::error::TdmdError;
+use serde::{Deserialize, Serialize};
+use tdmd_graph::{DiGraph, NodeId};
+use tdmd_traffic::Flow;
+
+/// A complete TDMD problem: topology, flows, traffic-changing ratio
+/// `λ` and the middlebox budget `k` (Eq. 3).
+///
+/// Construction precomputes, for every vertex `v`, the list of flows
+/// whose path crosses `v` together with the downstream hop count
+/// `l_v(f)` — the quantity every algorithm scores with. The index is
+/// stored in flat `Vec`s keyed by dense ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    graph: DiGraph,
+    flows: Vec<Flow>,
+    lambda: f64,
+    k: usize,
+    /// `vertex_flows[v]` = `(flow index, l_v(f))` for every flow
+    /// crossing `v`, where `l_v(f)` counts the path edges downstream
+    /// of `v`.
+    vertex_flows: Vec<Vec<(u32, u32)>>,
+}
+
+impl Instance {
+    /// Builds and validates an instance.
+    ///
+    /// # Errors
+    /// * [`TdmdError::BadLambda`] if `λ ∉ [0, 1]`.
+    /// * [`TdmdError::InvalidPath`] if a flow path uses a missing edge
+    ///   or the flow carries no traffic (zero rate) — the tree DP's
+    ///   coverage accounting requires strictly positive rates, as in
+    ///   the paper.
+    pub fn new(graph: DiGraph, flows: Vec<Flow>, lambda: f64, k: usize) -> Result<Self, TdmdError> {
+        if !(0.0..=1.0).contains(&lambda) || lambda.is_nan() {
+            return Err(TdmdError::BadLambda(lambda));
+        }
+        for (idx, f) in flows.iter().enumerate() {
+            if !f.path_is_valid(&graph) || f.rate == 0 {
+                return Err(TdmdError::InvalidPath { flow: f.id });
+            }
+            // Flow ids double as dense indices into per-flow state
+            // everywhere downstream; enforce it here once.
+            if f.id as usize != idx {
+                return Err(TdmdError::InvalidPath { flow: f.id });
+            }
+        }
+        let mut vertex_flows = vec![Vec::new(); graph.node_count()];
+        for (idx, f) in flows.iter().enumerate() {
+            let hops = f.hops() as u32;
+            for (pos, &v) in f.path.iter().enumerate() {
+                vertex_flows[v as usize].push((idx as u32, hops - pos as u32));
+            }
+        }
+        Ok(Self {
+            graph,
+            flows,
+            lambda,
+            k,
+            vertex_flows,
+        })
+    }
+
+    /// The topology.
+    #[inline]
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// The flows.
+    #[inline]
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Traffic-changing ratio `λ`.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Middlebox budget `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Returns a copy with a different budget (used by sweeps).
+    pub fn with_k(&self, k: usize) -> Self {
+        let mut c = self.clone();
+        c.k = k;
+        c
+    }
+
+    /// Returns a copy with a different `λ`.
+    ///
+    /// # Panics
+    /// Panics if `λ ∉ [0, 1]` (sweeps pass vetted values).
+    pub fn with_lambda(&self, lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda out of range");
+        let mut c = self.clone();
+        c.lambda = lambda;
+        c
+    }
+
+    /// Flows crossing `v` as `(flow index, l_v(f))` pairs.
+    #[inline]
+    pub fn flows_through(&self, v: NodeId) -> &[(u32, u32)] {
+        &self.vertex_flows[v as usize]
+    }
+
+    /// Number of vertices in the topology.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Sum of `r_f · |p_f|` — the unprocessed total bandwidth, i.e.
+    /// `b(∅)` and the `d` offset of Lemma 1.
+    pub fn unprocessed_bandwidth(&self) -> f64 {
+        self.flows
+            .iter()
+            .map(|f| f.unprocessed_bandwidth() as f64)
+            .sum()
+    }
+
+    /// Vertices that lie on at least one flow path — the only useful
+    /// middlebox locations.
+    pub fn candidate_vertices(&self) -> Vec<NodeId> {
+        (0..self.node_count() as NodeId)
+            .filter(|&v| !self.vertex_flows[v as usize].is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmd_graph::GraphBuilder;
+
+    fn line_instance(lambda: f64, k: usize) -> Result<Instance, TdmdError> {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_bidirectional(i, i + 1);
+        }
+        let g = b.build();
+        let flows = vec![
+            Flow::new(0, 4, vec![3, 2, 1, 0]),
+            Flow::new(1, 2, vec![2, 1, 0]),
+        ];
+        Instance::new(g, flows, lambda, k)
+    }
+
+    #[test]
+    fn valid_instance_builds() {
+        let inst = line_instance(0.5, 2).unwrap();
+        assert_eq!(inst.lambda(), 0.5);
+        assert_eq!(inst.k(), 2);
+        assert_eq!(inst.flows().len(), 2);
+        assert_eq!(inst.unprocessed_bandwidth(), (4 * 3 + 2 * 2) as f64);
+    }
+
+    #[test]
+    fn vertex_flow_index_has_downstream_hops() {
+        let inst = line_instance(0.5, 2).unwrap();
+        // Vertex 3 is f0's source: l = 3. Vertex 0 is everyone's dst: l = 0.
+        assert_eq!(inst.flows_through(3), &[(0, 3)]);
+        let mut at0 = inst.flows_through(0).to_vec();
+        at0.sort_unstable();
+        assert_eq!(at0, vec![(0, 0), (1, 0)]);
+        // Vertex 2 carries f0 (l=2) and f1 (l=2).
+        let mut at2 = inst.flows_through(2).to_vec();
+        at2.sort_unstable();
+        assert_eq!(at2, vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn bad_lambda_rejected() {
+        assert_eq!(
+            line_instance(1.5, 2).unwrap_err(),
+            TdmdError::BadLambda(1.5)
+        );
+        assert_eq!(
+            line_instance(-0.1, 2).unwrap_err(),
+            TdmdError::BadLambda(-0.1)
+        );
+        assert!(line_instance(f64::NAN, 2).is_err());
+    }
+
+    #[test]
+    fn boundary_lambdas_accepted() {
+        assert!(line_instance(0.0, 2).is_ok(), "spam filter");
+        assert!(line_instance(1.0, 2).is_ok(), "traffic-neutral");
+    }
+
+    #[test]
+    fn invalid_path_rejected() {
+        let g = GraphBuilder::new(3).build();
+        let flows = vec![Flow::new(0, 1, vec![0, 1])];
+        assert_eq!(
+            Instance::new(g, flows, 0.5, 1).unwrap_err(),
+            TdmdError::InvalidPath { flow: 0 }
+        );
+    }
+
+    #[test]
+    fn candidate_vertices_excludes_off_path_nodes() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..3 {
+            b.add_bidirectional(i, i + 1);
+        }
+        b.add_bidirectional(0, 4); // vertex 4 carries no flow
+        let g = b.build();
+        let flows = vec![Flow::new(0, 1, vec![3, 2, 1, 0])];
+        let inst = Instance::new(g, flows, 0.5, 1).unwrap();
+        assert_eq!(inst.candidate_vertices(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn with_k_and_with_lambda_copy() {
+        let inst = line_instance(0.5, 2).unwrap();
+        assert_eq!(inst.with_k(7).k(), 7);
+        assert_eq!(inst.with_lambda(0.0).lambda(), 0.0);
+        assert_eq!(inst.k(), 2, "original untouched");
+    }
+}

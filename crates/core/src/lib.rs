@@ -1,0 +1,49 @@
+//! # tdmd-core — the TDMD problem and its placement algorithms
+//!
+//! Implements the paper's contribution end to end:
+//!
+//! * [`instance`] — a TDMD problem [`Instance`]: topology + flows +
+//!   traffic-changing ratio `λ` + middlebox budget `k`, with the
+//!   per-vertex flow index the algorithms share.
+//! * [`objective`] — Eq. (1): flow allocation, bandwidth consumption
+//!   `b(P)`, the decrement function `d(P)` (Def. 1) and marginal
+//!   decrements `d_P(v)` (Def. 2), plus the Lemma-1 envelope.
+//! * [`feasibility`] — coverage checks and a greedy set-cover bound
+//!   (feasibility itself is NP-hard in general topologies, Thm. 1).
+//! * [`plan`] — deployments, allocations and evaluation reports.
+//! * [`algorithms`] — GTP (Alg. 1, eager/lazy/parallel), the tree DP
+//!   (Eqs. 7–10), HAT (Alg. 2), the paper's Random and Best-effort
+//!   baselines, and an exhaustive optimum for small instances.
+
+pub mod algorithms;
+pub mod capacitated;
+pub mod error;
+pub mod feasibility;
+pub mod instance;
+pub mod objective;
+pub mod paper;
+pub mod plan;
+pub mod weighted;
+
+pub use error::TdmdError;
+pub use instance::Instance;
+pub use plan::{Allocation, Deployment, PlanReport};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::algorithms::{
+        best_effort::best_effort,
+        branch_bound::branch_and_bound,
+        dp::{dp_optimal, DpSolution},
+        exhaustive::exhaustive_optimal,
+        gtp::{gtp_budgeted, gtp_derive_k, gtp_lazy, gtp_parallel},
+        hat::hat,
+        local_search::{gtp_with_local_search, local_search},
+        random::random_feasible,
+        Algorithm,
+    };
+    pub use crate::error::TdmdError;
+    pub use crate::instance::Instance;
+    pub use crate::objective::{allocate, bandwidth, decrement};
+    pub use crate::plan::{Allocation, Deployment, PlanReport};
+}

@@ -1,0 +1,248 @@
+//! The TDMD objective (Eq. 1) and the decrement function (Defs. 1–2).
+//!
+//! Once a deployment `P` is fixed, the optimal allocation is forced
+//! (§3.1): every flow uses the deployed middlebox nearest its source,
+//! i.e. the one maximizing the downstream hop count `l_v(f)`, because
+//! `b(f) = r_f(|p_f| − (1 − λ)·l_v(f))` strictly decreases in `l`.
+//! All routines below work in terms of per-flow best-`l` vectors so
+//! the greedy algorithms can maintain them incrementally.
+
+use crate::instance::Instance;
+use crate::plan::{Allocation, Deployment};
+use tdmd_graph::NodeId;
+
+/// Optimal allocation under `deployment`: each flow is served by the
+/// on-path middlebox with the largest `l_v(f)` (nearest the source);
+/// ties break toward the smaller vertex id. Unserved flows get `None`.
+pub fn allocate(instance: &Instance, deployment: &Deployment) -> Allocation {
+    let mut assigned = vec![None; instance.flows().len()];
+    let mut best_l = vec![0u32; instance.flows().len()];
+    for f in instance.flows() {
+        let hops = f.hops() as u32;
+        for (pos, &v) in f.path.iter().enumerate() {
+            if deployment.contains(v) {
+                let l = hops - pos as u32;
+                let slot = f.id as usize;
+                if assigned[slot].is_none() || l > best_l[slot] {
+                    assigned[slot] = Some(v);
+                    best_l[slot] = l;
+                }
+            }
+        }
+    }
+    Allocation { assigned }
+}
+
+/// Per-flow best downstream hop counts under `deployment` —
+/// `Some(l)` for served flows, `None` for unserved ones.
+pub fn best_hops(instance: &Instance, deployment: &Deployment) -> Vec<Option<u32>> {
+    let mut best = vec![None; instance.flows().len()];
+    for &v in deployment.vertices() {
+        for &(fi, l) in instance.flows_through(v) {
+            let slot = &mut best[fi as usize];
+            if slot.is_none_or(|cur| l > cur) {
+                *slot = Some(l);
+            }
+        }
+    }
+    best
+}
+
+/// Total bandwidth consumption `b(P, F)` of an allocation (Eq. 1);
+/// unserved flows consume their full unprocessed bandwidth.
+pub fn bandwidth(instance: &Instance, alloc: &Allocation) -> f64 {
+    let lambda = instance.lambda();
+    instance
+        .flows()
+        .iter()
+        .map(|f| {
+            let base = f.unprocessed_bandwidth() as f64;
+            match alloc.assigned[f.id as usize] {
+                Some(v) => {
+                    let l = f.downstream_hops(v).expect("assigned vertex is on path") as f64;
+                    base - f.rate as f64 * (1.0 - lambda) * l
+                }
+                None => base,
+            }
+        })
+        .sum()
+}
+
+/// Convenience: bandwidth of a deployment under its optimal
+/// allocation.
+pub fn bandwidth_of(instance: &Instance, deployment: &Deployment) -> f64 {
+    let lambda = instance.lambda();
+    let mut total = instance.unprocessed_bandwidth();
+    for (f, l) in instance.flows().iter().zip(best_hops(instance, deployment)) {
+        if let Some(l) = l {
+            total -= f.rate as f64 * (1.0 - lambda) * l as f64;
+        }
+    }
+    total
+}
+
+/// Decrement function `d(P) = Σ r_f|p_f| − b(P)` (Def. 1).
+pub fn decrement(instance: &Instance, deployment: &Deployment) -> f64 {
+    instance.unprocessed_bandwidth() - bandwidth_of(instance, deployment)
+}
+
+/// Marginal decrement `d_P({v})` (Def. 2) given the per-flow best-`l`
+/// vector of the current deployment (`0` encodes "unserved" — a flow
+/// served at its destination contributes the same zero decrement).
+pub fn marginal_decrement(instance: &Instance, current_l: &[u32], v: NodeId) -> f64 {
+    let factor = 1.0 - instance.lambda();
+    let flows = instance.flows();
+    instance
+        .flows_through(v)
+        .iter()
+        .filter(|&&(fi, l)| l > current_l[fi as usize])
+        .map(|&(fi, l)| {
+            flows[fi as usize].rate as f64 * factor * (l - current_l[fi as usize]) as f64
+        })
+        .sum()
+}
+
+/// Number of currently-unserved flows that placing a middlebox on `v`
+/// would newly cover. Used as the greedy tie-break that keeps GTP
+/// making coverage progress even when `λ = 1` flattens the decrement.
+pub fn coverage_gain(instance: &Instance, served: &[bool], v: NodeId) -> usize {
+    instance
+        .flows_through(v)
+        .iter()
+        .filter(|&&(fi, _)| !served[fi as usize])
+        .count()
+}
+
+/// Lemma 1 bounds: `(min d, max d) = (0, (1 − λ) Σ r_f |p_f|)`.
+pub fn lemma1_bounds(instance: &Instance) -> (f64, f64) {
+    (
+        0.0,
+        (1.0 - instance.lambda()) * instance.unprocessed_bandwidth(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmd_graph::NodeId;
+
+    use crate::paper::fig1_instance;
+
+    #[test]
+    fn fig1_two_middlebox_optimum_is_12() {
+        // Fig. 1(a): middleboxes on v5 and v2 (0-based: 4 and 1)
+        // give total bandwidth 12.
+        let inst = fig1_instance(2);
+        let d = Deployment::from_vertices(6, [4, 1]);
+        let alloc = allocate(&inst, &d);
+        assert!(alloc.is_complete());
+        assert_eq!(bandwidth(&inst, &alloc), 12.0);
+        assert_eq!(bandwidth_of(&inst, &d), 12.0);
+    }
+
+    #[test]
+    fn fig1_three_middlebox_optimum_is_8() {
+        // Fig. 1(b): a middlebox on every flow source: v5, v6, v4
+        // (0-based 4, 5, 3) gives the minimum 8.
+        let inst = fig1_instance(3);
+        let d = Deployment::from_vertices(6, [4, 5, 3]);
+        assert_eq!(bandwidth_of(&inst, &d), 8.0);
+        let (_, dmax) = lemma1_bounds(&inst);
+        assert_eq!(
+            decrement(&inst, &d),
+            dmax,
+            "source placement reaches Lemma 1 max"
+        );
+    }
+
+    #[test]
+    fn empty_deployment_consumes_everything() {
+        let inst = fig1_instance(2);
+        let d = Deployment::empty(6);
+        assert_eq!(bandwidth_of(&inst, &d), inst.unprocessed_bandwidth());
+        assert_eq!(decrement(&inst, &d), 0.0, "Lemma 1: d(∅) = 0");
+        assert!(!allocate(&inst, &d).is_complete());
+    }
+
+    #[test]
+    fn allocation_picks_nearest_source_box() {
+        let inst = fig1_instance(2);
+        // Boxes on v3 (=2) and v5 (=4): f1 must use v5 (l=2), not v3.
+        let d = Deployment::from_vertices(6, [2, 4]);
+        let alloc = allocate(&inst, &d);
+        assert_eq!(alloc.assigned[0], Some(4));
+        assert_eq!(alloc.assigned[1], Some(2));
+        // f3/f4 (through v4->v2->v1... i.e. 3 -> 1 -> 0) are unserved.
+        assert_eq!(alloc.assigned[2], None);
+        assert!(!alloc.is_complete());
+    }
+
+    #[test]
+    fn best_hops_matches_allocate() {
+        let inst = fig1_instance(2);
+        let d = Deployment::from_vertices(6, [2, 4, 0]);
+        let alloc = allocate(&inst, &d);
+        let hops = best_hops(&inst, &d);
+        for (f, (a, h)) in inst.flows().iter().zip(alloc.assigned.iter().zip(hops)) {
+            match (a, h) {
+                (Some(v), Some(l)) => assert_eq!(f.downstream_hops(*v).unwrap() as u32, l),
+                (None, None) => {}
+                other => panic!("mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_decrement_matches_table2_round_one() {
+        // Table 2, first row (d_∅): v3=3, v4=1, v5=4, v6=3 (1-based).
+        let inst = fig1_instance(2);
+        let cur = vec![0u32; 4];
+        let d = |v: NodeId| marginal_decrement(&inst, &cur, v);
+        assert_eq!(d(0), 0.0); // v1: only f1's destination
+        assert_eq!(d(1), 0.0); // v2: f2/f3/f4 end here (l = 0)
+        assert_eq!(d(2), 3.0); // v3: f1 at l=1 (2) + f2 at l=1 (1)
+        assert_eq!(d(3), 1.0); // v4: f3 at l=1
+        assert_eq!(d(4), 4.0); // v5: f1 at l=2
+        assert_eq!(d(5), 3.0); // v6: f2 at l=2 (2) + f4 at l=1 (1)
+    }
+
+    #[test]
+    fn marginal_decrement_shrinks_with_larger_deployment() {
+        // Submodularity spot check: gain of v3 (id 2) drops once v5
+        // (id 4) is deployed because f1 is already served earlier.
+        let inst = fig1_instance(2);
+        let empty = vec![0u32; 4];
+        let with_v5: Vec<u32> = {
+            let d = Deployment::from_vertices(6, [4]);
+            best_hops(&inst, &d)
+                .into_iter()
+                .map(|l| l.unwrap_or(0))
+                .collect()
+        };
+        assert!(marginal_decrement(&inst, &with_v5, 2) < marginal_decrement(&inst, &empty, 2));
+    }
+
+    #[test]
+    fn coverage_gain_counts_unserved_only() {
+        let inst = fig1_instance(2);
+        let served = vec![false; 4];
+        assert_eq!(coverage_gain(&inst, &served, 2), 2); // f1, f2 cross v3
+        let served = vec![true, false, false, false];
+        assert_eq!(coverage_gain(&inst, &served, 2), 1);
+    }
+
+    #[test]
+    fn lambda_one_means_no_decrement() {
+        let inst = fig1_instance(2).with_lambda(1.0);
+        let d = Deployment::from_vertices(6, [3, 4, 5]);
+        assert_eq!(decrement(&inst, &d), 0.0);
+        assert_eq!(bandwidth_of(&inst, &d), inst.unprocessed_bandwidth());
+    }
+
+    #[test]
+    fn lambda_zero_spam_filter_cuts_everything_at_source() {
+        let inst = fig1_instance(3).with_lambda(0.0);
+        let d = Deployment::from_vertices(6, [3, 4, 5]);
+        assert_eq!(bandwidth_of(&inst, &d), 0.0, "spam filtered at the source");
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's worked examples as ready-made instances.
+//!
+//! These are used by unit tests to pin the implementation to the
+//! paper's numbers, and by the example binaries that reproduce Fig. 1
+//! / Table 2 and the Fig. 5–7 DP walk-through.
+
+use crate::instance::Instance;
+use tdmd_graph::{DiGraph, GraphBuilder};
+use tdmd_traffic::Flow;
+
+/// The Fig. 1 motivating example (0-based ids: `v1..v6` → `0..5`),
+/// reconstructed so that *all* of the paper's worked numbers hold:
+///
+/// * Table 2's marginal decrements
+///   (`d_∅ = [0, 0, 3, 1, 4, 3]` for `v1..v6`),
+/// * the `k = 2` optimum `b = 12` on `{v5, v2}` (Fig. 1a),
+/// * the `k = 3` optimum `b = 8` on `{v4, v5, v6}` (Fig. 1b),
+/// * the GTP walk-through (`v5`, then `v6`, then `v4`; with `k = 2`
+///   the feasibility fallback forces `v2`).
+///
+/// Flows (`λ = 0.5`): `f1: v5→v3→v1` rate 4; `f2: v6→v3→v2` rate 2;
+/// `f3: v4→v2` rate 2; `f4: v6→v2` rate 2.
+pub fn fig1_instance(k: usize) -> Instance {
+    let mut b = GraphBuilder::new(6);
+    for (u, v) in [(4, 2), (2, 0), (5, 2), (2, 1), (3, 1), (5, 1)] {
+        b.add_bidirectional(u, v);
+    }
+    let g = b.build();
+    let flows = vec![
+        Flow::new(0, 4, vec![4, 2, 0]),
+        Flow::new(1, 2, vec![5, 2, 1]),
+        Flow::new(2, 2, vec![3, 1]),
+        Flow::new(3, 2, vec![5, 1]),
+    ];
+    Instance::new(g, flows, 0.5, k).expect("fig1 example is valid")
+}
+
+/// The Fig. 5 DP example tree (0-based: `v1..v8` → `0..7`):
+/// `v1-(v2,v3)`, `v2-(v4,v5)`, `v3-v6`, `v6-(v7,v8)`.
+pub fn fig5_graph() -> DiGraph {
+    let mut b = GraphBuilder::new(8);
+    for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6), (5, 7)] {
+        b.add_bidirectional(u, v);
+    }
+    b.build()
+}
+
+/// The Fig. 5 DP example instance: flows `f1: v4` rate 2,
+/// `f2: v8` rate 1, `f3: v7` rate 5, `f4: v5` rate 1, all destined to
+/// the root `v1`, with `λ = 0.5`. The paper's optimal values are
+/// `F(v1, k) = 24, 16.5, 13.5, 12` for `k = 1..4` with optimal plans
+/// `{v1}`, `{v2, v6}` (or `{v1, v7}`), `{v2, v7, v8}`,
+/// `{v4, v5, v7, v8}`.
+pub fn fig5_instance(k: usize) -> Instance {
+    let g = fig5_graph();
+    let flows = vec![
+        Flow::new(0, 2, vec![3, 1, 0]),
+        Flow::new(1, 1, vec![7, 5, 2, 0]),
+        Flow::new(2, 5, vec![6, 5, 2, 0]),
+        Flow::new(3, 1, vec![4, 1, 0]),
+    ];
+    Instance::new(g, flows, 0.5, k).expect("fig5 example is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::bandwidth_of;
+    use crate::plan::Deployment;
+
+    #[test]
+    fn fig5_k1_root_only_costs_24() {
+        let inst = fig5_instance(1);
+        assert_eq!(
+            bandwidth_of(&inst, &Deployment::from_vertices(8, [0])),
+            24.0
+        );
+    }
+
+    #[test]
+    fn fig5_k2_optima_cost_16_5() {
+        let inst = fig5_instance(2);
+        // The paper: optimal k=2 plans are {v1, v7} or {v2, v6}.
+        assert_eq!(
+            bandwidth_of(&inst, &Deployment::from_vertices(8, [1, 5])),
+            16.5
+        );
+        assert_eq!(
+            bandwidth_of(&inst, &Deployment::from_vertices(8, [0, 6])),
+            16.5
+        );
+    }
+
+    #[test]
+    fn fig5_k3_optimum_costs_13_5() {
+        let inst = fig5_instance(3);
+        assert_eq!(
+            bandwidth_of(&inst, &Deployment::from_vertices(8, [1, 6, 7])),
+            13.5
+        );
+    }
+
+    #[test]
+    fn fig5_k4_source_placement_costs_12() {
+        let inst = fig5_instance(4);
+        assert_eq!(
+            bandwidth_of(&inst, &Deployment::from_vertices(8, [3, 4, 6, 7])),
+            12.0
+        );
+    }
+}

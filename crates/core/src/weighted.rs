@@ -1,0 +1,339 @@
+//! Weighted-edge objective extension.
+//!
+//! The paper's objective charges every link equally (`b(f)` counts
+//! hops). Real WANs price links differently — a transatlantic segment
+//! costs more than an intra-pod hop — and the NFV-placement literature
+//! the paper builds on (e.g. Kuo et al. [19] on link consumption)
+//! weights link usage. This module generalizes the objective to
+//! per-edge costs taken from the topology's edge weights:
+//!
+//! `b_w(f) = r_f · ( W(p_f) − (1 − λ) · W_down(v, f) )`
+//!
+//! where `W(p_f)` is the total weight of the flow's path and
+//! `W_down(v, f)` the weight of the edges downstream of the serving
+//! middlebox `v`. Hop counting is the `w ≡ 1` special case, and every
+//! structural result carries over: the weighted decrement is still
+//! monotone submodular (the Thm. 2 proof only uses `W_down`'s
+//! monotonicity along the path), so weighted GTP keeps the `(1 − 1/e)`
+//! guarantee, and the tree DP stays exact with the uplink term scaled
+//! by the edge weight.
+
+use crate::error::TdmdError;
+use crate::instance::Instance;
+use crate::plan::Deployment;
+use tdmd_graph::NodeId;
+
+/// Precomputed weighted index: for every vertex, the flows crossing it
+/// together with the *downstream path weight* from that vertex.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    /// `vertex_flows[v]` = `(flow index, W_down(v, f))`.
+    vertex_flows: Vec<Vec<(u32, f64)>>,
+    /// Per-flow total path weight `W(p_f)`.
+    path_weight: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the index from the instance's topology edge weights.
+    ///
+    /// # Panics
+    /// Panics if a flow path uses a missing edge (instances validate
+    /// this at construction).
+    pub fn new(instance: &Instance) -> Self {
+        let g = instance.graph();
+        let edge_w = |u: NodeId, v: NodeId| -> f64 {
+            let nbrs = g.out_neighbors(u);
+            let pos = nbrs
+                .iter()
+                .position(|&x| x == v)
+                .expect("validated path edge");
+            g.out_weights(u)[pos] as f64
+        };
+        let mut vertex_flows = vec![Vec::new(); instance.node_count()];
+        let mut path_weight = Vec::with_capacity(instance.flows().len());
+        for f in instance.flows() {
+            // Suffix weights: w_down[i] = weight of edges from path[i]
+            // to the destination.
+            let m = f.path.len();
+            let mut down = vec![0.0; m];
+            for i in (0..m - 1).rev() {
+                down[i] = down[i + 1] + edge_w(f.path[i], f.path[i + 1]);
+            }
+            path_weight.push(down[0]);
+            for (i, &v) in f.path.iter().enumerate() {
+                vertex_flows[v as usize].push((f.id, down[i]));
+            }
+        }
+        Self {
+            vertex_flows,
+            path_weight,
+        }
+    }
+
+    /// Total unprocessed weighted bandwidth `Σ r_f · W(p_f)`.
+    pub fn unprocessed(&self, instance: &Instance) -> f64 {
+        instance
+            .flows()
+            .iter()
+            .map(|f| f.rate as f64 * self.path_weight[f.id as usize])
+            .sum()
+    }
+
+    /// Per-flow best downstream weight under `deployment` (`None` for
+    /// unserved flows).
+    pub fn best_down(&self, instance: &Instance, deployment: &Deployment) -> Vec<Option<f64>> {
+        let mut best = vec![None; instance.flows().len()];
+        for &v in deployment.vertices() {
+            for &(fi, w) in &self.vertex_flows[v as usize] {
+                let slot: &mut Option<f64> = &mut best[fi as usize];
+                if slot.is_none_or(|cur| w > cur) {
+                    *slot = Some(w);
+                }
+            }
+        }
+        best
+    }
+
+    /// Weighted total bandwidth of a deployment under the optimal
+    /// (nearest-source) allocation.
+    pub fn bandwidth_of(&self, instance: &Instance, deployment: &Deployment) -> f64 {
+        let lambda = instance.lambda();
+        let mut total = self.unprocessed(instance);
+        for (f, w) in instance
+            .flows()
+            .iter()
+            .zip(self.best_down(instance, deployment))
+        {
+            if let Some(w) = w {
+                total -= f.rate as f64 * (1.0 - lambda) * w;
+            }
+        }
+        total
+    }
+
+    /// Weighted marginal decrement of adding `v` on top of the current
+    /// per-flow best downstream weights (0.0 encodes unserved).
+    pub fn marginal_decrement(&self, instance: &Instance, current: &[f64], v: NodeId) -> f64 {
+        let factor = 1.0 - instance.lambda();
+        let flows = instance.flows();
+        self.vertex_flows[v as usize]
+            .iter()
+            .filter(|&&(fi, w)| w > current[fi as usize])
+            .map(|&(fi, w)| flows[fi as usize].rate as f64 * factor * (w - current[fi as usize]))
+            .sum()
+    }
+}
+
+/// Weighted GTP: the Alg.-1 greedy against the weighted decrement,
+/// with the same tight-budget feasibility guard as the unweighted
+/// variant.
+///
+/// # Errors
+/// [`TdmdError::Infeasible`] under the same conditions as
+/// [`crate::algorithms::gtp::gtp_budgeted`].
+pub fn gtp_weighted(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
+    let index = WeightedIndex::new(instance);
+    let mut deployment = Deployment::empty(instance.node_count());
+    let mut current = vec![0.0f64; instance.flows().len()];
+    let mut served = vec![false; instance.flows().len()];
+
+    for round in 0..k {
+        let remaining = k - round;
+        let all_served = served.iter().all(|&s| s);
+        // Feasibility guard identical in shape to the unweighted GTP.
+        let restricted: Option<Vec<NodeId>> = if all_served {
+            None
+        } else {
+            let cover = crate::feasibility::greedy_cover(instance, &served)
+                .ok_or(TdmdError::Infeasible { budget: remaining })?;
+            if cover.len() > remaining {
+                return Err(TdmdError::Infeasible { budget: remaining });
+            }
+            if cover.len() == remaining {
+                let ok: Vec<NodeId> = instance
+                    .candidate_vertices()
+                    .into_iter()
+                    .filter(|&v| !deployment.contains(v))
+                    .filter(|&v| {
+                        let mut s = served.clone();
+                        for &(fi, _) in instance.flows_through(v) {
+                            s[fi as usize] = true;
+                        }
+                        crate::feasibility::greedy_cover(instance, &s)
+                            .map_or(usize::MAX, |c| c.len())
+                            < remaining
+                    })
+                    .collect();
+                Some(ok)
+            } else {
+                None
+            }
+        };
+        let cands: Vec<NodeId> = match restricted {
+            Some(list) => list,
+            None => instance
+                .candidate_vertices()
+                .into_iter()
+                .filter(|&v| !deployment.contains(v))
+                .collect(),
+        };
+        let mut best: Option<(f64, usize, NodeId)> = None;
+        for v in cands {
+            let gain = index.marginal_decrement(instance, &current, v);
+            let cov = crate::objective::coverage_gain(instance, &served, v);
+            let better = match best {
+                None => true,
+                Some((bg, bc, bv)) => {
+                    gain > bg || (gain == bg && (cov > bc || (cov == bc && v < bv)))
+                }
+            };
+            if better {
+                best = Some((gain, cov, v));
+            }
+        }
+        let Some((gain, cov, v)) = best else { break };
+        if all_served && gain <= 0.0 && cov == 0 {
+            break;
+        }
+        deployment.insert(v);
+        for &(fi, w) in &index.vertex_flows[v as usize] {
+            served[fi as usize] = true;
+            if w > current[fi as usize] {
+                current[fi as usize] = w;
+            }
+        }
+    }
+    if !crate::feasibility::is_feasible(instance, &deployment) {
+        return Err(TdmdError::Infeasible { budget: k });
+    }
+    Ok(deployment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::bandwidth_of;
+    use crate::paper::fig5_instance;
+    use tdmd_graph::GraphBuilder;
+    use tdmd_traffic::Flow;
+
+    /// Line 3 -> 2 -> 1 -> 0 with one expensive middle link.
+    fn weighted_line(k: usize) -> Instance {
+        let mut b = GraphBuilder::new(4);
+        b.add_bidirectional_weighted(3, 2, 1);
+        b.add_bidirectional_weighted(2, 1, 10);
+        b.add_bidirectional_weighted(1, 0, 1);
+        let g = b.build();
+        let flows = vec![Flow::new(0, 2, vec![3, 2, 1, 0])];
+        Instance::new(g, flows, 0.5, k).unwrap()
+    }
+
+    #[test]
+    fn unit_weights_match_the_hop_objective() {
+        let inst = fig5_instance(3);
+        let index = WeightedIndex::new(&inst);
+        for vs in [vec![0u32], vec![1, 5], vec![3, 4, 6, 7], vec![1, 6, 7]] {
+            let d = Deployment::from_vertices(8, vs.iter().copied());
+            assert_eq!(
+                index.bandwidth_of(&inst, &d),
+                bandwidth_of(&inst, &d),
+                "{vs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_weights_are_suffix_sums() {
+        let inst = weighted_line(1);
+        let index = WeightedIndex::new(&inst);
+        assert_eq!(index.path_weight[0], 12.0);
+        assert_eq!(index.unprocessed(&inst), 24.0);
+    }
+
+    #[test]
+    fn weighted_objective_prices_the_expensive_link() {
+        let inst = weighted_line(1);
+        let index = WeightedIndex::new(&inst);
+        // Box at the source: everything diminished: 0.5·2·12 = 12.
+        assert_eq!(
+            index.bandwidth_of(&inst, &Deployment::from_vertices(4, [3])),
+            12.0
+        );
+        // Box at vertex 2: first (cheap) link full rate, rest halved:
+        // 2·1 + 0.5·2·11 = 13.
+        assert_eq!(
+            index.bandwidth_of(&inst, &Deployment::from_vertices(4, [2])),
+            13.0
+        );
+        // Box at vertex 1: both heavy links full rate: 2·11 + 0.5·2·1 = 23.
+        assert_eq!(
+            index.bandwidth_of(&inst, &Deployment::from_vertices(4, [1])),
+            23.0
+        );
+    }
+
+    #[test]
+    fn weighted_gtp_picks_the_source_on_the_line() {
+        let inst = weighted_line(1);
+        let d = gtp_weighted(&inst, 1).unwrap();
+        assert_eq!(d.vertices(), &[3]);
+    }
+
+    #[test]
+    fn weighted_gtp_matches_unweighted_on_unit_weights() {
+        for k in 1..=4 {
+            let inst = fig5_instance(k);
+            let w = gtp_weighted(&inst, k).unwrap();
+            let u = crate::algorithms::gtp::gtp_budgeted(&inst, k).unwrap();
+            assert_eq!(
+                WeightedIndex::new(&inst).bandwidth_of(&inst, &w),
+                bandwidth_of(&inst, &u),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_gtp_diverges_from_hop_greedy_when_it_should() {
+        // Three flows, k = 2: a 3-hop cheap metro flow, a 2-hop cheap
+        // access flow, and a flow over a 100-cost satellite uplink.
+        // Hop-greedy spends its free pick on the 3-hop flow and covers
+        // the rest at the shared vertex; cost-greedy grabs the
+        // satellite source and is forced to cover the others at the
+        // root. The final deployments differ.
+        let mut b = GraphBuilder::new(7);
+        b.add_bidirectional_weighted(0, 1, 1);
+        b.add_bidirectional_weighted(1, 2, 1);
+        b.add_bidirectional_weighted(2, 3, 1);
+        b.add_bidirectional_weighted(0, 4, 1);
+        b.add_bidirectional_weighted(4, 5, 1);
+        b.add_bidirectional_weighted(4, 6, 100);
+        let g = b.build();
+        let flows = vec![
+            Flow::new(0, 1, vec![3, 2, 1, 0]),
+            Flow::new(1, 1, vec![5, 4, 0]),
+            Flow::new(2, 1, vec![6, 4, 0]),
+        ];
+        let inst = Instance::new(g, flows, 0.5, 2).unwrap();
+        let index = WeightedIndex::new(&inst);
+        let w = gtp_weighted(&inst, 2).unwrap();
+        let u = crate::algorithms::gtp::gtp_budgeted(&inst, 2).unwrap();
+        assert_ne!(w, u, "the plans must differ");
+        assert!(w.contains(6), "cost-greedy must cover the satellite at its source");
+        assert!(
+            index.bandwidth_of(&inst, &w) < index.bandwidth_of(&inst, &u),
+            "cost-greedy must win on the weighted objective"
+        );
+        assert!(
+            crate::objective::bandwidth_of(&inst, &u)
+                < crate::objective::bandwidth_of(&inst, &w),
+            "hop-greedy must win on the hop objective"
+        );
+    }
+
+    #[test]
+    fn weighted_infeasibility_matches_unweighted() {
+        let inst = crate::paper::fig1_instance(1);
+        assert!(gtp_weighted(&inst, 1).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Figure data model, sweep driver, text rendering and CSV export.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_core::Instance;
+use tdmd_sim::{run_comparison, TrialConfig};
+
+/// One point of a sweep for one algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Independent-variable value.
+    pub x: f64,
+    /// Mean bandwidth consumption.
+    pub bandwidth: f64,
+    /// Bandwidth std-dev (error bar).
+    pub bandwidth_std: f64,
+    /// Mean execution time (ms).
+    pub time_ms: f64,
+    /// Time std-dev.
+    pub time_std: f64,
+    /// Contributing trials.
+    pub trials: usize,
+}
+
+/// One algorithm's line across the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Points in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// A regenerated figure: both metric panels for every algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Figure id, e.g. "fig09".
+    pub name: String,
+    /// Human title.
+    pub title: String,
+    /// Independent-variable label.
+    pub x_label: String,
+    /// The lines.
+    pub series: Vec<Series>,
+}
+
+/// Sweep driver: runs the paper's multi-trial comparison at every `x`.
+pub fn sweep<F>(
+    name: &str,
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    algorithms: &[Algorithm],
+    cfg: &TrialConfig,
+    make: F,
+) -> FigureResult
+where
+    F: Fn(&mut StdRng, f64) -> Instance + Sync,
+{
+    let mut series: Vec<Series> = algorithms
+        .iter()
+        .map(|a| Series {
+            algorithm: a.name().to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    for &x in xs {
+        let stats = run_comparison(|rng| make(rng, x), algorithms, cfg);
+        for (s, st) in series.iter_mut().zip(stats) {
+            s.points.push(SweepPoint {
+                x,
+                bandwidth: st.mean_bandwidth,
+                bandwidth_std: st.std_bandwidth,
+                time_ms: st.mean_time_ms,
+                time_std: st.std_time_ms,
+                trials: st.trials,
+            });
+        }
+    }
+    FigureResult {
+        name: name.to_string(),
+        title: title.to_string(),
+        x_label: x_label.to_string(),
+        series,
+    }
+}
+
+impl FigureResult {
+    /// Renders the two metric panels as fixed-width text tables (the
+    /// textual analogue of the paper's (a)/(b) sub-figures).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.name, self.title));
+        for (panel, label) in [
+            (0, "(a) bandwidth consumption"),
+            (1, "(b) execution time [ms]"),
+        ] {
+            out.push_str(&format!("\n{label}\n"));
+            out.push_str(&format!("{:>12}", self.x_label));
+            for s in &self.series {
+                out.push_str(&format!("{:>24}", s.algorithm));
+            }
+            out.push('\n');
+            let n_points = self.series.first().map_or(0, |s| s.points.len());
+            for i in 0..n_points {
+                let x = self.series[0].points[i].x;
+                out.push_str(&format!("{x:>12.3}"));
+                for s in &self.series {
+                    let p = &s.points[i];
+                    let (m, sd) = if panel == 0 {
+                        (p.bandwidth, p.bandwidth_std)
+                    } else {
+                        (p.time_ms, p.time_std)
+                    };
+                    out.push_str(&format!("{:>24}", format!("{m:.2} ± {sd:.2}")));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Serializes the figure as CSV
+    /// (`figure,x,algorithm,bandwidth,bandwidth_std,time_ms,time_std,trials`).
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("figure,x,algorithm,bandwidth,bandwidth_std,time_ms,time_std,trials\n");
+        for s in &self.series {
+            for p in &s.points {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{}\n",
+                    self.name,
+                    p.x,
+                    s.algorithm,
+                    p.bandwidth,
+                    p.bandwidth_std,
+                    p.time_ms,
+                    p.time_std,
+                    p.trials
+                ));
+            }
+        }
+        out
+    }
+
+    /// Looks up a series by algorithm name.
+    pub fn series_of(&self, algorithm: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.algorithm == algorithm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_figure() -> FigureResult {
+        FigureResult {
+            name: "figX".into(),
+            title: "toy".into(),
+            x_label: "k".into(),
+            series: vec![Series {
+                algorithm: "GTP".into(),
+                points: vec![SweepPoint {
+                    x: 1.0,
+                    bandwidth: 10.0,
+                    bandwidth_std: 0.5,
+                    time_ms: 2.0,
+                    time_std: 0.1,
+                    trials: 5,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn render_contains_both_panels() {
+        let r = toy_figure().render();
+        assert!(r.contains("bandwidth consumption"));
+        assert!(r.contains("execution time"));
+        assert!(r.contains("10.00 ± 0.50"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = toy_figure().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("figure,x,"));
+        assert!(lines[1].starts_with("figX,1,GTP,10,"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = toy_figure();
+        assert!(f.series_of("GTP").is_some());
+        assert!(f.series_of("DP").is_none());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let f = toy_figure();
+        let s = serde_json::to_string(&f).unwrap();
+        let g: FigureResult = serde_json::from_str(&s).unwrap();
+        assert_eq!(f, g);
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 9 — tree topology: bandwidth consumption and execution time
+//! vs the middlebox number constraint `k` (1 to 16, interval 3), five
+//! algorithms (Random, Best-effort, GTP, HAT, DP).
+
+use crate::figure::{sweep, FigureResult};
+use crate::scenarios::{tree_instance, Scenario};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_sim::TrialConfig;
+
+/// Sweep values from the paper.
+pub const KS: [usize; 6] = [1, 4, 7, 10, 13, 16];
+
+/// Regenerates Fig. 9 at the paper's scenario.
+pub fn run(cfg: &TrialConfig) -> FigureResult {
+    run_at(cfg, Scenario::tree_default())
+}
+
+/// Sweep with an arbitrary base scenario (tests use a reduced one).
+pub fn run_at(cfg: &TrialConfig, base: Scenario) -> FigureResult {
+    let xs: Vec<f64> = KS.iter().map(|&k| k as f64).collect();
+    sweep(
+        "fig09",
+        "middlebox number constraint k in tree",
+        "k",
+        &xs,
+        &Algorithm::tree_suite(),
+        cfg,
+        |rng, x| {
+            tree_instance(
+                rng,
+                Scenario {
+                    k: x as usize,
+                    ..base
+                },
+            )
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::quick_protocol;
+
+    #[test]
+    fn bandwidth_decreases_with_k_and_dp_wins() {
+        let base = Scenario {
+            size: 10,
+            density: 0.3,
+            ..Scenario::tree_default()
+        };
+        let fig = run_at(&quick_protocol(), base);
+        assert_eq!(fig.series.len(), 5);
+        let dp = fig.series_of("DP").unwrap();
+        // Monotone non-increasing in k for the optimal algorithm.
+        for w in dp.points.windows(2) {
+            assert!(
+                w[1].bandwidth <= w[0].bandwidth + 1e-6,
+                "DP not monotone in k"
+            );
+        }
+        // DP lower-bounds every other algorithm pointwise.
+        for s in &fig.series {
+            for (p, q) in s.points.iter().zip(&dp.points) {
+                assert!(q.bandwidth <= p.bandwidth + 1e-6, "{} beat DP", s.algorithm);
+            }
+        }
+    }
+}

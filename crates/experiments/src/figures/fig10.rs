@@ -1,0 +1,56 @@
+//! Fig. 10 — tree topology: both metrics vs the traffic-changing
+//! ratio `λ` (0 to 0.9, interval 0.1), five algorithms.
+
+use crate::figure::{sweep, FigureResult};
+use crate::scenarios::{tree_instance, Scenario};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_sim::TrialConfig;
+
+/// λ sweep from the paper.
+pub fn lambdas() -> Vec<f64> {
+    (0..10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Regenerates Fig. 10 at the paper's scenario.
+pub fn run(cfg: &TrialConfig) -> FigureResult {
+    run_at(cfg, Scenario::tree_default())
+}
+
+/// Sweep with an arbitrary base scenario.
+pub fn run_at(cfg: &TrialConfig, base: Scenario) -> FigureResult {
+    sweep(
+        "fig10",
+        "traffic-changing ratio in tree",
+        "lambda",
+        &lambdas(),
+        &Algorithm::tree_suite(),
+        cfg,
+        |rng, x| tree_instance(rng, Scenario { lambda: x, ..base }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::quick_protocol;
+
+    #[test]
+    fn bandwidth_grows_with_lambda() {
+        let base = Scenario {
+            size: 10,
+            density: 0.3,
+            k: 4,
+            ..Scenario::tree_default()
+        };
+        let fig = run_at(&quick_protocol(), base);
+        let dp = fig.series_of("DP").unwrap();
+        // With λ = 1 no middlebox saves anything; with λ = 0 savings
+        // are maximal — DP's line must rise over the sweep ends.
+        let first = dp.points.first().unwrap().bandwidth;
+        let last = dp.points.last().unwrap().bandwidth;
+        assert!(
+            last > first,
+            "λ=0.9 ({last}) should cost more than λ=0 ({first})"
+        );
+    }
+}

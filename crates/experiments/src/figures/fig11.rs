@@ -1,0 +1,53 @@
+//! Fig. 11 — tree topology: both metrics vs the flow density (0.3 to
+//! 0.8, interval 0.1), five algorithms.
+
+use crate::figure::{sweep, FigureResult};
+use crate::scenarios::{tree_instance, Scenario};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_sim::TrialConfig;
+
+/// Density sweep from the paper.
+pub fn densities() -> Vec<f64> {
+    (3..=8).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Regenerates Fig. 11 at the paper's scenario.
+pub fn run(cfg: &TrialConfig) -> FigureResult {
+    run_at(cfg, Scenario::tree_default())
+}
+
+/// Sweep with an arbitrary base scenario.
+pub fn run_at(cfg: &TrialConfig, base: Scenario) -> FigureResult {
+    sweep(
+        "fig11",
+        "flow density in tree",
+        "density",
+        &densities(),
+        &Algorithm::tree_suite(),
+        cfg,
+        |rng, x| tree_instance(rng, Scenario { density: x, ..base }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::quick_protocol;
+
+    #[test]
+    fn bandwidth_grows_roughly_linearly_with_density() {
+        let base = Scenario {
+            size: 10,
+            k: 4,
+            ..Scenario::tree_default()
+        };
+        let fig = run_at(&quick_protocol(), base);
+        let gtp = fig.series_of("GTP").unwrap();
+        let first = gtp.points.first().unwrap().bandwidth;
+        let last = gtp.points.last().unwrap().bandwidth;
+        assert!(
+            last > 1.5 * first,
+            "density 0.8 ({last}) should cost well above density 0.3 ({first})"
+        );
+    }
+}

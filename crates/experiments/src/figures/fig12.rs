@@ -1,0 +1,64 @@
+//! Fig. 12 — tree topology: both metrics vs the topology size (12 to
+//! 32, interval 4), five algorithms.
+
+use crate::figure::{sweep, FigureResult};
+use crate::scenarios::{tree_instance, Scenario};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_sim::TrialConfig;
+
+/// Size sweep from the paper.
+pub const SIZES: [usize; 6] = [12, 16, 20, 24, 28, 32];
+
+/// Regenerates Fig. 12 at the paper's scenario.
+pub fn run(cfg: &TrialConfig) -> FigureResult {
+    run_at(cfg, Scenario::tree_default())
+}
+
+/// Sweep with an arbitrary base scenario.
+pub fn run_at(cfg: &TrialConfig, base: Scenario) -> FigureResult {
+    let xs: Vec<f64> = SIZES.iter().map(|&s| s as f64).collect();
+    sweep(
+        "fig12",
+        "topology size in tree",
+        "size",
+        &xs,
+        &Algorithm::tree_suite(),
+        cfg,
+        |rng, x| {
+            tree_instance(
+                rng,
+                Scenario {
+                    size: x as usize,
+                    ..base
+                },
+            )
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::quick_protocol;
+
+    #[test]
+    fn bigger_topologies_consume_more() {
+        // Reduced sizes still show the trend; density fixed means the
+        // load scales with the link count.
+        let base = Scenario {
+            density: 0.3,
+            k: 4,
+            ..Scenario::tree_default()
+        };
+        let mut cfg = quick_protocol();
+        cfg.trials = 1;
+        let fig = run_at(&cfg, base);
+        let hat = fig.series_of("HAT").unwrap();
+        let first = hat.points.first().unwrap().bandwidth;
+        let last = hat.points.last().unwrap().bandwidth;
+        assert!(
+            last > first,
+            "size 32 ({last}) should cost more than size 12 ({first})"
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Fig. 13 — general topology: both metrics vs the middlebox number
+//! constraint `k` (12 to 22, interval 2), three algorithms (Random,
+//! Best-effort, GTP).
+
+use crate::figure::{sweep, FigureResult};
+use crate::scenarios::{general_instance, Scenario};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_sim::TrialConfig;
+
+/// Sweep values from the paper.
+pub const KS: [usize; 6] = [12, 14, 16, 18, 20, 22];
+
+/// Regenerates Fig. 13 at the paper's scenario.
+pub fn run(cfg: &TrialConfig) -> FigureResult {
+    run_at(cfg, Scenario::general_default())
+}
+
+/// Sweep with an arbitrary base scenario.
+pub fn run_at(cfg: &TrialConfig, base: Scenario) -> FigureResult {
+    let xs: Vec<f64> = KS.iter().map(|&k| k as f64).collect();
+    sweep(
+        "fig13",
+        "middlebox number k in a general topology",
+        "k",
+        &xs,
+        &Algorithm::general_suite(),
+        cfg,
+        |rng, x| {
+            general_instance(
+                rng,
+                Scenario {
+                    k: x as usize,
+                    ..base
+                },
+            )
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::quick_protocol;
+
+    #[test]
+    fn gtp_never_loses_to_random() {
+        let base = Scenario {
+            size: 18,
+            density: 0.3,
+            ..Scenario::general_default()
+        };
+        let fig = run_at(&quick_protocol(), base);
+        let gtp = fig.series_of("GTP").unwrap();
+        let rnd = fig.series_of("Random").unwrap();
+        for (g, r) in gtp.points.iter().zip(&rnd.points) {
+            assert!(g.bandwidth <= r.bandwidth + 1e-6, "GTP lost at k={}", g.x);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 15 — general topology: both metrics vs the flow density (0.3
+//! to 0.8, interval 0.1), three algorithms.
+
+use crate::figure::{sweep, FigureResult};
+use crate::figures::fig11::densities;
+use crate::scenarios::{general_instance, Scenario};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_sim::TrialConfig;
+
+/// Regenerates Fig. 15 at the paper's scenario.
+pub fn run(cfg: &TrialConfig) -> FigureResult {
+    run_at(cfg, Scenario::general_default())
+}
+
+/// Sweep with an arbitrary base scenario.
+pub fn run_at(cfg: &TrialConfig, base: Scenario) -> FigureResult {
+    sweep(
+        "fig15",
+        "flow density in a general topology",
+        "density",
+        &densities(),
+        &Algorithm::general_suite(),
+        cfg,
+        |rng, x| general_instance(rng, Scenario { density: x, ..base }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::quick_protocol;
+
+    #[test]
+    fn density_scales_all_lines() {
+        let base = Scenario {
+            size: 16,
+            k: 8,
+            ..Scenario::general_default()
+        };
+        let fig = run_at(&quick_protocol(), base);
+        for s in &fig.series {
+            let first = s.points.first().unwrap().bandwidth;
+            let last = s.points.last().unwrap().bandwidth;
+            assert!(last > first, "{}: {last} !> {first}", s.algorithm);
+        }
+    }
+}

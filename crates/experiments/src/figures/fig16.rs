@@ -1,0 +1,62 @@
+//! Fig. 16 — general topology: both metrics vs the topology size (12
+//! to 52, interval 8), three algorithms.
+
+use crate::figure::{sweep, FigureResult};
+use crate::scenarios::{general_instance, Scenario};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_sim::TrialConfig;
+
+/// Size sweep from the paper.
+pub const SIZES: [usize; 6] = [12, 20, 28, 36, 44, 52];
+
+/// Regenerates Fig. 16 at the paper's scenario.
+pub fn run(cfg: &TrialConfig) -> FigureResult {
+    run_at(cfg, Scenario::general_default())
+}
+
+/// Sweep with an arbitrary base scenario.
+pub fn run_at(cfg: &TrialConfig, base: Scenario) -> FigureResult {
+    let xs: Vec<f64> = SIZES.iter().map(|&s| s as f64).collect();
+    sweep(
+        "fig16",
+        "topology size in a general topology",
+        "size",
+        &xs,
+        &Algorithm::general_suite(),
+        cfg,
+        |rng, x| {
+            general_instance(
+                rng,
+                Scenario {
+                    size: x as usize,
+                    ..base
+                },
+            )
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::quick_protocol;
+
+    #[test]
+    fn lines_grow_almost_linearly_with_size() {
+        let base = Scenario {
+            density: 0.3,
+            k: 8,
+            ..Scenario::general_default()
+        };
+        let mut cfg = quick_protocol();
+        cfg.trials = 1;
+        let fig = run_at(&cfg, base);
+        let gtp = fig.series_of("GTP").unwrap();
+        let first = gtp.points.first().unwrap().bandwidth;
+        let last = gtp.points.last().unwrap().bandwidth;
+        assert!(
+            last > 2.0 * first,
+            "52 vertices ({last}) ≫ 12 vertices ({first})"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Fig. 17 — spam filters (`λ = 0`): total bandwidth consumption of
+//! GTP over the `(k, flow density)` grid, on the tree (a) and general
+//! (b) topologies. The paper renders 3-D surfaces; we emit one series
+//! per `k` with density on the x-axis, which carries the same data.
+
+use crate::figure::{sweep, FigureResult};
+use crate::scenarios::{general_instance, tree_instance, Scenario};
+use tdmd_core::algorithms::Algorithm;
+use tdmd_sim::TrialConfig;
+
+/// Density axis shared by both panels.
+pub fn densities() -> Vec<f64> {
+    (4..=8).map(|i| i as f64 / 10.0).collect()
+}
+
+/// `k` axis for the tree panel (Fig. 17a: k from 5 to 15).
+pub const TREE_KS: [usize; 3] = [5, 10, 15];
+/// `k` axis for the general panel (Fig. 17b: k from 6 to 16).
+pub const GENERAL_KS: [usize; 3] = [6, 11, 16];
+
+fn grid<F>(name: &str, title: &str, ks: &[usize], cfg: &TrialConfig, make: F) -> FigureResult
+where
+    F: Fn(&mut rand::rngs::StdRng, f64, usize) -> tdmd_core::Instance + Sync,
+{
+    let mut out = FigureResult {
+        name: name.to_string(),
+        title: title.to_string(),
+        x_label: "density".to_string(),
+        series: Vec::new(),
+    };
+    for &k in ks {
+        let fig = sweep(
+            name,
+            title,
+            "density",
+            &densities(),
+            &[Algorithm::Gtp],
+            cfg,
+            |rng, x| make(rng, x, k),
+        );
+        let mut s = fig.series.into_iter().next().expect("one algorithm");
+        s.algorithm = format!("GTP k={k}");
+        out.series.push(s);
+    }
+    out
+}
+
+/// Fig. 17(a): spam filters on the tree.
+pub fn run_tree(cfg: &TrialConfig) -> FigureResult {
+    run_tree_at(
+        cfg,
+        Scenario {
+            lambda: 0.0,
+            ..Scenario::tree_default()
+        },
+    )
+}
+
+/// Tree panel with an arbitrary base scenario (λ forced to 0).
+pub fn run_tree_at(cfg: &TrialConfig, base: Scenario) -> FigureResult {
+    grid(
+        "fig17a",
+        "spam filters in tree (lambda = 0)",
+        &TREE_KS,
+        cfg,
+        |rng, d, k| {
+            tree_instance(
+                rng,
+                Scenario {
+                    lambda: 0.0,
+                    density: d,
+                    k,
+                    ..base
+                },
+            )
+        },
+    )
+}
+
+/// Fig. 17(b): spam filters on the general topology.
+pub fn run_general(cfg: &TrialConfig) -> FigureResult {
+    run_general_at(
+        cfg,
+        Scenario {
+            lambda: 0.0,
+            ..Scenario::general_default()
+        },
+    )
+}
+
+/// General panel with an arbitrary base scenario (λ forced to 0).
+pub fn run_general_at(cfg: &TrialConfig, base: Scenario) -> FigureResult {
+    grid(
+        "fig17b",
+        "spam filters in general topology (lambda = 0)",
+        &GENERAL_KS,
+        cfg,
+        |rng, d, k| {
+            general_instance(
+                rng,
+                Scenario {
+                    lambda: 0.0,
+                    density: d,
+                    k,
+                    ..base
+                },
+            )
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::quick_protocol;
+
+    #[test]
+    fn density_dominates_k_on_the_tree_grid() {
+        let base = Scenario {
+            size: 12,
+            lambda: 0.0,
+            ..Scenario::tree_default()
+        };
+        let fig = run_tree_at(&quick_protocol(), base);
+        assert_eq!(fig.series.len(), TREE_KS.len());
+        // Along each k-line bandwidth rises with density...
+        for s in &fig.series {
+            let first = s.points.first().unwrap().bandwidth;
+            let last = s.points.last().unwrap().bandwidth;
+            assert!(last >= first, "{}", s.algorithm);
+        }
+        // ... and more k at fixed density never hurts.
+        for i in 0..densities().len() {
+            let hi_k = fig.series.last().unwrap().points[i].bandwidth;
+            let lo_k = fig.series.first().unwrap().points[i].bandwidth;
+            assert!(
+                hi_k <= lo_k + 1e-6,
+                "k=15 should beat k=5 at density index {i}"
+            );
+        }
+    }
+}

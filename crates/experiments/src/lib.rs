@@ -1,0 +1,19 @@
+//! # tdmd-experiments — regenerates the paper's evaluation
+//!
+//! One module per figure of §6 (Figs. 9–17) plus the worked examples
+//! (Fig. 1 / Table 2 and the Fig. 5–7 DP tables live in the
+//! `examples/` binaries). Each figure module builds the paper's
+//! instance family, sweeps its independent variable over the paper's
+//! range, and returns a [`figure::FigureResult`] with the two metric
+//! panels (bandwidth consumption, execution time) per algorithm.
+//!
+//! Run `cargo run -p tdmd-experiments --release -- all` to print every
+//! figure and drop CSVs under `results/`.
+
+pub mod extras;
+pub mod figure;
+pub mod figures;
+pub mod scenarios;
+pub mod svg;
+
+pub use figure::{FigureResult, Series, SweepPoint};

@@ -1,0 +1,295 @@
+//! SVG rendering of figure results.
+//!
+//! Turns a [`crate::figure::FigureResult`] into the paper's
+//! line-charts-with-error-bars, as standalone SVG files — no plotting
+//! dependency, just generated markup. Each figure yields two panels:
+//! `(a)` bandwidth consumption and `(b)` execution time.
+
+use crate::figure::{FigureResult, Series};
+
+/// Which metric panel to draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// Panel (a): total bandwidth consumption.
+    Bandwidth,
+    /// Panel (b): execution time in milliseconds.
+    TimeMs,
+}
+
+impl Panel {
+    fn label(self) -> &'static str {
+        match self {
+            Panel::Bandwidth => "bandwidth consumption",
+            Panel::TimeMs => "execution time [ms]",
+        }
+    }
+
+    fn value(self, p: &crate::figure::SweepPoint) -> (f64, f64) {
+        match self {
+            Panel::Bandwidth => (p.bandwidth, p.bandwidth_std),
+            Panel::TimeMs => (p.time_ms, p.time_std),
+        }
+    }
+}
+
+/// Distinguishable line colors (paper-style ordering).
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const ML: f64 = 70.0; // left margin
+const MR: f64 = 20.0;
+const MT: f64 = 40.0;
+const MB: f64 = 50.0;
+
+/// Renders one metric panel of a figure as a standalone SVG document.
+pub fn render_svg(fig: &FigureResult, panel: Panel) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+         viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\" font-size=\"12\">\n"
+    ));
+    out.push_str(&format!(
+        "  <title>{} — {}</title>\n",
+        escape(&fig.title),
+        panel.label()
+    ));
+    out.push_str(&format!(
+        "  <rect width=\"{W}\" height=\"{H}\" fill=\"white\"/>\n  <text x=\"{}\" y=\"20\" \
+         text-anchor=\"middle\" font-size=\"14\">{} — {}</text>\n",
+        W / 2.0,
+        escape(&fig.title),
+        panel.label()
+    ));
+
+    // Data ranges (error bars included).
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (0.0f64, f64::NEG_INFINITY);
+    for s in &fig.series {
+        for p in &s.points {
+            let (v, e) = panel.value(p);
+            x_lo = x_lo.min(p.x);
+            x_hi = x_hi.max(p.x);
+            y_lo = y_lo.min(v - e);
+            y_hi = y_hi.max(v + e);
+        }
+    }
+    if !x_lo.is_finite() || !y_hi.is_finite() {
+        out.push_str("  <text x=\"20\" y=\"40\">no data</text>\n</svg>\n");
+        return out;
+    }
+    if (x_hi - x_lo).abs() < 1e-12 {
+        x_hi = x_lo + 1.0;
+    }
+    if (y_hi - y_lo).abs() < 1e-12 {
+        y_hi = y_lo + 1.0;
+    }
+    let px = |x: f64| ML + (x - x_lo) / (x_hi - x_lo) * (W - ML - MR);
+    let py = |y: f64| H - MB - (y - y_lo) / (y_hi - y_lo) * (H - MT - MB);
+
+    // Axes with 5 ticks each.
+    out.push_str(&format!(
+        "  <line x1=\"{ML}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"black\"/>\n",
+        H - MB,
+        W - MR
+    ));
+    out.push_str(&format!(
+        "  <line x1=\"{ML}\" y1=\"{MT}\" x2=\"{ML}\" y2=\"{}\" stroke=\"black\"/>\n",
+        H - MB
+    ));
+    for i in 0..=4 {
+        let fx = x_lo + (x_hi - x_lo) * i as f64 / 4.0;
+        let fy = y_lo + (y_hi - y_lo) * i as f64 / 4.0;
+        out.push_str(&format!(
+            "  <line x1=\"{0}\" y1=\"{1}\" x2=\"{0}\" y2=\"{2}\" stroke=\"black\"/>\n  \
+             <text x=\"{0}\" y=\"{3}\" text-anchor=\"middle\">{4}</text>\n",
+            px(fx),
+            H - MB,
+            H - MB + 5.0,
+            H - MB + 20.0,
+            trim(fx)
+        ));
+        out.push_str(&format!(
+            "  <line x1=\"{0}\" y1=\"{1}\" x2=\"{2}\" y2=\"{1}\" stroke=\"black\"/>\n  \
+             <text x=\"{3}\" y=\"{4}\" text-anchor=\"end\">{5}</text>\n",
+            ML - 5.0,
+            py(fy),
+            ML,
+            ML - 8.0,
+            py(fy) + 4.0,
+            trim(fy)
+        ));
+    }
+    out.push_str(&format!(
+        "  <text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+        (ML + W - MR) / 2.0,
+        H - 10.0,
+        escape(&fig.x_label)
+    ));
+
+    // Series: polyline + error bars + legend entry.
+    for (si, s) in fig.series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        out.push_str(&series_markup(s, panel, color, &px, &py));
+        let ly = MT + 14.0 * si as f64;
+        out.push_str(&format!(
+            "  <line x1=\"{0}\" y1=\"{ly}\" x2=\"{1}\" y2=\"{ly}\" stroke=\"{color}\" \
+             stroke-width=\"2\"/>\n  <text x=\"{2}\" y=\"{3}\">{4}</text>\n",
+            W - MR - 130.0,
+            W - MR - 105.0,
+            W - MR - 100.0,
+            ly + 4.0,
+            escape(&s.algorithm)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn series_markup(
+    s: &Series,
+    panel: Panel,
+    color: &str,
+    px: &dyn Fn(f64) -> f64,
+    py: &dyn Fn(f64) -> f64,
+) -> String {
+    let mut out = String::new();
+    let pts: Vec<String> = s
+        .points
+        .iter()
+        .map(|p| {
+            let (v, _) = panel.value(p);
+            format!("{:.2},{:.2}", px(p.x), py(v))
+        })
+        .collect();
+    out.push_str(&format!(
+        "  <polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+        pts.join(" ")
+    ));
+    for p in &s.points {
+        let (v, e) = panel.value(p);
+        let (x, y) = (px(p.x), py(v));
+        out.push_str(&format!(
+            "  <circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"3\" fill=\"{color}\"/>\n"
+        ));
+        if e > 0.0 {
+            let (y1, y2) = (py(v - e), py(v + e));
+            out.push_str(&format!(
+                "  <line x1=\"{x:.2}\" y1=\"{y1:.2}\" x2=\"{x:.2}\" y2=\"{y2:.2}\" \
+                 stroke=\"{color}\"/>\n  <line x1=\"{0:.2}\" y1=\"{y1:.2}\" x2=\"{1:.2}\" \
+                 y2=\"{y1:.2}\" stroke=\"{color}\"/>\n  <line x1=\"{0:.2}\" y1=\"{y2:.2}\" \
+                 x2=\"{1:.2}\" y2=\"{y2:.2}\" stroke=\"{color}\"/>\n",
+                x - 3.0,
+                x + 3.0
+            ));
+        }
+    }
+    out
+}
+
+/// Minimal XML escaping for labels.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Compact tick label.
+fn trim(x: f64) -> String {
+    if x.abs() >= 1000.0 {
+        format!("{:.0}", x)
+    } else if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure::{Series, SweepPoint};
+
+    fn toy() -> FigureResult {
+        let mk = |x: f64, b: f64| SweepPoint {
+            x,
+            bandwidth: b,
+            bandwidth_std: b / 10.0,
+            time_ms: b / 100.0,
+            time_std: 0.0,
+            trials: 3,
+        };
+        FigureResult {
+            name: "figX".into(),
+            title: "toy & demo".into(),
+            x_label: "k".into(),
+            series: vec![
+                Series {
+                    algorithm: "GTP".into(),
+                    points: vec![mk(1.0, 100.0), mk(2.0, 80.0)],
+                },
+                Series {
+                    algorithm: "DP".into(),
+                    points: vec![mk(1.0, 100.0), mk(2.0, 70.0)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let svg = render_svg(&toy(), Panel::Bandwidth);
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One polyline per series.
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // Four data points drawn as circles.
+        assert_eq!(svg.matches("<circle").count(), 4);
+        // Legend lists both algorithms.
+        assert!(svg.contains(">GTP<") && svg.contains(">DP<"));
+    }
+
+    #[test]
+    fn error_bars_appear_only_when_nonzero() {
+        let bw = render_svg(&toy(), Panel::Bandwidth);
+        let t = render_svg(&toy(), Panel::TimeMs);
+        assert!(bw.matches("<line").count() > t.matches("<line").count());
+        assert!(t.contains("execution time"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = render_svg(&toy(), Panel::Bandwidth);
+        assert!(svg.contains("toy &amp; demo"));
+        assert!(!svg.contains("toy & demo"));
+    }
+
+    #[test]
+    fn empty_figure_degrades_gracefully() {
+        let fig = FigureResult {
+            name: "e".into(),
+            title: "empty".into(),
+            x_label: "x".into(),
+            series: vec![],
+        };
+        let svg = render_svg(&fig, Panel::Bandwidth);
+        assert!(svg.contains("no data"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut fig = toy();
+        for s in &mut fig.series {
+            for p in &mut s.points {
+                p.bandwidth = 5.0;
+                p.bandwidth_std = 0.0;
+                p.x = 3.0;
+            }
+        }
+        let svg = render_svg(&fig, Panel::Bandwidth);
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Vertex centrality measures.
+//!
+//! Betweenness centrality (Brandes' algorithm, unweighted) backs the
+//! *centrality placement* baseline in `tdmd-core`: putting middleboxes
+//! on the most-traversed vertices is the folk heuristic the paper's
+//! greedy is implicitly compared against, and a common strawman in the
+//! NFV-placement literature.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Betweenness centrality of every vertex over directed shortest
+/// paths (Brandes 2001, unweighted BFS variant). Endpoints are not
+/// counted as intermediaries.
+pub fn betweenness(g: &DiGraph) -> Vec<f64> {
+    let n = g.node_count();
+    let mut centrality = vec![0.0f64; n];
+    // Reusable per-source state.
+    let mut stack: Vec<NodeId> = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i64; n];
+    let mut delta = vec![0.0f64; n];
+
+    for s in 0..n as NodeId {
+        stack.clear();
+        for p in preds.iter_mut() {
+            p.clear();
+        }
+        sigma.fill(0.0);
+        dist.fill(-1);
+        delta.fill(0.0);
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &w in g.out_neighbors(v) {
+                if dist[w as usize] < 0 {
+                    dist[w as usize] = dist[v as usize] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w as usize] == dist[v as usize] + 1 {
+                    sigma[w as usize] += sigma[v as usize];
+                    preds[w as usize].push(v);
+                }
+            }
+        }
+        // Accumulation in reverse BFS order.
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w as usize] {
+                delta[v as usize] +=
+                    sigma[v as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            }
+            if w != s {
+                centrality[w as usize] += delta[w as usize];
+            }
+        }
+    }
+    centrality
+}
+
+/// Vertices sorted by descending betweenness (ties by smaller id).
+pub fn by_betweenness(g: &DiGraph) -> Vec<NodeId> {
+    let c = betweenness(g);
+    let mut order: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+    order.sort_by(|&a, &b| c[b as usize].total_cmp(&c[a as usize]).then(a.cmp(&b)));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::GraphBuilder;
+
+    fn path_graph(n: usize) -> DiGraph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_bidirectional(i as NodeId, (i + 1) as NodeId);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn path_graph_center_dominates() {
+        // P5: betweenness (directed both ways) of vertex i is
+        // 2 * (i * (n-1-i)) pairs routed through it.
+        let c = betweenness(&path_graph(5));
+        assert_eq!(c, vec![0.0, 6.0, 8.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn star_center_carries_everything() {
+        let mut b = GraphBuilder::new(5);
+        for leaf in 1..5 {
+            b.add_bidirectional(0, leaf);
+        }
+        let c = betweenness(&b.build());
+        // 4 leaves: 4*3 = 12 ordered pairs all through the hub.
+        assert_eq!(c[0], 12.0);
+        assert!(c[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn shortest_path_multiplicity_splits_credit() {
+        // 4-cycle: two equal shortest paths between opposite corners;
+        // each intermediate gets half a pair per direction.
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_bidirectional(u, v);
+        }
+        let c = betweenness(&b.build());
+        assert!(c.iter().all(|&x| (x - 1.0).abs() < 1e-12), "{c:?}");
+    }
+
+    #[test]
+    fn ordering_is_deterministic() {
+        let g = path_graph(6);
+        let order = by_betweenness(&g);
+        assert_eq!(order[0], 2, "ties toward the smaller id");
+        assert_eq!(order[1], 3);
+        assert!(order.ends_with(&[0, 5]));
+    }
+
+    #[test]
+    fn empty_and_single_vertex() {
+        assert!(betweenness(&GraphBuilder::new(0).build()).is_empty());
+        assert_eq!(betweenness(&GraphBuilder::new(1).build()), vec![0.0]);
+    }
+}

@@ -1,0 +1,350 @@
+//! Compact CSR (compressed sparse row) directed graph.
+//!
+//! The TDMD algorithms never mutate the topology while running, so the
+//! graph is split into a mutable [`GraphBuilder`] and an immutable,
+//! cache-friendly [`DiGraph`] produced by [`GraphBuilder::build`]. The
+//! CSR layout stores all out-edges in one flat array indexed by a
+//! per-vertex offset table; a mirrored reverse CSR serves in-edge
+//! queries. This follows the perf-book guidance: flat `Vec`s and dense
+//! integer ids instead of pointer-chasing adjacency structures.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense vertex identifier. Vertices are `0..n`.
+pub type NodeId = u32;
+
+/// Dense edge identifier into the CSR arrays (order of insertion).
+pub type EdgeId = u32;
+
+/// Mutable edge-list front end; call [`GraphBuilder::build`] to freeze
+/// into a [`DiGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, u64)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices currently declared.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a fresh vertex and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.n as NodeId;
+        self.n += 1;
+        id
+    }
+
+    /// Adds a directed edge `u -> v` with unit weight.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is not a declared vertex.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.add_weighted_edge(u, v, 1)
+    }
+
+    /// Adds a directed edge `u -> v` with the given weight.
+    pub fn add_weighted_edge(&mut self, u: NodeId, v: NodeId, w: u64) {
+        assert!((u as usize) < self.n, "edge source {u} out of range");
+        assert!((v as usize) < self.n, "edge target {v} out of range");
+        self.edges.push((u, v, w));
+    }
+
+    /// Adds the pair of directed edges `u -> v` and `v -> u`
+    /// (the paper models every physical link as bidirectional).
+    pub fn add_bidirectional(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// Adds a weighted bidirectional link.
+    pub fn add_bidirectional_weighted(&mut self, u: NodeId, v: NodeId, w: u64) {
+        self.add_weighted_edge(u, v, w);
+        self.add_weighted_edge(v, u, w);
+    }
+
+    /// Freezes the builder into an immutable CSR graph.
+    pub fn build(self) -> DiGraph {
+        DiGraph::from_edges(self.n, &self.edges)
+    }
+}
+
+/// Immutable CSR-backed directed graph with forward and reverse
+/// adjacency and per-edge weights.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiGraph {
+    n: usize,
+    /// Forward CSR: out-edges of `v` are `targets[offsets[v]..offsets[v + 1]]`.
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+    /// Weight of each forward edge, aligned with `targets`.
+    weights: Vec<u64>,
+    /// Reverse CSR: in-edges of `v` are `rev_sources[rev_offsets[v]..rev_offsets[v + 1]]`.
+    rev_offsets: Vec<u32>,
+    rev_sources: Vec<NodeId>,
+}
+
+impl DiGraph {
+    /// Builds a CSR graph from an edge list (source, target, weight).
+    ///
+    /// The edge list is canonicalized (sorted by source, then target)
+    /// so that two graphs with the same edge *set* compare equal
+    /// regardless of insertion order.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId, u64)]) -> Self {
+        let mut edges = edges.to_vec();
+        edges.sort_unstable();
+        let edges = &edges[..];
+        let m = edges.len();
+        let mut out_deg = vec![0u32; n];
+        let mut in_deg = vec![0u32; n];
+        for &(u, v, _) in edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge endpoint out of range"
+            );
+            out_deg[u as usize] += 1;
+            in_deg[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        let mut rev_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + out_deg[v];
+            rev_offsets[v + 1] = rev_offsets[v] + in_deg[v];
+        }
+        let mut targets = vec![0 as NodeId; m];
+        let mut weights = vec![0u64; m];
+        let mut rev_sources = vec![0 as NodeId; m];
+        let mut cursor = offsets.clone();
+        let mut rev_cursor = rev_offsets.clone();
+        for &(u, v, w) in edges {
+            let slot = cursor[u as usize] as usize;
+            targets[slot] = v;
+            weights[slot] = w;
+            cursor[u as usize] += 1;
+            let rslot = rev_cursor[v as usize] as usize;
+            rev_sources[rslot] = u;
+            rev_cursor[v as usize] += 1;
+        }
+        Self {
+            n,
+            offsets,
+            targets,
+            weights,
+            rev_offsets,
+            rev_sources,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Iterator over all vertex ids.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.n as NodeId
+    }
+
+    /// Out-neighbors of `v`.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Weights of the out-edges of `v`, aligned with
+    /// [`DiGraph::out_neighbors`].
+    #[inline]
+    pub fn out_weights(&self, v: NodeId) -> &[u64] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.weights[lo..hi]
+    }
+
+    /// In-neighbors of `v`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.rev_offsets[v as usize] as usize;
+        let hi = self.rev_offsets[v as usize + 1] as usize;
+        &self.rev_sources[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Undirected degree counting each incident directed edge once.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// True if the directed edge `u -> v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).contains(&v)
+    }
+
+    /// Iterator over all directed edges as `(source, target, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u64)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            let lo = self.offsets[u] as usize;
+            let hi = self.offsets[u + 1] as usize;
+            (lo..hi).map(move |i| (u as NodeId, self.targets[i], self.weights[i]))
+        })
+    }
+
+    /// Sum of all edge weights (the "total capacity" denominator of
+    /// the paper's flow-density metric when weights model capacities).
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().sum()
+    }
+
+    /// True if every edge `u -> v` has a paired edge `v -> u`
+    /// (the paper assumes all links are bidirectional).
+    pub fn is_bidirectional(&self) -> bool {
+        self.edges().all(|(u, v, _)| self.has_edge(v, u))
+    }
+
+    /// Returns the edge list, useful for rebuilding mutated topologies.
+    pub fn to_edge_list(&self) -> Vec<(NodeId, NodeId, u64)> {
+        self.edges().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(1, 3);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn builder_counts_nodes_and_edges() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.node_count(), 2);
+        let v = b.add_node();
+        assert_eq!(v, 2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        assert_eq!(b.edge_count(), 2);
+        let g = b.build();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn csr_adjacency_is_correct() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(1), &[3]);
+        assert_eq!(g.out_neighbors(3), &[] as &[NodeId]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[] as &[NodeId]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn has_edge_and_edges_iterator() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        let all: Vec<_> = g.edges().collect();
+        assert_eq!(all, vec![(0, 1, 1), (0, 2, 1), (1, 3, 1), (2, 3, 1)]);
+    }
+
+    #[test]
+    fn bidirectional_helper_adds_both_arcs() {
+        let mut b = GraphBuilder::new(2);
+        b.add_bidirectional(0, 1);
+        let g = b.build();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(g.is_bidirectional());
+    }
+
+    #[test]
+    fn directed_graph_is_not_bidirectional() {
+        assert!(!diamond().is_bidirectional());
+    }
+
+    #[test]
+    fn weights_are_aligned_with_targets() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 10);
+        b.add_weighted_edge(0, 2, 20);
+        let g = b.build();
+        assert_eq!(g.out_weights(0), &[10, 20]);
+        assert_eq!(g.total_weight(), 30);
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = diamond();
+        let rebuilt = DiGraph::from_edges(g.node_count(), &g.to_edge_list());
+        assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 1);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_adjacency() {
+        let g = GraphBuilder::new(3).build();
+        for v in 0..3 {
+            assert!(g.out_neighbors(v).is_empty());
+            assert!(g.in_neighbors(v).is_empty());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Graphviz DOT export.
+//!
+//! Renders topologies — and optionally a highlighted vertex set (a
+//! middlebox deployment) — as `dot` digraphs, so experiment results
+//! can be eyeballed the way the paper draws Figs. 1, 5 and 8.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotStyle {
+    /// Vertices drawn filled (e.g. a middlebox deployment).
+    pub highlighted: Vec<NodeId>,
+    /// Vertices drawn as double circles (e.g. flow destinations).
+    pub destinations: Vec<NodeId>,
+    /// Collapse bidirectional edge pairs into one undirected edge.
+    pub undirected_pairs: bool,
+    /// Print edge weights when they differ from 1.
+    pub show_weights: bool,
+}
+
+/// Renders `g` as a DOT digraph.
+pub fn to_dot(g: &DiGraph, name: &str, style: &DotStyle) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{name}\" {{\n"));
+    out.push_str("  node [shape=circle];\n");
+    for v in 0..g.node_count() as NodeId {
+        let mut attrs: Vec<String> = Vec::new();
+        if style.highlighted.contains(&v) {
+            attrs.push("style=filled".to_string());
+            attrs.push("fillcolor=lightblue".to_string());
+        }
+        if style.destinations.contains(&v) {
+            attrs.push("shape=doublecircle".to_string());
+        }
+        if attrs.is_empty() {
+            out.push_str(&format!("  v{v};\n"));
+        } else {
+            out.push_str(&format!("  v{v} [{}];\n", attrs.join(", ")));
+        }
+    }
+    for (u, v, w) in g.edges() {
+        if style.undirected_pairs {
+            // Emit each bidirectional pair once, as an undirected-look
+            // edge; keep true one-way arcs as arrows.
+            if g.has_edge(v, u) && u > v {
+                continue;
+            }
+            let dir = if g.has_edge(v, u) { ", dir=none" } else { "" };
+            if style.show_weights && w != 1 {
+                out.push_str(&format!("  v{u} -> v{v} [label=\"{w}\"{dir}];\n"));
+            } else if !dir.is_empty() {
+                out.push_str(&format!("  v{u} -> v{v} [dir=none];\n"));
+            } else {
+                out.push_str(&format!("  v{u} -> v{v};\n"));
+            }
+        } else if style.show_weights && w != 1 {
+            out.push_str(&format!("  v{u} -> v{v} [label=\"{w}\"];\n"));
+        } else {
+            out.push_str(&format!("  v{u} -> v{v};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::GraphBuilder;
+
+    fn small() -> DiGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_bidirectional(0, 1);
+        b.add_weighted_edge(1, 2, 7);
+        b.build()
+    }
+
+    #[test]
+    fn renders_vertices_and_edges() {
+        let dot = to_dot(&small(), "t", &DotStyle::default());
+        assert!(dot.starts_with("digraph \"t\""));
+        assert!(dot.contains("v0 -> v1;"));
+        assert!(dot.contains("v1 -> v0;"));
+        assert!(dot.contains("v1 -> v2;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn highlights_and_destinations() {
+        let style = DotStyle {
+            highlighted: vec![1],
+            destinations: vec![2],
+            ..DotStyle::default()
+        };
+        let dot = to_dot(&small(), "t", &style);
+        assert!(dot.contains("v1 [style=filled, fillcolor=lightblue];"));
+        assert!(dot.contains("v2 [shape=doublecircle];"));
+    }
+
+    #[test]
+    fn undirected_pairs_collapse() {
+        let style = DotStyle {
+            undirected_pairs: true,
+            ..DotStyle::default()
+        };
+        let dot = to_dot(&small(), "t", &style);
+        assert!(dot.contains("v0 -> v1 [dir=none];"));
+        assert!(!dot.contains("v1 -> v0"), "pair collapsed: {dot}");
+        assert!(dot.contains("v1 -> v2;"), "one-way arc kept as arrow");
+    }
+
+    #[test]
+    fn weights_appear_on_request() {
+        let style = DotStyle {
+            show_weights: true,
+            ..DotStyle::default()
+        };
+        let dot = to_dot(&small(), "t", &style);
+        assert!(dot.contains("label=\"7\""));
+        assert!(!dot.contains("label=\"1\""), "unit weights stay silent");
+    }
+}

@@ -1,0 +1,230 @@
+//! Minimum-cost maximum-flow on small networks.
+//!
+//! Substrate for the capacitated-middlebox extension in `tdmd-core`:
+//! assigning flows to capacity-limited middleboxes is a transportation
+//! problem, solved exactly by min-cost max-flow. The implementation is
+//! successive shortest paths with SPFA (Bellman–Ford queue) distances,
+//! which handles the negative costs that "gain maximization" encodes
+//! and is comfortably fast at this repository's instance sizes
+//! (hundreds of nodes, thousands of arcs).
+
+/// Arc of the flow network (stored with its residual twin).
+#[derive(Debug, Clone, Copy)]
+struct Arc {
+    to: u32,
+    cap: i64,
+    cost: i64,
+    /// Index of the reverse arc.
+    rev: u32,
+}
+
+/// A min-cost max-flow network builder/solver.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    adj: Vec<Vec<Arc>>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of arcs (forward and residual) currently stored at `u`.
+    /// The next [`FlowNetwork::add_arc`] from `u` will sit at this
+    /// index — record it to read the arc's residual later.
+    pub fn out_arc_count(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Adds a directed arc `u -> v` with capacity `cap` and unit cost
+    /// `cost`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or negative capacity.
+    pub fn add_arc(&mut self, u: usize, v: usize, cap: i64, cost: i64) {
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "arc endpoint out of range"
+        );
+        assert!(cap >= 0, "capacity must be non-negative");
+        let rev_u = self.adj[v].len() as u32;
+        let rev_v = self.adj[u].len() as u32;
+        self.adj[u].push(Arc {
+            to: v as u32,
+            cap,
+            cost,
+            rev: rev_u,
+        });
+        self.adj[v].push(Arc {
+            to: u as u32,
+            cap: 0,
+            cost: -cost,
+            rev: rev_v,
+        });
+    }
+
+    /// Sends up to `limit` units from `s` to `t` at minimum total
+    /// cost. Returns `(flow, cost)`.
+    ///
+    /// # Panics
+    /// Panics if the residual network develops a negative cycle
+    /// (impossible for networks built from non-negative-capacity arcs
+    /// and any costs without initial negative cycles reachable with
+    /// positive capacity — the capacitated-allocation encodings used
+    /// here never do).
+    pub fn min_cost_flow(&mut self, s: usize, t: usize, limit: i64) -> (i64, i64) {
+        let n = self.adj.len();
+        let mut total_flow = 0i64;
+        let mut total_cost = 0i64;
+        while total_flow < limit {
+            // SPFA shortest distances by cost.
+            let mut dist = vec![i64::MAX; n];
+            let mut in_queue = vec![false; n];
+            let mut prev: Vec<Option<(u32, u32)>> = vec![None; n]; // (node, arc idx)
+            let mut relaxations = vec![0u32; n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[s] = 0;
+            queue.push_back(s as u32);
+            in_queue[s] = true;
+            while let Some(u) = queue.pop_front() {
+                let u = u as usize;
+                in_queue[u] = false;
+                for (i, a) in self.adj[u].iter().enumerate() {
+                    if a.cap <= 0 || dist[u] == i64::MAX {
+                        continue;
+                    }
+                    let nd = dist[u] + a.cost;
+                    if nd < dist[a.to as usize] {
+                        dist[a.to as usize] = nd;
+                        prev[a.to as usize] = Some((u as u32, i as u32));
+                        if !in_queue[a.to as usize] {
+                            relaxations[a.to as usize] += 1;
+                            assert!(
+                                relaxations[a.to as usize] <= n as u32 + 1,
+                                "negative cycle in residual network"
+                            );
+                            queue.push_back(a.to);
+                            in_queue[a.to as usize] = true;
+                        }
+                    }
+                }
+            }
+            if dist[t] == i64::MAX {
+                break; // no augmenting path left
+            }
+            // Bottleneck along the path.
+            let mut push = limit - total_flow;
+            let mut v = t;
+            while let Some((u, i)) = prev[v] {
+                push = push.min(self.adj[u as usize][i as usize].cap);
+                v = u as usize;
+            }
+            // Apply.
+            let mut v = t;
+            while let Some((u, i)) = prev[v] {
+                let rev = self.adj[u as usize][i as usize].rev as usize;
+                self.adj[u as usize][i as usize].cap -= push;
+                self.adj[v][rev].cap += push;
+                v = u as usize;
+            }
+            total_flow += push;
+            total_cost += push * dist[t];
+        }
+        (total_flow, total_cost)
+    }
+
+    /// Remaining capacity of the `idx`-th arc added from `u`
+    /// (counting only forward arcs in insertion order is up to the
+    /// caller; exposed for assignment extraction).
+    pub fn residual(&self, u: usize, arc_index: usize) -> i64 {
+        self.adj[u][arc_index].cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 5, 1);
+        net.add_arc(1, 2, 3, 1);
+        let (f, c) = net.min_cost_flow(0, 2, 10);
+        assert_eq!(f, 3);
+        assert_eq!(c, 6);
+    }
+
+    #[test]
+    fn prefers_the_cheap_route() {
+        // Two routes 0->3: cheap cap 1 (cost 1), expensive cap 5 (cost 10).
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 1, 0);
+        net.add_arc(1, 3, 1, 1);
+        net.add_arc(0, 2, 5, 0);
+        net.add_arc(2, 3, 5, 10);
+        let (f, c) = net.min_cost_flow(0, 3, 3);
+        assert_eq!(f, 3);
+        assert_eq!(c, 1 + 2 * 10);
+    }
+
+    #[test]
+    fn limit_caps_the_flow() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 100, 2);
+        let (f, c) = net.min_cost_flow(0, 1, 7);
+        assert_eq!(f, 7);
+        assert_eq!(c, 14);
+    }
+
+    #[test]
+    fn negative_costs_maximize_gain() {
+        // Assignment encoded as negative costs: two jobs, two agents.
+        // Gains: j0/a0 = 5, j0/a1 = 1, j1/a0 = 4, j1/a1 = 2.
+        // Agents have capacity 1 ⇒ best total gain = 5 + 2 = 7.
+        let (s, j0, j1, a0, a1, t) = (0, 1, 2, 3, 4, 5);
+        let mut net = FlowNetwork::new(6);
+        net.add_arc(s, j0, 1, 0);
+        net.add_arc(s, j1, 1, 0);
+        net.add_arc(j0, a0, 1, -5);
+        net.add_arc(j0, a1, 1, -1);
+        net.add_arc(j1, a0, 1, -4);
+        net.add_arc(j1, a1, 1, -2);
+        net.add_arc(a0, t, 1, 0);
+        net.add_arc(a1, t, 1, 0);
+        let (f, c) = net.min_cost_flow(s, t, 2);
+        assert_eq!(f, 2);
+        assert_eq!(c, -7);
+    }
+
+    #[test]
+    fn disconnected_sink_gets_zero_flow() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 4, 1);
+        let (f, c) = net.min_cost_flow(0, 2, 5);
+        assert_eq!((f, c), (0, 0));
+    }
+
+    #[test]
+    fn residuals_reflect_the_solution() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, 5, 1);
+        net.min_cost_flow(0, 1, 3);
+        assert_eq!(net.residual(0, 0), 2, "5 cap - 3 sent");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_capacity_rejected() {
+        let mut net = FlowNetwork::new(2);
+        net.add_arc(0, 1, -1, 0);
+    }
+}

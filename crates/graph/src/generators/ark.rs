@@ -1,0 +1,132 @@
+//! Synthetic Ark-like measurement WAN.
+//!
+//! The paper evaluates on the CAIDA Archipelago (Ark) monitor
+//! topology: a few dozen monitors spread over geographic regions,
+//! loosely meshed through a backbone. The raw dataset is not
+//! redistributable, so this generator reproduces the *shape*: monitors
+//! form regional clusters, each cluster has a gateway, gateways form a
+//! ring with random chords (the backbone), and a few monitors get
+//! long-haul shortcut links. Sizes of 12–52 vertices — the paper's
+//! sweep range — produce graphs visually and structurally similar to
+//! Fig. 8.
+
+use crate::digraph::{DiGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Generates an Ark-like clustered WAN with `n` vertices spread over
+/// `clusters` regions. Returns the graph; vertex `0` is always a
+/// gateway (a natural choice of destination / tree root).
+///
+/// # Panics
+/// Panics if `clusters == 0` or `n < clusters`.
+pub fn ark_like<R: Rng + ?Sized>(n: usize, clusters: usize, rng: &mut R) -> DiGraph {
+    assert!(clusters > 0, "need at least one cluster");
+    assert!(n >= clusters, "need at least one vertex per cluster");
+    let mut b = GraphBuilder::new(n);
+    let mut present = std::collections::HashSet::new();
+    let link = |b: &mut GraphBuilder,
+                present: &mut std::collections::HashSet<(NodeId, NodeId)>,
+                u: NodeId,
+                v: NodeId| {
+        if u != v && present.insert((u.min(v), u.max(v))) {
+            b.add_bidirectional(u, v);
+        }
+    };
+    // The first `clusters` vertices are gateways.
+    let gateways: Vec<NodeId> = (0..clusters as NodeId).collect();
+    // Backbone ring over gateways...
+    if clusters > 1 {
+        for i in 0..clusters {
+            let u = gateways[i];
+            let v = gateways[(i + 1) % clusters];
+            link(&mut b, &mut present, u, v);
+        }
+        // ... plus random chords (~ one per four gateways).
+        let chords = clusters / 4;
+        for _ in 0..chords {
+            let u = gateways[rng.gen_range(0..clusters)];
+            let v = gateways[rng.gen_range(0..clusters)];
+            link(&mut b, &mut present, u, v);
+        }
+    }
+    // Monitors attach to a home gateway; ~20% also get a second link
+    // inside the cluster or to a random other monitor (long-haul).
+    for m in clusters..n {
+        let m = m as NodeId;
+        let home = gateways[rng.gen_range(0..clusters)];
+        link(&mut b, &mut present, m, home);
+        if rng.gen_bool(0.2) && m > clusters as NodeId {
+            let other = rng.gen_range(0..m);
+            link(&mut b, &mut present, m, other);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{bfs_distances, is_connected_undirected};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ark_is_connected_across_sizes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [12usize, 22, 30, 52] {
+            let g = ark_like(n, 5, &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert!(is_connected_undirected(&g), "n={n}");
+        }
+    }
+
+    #[test]
+    fn gateways_are_hubs() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = ark_like(40, 4, &mut rng);
+        let gateway_deg: usize = (0..4u32).map(|v| g.out_degree(v)).sum();
+        let monitor_deg: usize = (4..40u32).map(|v| g.out_degree(v)).sum();
+        // 36 monitors each contribute >= 1 link landing mostly on 4 gateways.
+        assert!(
+            gateway_deg * 9 > monitor_deg,
+            "gateways should be much denser on average"
+        );
+    }
+
+    #[test]
+    fn diameter_is_small() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = ark_like(30, 5, &mut rng);
+        let d = bfs_distances(&g, 0);
+        assert!(
+            d.iter().all(|&x| x <= 6),
+            "clustered WAN should have a short diameter"
+        );
+    }
+
+    #[test]
+    fn single_cluster_is_a_star_plus_extras() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = ark_like(10, 1, &mut rng);
+        assert!(is_connected_undirected(&g));
+        assert!(
+            g.out_degree(0) >= 9 - 2,
+            "gateway 0 should anchor almost everything"
+        );
+    }
+
+    #[test]
+    fn minimum_size_equal_to_clusters() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let g = ark_like(5, 5, &mut rng);
+        assert_eq!(g.node_count(), 5);
+        assert!(is_connected_undirected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "per cluster")]
+    fn too_few_vertices_rejected() {
+        let mut rng = StdRng::seed_from_u64(16);
+        ark_like(3, 5, &mut rng);
+    }
+}

@@ -1,0 +1,127 @@
+//! BCube server-centric data center topology (Guo et al., SIGCOMM'09 —
+//! ref [14] in the paper, cited for "tree-based tiered topologies").
+
+use crate::digraph::{DiGraph, GraphBuilder, NodeId};
+
+/// A `BCube(n, l)` topology: `n^(l+1)` servers and `(l+1)·n^l`
+/// switches arranged in `l + 1` levels. Server `s` (written in base
+/// `n` as `a_l .. a_1 a_0`) connects at level `i` to the switch
+/// addressed by dropping digit `a_i`.
+#[derive(Debug, Clone)]
+pub struct BCube {
+    /// The topology (bidirectional unit links).
+    pub graph: DiGraph,
+    /// Server vertex ids (`n^(l+1)` of them, numbered first).
+    pub servers: Vec<NodeId>,
+    /// Switch ids grouped by level (`l + 1` levels of `n^l` switches).
+    pub switches: Vec<Vec<NodeId>>,
+    /// Port count per switch.
+    pub n: usize,
+    /// Recursion level.
+    pub l: usize,
+}
+
+/// Builds `BCube(n, l)`.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn bcube(n: usize, l: usize) -> BCube {
+    assert!(n >= 2, "BCube needs n >= 2 ports");
+    let n_servers = n.pow(l as u32 + 1);
+    let switches_per_level = n.pow(l as u32);
+    let n_switches = (l + 1) * switches_per_level;
+    let mut b = GraphBuilder::new(n_servers + n_switches);
+
+    let servers: Vec<NodeId> = (0..n_servers as NodeId).collect();
+    let mut switches = Vec::with_capacity(l + 1);
+    for level in 0..=l {
+        let base = n_servers + level * switches_per_level;
+        let ids: Vec<NodeId> = (0..switches_per_level)
+            .map(|i| (base + i) as NodeId)
+            .collect();
+        switches.push(ids);
+    }
+    // Server s with digits (a_l .. a_0) connects at level i to switch
+    // index formed by the remaining digits.
+    #[allow(clippy::needless_range_loop)] // digit arithmetic reads clearer on indices
+    for s in 0..n_servers {
+        for level in 0..=l {
+            let digit_stride = n.pow(level as u32);
+            let high = s / (digit_stride * n); // digits above level
+            let low = s % digit_stride; // digits below level
+            let switch_index = high * digit_stride + low;
+            b.add_bidirectional(servers[s], switches[level][switch_index]);
+        }
+    }
+    BCube {
+        graph: b.build(),
+        servers,
+        switches,
+        n,
+        l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected_undirected;
+
+    #[test]
+    fn bcube_0_is_a_star() {
+        let bc = bcube(4, 0);
+        assert_eq!(bc.servers.len(), 4);
+        assert_eq!(bc.switches.len(), 1);
+        assert_eq!(bc.switches[0].len(), 1);
+        let hub = bc.switches[0][0];
+        assert_eq!(bc.graph.out_degree(hub), 4);
+        assert!(is_connected_undirected(&bc.graph));
+    }
+
+    #[test]
+    fn bcube_1_counts() {
+        let bc = bcube(2, 1);
+        assert_eq!(bc.servers.len(), 4);
+        assert_eq!(bc.switches.iter().map(Vec::len).sum::<usize>(), 4);
+        // Every server has l+1 = 2 switch links.
+        for &s in &bc.servers {
+            assert_eq!(bc.graph.out_degree(s), 2);
+        }
+        // Every switch has n = 2 server links.
+        for level in &bc.switches {
+            for &sw in level {
+                assert_eq!(bc.graph.out_degree(sw), 2);
+            }
+        }
+        assert!(is_connected_undirected(&bc.graph));
+    }
+
+    #[test]
+    fn bcube_2_is_connected_and_sized() {
+        let bc = bcube(3, 2);
+        assert_eq!(bc.servers.len(), 27);
+        assert_eq!(bc.switches.iter().map(Vec::len).sum::<usize>(), 27);
+        assert!(is_connected_undirected(&bc.graph));
+    }
+
+    #[test]
+    fn servers_at_same_switch_share_all_but_one_digit() {
+        let bc = bcube(2, 1);
+        // Level-0 switch 0 serves servers 0 and 1 (digits differ at a_0).
+        let sw = bc.switches[0][0];
+        let mut attached: Vec<_> = bc.graph.out_neighbors(sw).to_vec();
+        attached.sort_unstable();
+        assert_eq!(attached, vec![0, 1]);
+        // Level-1 switch 0 serves servers 0 and 2 (differ at a_1).
+        let sw = bc.switches[1][0];
+        let mut attached: Vec<_> = bc.graph.out_neighbors(sw).to_vec();
+        attached.sort_unstable();
+        assert_eq!(attached, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn tiny_port_count_rejected() {
+        bcube(1, 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Fat-tree data center topology (Al-Fares et al., SIGCOMM'08 — ref
+//! [3] in the paper). The paper motivates the tree setting with
+//! "tree-based tiered topologies like Fat-tree"; this generator backs
+//! the data-center example application.
+
+use crate::digraph::{DiGraph, GraphBuilder, NodeId};
+
+/// A k-ary fat-tree switch fabric plus its layer decomposition.
+///
+/// For even `k`: `(k/2)^2` core switches, `k` pods of `k/2`
+/// aggregation and `k/2` edge switches each. Hosts are omitted —
+/// middleboxes are placed on switches and flows originate at edge
+/// switches, which matches the paper's model of servers hanging off
+/// switches.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    /// The switch fabric (bidirectional unit links).
+    pub graph: DiGraph,
+    /// Core switch ids.
+    pub core: Vec<NodeId>,
+    /// Aggregation switch ids, grouped by pod.
+    pub aggregation: Vec<Vec<NodeId>>,
+    /// Edge switch ids, grouped by pod.
+    pub edge: Vec<Vec<NodeId>>,
+    /// The parameter `k`.
+    pub k: usize,
+}
+
+impl FatTree {
+    /// All edge switches across pods (typical flow sources).
+    pub fn edge_switches(&self) -> Vec<NodeId> {
+        self.edge.iter().flatten().copied().collect()
+    }
+}
+
+/// Builds a `k`-ary fat-tree.
+///
+/// # Panics
+/// Panics if `k` is odd or `< 2`.
+pub fn fat_tree(k: usize) -> FatTree {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree requires even k >= 2"
+    );
+    let half = k / 2;
+    let n_core = half * half;
+    let n = n_core + k * k; // core + k pods * (half agg + half edge)
+    let mut b = GraphBuilder::new(n);
+
+    let core: Vec<NodeId> = (0..n_core as NodeId).collect();
+    let mut aggregation = Vec::with_capacity(k);
+    let mut edge = Vec::with_capacity(k);
+    let mut next = n_core as NodeId;
+    for _pod in 0..k {
+        let aggs: Vec<NodeId> = (0..half).map(|i| next + i as NodeId).collect();
+        next += half as NodeId;
+        let edges: Vec<NodeId> = (0..half).map(|i| next + i as NodeId).collect();
+        next += half as NodeId;
+        // Complete bipartite agg <-> edge inside the pod.
+        for &a in &aggs {
+            for &e in &edges {
+                b.add_bidirectional(a, e);
+            }
+        }
+        // Each aggregation switch i connects to core group i.
+        for (i, &a) in aggs.iter().enumerate() {
+            for j in 0..half {
+                let c = core[i * half + j];
+                b.add_bidirectional(a, c);
+            }
+        }
+        aggregation.push(aggs);
+        edge.push(edges);
+    }
+    FatTree {
+        graph: b.build(),
+        core,
+        aggregation,
+        edge,
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{bfs_distances, is_connected_undirected};
+
+    #[test]
+    fn k4_fat_tree_counts() {
+        let ft = fat_tree(4);
+        assert_eq!(ft.core.len(), 4);
+        assert_eq!(ft.aggregation.len(), 4);
+        assert_eq!(ft.edge.len(), 4);
+        assert_eq!(ft.graph.node_count(), 20);
+        // k^2/2 agg-edge links per pod pair... total: k pods * (k/2)^2
+        // agg-edge + k pods * (k/2)^2 agg-core = 2 * k * (k/2)^2 links.
+        let undirected_links = 2 * 4 * 4;
+        assert_eq!(ft.graph.edge_count(), 2 * undirected_links);
+        assert!(is_connected_undirected(&ft.graph));
+    }
+
+    #[test]
+    fn edge_switches_reach_everything_within_four_hops() {
+        let ft = fat_tree(4);
+        for &e in &ft.edge_switches() {
+            let d = bfs_distances(&ft.graph, e);
+            assert!(
+                d.iter().all(|&x| x <= 4),
+                "diameter from edge switch exceeded"
+            );
+        }
+    }
+
+    #[test]
+    fn degrees_match_fat_tree_spec() {
+        let ft = fat_tree(4);
+        for &c in &ft.core {
+            assert_eq!(
+                ft.graph.out_degree(c),
+                4,
+                "core connects to one agg per pod"
+            );
+        }
+        for aggs in &ft.aggregation {
+            for &a in aggs {
+                assert_eq!(ft.graph.out_degree(a), 4, "k/2 edge + k/2 core");
+            }
+        }
+        for edges in &ft.edge {
+            for &e in edges {
+                assert_eq!(ft.graph.out_degree(e), 2, "k/2 aggregation uplinks");
+            }
+        }
+    }
+
+    #[test]
+    fn k6_scales() {
+        let ft = fat_tree(6);
+        assert_eq!(ft.graph.node_count(), 9 + 36);
+        assert!(is_connected_undirected(&ft.graph));
+    }
+
+    #[test]
+    #[should_panic(expected = "even k")]
+    fn odd_k_rejected() {
+        fat_tree(3);
+    }
+}

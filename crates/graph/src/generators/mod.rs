@@ -1,0 +1,29 @@
+//! Topology generators used by the paper's evaluation.
+//!
+//! The paper evaluates on the CAIDA Archipelago (Ark) measurement
+//! topology and on tree/general sub-topologies reduced from it, with
+//! topology-size sweeps produced "by randomly inserting and deleting
+//! vertices in the network" (§6.1). The Ark dataset itself is not
+//! redistributable, so [`ark`] synthesizes an Ark-like clustered WAN
+//! (geographic monitor clusters attached to a meshed backbone); the
+//! remaining modules provide the standard families the paper's
+//! motivation cites: trees/streaming ([`trees`]), fat-tree [3]
+//! ([`fattree`]), BCube [14] ([`bcube`]), and generic random graphs
+//! ([`random`]). [`mutate`] implements the size sweeps.
+//!
+//! All generators emit bidirectional unit-weight links, matching the
+//! paper's link model.
+
+pub mod ark;
+pub mod bcube;
+pub mod fattree;
+pub mod mutate;
+pub mod random;
+pub mod trees;
+
+pub use ark::ark_like;
+pub use bcube::{bcube, BCube};
+pub use fattree::{fat_tree, FatTree};
+pub use mutate::{resize_general, resize_tree};
+pub use random::{barabasi_albert, erdos_renyi_connected, waxman};
+pub use trees::{balanced_kary_tree, complete_binary_tree, random_tree};

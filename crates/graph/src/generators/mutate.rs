@@ -1,0 +1,232 @@
+//! Topology-size mutation.
+//!
+//! §6.1 of the paper: "The topology size changes by randomly inserting
+//! and deleting vertices in the network." These helpers grow or shrink
+//! a topology to a target vertex count while preserving the structural
+//! invariants each experiment needs (tree-ness with a fixed root, or
+//! undirected connectivity for general topologies).
+
+use crate::digraph::{DiGraph, GraphBuilder, NodeId};
+use crate::traversal::is_connected_undirected;
+use crate::tree::RootedTree;
+use rand::Rng;
+
+/// Grows or shrinks a tree to exactly `target` vertices.
+///
+/// * Growing attaches fresh leaves to uniformly random vertices.
+/// * Shrinking removes uniformly random leaves (never the root).
+///
+/// Vertices are re-numbered densely; the root is always vertex 0 of
+/// the result.
+///
+/// # Panics
+/// Panics if `target == 0` or the input is not a tree rooted at `root`.
+pub fn resize_tree<R: Rng + ?Sized>(
+    g: &DiGraph,
+    root: NodeId,
+    target: usize,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(target > 0, "target size must be positive");
+    let tree = RootedTree::from_digraph(g, root).expect("input must be a tree");
+    let n = tree.node_count();
+    // Represent as a parent vector over "alive" vertices, root first.
+    // alive[i] = parent index into the current numbering (usize::MAX for root).
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    let mut ids: Vec<NodeId> = tree.bfs_order().to_vec();
+    let mut pos = vec![0usize; n];
+    for (i, &v) in ids.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    for (i, &v) in ids.iter().enumerate() {
+        if let Some(p) = tree.parent(v) {
+            parent[i] = pos[p as usize];
+        }
+    }
+    let mut child_count = vec![0usize; n];
+    for &p in &parent {
+        if p != usize::MAX {
+            child_count[p] += 1;
+        }
+    }
+    // Shrink: repeatedly delete a random non-root leaf.
+    while ids.len() > target {
+        let leaves: Vec<usize> = (1..ids.len()).filter(|&i| child_count[i] == 0).collect();
+        let pick = leaves[rng.gen_range(0..leaves.len())];
+        let last = ids.len() - 1;
+        child_count[parent[pick]] -= 1;
+        // Swap-remove `pick` with `last`, fixing references to `last`.
+        parent.swap(pick, last);
+        child_count.swap(pick, last);
+        ids.swap(pick, last);
+        if pick != last {
+            for p in parent.iter_mut().take(last) {
+                if *p == last {
+                    *p = pick;
+                }
+            }
+        }
+        parent.pop();
+        child_count.pop();
+        ids.pop();
+    }
+    // Grow: attach fresh leaves to uniformly random existing vertices.
+    while ids.len() < target {
+        let attach = rng.gen_range(0..ids.len());
+        parent.push(attach);
+        child_count[attach] += 1;
+        child_count.push(0);
+        ids.push(ids.len() as NodeId);
+    }
+    let mut b = GraphBuilder::new(parent.len());
+    for (i, &p) in parent.iter().enumerate() {
+        if p != usize::MAX {
+            b.add_bidirectional(p as NodeId, i as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Grows or shrinks a general topology to exactly `target` vertices
+/// while keeping it connected (undirected).
+///
+/// * Growing adds a vertex linked to 1–3 random existing vertices.
+/// * Shrinking removes a random vertex whose removal keeps the graph
+///   connected (one always exists: any non-cut vertex).
+///
+/// Vertices are re-numbered densely.
+///
+/// # Panics
+/// Panics if `target == 0` or the input is disconnected.
+pub fn resize_general<R: Rng + ?Sized>(g: &DiGraph, target: usize, rng: &mut R) -> DiGraph {
+    assert!(target > 0, "target size must be positive");
+    assert!(is_connected_undirected(g), "input must be connected");
+    let mut edges: Vec<(NodeId, NodeId)> = g
+        .edges()
+        .filter(|&(u, v, _)| u < v) // undirected view
+        .map(|(u, v, _)| (u, v))
+        .collect();
+    let mut n = g.node_count();
+    // Shrink.
+    while n > target {
+        // Try random vertices until one is removable without
+        // disconnecting; a DFS-tree leaf always qualifies, so this
+        // terminates quickly.
+        let victim = loop {
+            let v = rng.gen_range(0..n) as NodeId;
+            let trial: Vec<(NodeId, NodeId, u64)> = edges
+                .iter()
+                .filter(|&&(a, b)| a != v && b != v)
+                .flat_map(|&(a, b)| {
+                    let a2 = if a > v { a - 1 } else { a };
+                    let b2 = if b > v { b - 1 } else { b };
+                    [(a2, b2, 1u64), (b2, a2, 1u64)]
+                })
+                .collect();
+            let gg = DiGraph::from_edges(n - 1, &trial);
+            if is_connected_undirected(&gg) {
+                break v;
+            }
+        };
+        edges = edges
+            .iter()
+            .filter(|&&(a, b)| a != victim && b != victim)
+            .map(|&(a, b)| {
+                let a2 = if a > victim { a - 1 } else { a };
+                let b2 = if b > victim { b - 1 } else { b };
+                (a2, b2)
+            })
+            .collect();
+        n -= 1;
+    }
+    // Grow.
+    while n < target {
+        let new = n as NodeId;
+        let links = rng.gen_range(1..=3usize).min(n);
+        let mut chosen = std::collections::HashSet::new();
+        while chosen.len() < links {
+            chosen.insert(rng.gen_range(0..n) as NodeId);
+        }
+        for &t in &chosen {
+            edges.push((t, new));
+        }
+        n += 1;
+    }
+    let full: Vec<(NodeId, NodeId, u64)> = edges
+        .iter()
+        .flat_map(|&(a, b)| [(a, b, 1u64), (b, a, 1u64)])
+        .collect();
+    DiGraph::from_edges(n, &full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::erdos_renyi_connected;
+    use crate::generators::trees::random_tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tree_grows_to_target() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let g = random_tree(10, &mut rng);
+        let g2 = resize_tree(&g, 0, 25, &mut rng);
+        assert_eq!(g2.node_count(), 25);
+        assert!(RootedTree::from_digraph(&g2, 0).is_ok());
+    }
+
+    #[test]
+    fn tree_shrinks_to_target() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = random_tree(30, &mut rng);
+        let g2 = resize_tree(&g, 0, 8, &mut rng);
+        assert_eq!(g2.node_count(), 8);
+        assert!(RootedTree::from_digraph(&g2, 0).is_ok());
+    }
+
+    #[test]
+    fn tree_shrink_to_single_vertex() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = random_tree(12, &mut rng);
+        let g2 = resize_tree(&g, 0, 1, &mut rng);
+        assert_eq!(g2.node_count(), 1);
+        assert_eq!(g2.edge_count(), 0);
+    }
+
+    #[test]
+    fn tree_resize_noop() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = random_tree(15, &mut rng);
+        let g2 = resize_tree(&g, 0, 15, &mut rng);
+        assert_eq!(g2.node_count(), 15);
+        assert!(RootedTree::from_digraph(&g2, 0).is_ok());
+    }
+
+    #[test]
+    fn general_grows_and_stays_connected() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let g = erdos_renyi_connected(12, 0.2, &mut rng);
+        let g2 = resize_general(&g, 40, &mut rng);
+        assert_eq!(g2.node_count(), 40);
+        assert!(is_connected_undirected(&g2));
+        assert!(g2.is_bidirectional());
+    }
+
+    #[test]
+    fn general_shrinks_and_stays_connected() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let g = erdos_renyi_connected(40, 0.15, &mut rng);
+        let g2 = resize_general(&g, 12, &mut rng);
+        assert_eq!(g2.node_count(), 12);
+        assert!(is_connected_undirected(&g2));
+    }
+
+    #[test]
+    fn general_resize_down_to_one() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let g = erdos_renyi_connected(6, 0.5, &mut rng);
+        let g2 = resize_general(&g, 1, &mut rng);
+        assert_eq!(g2.node_count(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Random general-topology generators: connected Erdős–Rényi,
+//! Barabási–Albert preferential attachment, and Waxman geometric
+//! graphs. These provide the irregular "general topology" instances of
+//! the paper's §6.4 sweeps.
+
+use crate::digraph::{DiGraph, GraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Connected Erdős–Rényi-style graph: a uniformly random spanning tree
+/// guarantees connectivity, then each remaining unordered pair gets a
+/// link with probability `p`.
+///
+/// # Panics
+/// Panics if `n == 0` or `p` is not in `[0, 1]`.
+pub fn erdos_renyi_connected<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    assert!(n > 0, "graph needs at least one vertex");
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut b = GraphBuilder::new(n);
+    // Random spanning tree: random permutation, attach each vertex to a
+    // random earlier one.
+    let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+    perm.shuffle(rng);
+    let mut in_tree: Vec<(NodeId, NodeId)> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        in_tree.push((perm[j], perm[i]));
+    }
+    let mut present = std::collections::HashSet::new();
+    for &(u, v) in &in_tree {
+        b.add_bidirectional(u, v);
+        present.insert((u.min(v), u.max(v)));
+    }
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if !present.contains(&(u, v)) && rng.gen_bool(p) {
+                b.add_bidirectional(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: start from a small clique
+/// of `m` vertices; every new vertex attaches `m` links to existing
+/// vertices chosen proportionally to degree.
+///
+/// # Panics
+/// Panics if `m == 0` or `n < m`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> DiGraph {
+    assert!(m > 0, "attachment count must be positive");
+    assert!(n >= m, "need at least m vertices");
+    let mut b = GraphBuilder::new(n);
+    // Degree-proportional sampling via the repeated-endpoints trick.
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    // Seed clique on the first m vertices (single vertex if m == 1).
+    for u in 0..m as NodeId {
+        for v in (u + 1)..m as NodeId {
+            b.add_bidirectional(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    if m == 1 {
+        endpoints.push(0);
+    }
+    for new in m..n {
+        let new = new as NodeId;
+        let mut chosen = std::collections::HashSet::new();
+        while chosen.len() < m.min(new as usize) {
+            let &target = endpoints.choose(rng).expect("endpoint pool never empty");
+            if target != new {
+                chosen.insert(target);
+            }
+        }
+        for &t in &chosen {
+            b.add_bidirectional(new, t);
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Waxman random geometric graph on the unit square:
+/// `P(u, v) = alpha * exp(-dist(u, v) / (beta * sqrt(2)))`, patched to
+/// connectivity with a nearest-neighbor spanning pass. Returns the
+/// graph and the generated coordinates.
+///
+/// # Panics
+/// Panics if `n == 0`, or `alpha`/`beta` are not positive.
+pub fn waxman<R: Rng + ?Sized>(
+    n: usize,
+    alpha: f64,
+    beta: f64,
+    rng: &mut R,
+) -> (DiGraph, Vec<(f64, f64)>) {
+    assert!(n > 0, "graph needs at least one vertex");
+    assert!(
+        alpha > 0.0 && beta > 0.0,
+        "waxman parameters must be positive"
+    );
+    let coords: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let max_dist = std::f64::consts::SQRT_2;
+    let mut b = GraphBuilder::new(n);
+    let mut present = std::collections::HashSet::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let (ux, uy) = coords[u];
+            let (vx, vy) = coords[v];
+            let d = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt();
+            let p = (alpha * (-d / (beta * max_dist)).exp()).min(1.0);
+            if rng.gen_bool(p) {
+                b.add_bidirectional(u as NodeId, v as NodeId);
+                present.insert((u, v));
+            }
+        }
+    }
+    // Connectivity patch: greedily link each non-first component to its
+    // geometrically nearest already-connected vertex.
+    let g = b.clone().build();
+    let comp = components(&g);
+    if comp.iter().any(|&c| c != 0) {
+        let mut connected: Vec<usize> = (0..n).filter(|&v| comp[v] == 0).collect();
+        let mut remaining: Vec<usize> = (1..).take_while(|c| comp.contains(c)).collect();
+        remaining.sort_unstable();
+        for c in remaining {
+            let members: Vec<usize> = (0..n).filter(|&v| comp[v] == c).collect();
+            let (mut best, mut best_d) = ((members[0], connected[0]), f64::INFINITY);
+            for &u in &members {
+                for &v in &connected {
+                    let (ux, uy) = coords[u];
+                    let (vx, vy) = coords[v];
+                    let d = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt();
+                    if d < best_d {
+                        best_d = d;
+                        best = (u, v);
+                    }
+                }
+            }
+            b.add_bidirectional(best.0 as NodeId, best.1 as NodeId);
+            connected.extend_from_slice(&members);
+        }
+    }
+    (b.build(), coords)
+}
+
+/// Undirected connected-component labels (0-based, in discovery order).
+fn components(g: &DiGraph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0;
+    for start in 0..n as NodeId {
+        if comp[start as usize] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start as usize] = next;
+        while let Some(u) = stack.pop() {
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected_undirected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_is_connected_for_any_p() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for p in [0.0, 0.05, 0.3, 1.0] {
+            let g = erdos_renyi_connected(30, p, &mut rng);
+            assert!(is_connected_undirected(&g), "p={p}");
+            assert!(g.is_bidirectional());
+        }
+    }
+
+    #[test]
+    fn er_p0_is_exactly_a_tree() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = erdos_renyi_connected(25, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 2 * 24);
+    }
+
+    #[test]
+    fn er_p1_is_complete() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi_connected(10, 1.0, &mut rng);
+        assert_eq!(g.edge_count(), 10 * 9);
+    }
+
+    #[test]
+    fn ba_degree_and_connectivity() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = barabasi_albert(50, 2, &mut rng);
+        assert!(is_connected_undirected(&g));
+        // Every non-seed vertex got >= 2 undirected links.
+        for v in 2..50u32 {
+            assert!(g.out_degree(v) >= 2, "v={v}");
+        }
+    }
+
+    #[test]
+    fn ba_m1_is_a_tree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = barabasi_albert(30, 1, &mut rng);
+        assert_eq!(g.edge_count(), 2 * 29);
+        assert!(is_connected_undirected(&g));
+    }
+
+    #[test]
+    fn ba_has_a_hub() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = barabasi_albert(200, 2, &mut rng);
+        let max_deg = (0..200u32).map(|v| g.out_degree(v)).max().unwrap();
+        assert!(
+            max_deg >= 10,
+            "preferential attachment should grow hubs, got {max_deg}"
+        );
+    }
+
+    #[test]
+    fn waxman_is_connected_and_geometric() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (g, coords) = waxman(40, 0.6, 0.25, &mut rng);
+        assert_eq!(coords.len(), 40);
+        assert!(is_connected_undirected(&g));
+        assert!(g.is_bidirectional());
+    }
+
+    #[test]
+    fn waxman_sparse_still_connected() {
+        let mut rng = StdRng::seed_from_u64(10);
+        // Tiny alpha: almost no organic links; the patch must connect.
+        let (g, _) = waxman(30, 0.01, 0.05, &mut rng);
+        assert!(is_connected_undirected(&g));
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let a = erdos_renyi_connected(20, 0.2, &mut StdRng::seed_from_u64(42));
+        let b = erdos_renyi_connected(20, 0.2, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

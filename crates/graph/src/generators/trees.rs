@@ -1,0 +1,123 @@
+//! Tree generators: random recursive trees, complete binary trees and
+//! balanced k-ary trees. Vertex 0 is always the root (the common
+//! destination of all flows in the paper's tree setting).
+
+use crate::digraph::{DiGraph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Random recursive tree on `n` vertices: vertex `i` attaches to a
+/// uniformly random vertex in `0..i`. Produces the irregular,
+/// moderately deep trees typical of Ark tree reductions.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> DiGraph {
+    assert!(n > 0, "tree needs at least one vertex");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let parent = rng.gen_range(0..i) as NodeId;
+        b.add_bidirectional(parent, i as NodeId);
+    }
+    b.build()
+}
+
+/// Complete binary tree with `levels` levels (`2^levels - 1` vertices).
+/// Level 1 is just the root.
+///
+/// # Panics
+/// Panics if `levels == 0` or the size overflows.
+pub fn complete_binary_tree(levels: u32) -> DiGraph {
+    assert!(levels > 0, "need at least one level");
+    let n = (1usize << levels) - 1;
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let parent = ((i - 1) / 2) as NodeId;
+        b.add_bidirectional(parent, i as NodeId);
+    }
+    b.build()
+}
+
+/// Balanced `arity`-ary tree on exactly `n` vertices, filled level by
+/// level (a heap layout generalized to any arity).
+///
+/// # Panics
+/// Panics if `n == 0` or `arity == 0`.
+pub fn balanced_kary_tree(n: usize, arity: usize) -> DiGraph {
+    assert!(n > 0, "tree needs at least one vertex");
+    assert!(arity > 0, "arity must be positive");
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let parent = ((i - 1) / arity) as NodeId;
+        b.add_bidirectional(parent, i as NodeId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected_undirected;
+    use crate::tree::RootedTree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 22, 100] {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.edge_count(), 2 * (n - 1), "n={n}");
+            assert!(is_connected_undirected(&g));
+            assert!(RootedTree::from_digraph(&g, 0).is_ok(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn random_tree_is_seed_deterministic() {
+        let g1 = random_tree(40, &mut StdRng::seed_from_u64(9));
+        let g2 = random_tree(40, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn complete_binary_tree_shape() {
+        let g = complete_binary_tree(3);
+        assert_eq!(g.node_count(), 7);
+        let t = RootedTree::from_digraph(&g, 0).unwrap();
+        assert_eq!(t.leaves().len(), 4);
+        assert_eq!(t.depth(6), 2);
+        assert_eq!(t.children(0), &[1, 2]);
+    }
+
+    #[test]
+    fn complete_binary_tree_single_level() {
+        let g = complete_binary_tree(1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn kary_tree_has_bounded_branching() {
+        let g = balanced_kary_tree(14, 3);
+        let t = RootedTree::from_digraph(&g, 0).unwrap();
+        for v in 0..14u32 {
+            assert!(t.children(v).len() <= 3);
+        }
+        assert_eq!(t.children(0).len(), 3);
+    }
+
+    #[test]
+    fn kary_arity_one_is_a_path() {
+        let g = balanced_kary_tree(5, 1);
+        let t = RootedTree::from_digraph(&g, 0).unwrap();
+        assert_eq!(t.leaves(), &[4]);
+        assert_eq!(t.depth(4), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn zero_vertices_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        random_tree(0, &mut rng);
+    }
+}

@@ -1,0 +1,79 @@
+//! Topology import/export.
+//!
+//! A minimal JSON document format so experiments can be saved,
+//! shared and replayed: vertex count plus an undirected or directed
+//! edge list. Uses serde throughout.
+
+use crate::digraph::{DiGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Serializable topology document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyDoc {
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Directed edges as `(source, target, weight)`.
+    pub edges: Vec<(NodeId, NodeId, u64)>,
+    /// Free-form name (generator + parameters, dataset id, ...).
+    #[serde(default)]
+    pub name: String,
+}
+
+impl TopologyDoc {
+    /// Captures a graph into a document.
+    pub fn from_graph(g: &DiGraph, name: impl Into<String>) -> Self {
+        Self {
+            nodes: g.node_count(),
+            edges: g.to_edge_list(),
+            name: name.into(),
+        }
+    }
+
+    /// Rebuilds the graph.
+    pub fn to_graph(&self) -> DiGraph {
+        DiGraph::from_edges(self.nodes, &self.edges)
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("topology doc serializes")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::random::erdos_renyi_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn json_round_trip_preserves_graph() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let g = erdos_renyi_connected(15, 0.2, &mut rng);
+        let doc = TopologyDoc::from_graph(&g, "er-15");
+        let parsed = TopologyDoc::from_json(&doc.to_json()).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.to_graph(), g);
+        assert_eq!(parsed.name, "er-15");
+    }
+
+    #[test]
+    fn missing_name_defaults_to_empty() {
+        let json = r#"{"nodes": 2, "edges": [[0, 1, 1]]}"#;
+        let doc = TopologyDoc::from_json(json).unwrap();
+        assert_eq!(doc.name, "");
+        let g = doc.to_graph();
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(TopologyDoc::from_json("{not json").is_err());
+    }
+}

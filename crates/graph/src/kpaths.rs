@@ -1,0 +1,182 @@
+//! K-shortest loopless paths (Yen's algorithm, unit weights).
+//!
+//! The paper fixes one path per flow; real deployments spread traffic
+//! over several near-shortest routes (ECMP and friends). This module
+//! lets the workload generator draw each flow's fixed path from the k
+//! shortest loopless paths instead of always the single BFS path,
+//! which diversifies the vertex-coverage structure the placement
+//! algorithms face.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::traversal::bfs;
+
+/// Up to `k` shortest loopless paths from `src` to `dst` (fewest
+/// hops; ties explored in deviation order). Returns vertex sequences
+/// sorted by length; empty when `dst` is unreachable.
+pub fn k_shortest_paths(g: &DiGraph, src: NodeId, dst: NodeId, k: usize) -> Vec<Vec<NodeId>> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let Some(first) = bfs(g, src).path_to(dst) else {
+        return Vec::new();
+    };
+    let mut found: Vec<Vec<NodeId>> = vec![first];
+    // Candidate pool (length, path).
+    let mut candidates: Vec<Vec<NodeId>> = Vec::new();
+    while found.len() < k {
+        let last = found.last().expect("at least the shortest path");
+        // Deviate at every prefix of the last found path.
+        for i in 0..last.len() - 1 {
+            let spur = last[i];
+            let root: Vec<NodeId> = last[..=i].to_vec();
+            // Edges to ban: the next hop of every found path sharing
+            // this root; vertices of the root (minus spur) are banned
+            // to keep paths loopless.
+            let mut banned_edges: Vec<(NodeId, NodeId)> = Vec::new();
+            for p in &found {
+                if p.len() > i && p[..=i] == root[..] && p.len() > i + 1 {
+                    banned_edges.push((p[i], p[i + 1]));
+                }
+            }
+            let banned_vertices: Vec<NodeId> = root[..i].to_vec();
+            if let Some(spur_path) = restricted_bfs(g, spur, dst, &banned_edges, &banned_vertices) {
+                let mut full = root.clone();
+                full.extend_from_slice(&spur_path[1..]);
+                if !found.contains(&full) && !candidates.contains(&full) {
+                    candidates.push(full);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the shortest candidate (ties: lexicographic for
+        // determinism).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.len().cmp(&b.len()).then_with(|| a.cmp(b)))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        found.push(candidates.swap_remove(best));
+    }
+    found.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    found
+}
+
+/// BFS that avoids banned edges and vertices.
+fn restricted_bfs(
+    g: &DiGraph,
+    src: NodeId,
+    dst: NodeId,
+    banned_edges: &[(NodeId, NodeId)],
+    banned_vertices: &[NodeId],
+) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut parent = vec![u32::MAX; n];
+    let mut seen = vec![false; n];
+    for &v in banned_vertices {
+        seen[v as usize] = true;
+    }
+    if seen[src as usize] {
+        return None;
+    }
+    seen[src as usize] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        if u == dst {
+            let mut path = vec![dst];
+            let mut cur = dst;
+            while cur != src {
+                cur = parent[cur as usize];
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &w in g.out_neighbors(u) {
+            if seen[w as usize] || banned_edges.contains(&(u, w)) {
+                continue;
+            }
+            seen[w as usize] = true;
+            parent[w as usize] = u;
+            queue.push_back(w);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::GraphBuilder;
+
+    /// Diamond with a long detour: 0-1-3, 0-2-3, 0-4-5-3.
+    fn diamond_plus() -> DiGraph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 5), (5, 3)] {
+            b.add_bidirectional(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_all_distinct_routes_in_order() {
+        let paths = k_shortest_paths(&diamond_plus(), 0, 3, 5);
+        assert_eq!(paths.len(), 3);
+        assert_eq!(paths[0].len(), 3);
+        assert_eq!(paths[1].len(), 3);
+        assert_eq!(paths[2], vec![0, 4, 5, 3]);
+        // The two 2-hop routes are both present.
+        assert!(paths[..2].contains(&vec![0, 1, 3]));
+        assert!(paths[..2].contains(&vec![0, 2, 3]));
+    }
+
+    #[test]
+    fn k_one_is_just_bfs() {
+        let paths = k_shortest_paths(&diamond_plus(), 0, 3, 1);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 3);
+    }
+
+    #[test]
+    fn paths_are_loopless_and_valid() {
+        let g = diamond_plus();
+        for p in k_shortest_paths(&g, 0, 3, 10) {
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), p.len(), "loop in {p:?}");
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_gives_empty() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        assert!(k_shortest_paths(&b.build(), 0, 2, 3).is_empty());
+        assert!(k_shortest_paths(&diamond_plus(), 0, 3, 0).is_empty());
+    }
+
+    #[test]
+    fn exhausts_when_fewer_than_k_exist() {
+        // A path graph has exactly one loopless route.
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_bidirectional(i, i + 1);
+        }
+        let paths = k_shortest_paths(&b.build(), 0, 3, 7);
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = k_shortest_paths(&diamond_plus(), 0, 3, 3);
+        let b = k_shortest_paths(&diamond_plus(), 0, 3, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,209 @@
+//! Lowest common ancestor queries.
+//!
+//! HAT (Alg. 2 of the paper) repeatedly merges pairs of middleboxes
+//! into their LCA, so LCA queries sit on its hot path. [`Lca`]
+//! preprocesses the Euler tour of a [`RootedTree`] into a sparse table
+//! in `O(n log n)` and answers queries in `O(1)` (the classical
+//! reduction of LCA to range-minimum, in the spirit of the
+//! Schieber–Vishkin reference [29] the paper cites). [`NaiveLca`]
+//! walks parent pointers and is kept as the oracle for tests.
+
+use crate::digraph::NodeId;
+use crate::tree::RootedTree;
+
+/// Sparse-table LCA with `O(1)` queries.
+#[derive(Debug, Clone)]
+pub struct Lca {
+    /// Euler tour of vertices.
+    tour: Vec<NodeId>,
+    /// First occurrence of each vertex in the tour.
+    first: Vec<u32>,
+    /// `table[j][i]` = index (into the tour) of the minimum-depth
+    /// vertex in `tour[i .. i + 2^j]`.
+    table: Vec<Vec<u32>>,
+    /// Depth of each tour position.
+    tdepth: Vec<u32>,
+}
+
+impl Lca {
+    /// Preprocesses `tree` for constant-time LCA queries.
+    pub fn new(tree: &RootedTree) -> Self {
+        let (tour, first, tdepth) = tree.euler_tour();
+        let m = tour.len();
+        let levels = if m <= 1 {
+            1
+        } else {
+            (usize::BITS - (m - 1).leading_zeros()) as usize + 1
+        };
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..m as u32).collect());
+        let mut span = 1usize;
+        while 2 * span <= m {
+            let prev = &table[table.len() - 1];
+            let mut row = Vec::with_capacity(m - 2 * span + 1);
+            for i in 0..=(m - 2 * span) {
+                let a = prev[i];
+                let b = prev[i + span];
+                row.push(if tdepth[a as usize] <= tdepth[b as usize] {
+                    a
+                } else {
+                    b
+                });
+            }
+            table.push(row);
+            span *= 2;
+        }
+        Self {
+            tour,
+            first,
+            table,
+            tdepth,
+        }
+    }
+
+    /// Lowest common ancestor of `u` and `v`.
+    pub fn query(&self, u: NodeId, v: NodeId) -> NodeId {
+        if u == v {
+            return u;
+        }
+        let (mut lo, mut hi) = (
+            self.first[u as usize] as usize,
+            self.first[v as usize] as usize,
+        );
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let len = hi - lo + 1;
+        let j = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        let a = self.table[j][lo];
+        let b = self.table[j][hi + 1 - (1 << j)];
+        let best = if self.tdepth[a as usize] <= self.tdepth[b as usize] {
+            a
+        } else {
+            b
+        };
+        self.tour[best as usize]
+    }
+}
+
+/// Reference LCA that climbs parent pointers; `O(depth)` per query.
+#[derive(Debug, Clone)]
+pub struct NaiveLca<'a> {
+    tree: &'a RootedTree,
+}
+
+impl<'a> NaiveLca<'a> {
+    /// Wraps a tree for naive queries.
+    pub fn new(tree: &'a RootedTree) -> Self {
+        Self { tree }
+    }
+
+    /// Lowest common ancestor of `u` and `v` by depth-equalizing walks.
+    pub fn query(&self, mut u: NodeId, mut v: NodeId) -> NodeId {
+        while self.tree.depth(u) > self.tree.depth(v) {
+            u = self.tree.parent(u).expect("non-root must have parent");
+        }
+        while self.tree.depth(v) > self.tree.depth(u) {
+            v = self.tree.parent(v).expect("non-root must have parent");
+        }
+        while u != v {
+            u = self.tree.parent(u).expect("reached root without meeting");
+            v = self.tree.parent(v).expect("reached root without meeting");
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::GraphBuilder;
+    use crate::generators::trees::random_tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig5() -> RootedTree {
+        let mut b = GraphBuilder::new(8);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6), (5, 7)] {
+            b.add_bidirectional(u, v);
+        }
+        RootedTree::from_digraph(&b.build(), 0).unwrap()
+    }
+
+    #[test]
+    fn paper_examples() {
+        // "LCA of vertices v4 and v5 is v2 and LCA of v1 and v6 is v1"
+        // (1-based in the paper; 0-based here).
+        let t = fig5();
+        let lca = Lca::new(&t);
+        assert_eq!(lca.query(3, 4), 1);
+        assert_eq!(lca.query(0, 5), 0);
+    }
+
+    #[test]
+    fn vertex_is_its_own_descendant() {
+        let t = fig5();
+        let lca = Lca::new(&t);
+        assert_eq!(lca.query(6, 6), 6);
+        // Direct ancestor: LCA(v, ancestor) = ancestor.
+        assert_eq!(lca.query(6, 5), 5);
+        assert_eq!(lca.query(6, 2), 2);
+        assert_eq!(lca.query(6, 0), 0);
+    }
+
+    #[test]
+    fn cross_subtree_queries_hit_root() {
+        let t = fig5();
+        let lca = Lca::new(&t);
+        assert_eq!(lca.query(3, 7), 0);
+        assert_eq!(lca.query(4, 6), 0);
+    }
+
+    #[test]
+    fn naive_agrees_on_fig5() {
+        let t = fig5();
+        let fast = Lca::new(&t);
+        let naive = NaiveLca::new(&t);
+        for u in 0..8u32 {
+            for v in 0..8u32 {
+                assert_eq!(fast.query(u, v), naive.query(u, v), "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_agrees_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2usize, 3, 17, 64, 129] {
+            let g = random_tree(n, &mut rng);
+            let t = RootedTree::from_digraph(&g, 0).unwrap();
+            let fast = Lca::new(&t);
+            let naive = NaiveLca::new(&t);
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    assert_eq!(fast.query(u, v), naive.query(u, v), "n={n} u={u} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let g = GraphBuilder::new(1).build();
+        let t = RootedTree::from_digraph(&g, 0).unwrap();
+        let lca = Lca::new(&t);
+        assert_eq!(lca.query(0, 0), 0);
+    }
+
+    #[test]
+    fn path_graph_lca_is_shallower_endpoint() {
+        let mut b = GraphBuilder::new(5);
+        for i in 0..4u32 {
+            b.add_bidirectional(i, i + 1);
+        }
+        let t = RootedTree::from_digraph(&b.build(), 0).unwrap();
+        let lca = Lca::new(&t);
+        assert_eq!(lca.query(2, 4), 2);
+        assert_eq!(lca.query(1, 3), 1);
+    }
+}

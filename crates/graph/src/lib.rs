@@ -1,0 +1,49 @@
+//! # tdmd-graph — graph substrate for the TDMD reproduction
+//!
+//! This crate provides everything the placement algorithms need from a
+//! graph library, built from scratch so the whole reproduction is
+//! self-contained:
+//!
+//! * [`DiGraph`] — a compact CSR-backed directed graph with forward and
+//!   reverse adjacency, optional edge weights, and a mutable
+//!   [`GraphBuilder`] front end.
+//! * [`traversal`] — BFS shortest paths, Dijkstra, path extraction and
+//!   connectivity checks.
+//! * [`tree`] — a rooted-tree view ([`RootedTree`]) with depths,
+//!   children lists, Euler tours and subtree utilities.
+//! * [`lca`] — `O(n log n)` preprocessing / `O(1)` query lowest common
+//!   ancestor via Euler tour + sparse-table RMQ, plus a naive reference
+//!   implementation used by tests.
+//! * [`generators`] — topology generators used by the paper's
+//!   evaluation: random trees, complete binary trees, fat-tree, BCube,
+//!   Erdős–Rényi, Barabási–Albert, Waxman and an Ark-like clustered
+//!   WAN, plus size mutation helpers.
+//! * [`io`] — serde-based JSON import/export.
+//!
+//! Vertices are dense `u32` ids (`NodeId`), so algorithm state lives in
+//! flat `Vec`s rather than hash maps (see the perf-book guidance on
+//! avoiding hashing when dense indexing works).
+
+pub mod centrality;
+pub mod digraph;
+pub mod dot;
+pub mod flownet;
+pub mod generators;
+pub mod io;
+pub mod kpaths;
+pub mod lca;
+pub mod stats;
+pub mod traversal;
+pub mod tree;
+
+pub use digraph::{DiGraph, EdgeId, GraphBuilder, NodeId};
+pub use lca::{Lca, NaiveLca};
+pub use tree::RootedTree;
+
+/// Convenience prelude re-exporting the most used items.
+pub mod prelude {
+    pub use crate::digraph::{DiGraph, EdgeId, GraphBuilder, NodeId};
+    pub use crate::lca::Lca;
+    pub use crate::traversal::{bfs_distances, bfs_path, BfsResult};
+    pub use crate::tree::RootedTree;
+}

@@ -1,0 +1,158 @@
+//! Topology statistics.
+//!
+//! Used to sanity-check the synthetic generators against the shapes
+//! they stand in for (the Ark-like WAN should be small-diameter with
+//! hub gateways; Barabási–Albert should be heavy-tailed; trees should
+//! report their height), and exposed so experiments can log what they
+//! actually ran on.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::traversal::{bfs_distances, UNREACHED};
+
+/// Summary statistics of a topology (undirected view of degrees).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyStats {
+    /// Vertex count.
+    pub nodes: usize,
+    /// Directed edge count.
+    pub directed_edges: usize,
+    /// Minimum out-degree.
+    pub min_degree: usize,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+    /// Eccentricity of vertex 0 (`None` if something is unreachable).
+    pub ecc_from_zero: Option<u32>,
+    /// Exact diameter over reachable pairs (`None` if disconnected).
+    pub diameter: Option<u32>,
+}
+
+/// Computes summary statistics. Diameter is exact (all-pairs BFS), so
+/// intended for the paper's 12–52-vertex scale, not for huge graphs.
+pub fn topology_stats(g: &DiGraph) -> TopologyStats {
+    let n = g.node_count();
+    let degrees: Vec<usize> = (0..n as NodeId).map(|v| g.out_degree(v)).collect();
+    let (min_degree, max_degree) = degrees
+        .iter()
+        .fold((usize::MAX, 0), |(lo, hi), &d| (lo.min(d), hi.max(d)));
+    let mean_degree = if n == 0 {
+        0.0
+    } else {
+        degrees.iter().sum::<usize>() as f64 / n as f64
+    };
+    let mut diameter = Some(0u32);
+    let mut ecc_from_zero = None;
+    for src in 0..n as NodeId {
+        let dist = bfs_distances(g, src);
+        let mut ecc = 0u32;
+        let mut all_reached = true;
+        for &d in &dist {
+            if d == UNREACHED {
+                all_reached = false;
+            } else {
+                ecc = ecc.max(d);
+            }
+        }
+        if src == 0 {
+            ecc_from_zero = all_reached.then_some(ecc);
+        }
+        diameter = match (diameter, all_reached) {
+            (Some(cur), true) => Some(cur.max(ecc)),
+            _ => None,
+        };
+    }
+    if n == 0 {
+        diameter = Some(0);
+    }
+    TopologyStats {
+        nodes: n,
+        directed_edges: g.edge_count(),
+        min_degree: if n == 0 { 0 } else { min_degree },
+        max_degree,
+        mean_degree,
+        ecc_from_zero,
+        diameter,
+    }
+}
+
+/// Degree histogram (out-degrees), index = degree.
+pub fn degree_histogram(g: &DiGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; 1];
+    for v in 0..g.node_count() as NodeId {
+        let d = g.out_degree(v);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::GraphBuilder;
+    use crate::generators::ark::ark_like;
+    use crate::generators::random::barabasi_albert;
+    use crate::generators::trees::complete_binary_tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_graph_stats() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_bidirectional(i, i + 1);
+        }
+        let s = topology_stats(&b.build());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.directed_edges, 6);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.diameter, Some(3));
+        assert_eq!(s.ecc_from_zero, Some(3));
+    }
+
+    #[test]
+    fn binary_tree_diameter_is_twice_the_height() {
+        let g = complete_binary_tree(4); // 15 vertices, height 3
+        let s = topology_stats(&g);
+        assert_eq!(s.diameter, Some(6));
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_diameter() {
+        let s = topology_stats(&GraphBuilder::new(3).build());
+        assert_eq!(s.diameter, None);
+        assert_eq!(s.ecc_from_zero, None);
+    }
+
+    #[test]
+    fn empty_graph_stats_do_not_panic() {
+        let s = topology_stats(&GraphBuilder::new(0).build());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.mean_degree, 0.0);
+    }
+
+    #[test]
+    fn ba_histogram_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = barabasi_albert(300, 2, &mut rng);
+        let hist = degree_histogram(&g);
+        // Most vertices sit at the minimum degree while a long tail
+        // exists.
+        let at_min: usize = hist.iter().take(4).sum();
+        assert!(at_min > 150, "bulk at low degree, got {at_min}");
+        assert!(hist.len() > 10, "a hub should exceed degree 10");
+    }
+
+    #[test]
+    fn ark_is_small_diameter_relative_to_size() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = ark_like(52, 5, &mut rng);
+        let s = topology_stats(&g);
+        assert!(s.diameter.unwrap() <= 7, "clustered WAN diameter too large");
+        assert!(s.max_degree >= 8, "gateways should be hubs");
+    }
+}

@@ -1,0 +1,273 @@
+//! Graph traversal: BFS shortest paths (unit weights), Dijkstra
+//! (weighted), path reconstruction and connectivity checks.
+//!
+//! All routines allocate flat `Vec` state indexed by `NodeId` and use
+//! `u32::MAX` sentinels rather than `Option` wrappers in hot arrays.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Sentinel for "unreached" in distance/parent arrays.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Result of a single-source BFS.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// Hop distance from the source (`UNREACHED` if unreachable).
+    pub dist: Vec<u32>,
+    /// BFS-tree parent (`UNREACHED` for the source and unreachable nodes).
+    pub parent: Vec<u32>,
+    /// The source vertex.
+    pub source: NodeId,
+}
+
+impl BfsResult {
+    /// True if `v` was reached from the source.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v as usize] != UNREACHED
+    }
+
+    /// Reconstructs the vertex path `source -> .. -> dst`, or `None`
+    /// if `dst` is unreachable.
+    pub fn path_to(&self, dst: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reached(dst) {
+            return None;
+        }
+        let mut path = Vec::with_capacity(self.dist[dst as usize] as usize + 1);
+        let mut cur = dst;
+        path.push(cur);
+        while cur != self.source {
+            cur = self.parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Single-source BFS over out-edges.
+pub fn bfs(g: &DiGraph, src: NodeId) -> BfsResult {
+    let n = g.node_count();
+    let mut dist = vec![UNREACHED; n];
+    let mut parent = vec![UNREACHED; n];
+    let mut queue = VecDeque::with_capacity(n);
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.out_neighbors(u) {
+            if dist[v as usize] == UNREACHED {
+                dist[v as usize] = du + 1;
+                parent[v as usize] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsResult {
+        dist,
+        parent,
+        source: src,
+    }
+}
+
+/// Hop distances from `src` (convenience wrapper over [`bfs`]).
+pub fn bfs_distances(g: &DiGraph, src: NodeId) -> Vec<u32> {
+    bfs(g, src).dist
+}
+
+/// Shortest (fewest-hops) vertex path from `src` to `dst`, or `None`.
+pub fn bfs_path(g: &DiGraph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    bfs(g, src).path_to(dst)
+}
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct DijkstraResult {
+    /// Weighted distance from the source (`u64::MAX` if unreachable).
+    pub dist: Vec<u64>,
+    /// Shortest-path-tree parent (`UNREACHED` sentinel).
+    pub parent: Vec<u32>,
+    /// The source vertex.
+    pub source: NodeId,
+}
+
+impl DijkstraResult {
+    /// True if `v` was reached.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v as usize] != u64::MAX
+    }
+
+    /// Reconstructs the vertex path `source -> .. -> dst`.
+    pub fn path_to(&self, dst: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reached(dst) {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != self.source {
+            cur = self.parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Single-source Dijkstra over out-edges using the stored edge weights.
+pub fn dijkstra(g: &DiGraph, src: NodeId) -> DijkstraResult {
+    let n = g.node_count();
+    let mut dist = vec![u64::MAX; n];
+    let mut parent = vec![UNREACHED; n];
+    // Max-heap of (Reverse(dist), node) simulated by storing negated
+    // priority via std Reverse.
+    let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, NodeId)> = BinaryHeap::new();
+    dist[src as usize] = 0;
+    heap.push((std::cmp::Reverse(0), src));
+    while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        let nbrs = g.out_neighbors(u);
+        let ws = g.out_weights(u);
+        for (&v, &w) in nbrs.iter().zip(ws) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                parent[v as usize] = u;
+                heap.push((std::cmp::Reverse(nd), v));
+            }
+        }
+    }
+    DijkstraResult {
+        dist,
+        parent,
+        source: src,
+    }
+}
+
+/// True if every vertex is reachable from `src` following out-edges.
+pub fn is_reachable_from(g: &DiGraph, src: NodeId) -> bool {
+    bfs(g, src).dist.iter().all(|&d| d != UNREACHED)
+}
+
+/// True if the graph is connected when edges are treated as
+/// undirected. Empty graphs count as connected.
+pub fn is_connected_undirected(g: &DiGraph) -> bool {
+    let n = g.node_count();
+    if n == 0 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0 as NodeId];
+    seen[0] = true;
+    let mut count = 1usize;
+    while let Some(u) = stack.pop() {
+        for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::GraphBuilder;
+
+    /// 0 -1- 1 -1- 2, plus a heavy shortcut 0 -5- 2.
+    fn weighted_line() -> DiGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(0, 1, 1);
+        b.add_weighted_edge(1, 2, 1);
+        b.add_weighted_edge(0, 2, 5);
+        b.build()
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_edge(i, i + 1);
+        }
+        let g = b.build();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_path_reconstruction() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 3);
+        b.add_edge(3, 4);
+        b.add_edge(4, 2); // longer route to 2
+        let g = b.build();
+        assert_eq!(bfs_path(&g, 0, 2), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn bfs_unreachable_gives_none() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(bfs_path(&g, 0, 2), None);
+        assert!(!bfs(&g, 0).reached(2));
+    }
+
+    #[test]
+    fn bfs_respects_edge_direction() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert!(bfs(&g, 1).path_to(0).is_none());
+    }
+
+    #[test]
+    fn dijkstra_prefers_light_path_over_few_hops() {
+        let g = weighted_line();
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2]);
+        assert_eq!(r.path_to(2), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_on_unit_weights() {
+        let mut b = GraphBuilder::new(6);
+        let edges = [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3), (3, 5)];
+        for (u, v) in edges {
+            b.add_bidirectional(u, v);
+        }
+        let g = b.build();
+        let bd = bfs_distances(&g, 0);
+        let dd = dijkstra(&g, 0).dist;
+        for v in 0..6 {
+            assert_eq!(bd[v] as u64, dd[v]);
+        }
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert!(!is_connected_undirected(&g));
+        assert!(!is_reachable_from(&g, 0));
+
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert!(is_connected_undirected(&g));
+        assert!(is_reachable_from(&g, 0));
+        assert!(!is_reachable_from(&g, 2));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected_undirected(&GraphBuilder::new(0).build()));
+    }
+}

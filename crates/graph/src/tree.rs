@@ -1,0 +1,365 @@
+//! Rooted-tree view over a [`DiGraph`].
+//!
+//! The paper's tree-network setting routes every flow from a leaf
+//! source up to the root, so the placement algorithms (DP, HAT) want
+//! parents, depths, children lists, leaf sets and traversal orders
+//! rather than raw adjacency. [`RootedTree`] extracts all of that once
+//! from any graph whose undirected skeleton is a tree.
+
+use crate::digraph::{DiGraph, NodeId};
+use crate::traversal::UNREACHED;
+
+/// Error returned when a graph is not a tree rooted at the requested
+/// vertex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// The undirected skeleton is disconnected.
+    Disconnected,
+    /// The undirected skeleton contains a cycle (too many edges).
+    HasCycle,
+    /// The root id is out of range.
+    BadRoot,
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Disconnected => write!(f, "graph is disconnected"),
+            TreeError::HasCycle => write!(f, "graph has a cycle"),
+            TreeError::BadRoot => write!(f, "root vertex out of range"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Immutable rooted tree with precomputed parents, children, depths,
+/// BFS order and leaf set.
+#[derive(Debug, Clone)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<u32>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+    /// BFS order: every vertex appears after its parent.
+    bfs_order: Vec<NodeId>,
+    leaves: Vec<NodeId>,
+}
+
+impl RootedTree {
+    /// Builds the rooted view of `g` at `root`, treating every edge as
+    /// undirected. Fails if the skeleton is not a tree.
+    pub fn from_digraph(g: &DiGraph, root: NodeId) -> Result<Self, TreeError> {
+        let n = g.node_count();
+        if (root as usize) >= n {
+            return Err(TreeError::BadRoot);
+        }
+        let mut parent = vec![UNREACHED; n];
+        let mut depth = vec![0u32; n];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[root as usize] = true;
+        queue.push_back(root);
+        // Count undirected edges while walking to detect cycles: a tree
+        // reached from the root must discover each vertex exactly once.
+        let mut extra_edge = false;
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    parent[v as usize] = u;
+                    depth[v as usize] = depth[u as usize] + 1;
+                    children[u as usize].push(v);
+                    queue.push_back(v);
+                } else if v != u && parent[u as usize] != v && parent[v as usize] != u {
+                    // An undirected edge to an already-seen vertex that
+                    // is neither our parent nor our child closes a
+                    // cycle. (Bidirectional graphs list each tree edge
+                    // in both adjacency directions; the parent/child
+                    // checks skip those duplicates.)
+                    extra_edge = true;
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(TreeError::Disconnected);
+        }
+        if extra_edge {
+            return Err(TreeError::HasCycle);
+        }
+        // Deduplicate child lists (bidirectional graphs repeat each
+        // neighbor in both adjacency directions).
+        for ch in &mut children {
+            ch.sort_unstable();
+            ch.dedup();
+        }
+        let leaves: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| children[v as usize].is_empty())
+            .collect();
+        Ok(Self {
+            root,
+            parent,
+            children,
+            depth,
+            bfs_order: order,
+            leaves,
+        })
+    }
+
+    /// The root vertex.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.parent[v as usize];
+        (p != UNREACHED).then_some(p)
+    }
+
+    /// Children of `v`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v as usize]
+    }
+
+    /// Depth of `v` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// True if `v` has no children.
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v as usize].is_empty()
+    }
+
+    /// All leaves, in increasing id order.
+    #[inline]
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// BFS order from the root (parents precede children).
+    #[inline]
+    pub fn bfs_order(&self) -> &[NodeId] {
+        &self.bfs_order
+    }
+
+    /// Post-order traversal (children precede parents) — the order the
+    /// tree DP consumes vertices in.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        // Reverse BFS order is a valid post-order for DP purposes
+        // (every child appears before its parent), but produce a true
+        // DFS post-order for predictable walks.
+        let mut out = Vec::with_capacity(self.node_count());
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.root, 0)];
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            if *idx < self.children[v as usize].len() {
+                let c = self.children[v as usize][*idx];
+                *idx += 1;
+                stack.push((c, 0));
+            } else {
+                out.push(v);
+                stack.pop();
+            }
+        }
+        out
+    }
+
+    /// Vertices of the subtree rooted at `v` (DFS preorder).
+    pub fn subtree(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            stack.extend_from_slice(&self.children[u as usize]);
+        }
+        out
+    }
+
+    /// The path `v -> parent -> .. -> root`, inclusive.
+    pub fn path_to_root(&self, v: NodeId) -> Vec<NodeId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+
+    /// Euler tour of the tree: `(tour, first_occurrence, tour_depth)`.
+    /// Used by the sparse-table LCA.
+    pub fn euler_tour(&self) -> (Vec<NodeId>, Vec<u32>, Vec<u32>) {
+        let n = self.node_count();
+        let mut tour = Vec::with_capacity(2 * n);
+        let mut first = vec![u32::MAX; n];
+        let mut tdepth = Vec::with_capacity(2 * n);
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.root, 0)];
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            if *idx == 0 {
+                if first[v as usize] == u32::MAX {
+                    first[v as usize] = tour.len() as u32;
+                }
+                tour.push(v);
+                tdepth.push(self.depth[v as usize]);
+            }
+            if *idx < self.children[v as usize].len() {
+                let c = self.children[v as usize][*idx];
+                *idx += 1;
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    tour.push(p);
+                    tdepth.push(self.depth[p as usize]);
+                }
+            }
+        }
+        (tour, first, tdepth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::GraphBuilder;
+
+    /// The paper's Fig. 5 binary tree: v1 root, v1-(v2,v3), v2-(v4,v5),
+    /// v3-v6, v6-(v7,v8). Ids shifted to 0-based.
+    pub(crate) fn fig5_tree() -> DiGraph {
+        let mut b = GraphBuilder::new(8);
+        for (u, v) in [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (5, 6), (5, 7)] {
+            b.add_bidirectional(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builds_fig5_tree() {
+        let t = RootedTree::from_digraph(&fig5_tree(), 0).unwrap();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(3), Some(1));
+        assert_eq!(t.parent(6), Some(5));
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.children(2), &[5]);
+        assert_eq!(t.depth(0), 0);
+        assert_eq!(t.depth(6), 3);
+        assert_eq!(t.leaves(), &[3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn bfs_order_puts_parents_first() {
+        let t = RootedTree::from_digraph(&fig5_tree(), 0).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 8];
+            for (i, &v) in t.bfs_order().iter().enumerate() {
+                p[v as usize] = i;
+            }
+            p
+        };
+        for v in 0..8u32 {
+            if let Some(par) = t.parent(v) {
+                assert!(pos[par as usize] < pos[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_puts_children_first() {
+        let t = RootedTree::from_digraph(&fig5_tree(), 0).unwrap();
+        let po = t.postorder();
+        assert_eq!(po.len(), 8);
+        assert_eq!(*po.last().unwrap(), 0);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 8];
+            for (i, &v) in po.iter().enumerate() {
+                p[v as usize] = i;
+            }
+            p
+        };
+        for v in 0..8u32 {
+            for &c in t.children(v) {
+                assert!(pos[c as usize] < pos[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_and_path_to_root() {
+        let t = RootedTree::from_digraph(&fig5_tree(), 0).unwrap();
+        let mut sub = t.subtree(2);
+        sub.sort_unstable();
+        assert_eq!(sub, vec![2, 5, 6, 7]);
+        assert_eq!(t.path_to_root(6), vec![6, 5, 2, 0]);
+        assert_eq!(t.path_to_root(0), vec![0]);
+    }
+
+    #[test]
+    fn rerooting_changes_structure() {
+        let t = RootedTree::from_digraph(&fig5_tree(), 5).unwrap();
+        assert_eq!(t.root(), 5);
+        assert_eq!(t.parent(0), Some(2));
+        assert!(t.is_leaf(1) || !t.children(1).is_empty());
+        assert_eq!(t.depth(0), 2);
+    }
+
+    #[test]
+    fn disconnected_graph_rejected() {
+        let b = GraphBuilder::new(3);
+        let err = RootedTree::from_digraph(&b.build(), 0).unwrap_err();
+        assert_eq!(err, TreeError::Disconnected);
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let mut b = GraphBuilder::new(3);
+        b.add_bidirectional(0, 1);
+        b.add_bidirectional(1, 2);
+        b.add_bidirectional(2, 0);
+        let err = RootedTree::from_digraph(&b.build(), 0).unwrap_err();
+        assert_eq!(err, TreeError::HasCycle);
+    }
+
+    #[test]
+    fn bad_root_rejected() {
+        let err = RootedTree::from_digraph(&fig5_tree(), 99).unwrap_err();
+        assert_eq!(err, TreeError::BadRoot);
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let g = GraphBuilder::new(1).build();
+        let t = RootedTree::from_digraph(&g, 0).unwrap();
+        assert_eq!(t.leaves(), &[0]);
+        assert!(t.is_leaf(0));
+        assert_eq!(t.postorder(), vec![0]);
+    }
+
+    #[test]
+    fn euler_tour_shape() {
+        let t = RootedTree::from_digraph(&fig5_tree(), 0).unwrap();
+        let (tour, first, tdepth) = t.euler_tour();
+        assert_eq!(tour.len(), 2 * 8 - 1);
+        assert_eq!(tour.len(), tdepth.len());
+        assert_eq!(tour[0], 0);
+        assert_eq!(*tour.last().unwrap(), 0);
+        for v in 0..8u32 {
+            assert_eq!(tour[first[v as usize] as usize], v);
+        }
+    }
+}

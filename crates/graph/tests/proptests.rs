@@ -1,0 +1,111 @@
+//! Property tests of the graph substrate: CSR canonicalization, BFS
+//! optimality, tree invariants, LCA laws and mutation safety.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdmd_graph::generators::mutate::{resize_general, resize_tree};
+use tdmd_graph::generators::random::erdos_renyi_connected;
+use tdmd_graph::generators::trees::random_tree;
+use tdmd_graph::traversal::{bfs, dijkstra, is_connected_undirected};
+use tdmd_graph::{DiGraph, Lca, NaiveLca, NodeId, RootedTree};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR construction canonicalizes edge order: any permutation of
+    /// the edge list builds an equal graph.
+    #[test]
+    fn csr_is_insertion_order_invariant(seed in any::<u64>(), n in 2usize..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi_connected(n, 0.3, &mut rng);
+        let mut edges = g.to_edge_list();
+        edges.reverse();
+        let rebuilt = DiGraph::from_edges(n, &edges);
+        prop_assert_eq!(g, rebuilt);
+    }
+
+    /// BFS parents form shortest-path trees: dist(parent) + 1 == dist.
+    #[test]
+    fn bfs_parents_are_consistent(seed in any::<u64>(), n in 2usize..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi_connected(n, 0.2, &mut rng);
+        let r = bfs(&g, 0);
+        for v in 1..n as NodeId {
+            prop_assert!(r.reached(v));
+            let p = r.parent[v as usize];
+            prop_assert_eq!(r.dist[p as usize] + 1, r.dist[v as usize]);
+            prop_assert!(g.has_edge(p, v));
+        }
+    }
+
+    /// On unit weights, Dijkstra and BFS agree everywhere.
+    #[test]
+    fn dijkstra_equals_bfs_on_unit_weights(seed in any::<u64>(), n in 2usize..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi_connected(n, 0.25, &mut rng);
+        let b = bfs(&g, 0).dist;
+        let d = dijkstra(&g, 0).dist;
+        for v in 0..n {
+            prop_assert_eq!(b[v] as u64, d[v]);
+        }
+    }
+
+    /// Random trees really are trees with coherent depths and a full
+    /// leaf/parent structure.
+    #[test]
+    fn random_trees_are_well_formed(seed in any::<u64>(), n in 1usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_tree(n, &mut rng);
+        prop_assert_eq!(g.edge_count(), 2 * (n - 1));
+        let t = RootedTree::from_digraph(&g, 0).unwrap();
+        for v in 1..n as NodeId {
+            let p = t.parent(v).unwrap();
+            prop_assert_eq!(t.depth(v), t.depth(p) + 1);
+            prop_assert!(t.children(p).contains(&v));
+        }
+        let leaf_count = t.leaves().len();
+        prop_assert!(leaf_count >= 1);
+        // Every vertex is in the subtree of the root.
+        prop_assert_eq!(t.subtree(0).len(), n);
+    }
+
+    /// LCA laws: idempotent, symmetric, an ancestor of both arguments,
+    /// and agrees with the naive climber.
+    #[test]
+    fn lca_laws(seed in any::<u64>(), n in 1usize..40, a in any::<u32>(), b in any::<u32>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_tree(n, &mut rng);
+        let t = RootedTree::from_digraph(&g, 0).unwrap();
+        let fast = Lca::new(&t);
+        let naive = NaiveLca::new(&t);
+        let (a, b) = ((a as usize % n) as NodeId, (b as usize % n) as NodeId);
+        let l = fast.query(a, b);
+        prop_assert_eq!(l, naive.query(a, b));
+        prop_assert_eq!(l, fast.query(b, a));
+        prop_assert_eq!(fast.query(a, a), a);
+        prop_assert!(t.path_to_root(a).contains(&l));
+        prop_assert!(t.path_to_root(b).contains(&l));
+    }
+
+    /// Tree resizing hits the exact target and stays a tree.
+    #[test]
+    fn resize_tree_preserves_treeness(seed in any::<u64>(), n in 1usize..25, target in 1usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_tree(n, &mut rng);
+        let g2 = resize_tree(&g, 0, target, &mut rng);
+        prop_assert_eq!(g2.node_count(), target);
+        prop_assert!(RootedTree::from_digraph(&g2, 0).is_ok());
+    }
+
+    /// General resizing hits the target and stays connected.
+    #[test]
+    fn resize_general_preserves_connectivity(seed in any::<u64>(), n in 2usize..20, target in 1usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi_connected(n, 0.3, &mut rng);
+        let g2 = resize_general(&g, target, &mut rng);
+        prop_assert_eq!(g2.node_count(), target);
+        prop_assert!(is_connected_undirected(&g2));
+        prop_assert!(g2.is_bidirectional());
+    }
+}

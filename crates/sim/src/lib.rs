@@ -1,0 +1,27 @@
+//! # tdmd-sim — link-level replay simulator and experiment runner
+//!
+//! The analytic objective (Eq. 1) says what a deployment *should*
+//! cost; this crate independently verifies it by *replaying* every
+//! flow hop by hop over the topology ([`replay`]), accounting the
+//! occupied bandwidth on each directed link, and then drives the
+//! paper's evaluation protocol ([`runner`]): seeded multi-trial
+//! sweeps, per-algorithm wall-clock timing, mean ± std aggregation and
+//! workload resampling on infeasibility (§6.1).
+
+pub mod metrics;
+pub mod replay;
+pub mod runner;
+pub mod timeline;
+pub mod validate;
+
+pub use replay::{replay, LinkLoads};
+pub use runner::{run_comparison, AlgoStats, TrialConfig};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::metrics::LinkMetrics;
+    pub use crate::replay::{replay, LinkLoads};
+    pub use crate::runner::{run_comparison, AlgoStats, TrialConfig};
+    pub use crate::timeline::{simulate_replanned, simulate_static, DynamicScenario, FlowSpan};
+    pub use crate::validate::validate_deployment;
+}

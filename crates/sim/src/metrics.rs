@@ -1,0 +1,85 @@
+//! Link-utilization metrics over a replay.
+
+use crate::replay::LinkLoads;
+use tdmd_core::Instance;
+
+/// Aggregate link metrics for a replayed deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkMetrics {
+    /// Total occupied bandwidth (the paper's objective).
+    pub total_bandwidth: f64,
+    /// Highest single-link load.
+    pub max_link_load: f64,
+    /// Mean load over links that carry any traffic.
+    pub mean_loaded_link: f64,
+    /// Number of links carrying traffic.
+    pub loaded_links: usize,
+    /// Max link load / capacity (the congestion check the paper's
+    /// over-provisioning assumption makes moot, §6.1).
+    pub max_utilization: f64,
+    /// Share of total traffic that was processed (diminished) when it
+    /// crossed its last link.
+    pub feasible: bool,
+}
+
+impl LinkMetrics {
+    /// Computes metrics from a replay given the per-link capacity.
+    pub fn from_loads(instance: &Instance, loads: &LinkLoads, link_capacity: u64) -> Self {
+        let loaded_links = loads.per_link.len();
+        let max_link_load = loads.per_link.values().copied().fold(0.0f64, f64::max);
+        let mean_loaded_link = if loaded_links == 0 {
+            0.0
+        } else {
+            loads.per_link.values().sum::<f64>() / loaded_links as f64
+        };
+        let _ = instance;
+        Self {
+            total_bandwidth: loads.total,
+            max_link_load,
+            mean_loaded_link,
+            loaded_links,
+            max_utilization: if link_capacity == 0 {
+                0.0
+            } else {
+                max_link_load / link_capacity as f64
+            },
+            feasible: loads.unserved_flows == 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::replay;
+    use tdmd_core::paper::fig1_instance;
+    use tdmd_core::Deployment;
+
+    #[test]
+    fn metrics_summarize_fig1() {
+        let inst = fig1_instance(2);
+        let loads = replay(&inst, &Deployment::from_vertices(6, [4, 1]));
+        let m = LinkMetrics::from_loads(&inst, &loads, 100);
+        assert_eq!(m.total_bandwidth, 12.0);
+        assert!(m.feasible);
+        assert_eq!(m.loaded_links, 6);
+        assert!(m.max_link_load >= m.mean_loaded_link);
+        assert!((m.max_utilization - m.max_link_load / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_deployment_is_flagged() {
+        let inst = fig1_instance(2);
+        let loads = replay(&inst, &Deployment::empty(6));
+        let m = LinkMetrics::from_loads(&inst, &loads, 100);
+        assert!(!m.feasible);
+    }
+
+    #[test]
+    fn zero_capacity_does_not_divide_by_zero() {
+        let inst = fig1_instance(2);
+        let loads = replay(&inst, &Deployment::from_vertices(6, [4, 1]));
+        let m = LinkMetrics::from_loads(&inst, &loads, 0);
+        assert_eq!(m.max_utilization, 0.0);
+    }
+}

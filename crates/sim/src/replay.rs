@@ -1,0 +1,148 @@
+//! Hop-by-hop flow replay.
+//!
+//! Walks every flow along its path through a deployment: each edge
+//! before the serving middlebox carries the initial rate `r_f`, each
+//! edge at or after it carries `λ·r_f`, and unserved flows ride at
+//! full rate end to end. The per-link loads are accumulated
+//! independently of the analytic objective so the two can be checked
+//! against each other ([`crate::validate`]).
+
+use std::collections::HashMap;
+use tdmd_core::objective::allocate;
+use tdmd_core::{Deployment, Instance};
+use tdmd_graph::NodeId;
+
+/// Occupied bandwidth per directed link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkLoads {
+    /// Load per directed edge `(u, v)`.
+    pub per_link: HashMap<(NodeId, NodeId), f64>,
+    /// Sum over all links — the total bandwidth consumption.
+    pub total: f64,
+    /// Number of flows that crossed no middlebox.
+    pub unserved_flows: usize,
+}
+
+impl LinkLoads {
+    /// Load on the directed link `u -> v` (0 if untouched).
+    pub fn load(&self, u: NodeId, v: NodeId) -> f64 {
+        self.per_link.get(&(u, v)).copied().unwrap_or(0.0)
+    }
+
+    /// The most heavily loaded link, if any flow was replayed.
+    pub fn max_link(&self) -> Option<((NodeId, NodeId), f64)> {
+        self.per_link
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(&e, &l)| (e, l))
+    }
+}
+
+/// Replays all flows of `instance` through `deployment`.
+pub fn replay(instance: &Instance, deployment: &Deployment) -> LinkLoads {
+    let lambda = instance.lambda();
+    let alloc = allocate(instance, deployment);
+    let mut per_link: HashMap<(NodeId, NodeId), f64> = HashMap::new();
+    let mut total = 0.0;
+    let mut unserved = 0usize;
+    for f in instance.flows() {
+        let serve_pos = match alloc.assigned[f.id as usize] {
+            Some(v) => f.position_of(v).expect("assigned vertex lies on the path"),
+            None => {
+                unserved += 1;
+                f.path.len() // never reached: full rate everywhere
+            }
+        };
+        for (i, w) in f.path.windows(2).enumerate() {
+            // The middlebox at position `serve_pos` processes the flow
+            // before it leaves that vertex: edge i (from path[i] to
+            // path[i+1]) is diminished iff i >= serve_pos.
+            let rate = if i >= serve_pos {
+                lambda * f.rate as f64
+            } else {
+                f.rate as f64
+            };
+            *per_link.entry((w[0], w[1])).or_insert(0.0) += rate;
+            total += rate;
+        }
+    }
+    LinkLoads {
+        per_link,
+        total,
+        unserved_flows: unserved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmd_core::objective::bandwidth_of;
+    use tdmd_core::paper::{fig1_instance, fig5_instance};
+
+    #[test]
+    fn fig1_replay_matches_paper_totals() {
+        let inst = fig1_instance(2);
+        let loads = replay(&inst, &Deployment::from_vertices(6, [4, 1]));
+        assert_eq!(loads.total, 12.0);
+        assert_eq!(loads.unserved_flows, 0);
+        // f1 is processed at its source v5: both of its links carry 2.
+        assert_eq!(loads.load(4, 2), 2.0);
+        // Link v3 -> v1 only carries f1 (diminished).
+        assert_eq!(loads.load(2, 0), 2.0);
+    }
+
+    #[test]
+    fn fig1_replay_k3() {
+        let inst = fig1_instance(3);
+        let loads = replay(&inst, &Deployment::from_vertices(6, [3, 4, 5]));
+        assert_eq!(loads.total, 8.0);
+        // f2 + f4 both start at v6; both processed there.
+        assert_eq!(loads.load(5, 2), 1.0);
+        assert_eq!(loads.load(5, 1), 1.0);
+    }
+
+    #[test]
+    fn unserved_flows_ride_full_rate() {
+        let inst = fig1_instance(2);
+        let loads = replay(&inst, &Deployment::empty(6));
+        assert_eq!(loads.unserved_flows, 4);
+        assert_eq!(loads.total, inst.unprocessed_bandwidth());
+        assert_eq!(loads.load(4, 2), 4.0);
+    }
+
+    #[test]
+    fn replay_total_equals_analytic_bandwidth() {
+        for k in 1..=4 {
+            let inst = fig5_instance(k);
+            for vs in [vec![0], vec![1, 5], vec![3, 4, 6, 7], vec![2, 5]] {
+                let d = Deployment::from_vertices(8, vs.iter().copied());
+                let loads = replay(&inst, &d);
+                let analytic = bandwidth_of(&inst, &d);
+                assert!(
+                    (loads.total - analytic).abs() < 1e-9,
+                    "replay {} vs analytic {} for {vs:?}",
+                    loads.total,
+                    analytic
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_link_is_reported() {
+        let inst = fig1_instance(2);
+        let loads = replay(&inst, &Deployment::empty(6));
+        let ((_, _), l) = loads.max_link().unwrap();
+        assert_eq!(l, 4.0, "f1's full-rate links dominate");
+    }
+
+    #[test]
+    fn empty_instance_has_empty_loads() {
+        let g = tdmd_core::paper::fig5_graph();
+        let inst = Instance::new(g, vec![], 0.5, 1).unwrap();
+        let loads = replay(&inst, &Deployment::empty(8));
+        assert!(loads.per_link.is_empty());
+        assert_eq!(loads.total, 0.0);
+        assert!(loads.max_link().is_none());
+    }
+}

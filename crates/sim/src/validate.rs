@@ -1,0 +1,122 @@
+//! Cross-validation of the analytic objective against the replay
+//! simulator, plus the Lemma-1 envelope checks. Run on every
+//! experiment result in debug builds and available to tests.
+
+use crate::replay::replay;
+use tdmd_core::objective::{bandwidth_of, decrement, lemma1_bounds};
+use tdmd_core::{Deployment, Instance};
+
+/// Everything that can go wrong when a deployment's accounting is
+/// inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// Replay and Eq. (1) disagree.
+    ReplayMismatch {
+        /// Replay total.
+        simulated: f64,
+        /// Analytic total.
+        analytic: f64,
+    },
+    /// The decrement left the Lemma-1 envelope.
+    DecrementOutOfBounds {
+        /// Observed decrement.
+        value: f64,
+        /// Envelope maximum.
+        max: f64,
+    },
+    /// The deployment exceeds the instance budget.
+    OverBudget {
+        /// Deployed boxes.
+        used: usize,
+        /// Allowed boxes.
+        budget: usize,
+    },
+    /// A flow crossed no middlebox.
+    Unserved {
+        /// How many flows are uncovered.
+        flows: usize,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::ReplayMismatch {
+                simulated,
+                analytic,
+            } => {
+                write!(f, "replay total {simulated} != analytic {analytic}")
+            }
+            ValidationError::DecrementOutOfBounds { value, max } => {
+                write!(f, "decrement {value} outside [0, {max}]")
+            }
+            ValidationError::OverBudget { used, budget } => {
+                write!(f, "{used} middleboxes exceed budget {budget}")
+            }
+            ValidationError::Unserved { flows } => write!(f, "{flows} flows unserved"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a deployment end to end: budget, coverage, replay vs
+/// analytic objective, Lemma-1 envelope.
+pub fn validate_deployment(
+    instance: &Instance,
+    deployment: &Deployment,
+) -> Result<(), ValidationError> {
+    if deployment.len() > instance.k() {
+        return Err(ValidationError::OverBudget {
+            used: deployment.len(),
+            budget: instance.k(),
+        });
+    }
+    let loads = replay(instance, deployment);
+    if loads.unserved_flows > 0 {
+        return Err(ValidationError::Unserved {
+            flows: loads.unserved_flows,
+        });
+    }
+    let analytic = bandwidth_of(instance, deployment);
+    if (loads.total - analytic).abs() > 1e-6 * analytic.max(1.0) {
+        return Err(ValidationError::ReplayMismatch {
+            simulated: loads.total,
+            analytic,
+        });
+    }
+    let d = decrement(instance, deployment);
+    let (lo, hi) = lemma1_bounds(instance);
+    if d < lo - 1e-9 || d > hi + 1e-9 {
+        return Err(ValidationError::DecrementOutOfBounds { value: d, max: hi });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmd_core::paper::fig1_instance;
+
+    #[test]
+    fn valid_plans_pass() {
+        let inst = fig1_instance(2);
+        validate_deployment(&inst, &Deployment::from_vertices(6, [4, 1])).unwrap();
+        let inst = fig1_instance(3);
+        validate_deployment(&inst, &Deployment::from_vertices(6, [3, 4, 5])).unwrap();
+    }
+
+    #[test]
+    fn over_budget_detected() {
+        let inst = fig1_instance(1);
+        let err = validate_deployment(&inst, &Deployment::from_vertices(6, [4, 1])).unwrap_err();
+        assert_eq!(err, ValidationError::OverBudget { used: 2, budget: 1 });
+    }
+
+    #[test]
+    fn unserved_detected() {
+        let inst = fig1_instance(2);
+        let err = validate_deployment(&inst, &Deployment::from_vertices(6, [4])).unwrap_err();
+        assert_eq!(err, ValidationError::Unserved { flows: 3 });
+    }
+}

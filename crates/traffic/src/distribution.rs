@@ -1,0 +1,192 @@
+//! Flow-rate distributions.
+//!
+//! The paper samples flow sizes from "the flow size distribution of
+//! the CAIDA center ... collected in a 1-hour packet trace" (§6.1).
+//! That trace is not redistributable, so [`CaidaLike`] synthesizes the
+//! well-documented shape of Internet backbone flow sizes: a lognormal
+//! body of mice with a Pareto elephant tail (see e.g. the redundancy
+//! study [15] the paper cites). Rates are quantized to integral rate
+//! units (≥ 1) because the tree DP is pseudo-polynomial in `r_max`.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Pareto};
+use serde::{Deserialize, Serialize};
+
+/// A sampler of integral flow rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateDistribution {
+    /// Every flow has the same rate (the paper's "flows have the same
+    /// rate" special case, where the DP becomes polynomial).
+    Constant(u64),
+    /// Uniform over `lo..=hi`.
+    Uniform {
+        /// Smallest rate.
+        lo: u64,
+        /// Largest rate.
+        hi: u64,
+    },
+    /// Heavy-tailed CAIDA-trace-like mixture.
+    Caida(CaidaLike),
+    /// Empirical distribution: draw uniformly from observed samples
+    /// (e.g. flow sizes aggregated from a packet trace,
+    /// [`crate::trace::rates_from_trace`]).
+    Empirical {
+        /// Observed integral rates; must be non-empty.
+        samples: Vec<u64>,
+    },
+}
+
+impl RateDistribution {
+    /// Default stand-in for the paper's CAIDA workload.
+    pub fn caida_default() -> Self {
+        RateDistribution::Caida(CaidaLike::default())
+    }
+
+    /// Samples one integral rate (always ≥ 1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self {
+            RateDistribution::Constant(r) => (*r).max(1),
+            RateDistribution::Uniform { lo, hi } => {
+                let (lo, hi) = ((*lo).max(1), (*hi).max(1));
+                assert!(lo <= hi, "uniform bounds inverted");
+                rng.gen_range(lo..=hi)
+            }
+            RateDistribution::Caida(c) => c.sample(rng),
+            RateDistribution::Empirical { samples } => {
+                assert!(!samples.is_empty(), "empirical distribution needs samples");
+                samples[rng.gen_range(0..samples.len())].max(1)
+            }
+        }
+    }
+}
+
+/// Heavy-tailed flow-size model: with probability `1 - elephant_share`
+/// draw from a lognormal body (mice), otherwise from a Pareto tail
+/// (elephants). Results are rounded to integers, clamped to
+/// `[1, max_rate]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaidaLike {
+    /// Lognormal `μ` of the mice body (natural-log scale).
+    pub body_mu: f64,
+    /// Lognormal `σ` of the mice body.
+    pub body_sigma: f64,
+    /// Pareto scale (minimum elephant size).
+    pub tail_scale: f64,
+    /// Pareto shape `α` (smaller ⇒ heavier tail).
+    pub tail_shape: f64,
+    /// Fraction of flows that are elephants.
+    pub elephant_share: f64,
+    /// Hard cap to keep the DP's rate dimension bounded.
+    pub max_rate: u64,
+}
+
+impl Default for CaidaLike {
+    fn default() -> Self {
+        // Median mouse ≈ e^1.0 ≈ 3 units, elephants ≥ 8 units with a
+        // α = 1.5 tail capped at 64 units: a few percent of flows carry
+        // most of the bytes, like the CAIDA mix.
+        Self {
+            body_mu: 1.0,
+            body_sigma: 0.7,
+            tail_scale: 8.0,
+            tail_shape: 1.5,
+            elephant_share: 0.1,
+            max_rate: 64,
+        }
+    }
+}
+
+impl CaidaLike {
+    /// Samples one integral rate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let raw = if rng.gen_bool(self.elephant_share) {
+            Pareto::new(self.tail_scale, self.tail_shape)
+                .expect("valid Pareto parameters")
+                .sample(rng)
+        } else {
+            LogNormal::new(self.body_mu, self.body_sigma)
+                .expect("valid LogNormal parameters")
+                .sample(rng)
+        };
+        (raw.round() as u64).clamp(1, self.max_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant_and_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = RateDistribution::Constant(5);
+        assert!((0..100).all(|_| d.sample(&mut rng) == 5));
+        // Zero is clamped to 1 rather than producing degenerate flows.
+        assert_eq!(RateDistribution::Constant(0).sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = RateDistribution::Uniform { lo: 3, hi: 9 };
+        for _ in 0..1000 {
+            let r = d.sample(&mut rng);
+            assert!((3..=9).contains(&r));
+        }
+    }
+
+    #[test]
+    fn caida_rates_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = CaidaLike::default();
+        for _ in 0..5000 {
+            let r = c.sample(&mut rng);
+            assert!((1..=c.max_rate).contains(&r));
+        }
+    }
+
+    #[test]
+    fn caida_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = CaidaLike::default();
+        let samples: Vec<u64> = (0..20_000).map(|_| c.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        assert!(
+            mean > 1.3 * median,
+            "mean {mean} should exceed median {median} markedly"
+        );
+        // Elephants exist but are rare.
+        let big = samples.iter().filter(|&&r| r >= 8).count() as f64 / samples.len() as f64;
+        assert!(
+            (0.02..0.35).contains(&big),
+            "elephant share {big} out of expected band"
+        );
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let d = RateDistribution::caida_default();
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = RateDistribution::caida_default();
+        let s = serde_json::to_string(&d).unwrap();
+        let e: RateDistribution = serde_json::from_str(&s).unwrap();
+        assert_eq!(d, e);
+    }
+}

@@ -1,0 +1,390 @@
+//! Workload generators.
+//!
+//! §6.1: flows' paths are fixed a priori; under the tree topology all
+//! destinations are the root; flow density is the experiment knob, and
+//! flows are randomly drawn from the dataset distribution. We
+//! reproduce that protocol: sample a source (a leaf for trees, any
+//! vertex for general topologies), a destination (the root / a
+//! designated destination), route along the unique tree path or a BFS
+//! shortest path, and keep adding flows until either a fixed count or
+//! a target flow density is reached.
+
+use crate::density::{flow_density, DEFAULT_LINK_CAPACITY};
+use crate::distribution::RateDistribution;
+use crate::flow::Flow;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tdmd_graph::traversal::bfs;
+use tdmd_graph::{DiGraph, NodeId, RootedTree};
+
+/// How many flows to generate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSize {
+    /// Exactly this many flows.
+    Count(usize),
+    /// Keep adding flows until the flow density reaches this target.
+    Density(f64),
+}
+
+/// Workload generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Rate sampler.
+    pub distribution: RateDistribution,
+    /// Stop condition.
+    pub size: WorkloadSize,
+    /// Per-link nominal capacity (density denominator).
+    pub link_capacity: u64,
+    /// Safety cap on the number of generated flows.
+    pub max_flows: usize,
+}
+
+impl WorkloadConfig {
+    /// The paper's default: CAIDA-like rates at a given flow density.
+    pub fn with_density(density: f64) -> Self {
+        Self {
+            distribution: RateDistribution::caida_default(),
+            size: WorkloadSize::Density(density),
+            link_capacity: DEFAULT_LINK_CAPACITY,
+            max_flows: 100_000,
+        }
+    }
+
+    /// Fixed flow count with CAIDA-like rates.
+    pub fn with_count(n: usize) -> Self {
+        Self {
+            distribution: RateDistribution::caida_default(),
+            size: WorkloadSize::Count(n),
+            link_capacity: DEFAULT_LINK_CAPACITY,
+            max_flows: 100_000,
+        }
+    }
+
+    /// Replaces the rate distribution.
+    pub fn distribution(mut self, d: RateDistribution) -> Self {
+        self.distribution = d;
+        self
+    }
+}
+
+/// Generates a tree workload: sources are uniformly random leaves,
+/// destination is the root, paths follow the unique leaf→root route.
+///
+/// # Panics
+/// Panics if the tree has no leaf other than the root.
+pub fn tree_workload<R: Rng + ?Sized>(
+    g: &DiGraph,
+    tree: &RootedTree,
+    cfg: &WorkloadConfig,
+    rng: &mut R,
+) -> Vec<Flow> {
+    let sources: Vec<NodeId> = tree
+        .leaves()
+        .iter()
+        .copied()
+        .filter(|&v| v != tree.root())
+        .collect();
+    assert!(
+        !sources.is_empty(),
+        "tree must have a non-root leaf to source flows"
+    );
+    let mut flows = Vec::new();
+    let mut next_id = 0u32;
+    loop {
+        if done(g, &flows, cfg) {
+            break;
+        }
+        let src = sources[rng.gen_range(0..sources.len())];
+        let path = tree.path_to_root(src);
+        let rate = cfg.distribution.sample(rng);
+        flows.push(Flow::new(next_id, rate, path));
+        next_id += 1;
+    }
+    flows
+}
+
+/// Generates a general-topology workload: each flow picks a uniformly
+/// random source, a uniformly random destination from `destinations`
+/// (the paper's "red nodes"), and routes along a BFS shortest path.
+///
+/// # Panics
+/// Panics if `destinations` is empty, or some destination is
+/// unreachable from every possible source.
+pub fn general_workload<R: Rng + ?Sized>(
+    g: &DiGraph,
+    destinations: &[NodeId],
+    cfg: &WorkloadConfig,
+    rng: &mut R,
+) -> Vec<Flow> {
+    assert!(
+        !destinations.is_empty(),
+        "need at least one destination vertex"
+    );
+    let n = g.node_count();
+    assert!(n >= 2, "need at least two vertices");
+    // Precompute, per destination, the BFS tree of *incoming* paths by
+    // searching on the reverse orientation: run BFS from the
+    // destination and invert, which is valid because the paper's links
+    // are bidirectional. To stay correct on general digraphs we BFS
+    // from each candidate source lazily and cache.
+    let mut cache: Vec<Option<tdmd_graph::traversal::BfsResult>> = vec![None; n];
+    let mut flows = Vec::new();
+    let mut next_id = 0u32;
+    let mut attempts = 0usize;
+    loop {
+        if done(g, &flows, cfg) {
+            break;
+        }
+        attempts += 1;
+        assert!(
+            attempts < cfg.max_flows * 10 + 1000,
+            "could not generate workload: too many unreachable src/dst draws"
+        );
+        let src = rng.gen_range(0..n) as NodeId;
+        let dst = destinations[rng.gen_range(0..destinations.len())];
+        if src == dst {
+            continue;
+        }
+        let bfs_res = cache[src as usize].get_or_insert_with(|| bfs(g, src));
+        let Some(path) = bfs_res.path_to(dst) else {
+            continue;
+        };
+        let rate = cfg.distribution.sample(rng);
+        flows.push(Flow::new(next_id, rate, path));
+        next_id += 1;
+    }
+    flows
+}
+
+/// Stop condition shared by both generators.
+fn done(g: &DiGraph, flows: &[Flow], cfg: &WorkloadConfig) -> bool {
+    if flows.len() >= cfg.max_flows {
+        return true;
+    }
+    match cfg.size {
+        WorkloadSize::Count(n) => flows.len() >= n,
+        WorkloadSize::Density(d) => flow_density(g, flows, cfg.link_capacity) >= d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::flow_density;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tdmd_graph::generators::random::erdos_renyi_connected;
+    use tdmd_graph::generators::trees::random_tree;
+
+    fn tree_fixture(n: usize, seed: u64) -> (DiGraph, RootedTree) {
+        let g = random_tree(n, &mut StdRng::seed_from_u64(seed));
+        let t = RootedTree::from_digraph(&g, 0).unwrap();
+        (g, t)
+    }
+
+    #[test]
+    fn tree_workload_count_and_structure() {
+        let (g, t) = tree_fixture(22, 40);
+        let cfg = WorkloadConfig::with_count(30);
+        let flows = tree_workload(&g, &t, &cfg, &mut StdRng::seed_from_u64(41));
+        assert_eq!(flows.len(), 30);
+        for f in &flows {
+            assert_eq!(f.dst(), 0, "all destinations are the root");
+            assert!(t.is_leaf(f.src()), "all sources are leaves");
+            assert!(f.path_is_valid(&g));
+            assert!(f.rate >= 1);
+        }
+        // Flow ids are dense.
+        for (i, f) in flows.iter().enumerate() {
+            assert_eq!(f.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn tree_workload_hits_target_density() {
+        let (g, t) = tree_fixture(22, 42);
+        let cfg = WorkloadConfig::with_density(0.5);
+        let flows = tree_workload(&g, &t, &cfg, &mut StdRng::seed_from_u64(43));
+        let d = flow_density(&g, &flows, cfg.link_capacity);
+        assert!(d >= 0.5, "density {d} below target");
+        // One flow less must be under target (minimality).
+        let d_less = flow_density(&g, &flows[..flows.len() - 1], cfg.link_capacity);
+        assert!(d_less < 0.5);
+    }
+
+    #[test]
+    fn general_workload_routes_shortest_paths() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let g = erdos_renyi_connected(30, 0.15, &mut rng);
+        let dests = vec![0, 5, 9];
+        let cfg = WorkloadConfig::with_count(40);
+        let flows = general_workload(&g, &dests, &cfg, &mut rng);
+        assert_eq!(flows.len(), 40);
+        for f in &flows {
+            assert!(dests.contains(&f.dst()));
+            assert!(f.path_is_valid(&g));
+            // Shortest: hop count equals BFS distance.
+            let d = tdmd_graph::traversal::bfs_distances(&g, f.src());
+            assert_eq!(f.hops() as u32, d[f.dst() as usize]);
+        }
+    }
+
+    #[test]
+    fn general_workload_density_target() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let g = erdos_renyi_connected(30, 0.15, &mut rng);
+        let cfg = WorkloadConfig::with_density(0.4);
+        let flows = general_workload(&g, &[0], &cfg, &mut rng);
+        assert!(flow_density(&g, &flows, cfg.link_capacity) >= 0.4);
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let (g, t) = tree_fixture(18, 46);
+        let cfg = WorkloadConfig::with_count(10);
+        let a = tree_workload(&g, &t, &cfg, &mut StdRng::seed_from_u64(47));
+        let b = tree_workload(&g, &t, &cfg, &mut StdRng::seed_from_u64(47));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_flows_caps_generation() {
+        let (g, t) = tree_fixture(10, 48);
+        let mut cfg = WorkloadConfig::with_density(1000.0); // unreachable target
+        cfg.max_flows = 25;
+        let flows = tree_workload(&g, &t, &cfg, &mut StdRng::seed_from_u64(49));
+        assert_eq!(flows.len(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "destination")]
+    fn general_needs_destinations() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let g = erdos_renyi_connected(5, 0.5, &mut rng);
+        general_workload(&g, &[], &WorkloadConfig::with_count(1), &mut rng);
+    }
+
+    #[test]
+    fn zero_count_gives_empty_workload() {
+        let (g, t) = tree_fixture(12, 51);
+        let flows = tree_workload(
+            &g,
+            &t,
+            &WorkloadConfig::with_count(0),
+            &mut StdRng::seed_from_u64(52),
+        );
+        assert!(flows.is_empty());
+    }
+}
+
+/// Multipath variant of [`general_workload`]: each flow's fixed path
+/// is drawn uniformly from its `k_paths` shortest loopless routes
+/// (Yen's algorithm) instead of always the single BFS path. This
+/// models ECMP-style route diversity while keeping the paper's
+/// fixed-path assumption per flow.
+///
+/// # Panics
+/// Same conditions as [`general_workload`], plus `k_paths == 0`.
+pub fn general_workload_multipath<R: Rng + ?Sized>(
+    g: &DiGraph,
+    destinations: &[NodeId],
+    cfg: &WorkloadConfig,
+    k_paths: usize,
+    rng: &mut R,
+) -> Vec<Flow> {
+    assert!(k_paths > 0, "need at least one candidate path per flow");
+    assert!(
+        !destinations.is_empty(),
+        "need at least one destination vertex"
+    );
+    let n = g.node_count();
+    assert!(n >= 2, "need at least two vertices");
+    // Cache the path sets per (src, dst) pair lazily.
+    let mut cache: std::collections::HashMap<(NodeId, NodeId), Vec<Vec<NodeId>>> =
+        std::collections::HashMap::new();
+    let mut flows = Vec::new();
+    let mut next_id = 0u32;
+    let mut attempts = 0usize;
+    loop {
+        if done(g, &flows, cfg) {
+            break;
+        }
+        attempts += 1;
+        assert!(
+            attempts < cfg.max_flows * 10 + 1000,
+            "could not generate workload: too many unreachable src/dst draws"
+        );
+        let src = rng.gen_range(0..n) as NodeId;
+        let dst = destinations[rng.gen_range(0..destinations.len())];
+        if src == dst {
+            continue;
+        }
+        let paths = cache
+            .entry((src, dst))
+            .or_insert_with(|| tdmd_graph::kpaths::k_shortest_paths(g, src, dst, k_paths));
+        if paths.is_empty() {
+            continue;
+        }
+        let path = paths[rng.gen_range(0..paths.len())].clone();
+        let rate = cfg.distribution.sample(rng);
+        flows.push(Flow::new(next_id, rate, path));
+        next_id += 1;
+    }
+    flows
+}
+
+#[cfg(test)]
+mod multipath_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tdmd_graph::generators::random::erdos_renyi_connected;
+
+    #[test]
+    fn multipath_flows_are_valid_and_diverse() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let g = erdos_renyi_connected(20, 0.3, &mut rng);
+        let cfg = WorkloadConfig::with_count(60);
+        let flows = general_workload_multipath(&g, &[0], &cfg, 3, &mut rng);
+        assert_eq!(flows.len(), 60);
+        for f in &flows {
+            assert!(f.path_is_valid(&g));
+            assert_eq!(f.dst(), 0);
+        }
+        // With k = 3, some flow should take a non-shortest route.
+        let bfs_dist = tdmd_graph::traversal::bfs_distances(&g, 0);
+        let longer = flows.iter().filter(|f| {
+            // Path from src to dst 0; distance computed on the reverse
+            // direction works because links are bidirectional.
+            f.hops() as u32 > bfs_dist[f.src() as usize]
+        });
+        assert!(
+            longer.count() > 0,
+            "route diversity expected on a dense graph"
+        );
+    }
+
+    #[test]
+    fn k_one_matches_single_path_lengths() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let g = erdos_renyi_connected(15, 0.25, &mut rng);
+        let cfg = WorkloadConfig::with_count(25);
+        let flows = general_workload_multipath(&g, &[0, 1], &cfg, 1, &mut rng);
+        for f in &flows {
+            let d = tdmd_graph::traversal::bfs_distances(&g, f.src());
+            assert_eq!(
+                f.hops() as u32,
+                d[f.dst() as usize],
+                "k = 1 must be shortest"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate path")]
+    fn zero_k_rejected() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let g = erdos_renyi_connected(5, 0.5, &mut rng);
+        general_workload_multipath(&g, &[0], &WorkloadConfig::with_count(1), 0, &mut rng);
+    }
+}

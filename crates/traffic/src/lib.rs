@@ -1,0 +1,35 @@
+//! # tdmd-traffic — flows and workload generation
+//!
+//! The TDMD evaluation drives every experiment with a set of
+//! unsplittable flows: fixed paths, integer rates drawn from a CAIDA
+//! 1-hour-trace-like heavy-tailed distribution, and a *flow density*
+//! knob (total traffic load / total network capacity, §6.2). This
+//! crate provides:
+//!
+//! * [`flow`] — the [`Flow`] record and path validity checks.
+//! * [`distribution`] — rate samplers: constant, uniform and the
+//!   [`distribution::CaidaLike`] heavy-tailed mixture standing in for
+//!   the (non-redistributable) CAIDA trace.
+//! * [`generator`] — tree workloads (leaf sources, root destination)
+//!   and general-topology workloads (random sources, designated
+//!   destinations, BFS shortest paths), both with density targeting.
+//! * [`density`] — load/capacity bookkeeping.
+
+pub mod density;
+pub mod distribution;
+pub mod flow;
+pub mod generator;
+pub mod trace;
+
+pub use distribution::{CaidaLike, RateDistribution};
+pub use flow::{Flow, FlowId};
+pub use generator::{general_workload, general_workload_multipath, tree_workload, WorkloadConfig};
+pub use trace::{aggregate_flows, rates_from_trace, synthesize_trace, TraceConfig};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::density::flow_density;
+    pub use crate::distribution::{CaidaLike, RateDistribution};
+    pub use crate::flow::{Flow, FlowId};
+    pub use crate::generator::{general_workload, tree_workload, WorkloadConfig};
+}

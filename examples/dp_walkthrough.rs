@@ -1,0 +1,65 @@
+//! Reproduces the paper's DP walk-through (Figs. 5–7): prints the
+//! `F(v, k)` table and the `P(v, k, b)` tables of the eight-vertex
+//! example tree, then recovers the optimal plans for k = 1..4.
+//!
+//! ```sh
+//! cargo run --example dp_walkthrough
+//! ```
+
+use tdmd::core::algorithms::dp::{dp_optimal, dp_tables};
+use tdmd::core::paper::fig5_instance;
+
+fn cell(x: f64) -> String {
+    if x.is_infinite() {
+        "∞".to_string()
+    } else {
+        format!("{x}")
+    }
+}
+
+fn main() {
+    let inst = fig5_instance(4);
+    let t = dp_tables(&inst).expect("fig5 is a tree instance");
+
+    println!("Fig. 6 — F(v, k) (rows k = 1..4, columns v1..v8):");
+    for k in 1..=4usize {
+        print!("  k={k}:");
+        for vert in 0..8usize {
+            print!(" {:>6}", cell(t.f[vert][k]));
+        }
+        println!();
+    }
+
+    println!("\nFig. 7 — P(v, k, b) tables (achievable b only):");
+    for vert in 0..8usize {
+        println!("  P(v{}, k, b), tot = {}:", vert + 1, t.tot[vert]);
+        for k in 0..=4usize {
+            let row: Vec<String> = (0..=t.tot[vert] as usize)
+                .filter(|&b| {
+                    // Print only b values achievable at some budget to
+                    // keep the tables as compact as the paper's.
+                    (0..=4).any(|kk| t.p[vert][kk][b].is_finite())
+                })
+                .map(|b| format!("b={b}: {}", cell(t.p[vert][k][b])))
+                .collect();
+            println!("    k={k}: {}", row.join("  "));
+        }
+    }
+
+    println!("\nOptimal plans recovered from the tables:");
+    for k in 1..=4usize {
+        let sol = dp_optimal(&fig5_instance(k)).expect("feasible for k >= 1");
+        let names: Vec<String> = sol
+            .deployment
+            .vertices()
+            .iter()
+            .map(|&x| format!("v{}", x + 1))
+            .collect();
+        println!(
+            "  k = {k}: b = {:>5} plan = {{{}}}",
+            sol.bandwidth,
+            names.join(", ")
+        );
+    }
+    println!("\n(paper: 24 / 16.5 / 13.5 / 12 with plans {{v1}}, {{v2,v6}} or {{v1,v7}}, {{v2,v7,v8}}, {{v4,v5,v7,v8}})");
+}

@@ -1,0 +1,65 @@
+//! Trace-driven workloads: synthesize a CAIDA-like packet capture,
+//! aggregate it into flows, and drive a placement experiment from the
+//! *empirical* flow-size distribution — the pipeline a real trace
+//! would go through (§6.1 of the paper uses exactly such a 1-hour
+//! trace).
+//!
+//! ```sh
+//! cargo run --release --example trace_pipeline
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tdmd::core::algorithms::gtp::gtp_budgeted;
+use tdmd::core::objective::bandwidth_of;
+use tdmd::core::Instance;
+use tdmd::graph::generators::ark::ark_like;
+use tdmd::traffic::distribution::RateDistribution;
+use tdmd::traffic::trace::{aggregate_flows, rates_from_trace, synthesize_trace, TraceConfig};
+use tdmd::traffic::{general_workload, WorkloadConfig};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // 1. Capture: a synthetic one-hour trace of 500 flows.
+    let cfg = TraceConfig {
+        flows: 500,
+        ..TraceConfig::default()
+    };
+    let trace = synthesize_trace(&cfg, &mut rng);
+    println!(
+        "captured {} packets over {} s",
+        trace.len(),
+        cfg.duration_us / 1_000_000
+    );
+
+    // 2. Aggregate into flows and quantize sizes into rate units.
+    let flows = aggregate_flows(&trace);
+    let rates = rates_from_trace(&flows, cfg.bytes_per_unit);
+    let mean = rates.iter().sum::<u64>() as f64 / rates.len() as f64;
+    let max = rates.iter().max().copied().unwrap_or(0);
+    println!(
+        "aggregated {} flows: mean rate {mean:.2} units, max {max}",
+        flows.len()
+    );
+
+    // 3. Drive a workload from the empirical distribution.
+    let graph = ark_like(30, 5, &mut rng);
+    let wl = WorkloadConfig::with_density(0.5)
+        .distribution(RateDistribution::Empirical { samples: rates });
+    let workload = general_workload(&graph, &[0, 1, 2], &wl, &mut rng);
+    println!(
+        "generated {} trace-driven flows at density 0.5",
+        workload.len()
+    );
+
+    // 4. Place middleboxes and report.
+    let inst = Instance::new(graph, workload, 0.5, 10).expect("valid instance");
+    let plan = gtp_budgeted(&inst, 10).expect("k = 10 feasible");
+    println!(
+        "GTP: {} middleboxes, bandwidth {:.1} (vs {:.1} unprocessed)",
+        plan.len(),
+        bandwidth_of(&inst, &plan),
+        inst.unprocessed_bandwidth()
+    );
+}

@@ -1,0 +1,78 @@
+//! WAN optimizers on an Ark-like measurement WAN (the paper's λ = 0.5
+//! case — think Citrix CloudBridge compressing traffic in half), on
+//! both the general topology and its tree reduction, comparing all
+//! five algorithms like §6.3/§6.4.
+//!
+//! ```sh
+//! cargo run --example wan_optimizer
+//! ```
+
+use rand::rngs::StdRng;
+use tdmd::core::algorithms::Algorithm;
+use tdmd::core::Instance;
+use tdmd::graph::generators::ark::ark_like;
+use tdmd::graph::traversal::bfs;
+use tdmd::graph::{GraphBuilder, RootedTree};
+use tdmd::sim::{run_comparison, TrialConfig};
+use tdmd::traffic::{general_workload, tree_workload, WorkloadConfig};
+
+/// Tree reduction of a general topology: the BFS tree rooted at the
+/// destination (§6.1 reduces the tree topo from the Ark graph).
+fn bfs_tree_of(g: &tdmd::graph::DiGraph, root: u32) -> tdmd::graph::DiGraph {
+    let res = bfs(g, root);
+    let mut b = GraphBuilder::new(g.node_count());
+    for v in 0..g.node_count() as u32 {
+        let p = res.parent[v as usize];
+        if p != u32::MAX {
+            b.add_bidirectional(p, v);
+        }
+    }
+    b.build()
+}
+
+fn main() {
+    let cfg = TrialConfig {
+        trials: 5,
+        seed: 99,
+        ..Default::default()
+    };
+
+    // General topology: 30-vertex Ark-like WAN, optimizers halve rates.
+    println!("== general Ark-like WAN (lambda = 0.5, k = 10) ==");
+    let stats = run_comparison(
+        |rng| {
+            let g = ark_like(30, 5, rng);
+            let flows = general_workload(&g, &[0, 1, 2], &WorkloadConfig::with_density(0.5), rng);
+            Instance::new(g, flows, 0.5, 10).expect("valid")
+        },
+        &Algorithm::general_suite(),
+        &cfg,
+    );
+    for s in &stats {
+        println!(
+            "  {:<12} bandwidth {:>9.1} ± {:>7.1}   time {:>7.3} ms",
+            s.algorithm, s.mean_bandwidth, s.std_bandwidth, s.mean_time_ms
+        );
+    }
+
+    // Tree reduction: all flows to the root, all five algorithms.
+    println!("\n== tree reduction of the same WAN (lambda = 0.5, k = 8) ==");
+    let stats = run_comparison(
+        |rng: &mut StdRng| {
+            let g = bfs_tree_of(&ark_like(30, 5, rng), 0);
+            let t = RootedTree::from_digraph(&g, 0).expect("BFS tree is a tree");
+            let flows = tree_workload(&g, &t, &WorkloadConfig::with_density(0.5), rng);
+            Instance::new(g, flows, 0.5, 8).expect("valid")
+        },
+        &Algorithm::tree_suite(),
+        &cfg,
+    );
+    for s in &stats {
+        println!(
+            "  {:<12} bandwidth {:>9.1} ± {:>7.1}   time {:>7.3} ms",
+            s.algorithm, s.mean_bandwidth, s.std_bandwidth, s.mean_time_ms
+        );
+    }
+    println!("\nExpected shape (paper §6): DP ≤ HAT ≤ GTP ≤ Best-effort ≤ Random,");
+    println!("with DP paying for optimality in execution time.");
+}

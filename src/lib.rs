@@ -1,0 +1,28 @@
+//! # tdmd — Traffic-Diminishing Middlebox Deployment
+//!
+//! Facade crate re-exporting the full public API of the TDMD
+//! reproduction (ICPP'20: "Optimizing Flow Bandwidth Consumption with
+//! Traffic-diminishing Middlebox Placement"):
+//!
+//! * [`graph`] — graph substrate (CSR digraph, trees, LCA, generators)
+//! * [`traffic`] — flow model and CAIDA-like workload generation
+//! * [`core`] — TDMD instance, objective and placement algorithms
+//! * [`sim`] — link-level replay simulator and experiment runner
+//! * [`chain`] — service-chain extension (ordered multi-type
+//!   middleboxes with traffic-changing effects)
+//!
+//! See the `examples/` directory for end-to-end usage.
+
+pub use tdmd_chain as chain;
+pub use tdmd_core as core;
+pub use tdmd_graph as graph;
+pub use tdmd_sim as sim;
+pub use tdmd_traffic as traffic;
+
+/// Convenience prelude for examples and downstream users.
+pub mod prelude {
+    pub use tdmd_core::prelude::*;
+    pub use tdmd_graph::prelude::*;
+    pub use tdmd_sim::prelude::*;
+    pub use tdmd_traffic::prelude::*;
+}

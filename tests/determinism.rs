@@ -1,0 +1,41 @@
+//! Determinism regression: the seeded quick protocol must reproduce
+//! the committed golden snapshot bit for bit (bandwidths only —
+//! execution times are machine-dependent). If this fails after an
+//! intentional algorithm change, regenerate the snapshot with
+//! `cargo run -p tdmd-experiments --bin gen_golden`.
+
+use tdmd_experiments::figures::{fig09, quick_protocol};
+use tdmd_experiments::scenarios::Scenario;
+
+#[test]
+fn quick_fig09_matches_the_golden_snapshot() {
+    let golden: Vec<(String, Vec<f64>)> = serde_json::from_str(
+        include_str!("golden/fig09_quick.json"),
+    )
+    .expect("golden parses");
+
+    let base = Scenario { size: 12, density: 0.4, k: 4, ..Scenario::tree_default() };
+    let fig = fig09::run_at(&quick_protocol(), base);
+    assert_eq!(fig.series.len(), golden.len(), "algorithm count changed");
+    for (s, (name, values)) in fig.series.iter().zip(&golden) {
+        assert_eq!(&s.algorithm, name, "algorithm order changed");
+        let got: Vec<f64> = s.points.iter().map(|p| p.bandwidth).collect();
+        assert_eq!(
+            &got, values,
+            "{name}: seeded bandwidths drifted — if intentional, regenerate the golden"
+        );
+    }
+}
+
+#[test]
+fn two_runs_agree_exactly() {
+    let base = Scenario { size: 10, density: 0.3, k: 3, ..Scenario::tree_default() };
+    let a = fig09::run_at(&quick_protocol(), base);
+    let b = fig09::run_at(&quick_protocol(), base);
+    for (sa, sb) in a.series.iter().zip(&b.series) {
+        for (pa, pb) in sa.points.iter().zip(&sb.points) {
+            assert_eq!(pa.bandwidth, pb.bandwidth);
+            assert_eq!(pa.bandwidth_std, pb.bandwidth_std);
+        }
+    }
+}
