@@ -105,6 +105,7 @@ mod tests {
         let l = flow.path.len();
         let mut best: Option<f64> = None;
         let mut qs = vec![0usize; m];
+        #[allow(clippy::too_many_arguments)]
         fn rec(
             t: usize,
             from: usize,
@@ -123,7 +124,7 @@ mod tests {
                     let done = qs.iter().filter(|&&q| q <= e).count();
                     cost += flow.rate as f64 * chain.prefix_ratio(done);
                 }
-                if best.map_or(true, |b| cost < b) {
+                if best.is_none_or(|b| cost < b) {
                     *best = Some(cost);
                 }
                 return;

@@ -15,8 +15,12 @@
 //! * [`eval`] — exact per-flow processing via an ordered DP over the
 //!   flow's path, and the total-bandwidth objective.
 //! * [`greedy`] — shared-instance greedy placement
-//!   ([`greedy::chain_gtp`]) and the egress baseline
-//!   ([`greedy::chain_at_destinations`]).
+//!   ([`greedy::chain_gtp`], driven by `tdmd-core`'s generic move
+//!   engine), the egress baseline
+//!   ([`greedy::chain_at_destinations`]), and the chain-aware cost
+//!   model ([`greedy::ChainStackModel`]) that lets the core GTP
+//!   engine place the chain's diminishing prefix directly
+//!   ([`greedy::chain_stacked_gtp`]).
 
 pub mod deployment;
 pub mod eval;
@@ -25,5 +29,5 @@ pub mod spec;
 
 pub use deployment::ChainDeployment;
 pub use eval::{evaluate_chain, flow_chain_cost, ChainEval};
-pub use greedy::{chain_at_destinations, chain_gtp};
+pub use greedy::{chain_at_destinations, chain_gtp, chain_stacked_gtp, ChainStackModel};
 pub use spec::{ChainSpec, MiddleboxType};

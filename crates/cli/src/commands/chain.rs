@@ -11,12 +11,16 @@ pub fn parse_chain(spec: &str) -> Result<ChainSpec, String> {
         let (name, ratio) = part
             .split_once(':')
             .ok_or_else(|| format!("bad chain element '{part}' (want name:ratio)"))?;
-        let lambda: f64 =
-            ratio.parse().map_err(|_| format!("bad ratio '{ratio}' in '{part}'"))?;
+        let lambda: f64 = ratio
+            .parse()
+            .map_err(|_| format!("bad ratio '{ratio}' in '{part}'"))?;
         if !lambda.is_finite() || lambda < 0.0 {
             return Err(format!("ratio {lambda} out of range in '{part}'"));
         }
-        types.push(MiddleboxType { name: name.trim().to_string(), lambda });
+        types.push(MiddleboxType {
+            name: name.trim().to_string(),
+            lambda,
+        });
     }
     if types.is_empty() {
         return Err("empty chain spec".to_string());

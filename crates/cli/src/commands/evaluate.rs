@@ -8,10 +8,11 @@ use tdmd_sim::replay;
 use tdmd_sim::validate::validate_deployment;
 
 /// `tdmd evaluate --topo t.json --workload wl.json --lambda L --k K
-/// --plan plan.json [--capacity C]`
+/// --plan plan.json [--capacity C] [--cost-model hops|weighted]`
 ///
 /// Replays the workload through the plan, cross-checks the analytic
-/// objective, and prints link metrics.
+/// objective, and prints link metrics. With `--cost-model weighted`
+/// the report also prices the plan under physical edge weights.
 pub fn evaluate(args: &Args) -> Result<String, String> {
     let g = load_topology(args.required("topo")?)?;
     let flows = load_workload(args.required("workload")?)?;
@@ -29,7 +30,7 @@ pub fn evaluate(args: &Args) -> Result<String, String> {
     let loads = replay(&instance, &plan);
     let m = LinkMetrics::from_loads(&instance, &loads, capacity);
     let ((hu, hv), hl) = loads.max_link().unwrap_or(((0, 0), 0.0));
-    Ok(format!(
+    let mut report = format!(
         "plan:            {:?}\nfeasible:        {}\ntotal bandwidth: {:.2}\n\
          loaded links:    {} (mean {:.2})\nhottest link:    {hu} -> {hv} at {hl:.2} \
          ({:.1}% of capacity)\n",
@@ -39,7 +40,20 @@ pub fn evaluate(args: &Args) -> Result<String, String> {
         m.loaded_links,
         m.mean_loaded_link,
         100.0 * m.max_utilization,
-    ))
+    );
+    match args.optional("cost-model").unwrap_or("hops") {
+        "hops" => {}
+        "weighted" => {
+            let wi = tdmd_core::weighted::WeightedIndex::new(&instance);
+            report.push_str(&format!(
+                "weighted bw:     {:.2} (unprocessed {:.2})\n",
+                wi.bandwidth_of(&instance, &plan),
+                wi.unprocessed(&instance),
+            ));
+        }
+        other => return Err(format!("unknown cost model '{other}' (hops|weighted)")),
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -98,6 +112,16 @@ mod tests {
         .unwrap();
         assert!(report.contains("feasible:        true"));
         assert!(report.contains("total bandwidth:"));
+        let weighted = evaluate(&args(&[
+            ("topo", &topo_path),
+            ("workload", &wl_path),
+            ("lambda", "0.5"),
+            ("k", "3"),
+            ("plan", &plan_path),
+            ("cost-model", "weighted"),
+        ]))
+        .unwrap();
+        assert!(weighted.contains("weighted bw:"));
     }
 
     #[test]

@@ -4,9 +4,13 @@ use crate::args::Args;
 use crate::commands::{load_topology, load_workload, write_out};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tdmd_core::algorithms::best_effort::best_effort_with;
+use tdmd_core::algorithms::gtp::{gtp_budgeted_with, gtp_lazy_with, gtp_parallel_with};
+use tdmd_core::algorithms::local_search::gtp_with_local_search_with;
 use tdmd_core::algorithms::Algorithm;
 use tdmd_core::objective::{bandwidth_of, decrement, lemma1_bounds};
-use tdmd_core::Instance;
+use tdmd_core::weighted::WeightedIndex;
+use tdmd_core::{Instance, WeightedEdges};
 
 /// Maps a CLI name to an [`Algorithm`].
 pub fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
@@ -30,19 +34,42 @@ pub fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
 }
 
 /// `tdmd place --topo t.json --workload wl.json --lambda L --k K
-/// --algorithm NAME [--seed S] [--out plan.json]`
+/// --algorithm NAME [--cost-model hops|weighted] [--seed S]
+/// [--out plan.json]`
 pub fn place(args: &Args) -> Result<String, String> {
     let g = load_topology(args.required("topo")?)?;
     let flows = load_workload(args.required("workload")?)?;
     let lambda: f64 = args.num_required("lambda")?;
     let k: usize = args.num_required("k")?;
     let alg = algorithm_by_name(args.required("algorithm")?)?;
+    let cost_model = args.optional("cost-model").unwrap_or("hops");
     let seed: u64 = args.num("seed", 0)?;
 
     let instance = Instance::new(g, flows, lambda, k).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(seed);
     let start = std::time::Instant::now();
-    let plan = alg.run(&instance, &mut rng).map_err(|e| e.to_string())?;
+    let plan = match cost_model {
+        "hops" => alg.run(&instance, &mut rng).map_err(|e| e.to_string())?,
+        "weighted" => {
+            let model = WeightedEdges::new(&instance);
+            match alg {
+                Algorithm::Gtp => gtp_budgeted_with(&instance, k, &model),
+                Algorithm::GtpLazy => gtp_lazy_with(&instance, k, &model),
+                Algorithm::GtpParallel => gtp_parallel_with(&instance, k, &model),
+                Algorithm::GtpLs => gtp_with_local_search_with(&instance, k, &model),
+                Algorithm::BestEffort => best_effort_with(&instance, k, &model),
+                other => {
+                    return Err(format!(
+                        "--cost-model weighted supports gtp|gtp-lazy|gtp-parallel|\
+                         gtp-ls|best-effort, not '{}'",
+                        other.name()
+                    ))
+                }
+            }
+            .map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown cost model '{other}' (hops|weighted)")),
+    };
     let elapsed = start.elapsed().as_secs_f64() * 1e3;
 
     let b = bandwidth_of(&instance, &plan);
@@ -58,6 +85,14 @@ pub fn place(args: &Args) -> Result<String, String> {
         instance.unprocessed_bandwidth(),
         if dmax > 0.0 { 100.0 * d / dmax } else { 100.0 },
     );
+    if cost_model == "weighted" {
+        let wi = WeightedIndex::new(&instance);
+        out.push_str(&format!(
+            "weighted bw:  {:.2} (unprocessed {:.2})\n",
+            wi.bandwidth_of(&instance, &plan),
+            wi.unprocessed(&instance),
+        ));
+    }
     if let Some(path) = args.optional("out") {
         let json = serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?;
         write_out(path, &json)?;
@@ -140,6 +175,48 @@ mod tests {
         let plan: tdmd_core::Deployment =
             serde_json::from_str(&std::fs::read_to_string(&plan_path).unwrap()).unwrap();
         assert!(plan.len() <= 4);
+    }
+
+    #[test]
+    fn weighted_cost_model_runs_the_generic_engine() {
+        let (topo_path, wl_path) = fixture();
+        for alg in ["gtp", "gtp-lazy", "gtp-parallel", "gtp-ls", "best-effort"] {
+            let report = place(&args(&[
+                ("topo", &topo_path),
+                ("workload", &wl_path),
+                ("lambda", "0.5"),
+                ("k", "4"),
+                ("algorithm", alg),
+                ("cost-model", "weighted"),
+            ]))
+            .unwrap();
+            assert!(report.contains("weighted bw:"), "{alg}");
+        }
+    }
+
+    #[test]
+    fn weighted_cost_model_rejects_unsupported_algorithms() {
+        let (topo_path, wl_path) = fixture();
+        let err = place(&args(&[
+            ("topo", &topo_path),
+            ("workload", &wl_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+            ("algorithm", "dp"),
+            ("cost-model", "weighted"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("weighted"));
+        let err = place(&args(&[
+            ("topo", &topo_path),
+            ("workload", &wl_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+            ("algorithm", "gtp"),
+            ("cost-model", "euclidean"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown cost model"));
     }
 
     #[test]

@@ -16,12 +16,12 @@ pub fn build(kind: &str, size: usize, seed: u64) -> Result<DiGraph, String> {
     Ok(match kind {
         "tree" => generators::trees::random_tree(size.max(1), &mut rng),
         "binary" => {
-            let levels = (usize::BITS - size.max(1).leading_zeros()) as u32;
+            let levels = usize::BITS - size.max(1).leading_zeros();
             generators::trees::complete_binary_tree(levels.max(1))
         }
         "ark" => generators::ark::ark_like(size.max(5), 5.min(size.max(1)), &mut rng),
         "er" => generators::random::erdos_renyi_connected(size.max(1), 0.2, &mut rng),
-        "ba" => generators::random::barabasi_albert(size.max(2), 2.min(size.max(2)), &mut rng),
+        "ba" => generators::random::barabasi_albert(size.max(2), 2, &mut rng),
         "waxman" => generators::random::waxman(size.max(1), 0.6, 0.25, &mut rng).0,
         "fattree" => {
             // size = pod parameter k (rounded to even).

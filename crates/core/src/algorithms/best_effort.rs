@@ -12,55 +12,42 @@
 //! close to GTP on general topologies), because high-volume vertices
 //! cluster near destinations where the per-edge saving is small.
 //!
-//! Ties break by the positional decrement, then by smaller id. The
-//! same tight-budget feasibility guard as GTP applies (the paper only
+//! Ties break by the positional decrement under the active cost
+//! model, then by smaller id. The same tight-budget feasibility guard
+//! as GTP applies (shared via
+//! [`engine::guard_candidates`](super::engine); the paper only
 //! evaluates feasible plans).
 
+use super::engine::guard_candidates;
+use crate::cost::{CostModel, FlowIndex, HopCount};
 use crate::error::TdmdError;
-use crate::feasibility::{greedy_cover, is_feasible};
+use crate::feasibility::is_feasible;
 use crate::instance::Instance;
-use crate::objective::marginal_decrement;
 use crate::plan::Deployment;
 use tdmd_graph::NodeId;
 
-/// Runs the volume-greedy Best-effort baseline with budget `k`.
+/// Volume-greedy Best-effort under an arbitrary cost model: volume
+/// scoring is model-independent (raw unserved traffic), only the
+/// tie-breaking decrement is priced by `model`.
 ///
 /// # Errors
 /// [`TdmdError::Infeasible`] when the guard cannot keep the plan
 /// coverable within the budget.
-pub fn best_effort(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
+pub fn best_effort_with<M: CostModel>(
+    instance: &Instance,
+    k: usize,
+    model: &M,
+) -> Result<Deployment, TdmdError> {
+    let index = FlowIndex::build(instance, model);
     let mut deployment = Deployment::empty(instance.node_count());
     let mut served = vec![false; instance.flows().len()];
-    let mut cur_l = vec![0u32; instance.flows().len()];
+    let mut cur = vec![0.0f64; instance.flows().len()];
     let flows = instance.flows();
 
     for round in 0..k {
         let remaining = k - round;
         let all_served = served.iter().all(|&s| s);
-        // Feasibility guard (same shape as GTP's).
-        let mut allowed: Option<Vec<NodeId>> = None;
-        if !all_served {
-            let cover = greedy_cover(instance, &served)
-                .ok_or(TdmdError::Infeasible { budget: remaining })?;
-            if cover.len() > remaining {
-                return Err(TdmdError::Infeasible { budget: remaining });
-            }
-            if cover.len() == remaining {
-                let ok: Vec<NodeId> = instance
-                    .candidate_vertices()
-                    .into_iter()
-                    .filter(|&v| !deployment.contains(v))
-                    .filter(|&v| {
-                        let mut s = served.clone();
-                        for &(fi, _) in instance.flows_through(v) {
-                            s[fi as usize] = true;
-                        }
-                        greedy_cover(instance, &s).map_or(usize::MAX, |c| c.len()) < remaining
-                    })
-                    .collect();
-                allowed = Some(ok);
-            }
-        }
+        let allowed = guard_candidates(instance, &served, &deployment, remaining)?;
         let cands: Vec<NodeId> = match allowed {
             Some(list) => list,
             None => instance
@@ -79,7 +66,7 @@ pub fn best_effort(instance: &Instance, k: usize) -> Result<Deployment, TdmdErro
                 .filter(|&&(fi, _)| !served[fi as usize])
                 .map(|&(fi, _)| flows[fi as usize].rate)
                 .sum();
-            let tie = marginal_decrement(instance, &cur_l, v);
+            let tie = index.marginal_decrement(instance, &cur, v);
             let better = match &best {
                 None => true,
                 Some((bv, bt, bid)) => {
@@ -95,10 +82,10 @@ pub fn best_effort(instance: &Instance, k: usize) -> Result<Deployment, TdmdErro
             break; // nothing left to improve
         }
         deployment.insert(v);
-        for &(fi, l) in instance.flows_through(v) {
+        for &(fi, g) in index.flows_through(v) {
             served[fi as usize] = true;
-            if l > cur_l[fi as usize] {
-                cur_l[fi as usize] = l;
+            if g > cur[fi as usize] {
+                cur[fi as usize] = g;
             }
         }
     }
@@ -106,6 +93,16 @@ pub fn best_effort(instance: &Instance, k: usize) -> Result<Deployment, TdmdErro
         return Err(TdmdError::Infeasible { budget: k });
     }
     Ok(deployment)
+}
+
+/// Runs the volume-greedy Best-effort baseline with budget `k` under
+/// the paper's hop-count pricing.
+///
+/// # Errors
+/// [`TdmdError::Infeasible`] when the guard cannot keep the plan
+/// coverable within the budget.
+pub fn best_effort(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
+    best_effort_with(instance, k, &HopCount)
 }
 
 #[cfg(test)]
@@ -159,5 +156,15 @@ mod tests {
         let inst = fig5_instance(1);
         let d = best_effort(&inst, 1).unwrap();
         assert_eq!(d.vertices(), &[0]);
+    }
+
+    #[test]
+    fn weighted_model_still_feasible() {
+        use crate::cost::WeightedEdges;
+        for k in 2..=4 {
+            let inst = fig1_instance(k);
+            let d = best_effort_with(&inst, k, &WeightedEdges::new(&inst)).unwrap();
+            assert!(is_feasible(&inst, &d));
+        }
     }
 }

@@ -46,13 +46,8 @@ pub fn centrality_placement(instance: &Instance, k: usize) -> Result<Deployment,
         return Err(TdmdError::Infeasible { budget: k });
     }
     // Drop from the tail of the centrality ranking.
-    let mut dropped = 0usize;
-    for &v in order[..take].iter().rev() {
-        if dropped == missing.len() {
-            break;
-        }
+    for &v in order[..take].iter().rev().take(missing.len()) {
         deployment.remove(v);
-        dropped += 1;
     }
     for v in missing {
         deployment.insert(v);

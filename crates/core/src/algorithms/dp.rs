@@ -294,12 +294,8 @@ pub fn dp_optimal_weighted(instance: &Instance) -> Result<DpSolution, TdmdError>
     }
     let (tree, local) = validate_tree_instance(instance)?;
     let kmax = instance.k().min(instance.node_count());
-    let g = instance.graph();
-    let lookup = |u: NodeId, v: NodeId| -> f64 {
-        let nbrs = g.out_neighbors(u);
-        let pos = nbrs.iter().position(|&x| x == v).expect("tree edge exists");
-        g.out_weights(u)[pos] as f64
-    };
+    let weights = crate::cost::EdgeWeights::new(instance.graph());
+    let lookup = |u: NodeId, v: NodeId| -> f64 { weights.get(u, v) };
     let tables = run_dp_weighted(instance, &tree, &local, kmax, &lookup);
     let root = tree.root() as usize;
     let tot_root = tables[root].tot;

@@ -1,0 +1,528 @@
+//! The generic greedy engine behind every objective variant.
+//!
+//! One [`Ctx`] pairs an [`Instance`] with a compiled
+//! [`FlowIndex`](crate::cost::FlowIndex), and the three GTP drivers
+//! ([`eager`], [`lazy`], [`parallel`]) run the paper's Alg. 1 against
+//! it — the cost model is already baked into the index, so hop-count,
+//! weighted-edge, and chain-stack pricing all share this single loop
+//! (Thm. 2's submodularity argument only needs the per-flow metric to
+//! be monotone along the path, which [`CostModel`](crate::cost::CostModel)
+//! implementations guarantee).
+//!
+//! The tight-budget **feasibility guard** (the paper's "can only
+//! deploy on v2" rule, generalized) lives here once as
+//! [`guard_candidates`] and is shared by the GTP drivers, the
+//! capacitated greedy, and the best-effort baseline — it used to be
+//! duplicated in each.
+//!
+//! [`run_move_greedy`] is the engine's second face: a budgeted
+//! best-move loop over an arbitrary [`MoveGreedy`] driver, used by the
+//! chain crate's prefix-stack greedy where a "move" deploys several
+//! middlebox instances at once.
+
+use std::cmp::Reverse;
+
+use rayon::prelude::*;
+use tdmd_graph::NodeId;
+
+use crate::cost::FlowIndex;
+use crate::error::TdmdError;
+use crate::feasibility::greedy_cover;
+use crate::instance::Instance;
+use crate::objective::coverage_gain;
+use crate::plan::Deployment;
+
+/// `f64` wrapper ordering by [`f64::total_cmp`], so scores can live in
+/// a lexicographic tuple key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Lexicographic greedy score: decrement gain, then coverage, then
+/// smaller vertex id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Score {
+    pub gain: f64,
+    pub coverage: usize,
+    pub v: NodeId,
+}
+
+impl Score {
+    /// The full tie-break ladder as one comparable key; `Reverse` on
+    /// the vertex id makes the *smaller* id the larger key.
+    #[inline]
+    fn key(&self) -> (OrdF64, usize, Reverse<NodeId>) {
+        (OrdF64(self.gain), self.coverage, Reverse(self.v))
+    }
+
+    #[inline]
+    pub fn better_than(&self, other: &Score) -> bool {
+        self.key() > other.key()
+    }
+}
+
+/// An instance with its compiled cost model.
+#[derive(Clone, Copy)]
+pub(crate) struct Ctx<'a> {
+    pub instance: &'a Instance,
+    pub index: &'a FlowIndex,
+    /// Whether newly-covered flows join the tie-break ladder
+    /// ([`CostModel::coverage_tiebreak`](crate::cost::CostModel::coverage_tiebreak)).
+    pub coverage_ties: bool,
+}
+
+/// Mutable greedy state shared by the GTP variants.
+pub(crate) struct State {
+    pub deployment: Deployment,
+    /// Best serving gain per flow so far (0.0 = unserved or served at
+    /// the destination — both contribute zero decrement).
+    pub cur: Vec<f64>,
+    /// Coverage flags per flow.
+    pub served: Vec<bool>,
+}
+
+impl State {
+    pub fn new(ctx: &Ctx<'_>) -> Self {
+        Self {
+            deployment: Deployment::empty(ctx.instance.node_count()),
+            cur: vec![0.0; ctx.index.flow_count()],
+            served: vec![false; ctx.index.flow_count()],
+        }
+    }
+
+    pub fn all_served(&self) -> bool {
+        self.served.iter().all(|&s| s)
+    }
+
+    pub fn score(&self, ctx: &Ctx<'_>, v: NodeId) -> Score {
+        Score {
+            gain: ctx.index.marginal_decrement(ctx.instance, &self.cur, v),
+            coverage: if ctx.coverage_ties {
+                coverage_gain(ctx.instance, &self.served, v)
+            } else {
+                0
+            },
+            v,
+        }
+    }
+
+    pub fn commit(&mut self, ctx: &Ctx<'_>, v: NodeId) {
+        self.deployment.insert(v);
+        for &(fi, g) in ctx.index.flows_through(v) {
+            let fi = fi as usize;
+            self.served[fi] = true;
+            if g > self.cur[fi] {
+                self.cur[fi] = g;
+            }
+        }
+    }
+}
+
+/// Candidates not yet deployed.
+fn open_candidates(instance: &Instance, deployment: &Deployment) -> Vec<NodeId> {
+    instance
+        .candidate_vertices()
+        .into_iter()
+        .filter(|&v| !deployment.contains(v))
+        .collect()
+}
+
+/// Size of the greedy cover of the flows that would remain unserved
+/// after additionally deploying on `extra`.
+pub(crate) fn cover_after(instance: &Instance, served: &[bool], extra: NodeId) -> usize {
+    let mut served = served.to_vec();
+    for &(fi, _) in instance.flows_through(extra) {
+        served[fi as usize] = true;
+    }
+    greedy_cover(instance, &served).map_or(usize::MAX, |c| c.len())
+}
+
+/// The tight-budget feasibility guard shared by every budgeted greedy.
+///
+/// With some flows still unserved and `remaining` rounds left:
+///
+/// * uncoverable, or a greedy cover needs *more* than `remaining`
+///   boxes → [`TdmdError::Infeasible`];
+/// * a cover needs *exactly* `remaining` boxes → `Ok(Some(allowed))`,
+///   the open candidates whose deployment keeps the rest coverable
+///   (the paper's "we can only deploy a middlebox on v2" rule,
+///   generalized);
+/// * otherwise (slack budget, or everything already served) →
+///   `Ok(None)`: pick freely.
+pub(crate) fn guard_candidates(
+    instance: &Instance,
+    served: &[bool],
+    deployment: &Deployment,
+    remaining: usize,
+) -> Result<Option<Vec<NodeId>>, TdmdError> {
+    if served.iter().all(|&s| s) {
+        return Ok(None);
+    }
+    let cover =
+        greedy_cover(instance, served).ok_or(TdmdError::Infeasible { budget: remaining })?;
+    if cover.len() > remaining {
+        return Err(TdmdError::Infeasible { budget: remaining });
+    }
+    if cover.len() == remaining {
+        let allowed = open_candidates(instance, deployment)
+            .into_iter()
+            .filter(|&v| cover_after(instance, served, v) < remaining)
+            .collect();
+        return Ok(Some(allowed));
+    }
+    Ok(None)
+}
+
+/// One guarded greedy round; returns the vertex to deploy or an error.
+fn pick<F>(ctx: &Ctx<'_>, state: &State, remaining: usize, best_of: F) -> Result<NodeId, TdmdError>
+where
+    F: FnOnce(&State, &[NodeId]) -> Option<Score>,
+{
+    if state.all_served() {
+        let cands = open_candidates(ctx.instance, &state.deployment);
+        return best_of(state, &cands)
+            .filter(|s| s.gain > 0.0)
+            .map(|s| s.v)
+            .ok_or(TdmdError::Infeasible { budget: remaining }); // caller stops on this
+    }
+    match guard_candidates(ctx.instance, &state.served, &state.deployment, remaining)? {
+        Some(feasible) => best_of(state, &feasible)
+            .map(|s| s.v)
+            .ok_or(TdmdError::Infeasible { budget: remaining }),
+        None => {
+            let cands = open_candidates(ctx.instance, &state.deployment);
+            best_of(state, &cands)
+                .map(|s| s.v)
+                .ok_or(TdmdError::Infeasible { budget: remaining })
+        }
+    }
+}
+
+/// Core loop shared by the eager variants.
+fn run_greedy<F>(
+    ctx: &Ctx<'_>,
+    budget: Option<usize>,
+    mut best_of: F,
+) -> Result<Deployment, TdmdError>
+where
+    F: FnMut(&State, &[NodeId]) -> Option<Score>,
+{
+    let mut state = State::new(ctx);
+    let limit = budget.unwrap_or(ctx.instance.node_count());
+    for round in 0..limit {
+        let remaining = limit - round;
+        match pick(ctx, &state, remaining, &mut best_of) {
+            Ok(v) => state.commit(ctx, v),
+            // No useful vertex left and everything served: done early.
+            Err(_) if state.all_served() => break,
+            Err(e) => return Err(e),
+        }
+        if budget.is_none() && state.all_served() {
+            break;
+        }
+    }
+    if !state.all_served() {
+        return Err(TdmdError::Infeasible { budget: limit });
+    }
+    Ok(state.deployment)
+}
+
+/// Eager sequential scoring.
+fn eager_best<'c>(ctx: &'c Ctx<'c>) -> impl Fn(&State, &[NodeId]) -> Option<Score> + 'c {
+    move |state, cands| {
+        let mut best: Option<Score> = None;
+        for &v in cands {
+            let s = state.score(ctx, v);
+            if best.as_ref().is_none_or(|b| s.better_than(b)) {
+                best = Some(s);
+            }
+        }
+        best
+    }
+}
+
+/// Eager greedy; `budget = None` derives `k` (stop at full coverage).
+pub(crate) fn eager(ctx: &Ctx<'_>, budget: Option<usize>) -> Result<Deployment, TdmdError> {
+    run_greedy(ctx, budget, eager_best(ctx))
+}
+
+/// Rayon-parallel candidate scoring; identical output to [`eager`].
+pub(crate) fn parallel(ctx: &Ctx<'_>, k: usize) -> Result<Deployment, TdmdError> {
+    run_greedy(ctx, Some(k), |state, cands| {
+        cands
+            .par_iter()
+            .map(|&v| state.score(ctx, v))
+            .reduce_with(|a, b| if b.better_than(&a) { b } else { a })
+    })
+}
+
+/// CELF lazy evaluation; identical output to [`eager`]. Marginal
+/// decrements and coverage gains are both monotone non-increasing in
+/// `P` (Thm. 2), so a popped entry whose refreshed score still
+/// dominates the next heap top is safely optimal for the round.
+pub(crate) fn lazy(ctx: &Ctx<'_>, k: usize) -> Result<Deployment, TdmdError> {
+    use std::collections::BinaryHeap;
+
+    /// Heap entry ordered by the lexicographic score.
+    struct Entry {
+        score: Score,
+        round: usize,
+    }
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.score == other.score
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            if self.score.better_than(&other.score) {
+                std::cmp::Ordering::Greater
+            } else if other.score.better_than(&self.score) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }
+    }
+
+    let mut state = State::new(ctx);
+    let mut heap: BinaryHeap<Entry> = ctx
+        .instance
+        .candidate_vertices()
+        .into_iter()
+        .map(|v| Entry {
+            score: state.score(ctx, v),
+            round: 0,
+        })
+        .collect();
+    let mut round = 0usize;
+    while round < k {
+        let remaining = k - round;
+        // The feasibility guard must run eagerly; a tight round is
+        // delegated to the eager picker so lazy output stays
+        // identical.
+        let picked =
+            match guard_candidates(ctx.instance, &state.served, &state.deployment, remaining)? {
+                Some(_) => Some(pick(ctx, &state, remaining, eager_best(ctx))?),
+                None => None,
+            };
+        let v = match picked {
+            Some(v) => v,
+            None => {
+                // CELF pop-refresh loop.
+                loop {
+                    let Some(top) = heap.pop() else {
+                        if state.all_served() {
+                            return Ok(state.deployment);
+                        }
+                        return Err(TdmdError::Infeasible { budget: remaining });
+                    };
+                    if state.deployment.contains(top.score.v) {
+                        continue;
+                    }
+                    if top.round == round {
+                        if top.score.gain <= 0.0 && state.all_served() {
+                            return Ok(state.deployment);
+                        }
+                        break top.score.v;
+                    }
+                    let fresh = Entry {
+                        score: state.score(ctx, top.score.v),
+                        round,
+                    };
+                    let dominates = heap
+                        .peek()
+                        .is_none_or(|next| !next.score.better_than(&fresh.score));
+                    if dominates {
+                        if fresh.score.gain <= 0.0 && state.all_served() {
+                            return Ok(state.deployment);
+                        }
+                        break fresh.score.v;
+                    }
+                    heap.push(fresh);
+                }
+            }
+        };
+        state.commit(ctx, v);
+        round += 1;
+        // Scores of other vertices only decrease; stale entries are
+        // refreshed on pop. Nothing to push.
+    }
+    if !state.all_served() {
+        return Err(TdmdError::Infeasible { budget: k });
+    }
+    Ok(state.deployment)
+}
+
+/// A stateful driver for [`run_move_greedy`]: moves priced by exact
+/// re-evaluation, each consuming one or more units of budget.
+///
+/// Used by the chain crate's prefix-stack greedy, where one move
+/// deploys every missing type of a chain prefix at a vertex.
+pub trait MoveGreedy {
+    /// A candidate move.
+    type Move;
+    /// The comparison key of an evaluated move.
+    type Key;
+
+    /// Budget units already spent by the current solution.
+    fn spent(&self) -> usize;
+
+    /// Candidate moves affordable within `slack` remaining units, in
+    /// deterministic tie-break order (earlier wins on equal keys).
+    fn moves(&self, slack: usize) -> Vec<Self::Move>;
+
+    /// Scores a move against the current solution; `None` when the
+    /// move does not improve it.
+    fn evaluate(&mut self, m: &Self::Move) -> Option<Self::Key>;
+
+    /// Whether `candidate` strictly beats `incumbent`.
+    fn better(&self, candidate: &Self::Key, incumbent: &Self::Key) -> bool;
+
+    /// Commits a move to the current solution.
+    fn apply(&mut self, m: &Self::Move);
+}
+
+/// Budgeted best-move greedy: each round evaluates every affordable
+/// move, applies the best improving one, and stops when the budget is
+/// exhausted or no move improves the solution.
+pub fn run_move_greedy<D: MoveGreedy>(driver: &mut D, budget: usize) {
+    while driver.spent() < budget {
+        let slack = budget - driver.spent();
+        let mut best: Option<(D::Key, D::Move)> = None;
+        for m in driver.moves(slack) {
+            if let Some(key) = driver.evaluate(&m) {
+                if best.as_ref().is_none_or(|(bk, _)| driver.better(&key, bk)) {
+                    best = Some((key, m));
+                }
+            }
+        }
+        let Some((_, m)) = best else { break };
+        driver.apply(&m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_ladder_orders_lexicographically() {
+        let a = Score {
+            gain: 2.0,
+            coverage: 0,
+            v: 9,
+        };
+        let b = Score {
+            gain: 1.0,
+            coverage: 7,
+            v: 0,
+        };
+        assert!(a.better_than(&b), "gain dominates coverage");
+        let c = Score {
+            gain: 2.0,
+            coverage: 1,
+            v: 9,
+        };
+        assert!(c.better_than(&a), "coverage breaks gain ties");
+        let d = Score {
+            gain: 2.0,
+            coverage: 1,
+            v: 3,
+        };
+        assert!(d.better_than(&c), "smaller vertex id breaks full ties");
+        assert!(!c.better_than(&d));
+        assert!(!d.better_than(&d), "strict: equal scores never beat");
+    }
+
+    #[test]
+    fn score_ladder_handles_negative_zero_and_infinities() {
+        let neg_zero = Score {
+            gain: -0.0,
+            coverage: 0,
+            v: 0,
+        };
+        let pos_zero = Score {
+            gain: 0.0,
+            coverage: 0,
+            v: 0,
+        };
+        // total_cmp: -0.0 < +0.0, matching the old match-ladder.
+        assert!(pos_zero.better_than(&neg_zero));
+        let inf = Score {
+            gain: f64::INFINITY,
+            coverage: 0,
+            v: 5,
+        };
+        assert!(inf.better_than(&pos_zero));
+    }
+
+    /// Toy driver: items with (value, cost); budgeted knapsack-greedy.
+    struct Toy {
+        items: Vec<(f64, usize)>,
+        taken: Vec<usize>,
+        spent: usize,
+    }
+
+    impl MoveGreedy for Toy {
+        type Move = usize;
+        type Key = f64;
+
+        fn spent(&self) -> usize {
+            self.spent
+        }
+
+        fn moves(&self, slack: usize) -> Vec<usize> {
+            (0..self.items.len())
+                .filter(|i| !self.taken.contains(i) && self.items[*i].1 <= slack)
+                .collect()
+        }
+
+        fn evaluate(&mut self, &i: &usize) -> Option<f64> {
+            let (value, _) = self.items[i];
+            (value > 0.0).then_some(value)
+        }
+
+        fn better(&self, a: &f64, b: &f64) -> bool {
+            a > b
+        }
+
+        fn apply(&mut self, &i: &usize) {
+            self.spent += self.items[i].1;
+            self.taken.push(i);
+        }
+    }
+
+    #[test]
+    fn move_greedy_respects_budget_and_stops_when_dry() {
+        let mut toy = Toy {
+            items: vec![(5.0, 2), (3.0, 1), (-1.0, 1), (4.0, 3)],
+            taken: vec![],
+            spent: 0,
+        };
+        run_move_greedy(&mut toy, 3);
+        // Round 1 takes item 0 (value 5, cost 2); round 2 has slack 1,
+        // so only item 1 fits; item 2 never improves.
+        assert_eq!(toy.taken, vec![0, 1]);
+        assert_eq!(toy.spent, 3);
+    }
+}

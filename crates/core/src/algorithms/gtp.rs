@@ -10,6 +10,12 @@
 //!   decrements only shrink as `P` grows;
 //! * [`gtp_parallel`] — Rayon-parallel candidate scoring.
 //!
+//! Every variant is a thin wrapper over the generic engine in
+//! [`engine`](super::engine) instantiated with the paper's
+//! [`HopCount`] pricing; the `*_with` versions accept any
+//! [`CostModel`] (Thm. 2 only needs the per-flow metric to be
+//! monotone along the path, so the guarantee carries over).
+//!
 //! **Tie-breaking** is `(marginal decrement, newly-covered flows,
 //! smaller vertex id)` lexicographically. The coverage component keeps
 //! the greedy making feasibility progress even when `λ = 1` flattens
@@ -26,317 +32,88 @@
 //! [`TdmdError::Infeasible`] and the experiment protocol resamples the
 //! workload, exactly like §6.1.
 
+use super::engine::{self, Ctx};
+use crate::cost::{CostModel, FlowIndex, HopCount};
 use crate::error::TdmdError;
-use crate::feasibility::greedy_cover;
 use crate::instance::Instance;
-use crate::objective::{coverage_gain, marginal_decrement};
 use crate::plan::Deployment;
-use rayon::prelude::*;
-use tdmd_graph::NodeId;
 
-/// Lexicographic greedy score: decrement gain, then coverage, then
-/// smaller vertex id.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Score {
-    gain: f64,
-    coverage: usize,
-    v: NodeId,
-}
-
-impl Score {
-    fn better_than(&self, other: &Score) -> bool {
-        match self.gain.total_cmp(&other.gain) {
-            std::cmp::Ordering::Greater => true,
-            std::cmp::Ordering::Less => false,
-            std::cmp::Ordering::Equal => match self.coverage.cmp(&other.coverage) {
-                std::cmp::Ordering::Greater => true,
-                std::cmp::Ordering::Less => false,
-                std::cmp::Ordering::Equal => self.v < other.v,
-            },
-        }
-    }
-}
-
-/// Mutable greedy state shared by the GTP variants.
-struct State {
-    deployment: Deployment,
-    /// Best downstream hops per flow so far (0 = unserved or served at
-    /// the destination — both contribute zero decrement).
-    cur_l: Vec<u32>,
-    /// Coverage flags per flow.
-    served: Vec<bool>,
-}
-
-impl State {
-    fn new(instance: &Instance) -> Self {
-        Self {
-            deployment: Deployment::empty(instance.node_count()),
-            cur_l: vec![0; instance.flows().len()],
-            served: vec![false; instance.flows().len()],
-        }
-    }
-
-    fn all_served(&self) -> bool {
-        self.served.iter().all(|&s| s)
-    }
-
-    fn score(&self, instance: &Instance, v: NodeId) -> Score {
-        Score {
-            gain: marginal_decrement(instance, &self.cur_l, v),
-            coverage: coverage_gain(instance, &self.served, v),
-            v,
-        }
-    }
-
-    fn commit(&mut self, instance: &Instance, v: NodeId) {
-        self.deployment.insert(v);
-        for &(fi, l) in instance.flows_through(v) {
-            let fi = fi as usize;
-            self.served[fi] = true;
-            if l > self.cur_l[fi] {
-                self.cur_l[fi] = l;
-            }
-        }
-    }
-}
-
-/// Candidates not yet deployed.
-fn open_candidates(instance: &Instance, state: &State) -> Vec<NodeId> {
-    instance
-        .candidate_vertices()
-        .into_iter()
-        .filter(|&v| !state.deployment.contains(v))
-        .collect()
-}
-
-/// Size of the greedy cover of the flows that would remain unserved
-/// after additionally deploying on `extra`.
-fn cover_after(instance: &Instance, state: &State, extra: NodeId) -> usize {
-    let mut served = state.served.clone();
-    for &(fi, _) in instance.flows_through(extra) {
-        served[fi as usize] = true;
-    }
-    greedy_cover(instance, &served).map_or(usize::MAX, |c| c.len())
-}
-
-/// One guarded greedy round; returns the vertex to deploy or an error.
-fn pick<F>(
-    instance: &Instance,
-    state: &State,
-    remaining: usize,
-    best_of: F,
-) -> Result<NodeId, TdmdError>
+fn with_ctx<M, R>(instance: &Instance, model: &M, run: impl FnOnce(&Ctx<'_>) -> R) -> R
 where
-    F: FnOnce(&State, &[NodeId]) -> Option<Score>,
+    M: CostModel,
 {
-    let cands = open_candidates(instance, state);
-    if state.all_served() {
-        return best_of(state, &cands)
-            .filter(|s| s.gain > 0.0)
-            .map(|s| s.v)
-            .ok_or(TdmdError::Infeasible { budget: remaining }); // caller stops on this
-    }
-    let cover =
-        greedy_cover(instance, &state.served).ok_or(TdmdError::Infeasible { budget: remaining })?;
-    if cover.len() > remaining {
-        return Err(TdmdError::Infeasible { budget: remaining });
-    }
-    if cover.len() == remaining {
-        // Tight budget: only picks that keep the rest coverable with
-        // the remaining boxes are allowed (the paper's "we can only
-        // deploy a middlebox on v2" rule, generalized).
-        let feasible: Vec<NodeId> = cands
-            .iter()
-            .copied()
-            .filter(|&v| cover_after(instance, state, v) < remaining)
-            .collect();
-        return best_of(state, &feasible)
-            .map(|s| s.v)
-            .ok_or(TdmdError::Infeasible { budget: remaining });
-    }
-    best_of(state, &cands)
-        .map(|s| s.v)
-        .ok_or(TdmdError::Infeasible { budget: remaining })
+    let index = FlowIndex::build(instance, model);
+    let ctx = Ctx {
+        instance,
+        index: &index,
+        coverage_ties: model.coverage_tiebreak(),
+    };
+    run(&ctx)
 }
 
-/// Core loop shared by the eager variants.
-fn run_greedy<F>(
+/// GTP in the Thm. 3 setting under an arbitrary cost model: keep
+/// placing middleboxes until every flow is served; `k` is *derived*
+/// as the size of the result.
+pub fn gtp_derive_k_with<M: CostModel>(
     instance: &Instance,
-    budget: Option<usize>,
-    mut best_of: F,
-) -> Result<Deployment, TdmdError>
-where
-    F: FnMut(&State, &[NodeId]) -> Option<Score>,
-{
-    let mut state = State::new(instance);
-    let limit = budget.unwrap_or(instance.node_count());
-    for round in 0..limit {
-        let remaining = limit - round;
-        match pick(instance, &state, remaining, &mut best_of) {
-            Ok(v) => state.commit(instance, v),
-            // No useful vertex left and everything served: done early.
-            Err(_) if state.all_served() => break,
-            Err(e) => return Err(e),
-        }
-        if budget.is_none() && state.all_served() {
-            break;
-        }
-    }
-    if !state.all_served() {
-        return Err(TdmdError::Infeasible { budget: limit });
-    }
-    Ok(state.deployment)
+    model: &M,
+) -> Result<Deployment, TdmdError> {
+    with_ctx(instance, model, |ctx| engine::eager(ctx, None))
 }
 
-/// Eager sequential scoring.
-fn eager_best(instance: &Instance) -> impl Fn(&State, &[NodeId]) -> Option<Score> + '_ {
-    move |state, cands| {
-        let mut best: Option<Score> = None;
-        for &v in cands {
-            let s = state.score(instance, v);
-            if best.as_ref().is_none_or(|b| s.better_than(b)) {
-                best = Some(s);
-            }
-        }
-        best
-    }
+/// GTP with a hard budget of `k` middleboxes under an arbitrary cost
+/// model.
+pub fn gtp_budgeted_with<M: CostModel>(
+    instance: &Instance,
+    k: usize,
+    model: &M,
+) -> Result<Deployment, TdmdError> {
+    with_ctx(instance, model, |ctx| engine::eager(ctx, Some(k)))
+}
+
+/// Rayon-parallel GTP under an arbitrary cost model; identical output
+/// to [`gtp_budgeted_with`].
+pub fn gtp_parallel_with<M: CostModel>(
+    instance: &Instance,
+    k: usize,
+    model: &M,
+) -> Result<Deployment, TdmdError> {
+    with_ctx(instance, model, |ctx| engine::parallel(ctx, k))
+}
+
+/// CELF lazy GTP under an arbitrary cost model; identical output to
+/// [`gtp_budgeted_with`].
+pub fn gtp_lazy_with<M: CostModel>(
+    instance: &Instance,
+    k: usize,
+    model: &M,
+) -> Result<Deployment, TdmdError> {
+    with_ctx(instance, model, |ctx| engine::lazy(ctx, k))
 }
 
 /// GTP in the Thm. 3 setting: keep placing middleboxes until every
 /// flow is served; `k` is *derived* as the size of the result.
 pub fn gtp_derive_k(instance: &Instance) -> Result<Deployment, TdmdError> {
-    run_greedy(instance, None, eager_best(instance))
+    gtp_derive_k_with(instance, &HopCount)
 }
 
 /// GTP with a hard budget of `k` middleboxes (the paper's evaluation
 /// setting). Uses all `k` boxes unless no vertex still improves the
 /// objective.
 pub fn gtp_budgeted(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
-    run_greedy(instance, Some(k), eager_best(instance))
+    gtp_budgeted_with(instance, k, &HopCount)
 }
 
 /// GTP with Rayon-parallel candidate scoring; identical output to
 /// [`gtp_budgeted`].
 pub fn gtp_parallel(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
-    run_greedy(instance, Some(k), |state, cands| {
-        cands
-            .par_iter()
-            .map(|&v| state.score(instance, v))
-            .reduce_with(|a, b| if b.better_than(&a) { b } else { a })
-    })
+    gtp_parallel_with(instance, k, &HopCount)
 }
 
 /// GTP with CELF lazy evaluation; identical output to
-/// [`gtp_budgeted`]. Marginal decrements and coverage gains are both
-/// monotone non-increasing in `P` (Thm. 2), so a popped entry whose
-/// refreshed score still dominates the next heap top is safely
-/// optimal for the round.
+/// [`gtp_budgeted`].
 pub fn gtp_lazy(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
-    use std::collections::BinaryHeap;
-
-    /// Heap entry ordered by the lexicographic score.
-    struct Entry {
-        score: Score,
-        round: usize,
-    }
-    impl PartialEq for Entry {
-        fn eq(&self, other: &Self) -> bool {
-            self.score == other.score
-        }
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            if self.score.better_than(&other.score) {
-                std::cmp::Ordering::Greater
-            } else if other.score.better_than(&self.score) {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }
-    }
-
-    let mut state = State::new(instance);
-    let mut heap: BinaryHeap<Entry> = instance
-        .candidate_vertices()
-        .into_iter()
-        .map(|v| Entry {
-            score: state.score(instance, v),
-            round: 0,
-        })
-        .collect();
-    let mut round = 0usize;
-    while round < k {
-        let remaining = k - round;
-        // The feasibility guard must run eagerly.
-        let picked = if !state.all_served() {
-            let cover = greedy_cover(instance, &state.served)
-                .ok_or(TdmdError::Infeasible { budget: remaining })?;
-            if cover.len() > remaining {
-                return Err(TdmdError::Infeasible { budget: remaining });
-            }
-            if cover.len() == remaining {
-                // Tight budget: delegate the constrained round to the
-                // eager picker so lazy output stays identical.
-                Some(pick(instance, &state, remaining, eager_best(instance))?)
-            } else {
-                None
-            }
-        } else {
-            None
-        };
-        let v = match picked {
-            Some(v) => v,
-            None => {
-                // CELF pop-refresh loop.
-                loop {
-                    let Some(top) = heap.pop() else {
-                        if state.all_served() {
-                            return Ok(state.deployment);
-                        }
-                        return Err(TdmdError::Infeasible { budget: remaining });
-                    };
-                    if state.deployment.contains(top.score.v) {
-                        continue;
-                    }
-                    if top.round == round {
-                        if top.score.gain <= 0.0 && state.all_served() {
-                            return Ok(state.deployment);
-                        }
-                        break top.score.v;
-                    }
-                    let fresh = Entry {
-                        score: state.score(instance, top.score.v),
-                        round,
-                    };
-                    let dominates = heap
-                        .peek()
-                        .is_none_or(|next| !next.score.better_than(&fresh.score));
-                    if dominates {
-                        if fresh.score.gain <= 0.0 && state.all_served() {
-                            return Ok(state.deployment);
-                        }
-                        break fresh.score.v;
-                    }
-                    heap.push(fresh);
-                }
-            }
-        };
-        state.commit(instance, v);
-        round += 1;
-        // Scores of other vertices only decrease; stale entries are
-        // refreshed on pop. Nothing to push.
-    }
-    if !state.all_served() {
-        return Err(TdmdError::Infeasible { budget: k });
-    }
-    Ok(state.deployment)
+    gtp_lazy_with(instance, k, &HopCount)
 }
 
 #[cfg(test)]
@@ -430,6 +207,20 @@ mod tests {
             let b = bandwidth_of(&inst, &d);
             assert!(b <= prev + 1e-9, "k={k}: {b} > {prev}");
             prev = b;
+        }
+    }
+
+    #[test]
+    fn explicit_hop_count_model_is_the_default() {
+        // The wrapper and the generic entry point are the same code
+        // path; this guards against the wrappers drifting.
+        for k in 1..=4 {
+            let inst = fig1_instance(k);
+            assert_eq!(
+                gtp_budgeted(&inst, k).ok(),
+                gtp_budgeted_with(&inst, k, &HopCount).ok(),
+                "k={k}"
+            );
         }
     }
 }

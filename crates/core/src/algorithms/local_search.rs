@@ -9,10 +9,10 @@
 //! practice `GTP + local search` closes most of the gap to DP on
 //! trees. Used as the `GtpLs` ablation.
 
+use crate::cost::{CostModel, FlowIndex, HopCount};
 use crate::error::TdmdError;
 use crate::feasibility::is_feasible;
 use crate::instance::Instance;
-use crate::objective::bandwidth_of;
 use crate::plan::Deployment;
 use tdmd_graph::NodeId;
 
@@ -21,20 +21,21 @@ use tdmd_graph::NodeId;
 pub struct LocalSearchOutcome {
     /// The (possibly improved) deployment.
     pub deployment: Deployment,
-    /// Its bandwidth.
+    /// Its bandwidth (priced by the cost model the search ran under).
     pub bandwidth: f64,
     /// Number of improving moves applied.
     pub moves: usize,
 }
 
 /// Hill-climbs `initial` with 1-swaps and 1-drops until no move
-/// improves the objective or `max_moves` is reached.
+/// improves the `model`-priced objective or `max_moves` is reached.
 ///
 /// # Panics
 /// Panics if `initial` is infeasible — local search preserves
 /// feasibility and needs a feasible start.
-pub fn local_search(
+pub fn local_search_with<M: CostModel>(
     instance: &Instance,
+    model: &M,
     initial: Deployment,
     max_moves: usize,
 ) -> LocalSearchOutcome {
@@ -42,8 +43,10 @@ pub fn local_search(
         is_feasible(instance, &initial),
         "local search needs a feasible start"
     );
+    let index = FlowIndex::build(instance, model);
+    let bandwidth_of = |d: &Deployment| index.bandwidth_of(instance, d);
     let mut current = initial;
-    let mut best_b = bandwidth_of(instance, &current);
+    let mut best_b = bandwidth_of(&current);
     let mut moves = 0usize;
     let candidates: Vec<NodeId> = instance.candidate_vertices();
     while moves < max_moves {
@@ -57,7 +60,7 @@ pub fn local_search(
             if !is_feasible(instance, &trial) {
                 continue;
             }
-            let b = bandwidth_of(instance, &trial);
+            let b = bandwidth_of(&trial);
             if b < best_b - 1e-12 || (b <= best_b + 1e-12 && trial.len() < current.len()) {
                 current = trial;
                 best_b = b;
@@ -83,7 +86,7 @@ pub fn local_search(
                 if !is_feasible(instance, &trial) {
                     continue;
                 }
-                let b = bandwidth_of(instance, &trial);
+                let b = bandwidth_of(&trial);
                 if b < best_b - 1e-12 && best_swap.as_ref().is_none_or(|&(bb, _, _)| b < bb) {
                     best_swap = Some((b, out, inn));
                 }
@@ -106,6 +109,33 @@ pub fn local_search(
     }
 }
 
+/// Hill-climbs `initial` under the paper's hop-count pricing.
+///
+/// # Panics
+/// Panics if `initial` is infeasible — local search preserves
+/// feasibility and needs a feasible start.
+pub fn local_search(
+    instance: &Instance,
+    initial: Deployment,
+    max_moves: usize,
+) -> LocalSearchOutcome {
+    local_search_with(instance, &HopCount, initial, max_moves)
+}
+
+/// GTP followed by local search under an arbitrary cost model.
+///
+/// # Errors
+/// Same feasibility conditions as
+/// [`crate::algorithms::gtp::gtp_budgeted_with`].
+pub fn gtp_with_local_search_with<M: CostModel>(
+    instance: &Instance,
+    k: usize,
+    model: &M,
+) -> Result<Deployment, TdmdError> {
+    let start = crate::algorithms::gtp::gtp_budgeted_with(instance, k, model)?;
+    Ok(local_search_with(instance, model, start, 10 * instance.node_count().max(8)).deployment)
+}
+
 /// GTP followed by local search — the strongest polynomial heuristic
 /// in this repository for general topologies.
 ///
@@ -113,8 +143,7 @@ pub fn local_search(
 /// Same feasibility conditions as
 /// [`crate::algorithms::gtp::gtp_budgeted`].
 pub fn gtp_with_local_search(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
-    let start = crate::algorithms::gtp::gtp_budgeted(instance, k)?;
-    Ok(local_search(instance, start, 10 * instance.node_count().max(8)).deployment)
+    gtp_with_local_search_with(instance, k, &HopCount)
 }
 
 #[cfg(test)]
@@ -122,6 +151,7 @@ mod tests {
     use super::*;
     use crate::algorithms::dp::dp_optimal;
     use crate::algorithms::exhaustive::{exhaustive_optimal, DEFAULT_SUBSET_CAP};
+    use crate::objective::bandwidth_of;
     use crate::paper::{fig1_instance, fig5_instance};
 
     #[test]

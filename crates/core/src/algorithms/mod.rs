@@ -1,5 +1,8 @@
 //! Placement algorithms.
 //!
+//! * [`engine`] — the generic greedy core every objective variant
+//!   shares: cost-model-agnostic GTP drivers, the tight-budget
+//!   feasibility guard, and a budgeted best-move loop.
 //! * [`gtp`] — Alg. 1, the `(1 − 1/e)` submodular greedy for general
 //!   topologies, in eager, lazy (CELF) and Rayon-parallel variants.
 //! * [`dp`] — the optimal tree DP of §5.1 (Eqs. 7–10), generalized to
@@ -13,6 +16,7 @@ pub mod best_effort;
 pub mod branch_bound;
 pub mod centrality;
 pub mod dp;
+pub mod engine;
 pub mod exhaustive;
 pub mod gtp;
 pub mod hat;

@@ -160,40 +160,14 @@ pub fn gtp_capacitated(
     let mut cur = evaluate_capacitated(instance, &deployment, cap);
     for round in 0..k {
         let remaining = k - round;
-        // Capacity-blind coverage guard, same shape as GTP's.
+        // Capacity-blind coverage guard, shared with the uncapacitated
+        // engine (the final matching certifies actual feasibility).
         let served: Vec<bool> = crate::objective::best_hops(instance, &deployment)
             .into_iter()
             .map(|l| l.is_some())
             .collect();
-        let all_covered = served.iter().all(|&s| s);
-        let restricted: Option<Vec<NodeId>> = if all_covered {
-            None
-        } else {
-            let cover = crate::feasibility::greedy_cover(instance, &served)
-                .ok_or(TdmdError::Infeasible { budget: remaining })?;
-            if cover.len() > remaining {
-                return Err(TdmdError::Infeasible { budget: remaining });
-            }
-            if cover.len() == remaining {
-                let ok: Vec<NodeId> = instance
-                    .candidate_vertices()
-                    .into_iter()
-                    .filter(|&v| !deployment.contains(v))
-                    .filter(|&v| {
-                        let mut s = served.clone();
-                        for &(fi, _) in instance.flows_through(v) {
-                            s[fi as usize] = true;
-                        }
-                        crate::feasibility::greedy_cover(instance, &s)
-                            .map_or(usize::MAX, |c| c.len())
-                            < remaining
-                    })
-                    .collect();
-                Some(ok)
-            } else {
-                None
-            }
-        };
+        let restricted =
+            crate::algorithms::engine::guard_candidates(instance, &served, &deployment, remaining)?;
         let cands: Vec<NodeId> = match restricted {
             Some(list) => list,
             None => instance

@@ -1,0 +1,382 @@
+//! Pluggable objective pricing: the [`CostModel`] trait and the CSR
+//! [`FlowIndex`] every greedy engine iterates over.
+//!
+//! The paper's objective (Eq. 1) prices a flow by its *hop count* and
+//! credits a serving vertex `v` with the downstream hops `l_v(f)`.
+//! Theorem 2's submodularity proof never uses the fact that the
+//! per-position metric is a hop count — only that it is non-negative
+//! and non-increasing along the path (traffic shrinks monotonically as
+//! the middlebox moves downstream). Any pricing with that shape keeps
+//! `d(P)` monotone submodular, so the same `(1 − 1/e)` greedy applies.
+//! A [`CostModel`] captures exactly that contract:
+//!
+//! * [`CostModel::serving_gain`] — the metric credited for processing
+//!   a flow at a path position (Eq. 1's `l_v(f)` generalized),
+//! * [`CostModel::unprocessed_cost`] — the metric of a wholly
+//!   unprocessed flow (Eq. 1's `|p_f|` generalized),
+//! * [`CostModel::coverage_tiebreak`] — whether newly-covered flow
+//!   count joins the greedy tie-break ladder.
+//!
+//! Three implementations live here or nearby: [`HopCount`] (the
+//! paper's Eq. 1, unit edge weights), [`WeightedEdges`] (per-edge
+//! weights, the repo's priced-links extension), and the chain-aware
+//! stack model in the `tdmd-chain` crate.
+//!
+//! A model is *compiled* into a [`FlowIndex`]: one flat CSR arena of
+//! `(flow, gain)` entries grouped by vertex, replacing the old
+//! `Vec<Vec<…>>` per-vertex lists (one allocation instead of `|V|`,
+//! and cache-contiguous scans in the greedy inner loop).
+
+use std::collections::HashMap;
+use tdmd_graph::{DiGraph, NodeId};
+use tdmd_traffic::Flow;
+
+use crate::instance::Instance;
+use crate::plan::Deployment;
+
+/// A pricing of flow traffic along its path.
+///
+/// # Contract
+///
+/// For Theorem 2 (and hence the `(1 − 1/e)` guarantee of GTP) to
+/// carry over, `serving_gain` must be non-negative and non-increasing
+/// in `pos` for every flow, and `unprocessed_cost` must dominate every
+/// serving gain of the same flow. Both [`HopCount`] and
+/// [`WeightedEdges`] satisfy this by construction (suffix sums of
+/// non-negative edge prices).
+pub trait CostModel {
+    /// Metric credited for serving `flow` at path position `pos`
+    /// (0 = source). Eq. (1)'s downstream hop count `l_v(f)`,
+    /// generalized.
+    fn serving_gain(&self, flow: &Flow, pos: usize) -> f64;
+
+    /// Metric of the wholly unprocessed flow — the serving gain at the
+    /// source, i.e. Eq. (1)'s `|p_f|`, generalized.
+    fn unprocessed_cost(&self, flow: &Flow) -> f64;
+
+    /// Whether the greedy tie-break ladder should prefer candidates
+    /// covering more previously-unserved flows before falling back to
+    /// the smallest vertex id. The paper's GTP does (it accelerates
+    /// feasibility); models built on exact re-evaluation may opt out.
+    fn coverage_tiebreak(&self) -> bool {
+        true
+    }
+}
+
+/// The paper's Eq. (1) pricing: every edge costs 1, so a flow's
+/// metric is its hop count and a serving vertex is credited its
+/// downstream hop count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HopCount;
+
+impl CostModel for HopCount {
+    #[inline]
+    fn serving_gain(&self, flow: &Flow, pos: usize) -> f64 {
+        (flow.hops() - pos) as f64
+    }
+
+    #[inline]
+    fn unprocessed_cost(&self, flow: &Flow) -> f64 {
+        flow.hops() as f64
+    }
+}
+
+/// Prebuilt `(u, v) → weight` lookup for a graph's directed edges.
+///
+/// `DiGraph` stores weights positionally (parallel to the adjacency
+/// lists), so resolving one edge weight used to cost an `O(deg)`
+/// neighbor scan — quadratic in degree when pricing whole paths. This
+/// table is built once in `O(|E|)` and serves `O(1)` lookups. With
+/// parallel edges the *first* occurrence wins, matching the
+/// `position()`-based scan it replaces.
+#[derive(Debug, Clone)]
+pub struct EdgeWeights {
+    map: HashMap<(NodeId, NodeId), f64>,
+}
+
+impl EdgeWeights {
+    /// Indexes every directed edge of `g`.
+    pub fn new(g: &DiGraph) -> Self {
+        let mut map = HashMap::new();
+        for u in 0..g.node_count() as NodeId {
+            for (&v, &w) in g.out_neighbors(u).iter().zip(g.out_weights(u)) {
+                map.entry((u, v)).or_insert(w as f64);
+            }
+        }
+        Self { map }
+    }
+
+    /// Weight of the directed edge `u → v`.
+    ///
+    /// # Panics
+    /// Panics if the edge does not exist; callers only price edges of
+    /// validated flow paths.
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> f64 {
+        *self
+            .map
+            .get(&(u, v))
+            .expect("edge weight lookup on a non-edge; flow paths are validated")
+    }
+}
+
+/// Weighted-edge pricing: each path edge costs its graph weight, and a
+/// serving vertex is credited the *downstream weight* — the sum of
+/// edge weights from its position to the destination (a suffix sum,
+/// so the metric is non-increasing along the path as Theorem 2
+/// requires).
+#[derive(Debug, Clone)]
+pub struct WeightedEdges {
+    /// `down[f][i]` = total edge weight downstream of path position
+    /// `i` of flow `f` (indexed by dense flow id).
+    down: Vec<Vec<f64>>,
+}
+
+impl WeightedEdges {
+    /// Prices every flow path of `instance` against its graph's edge
+    /// weights. `O(|E| + Σ|p_f|)` — the old per-edge neighbor scan
+    /// made this `O(Σ|p_f| · deg)`.
+    pub fn new(instance: &Instance) -> Self {
+        let weights = EdgeWeights::new(instance.graph());
+        let mut down = Vec::with_capacity(instance.flows().len());
+        for f in instance.flows() {
+            let m = f.path.len();
+            let mut d = vec![0.0f64; m];
+            for i in (0..m - 1).rev() {
+                d[i] = d[i + 1] + weights.get(f.path[i], f.path[i + 1]);
+            }
+            down.push(d);
+        }
+        Self { down }
+    }
+}
+
+impl CostModel for WeightedEdges {
+    #[inline]
+    fn serving_gain(&self, flow: &Flow, pos: usize) -> f64 {
+        self.down[flow.id as usize][pos]
+    }
+
+    #[inline]
+    fn unprocessed_cost(&self, flow: &Flow) -> f64 {
+        self.down[flow.id as usize][0]
+    }
+}
+
+/// A [`CostModel`] compiled against one [`Instance`]: for every vertex,
+/// the flows crossing it with their serving gains, stored as one flat
+/// CSR arena (`offsets[v] .. offsets[v + 1]` slices `entries`).
+///
+/// Entry order within a vertex follows ascending flow id (flows are
+/// indexed in order, and each visits a vertex at most once), which
+/// pins the floating-point summation order of every aggregate below —
+/// the greedy engines rely on this for reproducible tie-breaking.
+#[derive(Debug, Clone)]
+pub struct FlowIndex {
+    /// CSR row offsets, length `node_count + 1`.
+    offsets: Vec<u32>,
+    /// `(flow id, serving gain)` entries grouped by vertex.
+    entries: Vec<(u32, f64)>,
+    /// Per-flow unprocessed cost, indexed by dense flow id.
+    path_cost: Vec<f64>,
+}
+
+impl FlowIndex {
+    /// Compiles `model` against `instance` in two passes: a counting
+    /// pass sizing each CSR row, then a fill pass walking flows in id
+    /// order with per-vertex write cursors.
+    pub fn build<M: CostModel + ?Sized>(instance: &Instance, model: &M) -> Self {
+        let n = instance.node_count();
+        let flows = instance.flows();
+        let mut offsets = vec![0u32; n + 1];
+        for f in flows {
+            for &v in &f.path {
+                offsets[v as usize + 1] += 1;
+            }
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut entries = vec![(0u32, 0.0f64); offsets[n] as usize];
+        let mut path_cost = Vec::with_capacity(flows.len());
+        for f in flows {
+            path_cost.push(model.unprocessed_cost(f));
+            for (pos, &v) in f.path.iter().enumerate() {
+                let slot = &mut cursor[v as usize];
+                entries[*slot as usize] = (f.id, model.serving_gain(f, pos));
+                *slot += 1;
+            }
+        }
+        Self {
+            offsets,
+            entries,
+            path_cost,
+        }
+    }
+
+    /// Flows crossing `v` with their serving gains at that position.
+    #[inline]
+    pub fn flows_through(&self, v: NodeId) -> &[(u32, f64)] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.entries[lo..hi]
+    }
+
+    /// Unprocessed cost of flow `f` (the model's `|p_f|` analogue).
+    #[inline]
+    pub fn path_cost(&self, f: u32) -> f64 {
+        self.path_cost[f as usize]
+    }
+
+    /// Number of flows indexed.
+    #[inline]
+    pub fn flow_count(&self) -> usize {
+        self.path_cost.len()
+    }
+
+    /// Total cost with no middleboxes: `Σ r_f · cost(p_f)`.
+    pub fn unprocessed(&self, instance: &Instance) -> f64 {
+        instance
+            .flows()
+            .iter()
+            .map(|f| f.rate as f64 * self.path_cost[f.id as usize])
+            .sum()
+    }
+
+    /// Best (largest) serving gain each flow attains over the
+    /// deployment, or `None` for unserved flows.
+    pub fn best_down(&self, deployment: &Deployment) -> Vec<Option<f64>> {
+        let mut best: Vec<Option<f64>> = vec![None; self.path_cost.len()];
+        for &v in deployment.vertices() {
+            for &(fi, g) in self.flows_through(v) {
+                let slot = &mut best[fi as usize];
+                if slot.is_none_or(|b| g > b) {
+                    *slot = Some(g);
+                }
+            }
+        }
+        best
+    }
+
+    /// Total cost under `deployment`: each served flow saves
+    /// `r_f · (1 − λ) · gain` off its unprocessed cost.
+    pub fn bandwidth_of(&self, instance: &Instance, deployment: &Deployment) -> f64 {
+        let factor = 1.0 - instance.lambda();
+        let best = self.best_down(deployment);
+        instance
+            .flows()
+            .iter()
+            .map(|f| {
+                let full = f.rate as f64 * self.path_cost[f.id as usize];
+                match best[f.id as usize] {
+                    Some(g) => full - f.rate as f64 * factor * g,
+                    None => full,
+                }
+            })
+            .sum()
+    }
+
+    /// Marginal decrement of adding `v` when each flow's best gain so
+    /// far is `current[f]` (0.0 for unserved flows): Def. 2
+    /// generalized to the compiled model.
+    pub fn marginal_decrement(&self, instance: &Instance, current: &[f64], v: NodeId) -> f64 {
+        let factor = 1.0 - instance.lambda();
+        self.flows_through(v)
+            .iter()
+            .filter(|&&(fi, g)| g > current[fi as usize])
+            .map(|&(fi, g)| {
+                let f = &instance.flows()[fi as usize];
+                f.rate as f64 * factor * (g - current[fi as usize])
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::fig1_instance;
+
+    #[test]
+    fn hop_count_matches_flow_hops() {
+        let inst = fig1_instance(2);
+        for f in inst.flows() {
+            assert_eq!(HopCount.unprocessed_cost(f), f.hops() as f64);
+            for pos in 0..f.path.len() {
+                assert_eq!(HopCount.serving_gain(f, pos), (f.hops() - pos) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn unit_weight_edges_price_like_hops() {
+        // fig1's builder uses unit weights, so the weighted suffix
+        // sums must coincide with downstream hop counts exactly.
+        let inst = fig1_instance(2);
+        let weighted = WeightedEdges::new(&inst);
+        for f in inst.flows() {
+            for pos in 0..f.path.len() {
+                assert_eq!(
+                    weighted.serving_gain(f, pos),
+                    HopCount.serving_gain(f, pos),
+                    "flow {} pos {pos}",
+                    f.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_index_matches_instance_index() {
+        // The f64 CSR compiled from HopCount must mirror the u32 hop
+        // index stored on the instance, entry for entry.
+        let inst = fig1_instance(2);
+        let index = FlowIndex::build(&inst, &HopCount);
+        for v in 0..inst.node_count() as NodeId {
+            let ours = index.flows_through(v);
+            let theirs = inst.flows_through(v);
+            assert_eq!(ours.len(), theirs.len(), "vertex {v}");
+            for (&(fi, g), &(fj, l)) in ours.iter().zip(theirs) {
+                assert_eq!(fi, fj);
+                assert_eq!(g, l as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_of_matches_hop_objective() {
+        let inst = fig1_instance(2);
+        let index = FlowIndex::build(&inst, &HopCount);
+        let dep = Deployment::from_vertices(inst.node_count(), [4, 1]);
+        assert_eq!(index.bandwidth_of(&inst, &dep), 12.0);
+        assert_eq!(
+            index.unprocessed(&inst),
+            inst.unprocessed_bandwidth(),
+            "empty deployment degenerates to the raw load"
+        );
+    }
+
+    #[test]
+    fn edge_weights_resolve_in_constant_time_tables() {
+        let inst = fig1_instance(2);
+        let w = EdgeWeights::new(inst.graph());
+        for f in inst.flows() {
+            for pair in f.path.windows(2) {
+                assert_eq!(w.get(pair[0], pair[1]), 1.0, "fig1 uses unit weights");
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_decrement_matches_table2() {
+        // Table 2 of the paper, λ = 0.5: first-round marginals.
+        let inst = fig1_instance(2);
+        let index = FlowIndex::build(&inst, &HopCount);
+        let cur = vec![0.0; inst.flows().len()];
+        let expected = [0.0, 0.0, 3.0, 1.0, 4.0, 3.0];
+        for (v, &want) in expected.iter().enumerate() {
+            assert_eq!(index.marginal_decrement(&inst, &cur, v as NodeId), want);
+        }
+    }
+}

@@ -11,17 +11,22 @@ use tdmd_traffic::Flow;
 /// Construction precomputes, for every vertex `v`, the list of flows
 /// whose path crosses `v` together with the downstream hop count
 /// `l_v(f)` — the quantity every algorithm scores with. The index is
-/// stored in flat `Vec`s keyed by dense ids.
+/// one flat CSR arena (`flow_offsets` slicing `flow_entries`) rather
+/// than a `Vec` per vertex: a single allocation, and the greedy inner
+/// loops scan contiguous memory.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Instance {
     graph: DiGraph,
     flows: Vec<Flow>,
     lambda: f64,
     k: usize,
-    /// `vertex_flows[v]` = `(flow index, l_v(f))` for every flow
-    /// crossing `v`, where `l_v(f)` counts the path edges downstream
-    /// of `v`.
-    vertex_flows: Vec<Vec<(u32, u32)>>,
+    /// CSR row offsets, length `node_count + 1`: vertex `v`'s flows
+    /// live at `flow_entries[flow_offsets[v] .. flow_offsets[v + 1]]`.
+    flow_offsets: Vec<u32>,
+    /// `(flow index, l_v(f))` entries grouped by vertex, where
+    /// `l_v(f)` counts the path edges downstream of `v`. Within a
+    /// vertex, entries are in ascending flow-id order.
+    flow_entries: Vec<(u32, u32)>,
 }
 
 impl Instance {
@@ -47,11 +52,28 @@ impl Instance {
                 return Err(TdmdError::InvalidPath { flow: f.id });
             }
         }
-        let mut vertex_flows = vec![Vec::new(); graph.node_count()];
+        // CSR build: count each vertex's row, prefix-sum into offsets,
+        // then fill with per-vertex write cursors. Walking flows in id
+        // order keeps every row sorted by flow id, like the nested
+        // Vec index this replaces.
+        let n = graph.node_count();
+        let mut flow_offsets = vec![0u32; n + 1];
+        for f in &flows {
+            for &v in &f.path {
+                flow_offsets[v as usize + 1] += 1;
+            }
+        }
+        for i in 1..=n {
+            flow_offsets[i] += flow_offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = flow_offsets[..n].to_vec();
+        let mut flow_entries = vec![(0u32, 0u32); flow_offsets[n] as usize];
         for (idx, f) in flows.iter().enumerate() {
             let hops = f.hops() as u32;
             for (pos, &v) in f.path.iter().enumerate() {
-                vertex_flows[v as usize].push((idx as u32, hops - pos as u32));
+                let slot = &mut cursor[v as usize];
+                flow_entries[*slot as usize] = (idx as u32, hops - pos as u32);
+                *slot += 1;
             }
         }
         Ok(Self {
@@ -59,7 +81,8 @@ impl Instance {
             flows,
             lambda,
             k,
-            vertex_flows,
+            flow_offsets,
+            flow_entries,
         })
     }
 
@@ -108,7 +131,9 @@ impl Instance {
     /// Flows crossing `v` as `(flow index, l_v(f))` pairs.
     #[inline]
     pub fn flows_through(&self, v: NodeId) -> &[(u32, u32)] {
-        &self.vertex_flows[v as usize]
+        let lo = self.flow_offsets[v as usize] as usize;
+        let hi = self.flow_offsets[v as usize + 1] as usize;
+        &self.flow_entries[lo..hi]
     }
 
     /// Number of vertices in the topology.
@@ -130,7 +155,7 @@ impl Instance {
     /// middlebox locations.
     pub fn candidate_vertices(&self) -> Vec<NodeId> {
         (0..self.node_count() as NodeId)
-            .filter(|&v| !self.vertex_flows[v as usize].is_empty())
+            .filter(|&v| self.flow_offsets[v as usize] < self.flow_offsets[v as usize + 1])
             .collect()
     }
 }

@@ -5,6 +5,9 @@
 //! * [`instance`] — a TDMD problem [`Instance`]: topology + flows +
 //!   traffic-changing ratio `λ` + middlebox budget `k`, with the
 //!   per-vertex flow index the algorithms share.
+//! * [`cost`] — the [`CostModel`] trait generalizing Eq. (1)'s
+//!   pricing ([`HopCount`], [`WeightedEdges`], chain-aware models),
+//!   compiled into the CSR [`FlowIndex`] the greedy engine scans.
 //! * [`objective`] — Eq. (1): flow allocation, bandwidth consumption
 //!   `b(P)`, the decrement function `d(P)` (Def. 1) and marginal
 //!   decrements `d_P(v)` (Def. 2), plus the Lemma-1 envelope.
@@ -17,6 +20,7 @@
 
 pub mod algorithms;
 pub mod capacitated;
+pub mod cost;
 pub mod error;
 pub mod feasibility;
 pub mod instance;
@@ -25,6 +29,7 @@ pub mod paper;
 pub mod plan;
 pub mod weighted;
 
+pub use cost::{CostModel, FlowIndex, HopCount, WeightedEdges};
 pub use error::TdmdError;
 pub use instance::Instance;
 pub use plan::{Allocation, Deployment, PlanReport};

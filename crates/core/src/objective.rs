@@ -15,18 +15,19 @@ use tdmd_graph::NodeId;
 /// on-path middlebox with the largest `l_v(f)` (nearest the source);
 /// ties break toward the smaller vertex id. Unserved flows get `None`.
 pub fn allocate(instance: &Instance, deployment: &Deployment) -> Allocation {
+    // Scan only the deployed vertices' flow-index rows instead of
+    // rescanning every flow path: O(Σ_{v∈P} |flows(v)|) versus
+    // O(Σ_f |p_f|). Distinct on-path vertices of one flow have
+    // distinct l, so the strict `>` plus the ascending vertex order
+    // keeps the result deterministic.
     let mut assigned = vec![None; instance.flows().len()];
     let mut best_l = vec![0u32; instance.flows().len()];
-    for f in instance.flows() {
-        let hops = f.hops() as u32;
-        for (pos, &v) in f.path.iter().enumerate() {
-            if deployment.contains(v) {
-                let l = hops - pos as u32;
-                let slot = f.id as usize;
-                if assigned[slot].is_none() || l > best_l[slot] {
-                    assigned[slot] = Some(v);
-                    best_l[slot] = l;
-                }
+    for &v in deployment.vertices() {
+        for &(fi, l) in instance.flows_through(v) {
+            let slot = fi as usize;
+            if assigned[slot].is_none() || l > best_l[slot] {
+                assigned[slot] = Some(v);
+                best_l[slot] = l;
             }
         }
     }

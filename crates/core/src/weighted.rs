@@ -17,7 +17,16 @@
 //! monotonicity along the path), so weighted GTP keeps the `(1 − 1/e)`
 //! guarantee, and the tree DP stays exact with the uplink term scaled
 //! by the edge weight.
+//!
+//! Since the [`CostModel`](crate::cost::CostModel) refactor this
+//! module contains *no greedy loop of its own*: [`WeightedIndex`] is
+//! a façade over the generic CSR [`FlowIndex`] compiled from
+//! [`WeightedEdges`], and [`gtp_weighted`] dispatches straight into
+//! the shared engine via
+//! [`gtp_budgeted_with`](crate::algorithms::gtp::gtp_budgeted_with).
 
+use crate::algorithms::gtp::gtp_budgeted_with;
+use crate::cost::{FlowIndex, WeightedEdges};
 use crate::error::TdmdError;
 use crate::instance::Instance;
 use crate::plan::Deployment;
@@ -25,188 +34,70 @@ use tdmd_graph::NodeId;
 
 /// Precomputed weighted index: for every vertex, the flows crossing it
 /// together with the *downstream path weight* from that vertex.
+///
+/// A thin façade over [`FlowIndex`] compiled from the
+/// [`WeightedEdges`] cost model, kept for API stability.
 #[derive(Debug, Clone)]
 pub struct WeightedIndex {
-    /// `vertex_flows[v]` = `(flow index, W_down(v, f))`.
-    vertex_flows: Vec<Vec<(u32, f64)>>,
-    /// Per-flow total path weight `W(p_f)`.
-    path_weight: Vec<f64>,
+    index: FlowIndex,
 }
 
 impl WeightedIndex {
     /// Builds the index from the instance's topology edge weights.
     ///
+    /// Edge weights are resolved through a prebuilt `O(1)` lookup
+    /// table ([`crate::cost::EdgeWeights`]); this used to scan the
+    /// adjacency list per edge.
+    ///
     /// # Panics
     /// Panics if a flow path uses a missing edge (instances validate
     /// this at construction).
     pub fn new(instance: &Instance) -> Self {
-        let g = instance.graph();
-        let edge_w = |u: NodeId, v: NodeId| -> f64 {
-            let nbrs = g.out_neighbors(u);
-            let pos = nbrs
-                .iter()
-                .position(|&x| x == v)
-                .expect("validated path edge");
-            g.out_weights(u)[pos] as f64
-        };
-        let mut vertex_flows = vec![Vec::new(); instance.node_count()];
-        let mut path_weight = Vec::with_capacity(instance.flows().len());
-        for f in instance.flows() {
-            // Suffix weights: w_down[i] = weight of edges from path[i]
-            // to the destination.
-            let m = f.path.len();
-            let mut down = vec![0.0; m];
-            for i in (0..m - 1).rev() {
-                down[i] = down[i + 1] + edge_w(f.path[i], f.path[i + 1]);
-            }
-            path_weight.push(down[0]);
-            for (i, &v) in f.path.iter().enumerate() {
-                vertex_flows[v as usize].push((f.id, down[i]));
-            }
-        }
         Self {
-            vertex_flows,
-            path_weight,
+            index: FlowIndex::build(instance, &WeightedEdges::new(instance)),
         }
+    }
+
+    /// Total weight `W(p_f)` of flow `f`'s path.
+    #[inline]
+    pub fn path_weight(&self, f: u32) -> f64 {
+        self.index.path_cost(f)
     }
 
     /// Total unprocessed weighted bandwidth `Σ r_f · W(p_f)`.
     pub fn unprocessed(&self, instance: &Instance) -> f64 {
-        instance
-            .flows()
-            .iter()
-            .map(|f| f.rate as f64 * self.path_weight[f.id as usize])
-            .sum()
+        self.index.unprocessed(instance)
     }
 
     /// Per-flow best downstream weight under `deployment` (`None` for
     /// unserved flows).
-    pub fn best_down(&self, instance: &Instance, deployment: &Deployment) -> Vec<Option<f64>> {
-        let mut best = vec![None; instance.flows().len()];
-        for &v in deployment.vertices() {
-            for &(fi, w) in &self.vertex_flows[v as usize] {
-                let slot: &mut Option<f64> = &mut best[fi as usize];
-                if slot.is_none_or(|cur| w > cur) {
-                    *slot = Some(w);
-                }
-            }
-        }
-        best
+    pub fn best_down(&self, _instance: &Instance, deployment: &Deployment) -> Vec<Option<f64>> {
+        self.index.best_down(deployment)
     }
 
     /// Weighted total bandwidth of a deployment under the optimal
     /// (nearest-source) allocation.
     pub fn bandwidth_of(&self, instance: &Instance, deployment: &Deployment) -> f64 {
-        let lambda = instance.lambda();
-        let mut total = self.unprocessed(instance);
-        for (f, w) in instance
-            .flows()
-            .iter()
-            .zip(self.best_down(instance, deployment))
-        {
-            if let Some(w) = w {
-                total -= f.rate as f64 * (1.0 - lambda) * w;
-            }
-        }
-        total
+        self.index.bandwidth_of(instance, deployment)
     }
 
     /// Weighted marginal decrement of adding `v` on top of the current
     /// per-flow best downstream weights (0.0 encodes unserved).
     pub fn marginal_decrement(&self, instance: &Instance, current: &[f64], v: NodeId) -> f64 {
-        let factor = 1.0 - instance.lambda();
-        let flows = instance.flows();
-        self.vertex_flows[v as usize]
-            .iter()
-            .filter(|&&(fi, w)| w > current[fi as usize])
-            .map(|&(fi, w)| flows[fi as usize].rate as f64 * factor * (w - current[fi as usize]))
-            .sum()
+        self.index.marginal_decrement(instance, current, v)
     }
 }
 
 /// Weighted GTP: the Alg.-1 greedy against the weighted decrement,
 /// with the same tight-budget feasibility guard as the unweighted
-/// variant.
+/// variant — literally the same engine, instantiated with the
+/// [`WeightedEdges`] cost model.
 ///
 /// # Errors
 /// [`TdmdError::Infeasible`] under the same conditions as
 /// [`crate::algorithms::gtp::gtp_budgeted`].
 pub fn gtp_weighted(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
-    let index = WeightedIndex::new(instance);
-    let mut deployment = Deployment::empty(instance.node_count());
-    let mut current = vec![0.0f64; instance.flows().len()];
-    let mut served = vec![false; instance.flows().len()];
-
-    for round in 0..k {
-        let remaining = k - round;
-        let all_served = served.iter().all(|&s| s);
-        // Feasibility guard identical in shape to the unweighted GTP.
-        let restricted: Option<Vec<NodeId>> = if all_served {
-            None
-        } else {
-            let cover = crate::feasibility::greedy_cover(instance, &served)
-                .ok_or(TdmdError::Infeasible { budget: remaining })?;
-            if cover.len() > remaining {
-                return Err(TdmdError::Infeasible { budget: remaining });
-            }
-            if cover.len() == remaining {
-                let ok: Vec<NodeId> = instance
-                    .candidate_vertices()
-                    .into_iter()
-                    .filter(|&v| !deployment.contains(v))
-                    .filter(|&v| {
-                        let mut s = served.clone();
-                        for &(fi, _) in instance.flows_through(v) {
-                            s[fi as usize] = true;
-                        }
-                        crate::feasibility::greedy_cover(instance, &s)
-                            .map_or(usize::MAX, |c| c.len())
-                            < remaining
-                    })
-                    .collect();
-                Some(ok)
-            } else {
-                None
-            }
-        };
-        let cands: Vec<NodeId> = match restricted {
-            Some(list) => list,
-            None => instance
-                .candidate_vertices()
-                .into_iter()
-                .filter(|&v| !deployment.contains(v))
-                .collect(),
-        };
-        let mut best: Option<(f64, usize, NodeId)> = None;
-        for v in cands {
-            let gain = index.marginal_decrement(instance, &current, v);
-            let cov = crate::objective::coverage_gain(instance, &served, v);
-            let better = match best {
-                None => true,
-                Some((bg, bc, bv)) => {
-                    gain > bg || (gain == bg && (cov > bc || (cov == bc && v < bv)))
-                }
-            };
-            if better {
-                best = Some((gain, cov, v));
-            }
-        }
-        let Some((gain, cov, v)) = best else { break };
-        if all_served && gain <= 0.0 && cov == 0 {
-            break;
-        }
-        deployment.insert(v);
-        for &(fi, w) in &index.vertex_flows[v as usize] {
-            served[fi as usize] = true;
-            if w > current[fi as usize] {
-                current[fi as usize] = w;
-            }
-        }
-    }
-    if !crate::feasibility::is_feasible(instance, &deployment) {
-        return Err(TdmdError::Infeasible { budget: k });
-    }
-    Ok(deployment)
+    gtp_budgeted_with(instance, k, &WeightedEdges::new(instance))
 }
 
 #[cfg(test)]
@@ -246,7 +137,7 @@ mod tests {
     fn path_weights_are_suffix_sums() {
         let inst = weighted_line(1);
         let index = WeightedIndex::new(&inst);
-        assert_eq!(index.path_weight[0], 12.0);
+        assert_eq!(index.path_weight(0), 12.0);
         assert_eq!(index.unprocessed(&inst), 24.0);
     }
 
@@ -319,14 +210,16 @@ mod tests {
         let w = gtp_weighted(&inst, 2).unwrap();
         let u = crate::algorithms::gtp::gtp_budgeted(&inst, 2).unwrap();
         assert_ne!(w, u, "the plans must differ");
-        assert!(w.contains(6), "cost-greedy must cover the satellite at its source");
+        assert!(
+            w.contains(6),
+            "cost-greedy must cover the satellite at its source"
+        );
         assert!(
             index.bandwidth_of(&inst, &w) < index.bandwidth_of(&inst, &u),
             "cost-greedy must win on the weighted objective"
         );
         assert!(
-            crate::objective::bandwidth_of(&inst, &u)
-                < crate::objective::bandwidth_of(&inst, &w),
+            crate::objective::bandwidth_of(&inst, &u) < crate::objective::bandwidth_of(&inst, &w),
             "hop-greedy must win on the hop objective"
         );
     }

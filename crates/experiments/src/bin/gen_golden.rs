@@ -10,13 +10,23 @@ use tdmd_experiments::figures::{fig09, quick_protocol};
 use tdmd_experiments::scenarios::Scenario;
 
 fn main() {
-    let base = Scenario { size: 12, density: 0.4, k: 4, ..Scenario::tree_default() };
+    let base = Scenario {
+        size: 12,
+        density: 0.4,
+        k: 4,
+        ..Scenario::tree_default()
+    };
     let fig = fig09::run_at(&quick_protocol(), base);
     // Bandwidths only: execution times are machine-dependent.
     let snapshot: Vec<(String, Vec<f64>)> = fig
         .series
         .iter()
-        .map(|s| (s.algorithm.clone(), s.points.iter().map(|p| p.bandwidth).collect()))
+        .map(|s| {
+            (
+                s.algorithm.clone(),
+                s.points.iter().map(|p| p.bandwidth).collect(),
+            )
+        })
         .collect();
     let json = serde_json::to_string_pretty(&snapshot).expect("serializes");
     std::fs::write("tests/golden/fig09_quick.json", &json).expect("write golden");

@@ -9,12 +9,15 @@ use tdmd_experiments::scenarios::Scenario;
 
 #[test]
 fn quick_fig09_matches_the_golden_snapshot() {
-    let golden: Vec<(String, Vec<f64>)> = serde_json::from_str(
-        include_str!("golden/fig09_quick.json"),
-    )
-    .expect("golden parses");
+    let golden: Vec<(String, Vec<f64>)> =
+        serde_json::from_str(include_str!("golden/fig09_quick.json")).expect("golden parses");
 
-    let base = Scenario { size: 12, density: 0.4, k: 4, ..Scenario::tree_default() };
+    let base = Scenario {
+        size: 12,
+        density: 0.4,
+        k: 4,
+        ..Scenario::tree_default()
+    };
     let fig = fig09::run_at(&quick_protocol(), base);
     assert_eq!(fig.series.len(), golden.len(), "algorithm count changed");
     for (s, (name, values)) in fig.series.iter().zip(&golden) {
@@ -29,7 +32,12 @@ fn quick_fig09_matches_the_golden_snapshot() {
 
 #[test]
 fn two_runs_agree_exactly() {
-    let base = Scenario { size: 10, density: 0.3, k: 3, ..Scenario::tree_default() };
+    let base = Scenario {
+        size: 10,
+        density: 0.3,
+        k: 3,
+        ..Scenario::tree_default()
+    };
     let a = fig09::run_at(&quick_protocol(), base);
     let b = fig09::run_at(&quick_protocol(), base);
     for (sa, sb) in a.series.iter().zip(&b.series) {

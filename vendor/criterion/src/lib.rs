@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps every bench target compiling and executable: benchmark
+//! closures are run a handful of times and a single mean wall-clock
+//! time is printed per benchmark id. There is no statistical analysis,
+//! HTML report, or command-line filtering — when a real criterion can
+//! be resolved, swapping this out re-enables all of that without
+//! touching the bench sources.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Opaque black box hindering constant folding of benchmark inputs.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark identifier: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement marker types.
+pub mod measurement {
+    /// Wall-clock measurement (the only one provided).
+    pub struct WallTime;
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u32,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed small number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.mean = Some(start.elapsed() / self.iterations);
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts and ignores command-line configuration.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Plot generation is not supported here; accepted for API parity.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            _measurement: PhantomData,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        iterations: 3,
+        mean: None,
+    };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => println!("bench {id}: {mean:?}/iter"),
+        None => println!("bench {id}: no measurement"),
+    }
+}
+
+/// Group of benchmarks sharing a name prefix and (ignored) tuning.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    _measurement: PhantomData<M>,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    /// Ignored tuning knob (kept for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored tuning knob.
+    pub fn nresamples(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored tuning knob.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ignored tuning knob.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 4, "warm-up plus measured iterations");
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10).measurement_time(Duration::from_millis(1));
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+    }
+}

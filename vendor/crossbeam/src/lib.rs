@@ -1,0 +1,14 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace declares this dependency for future concurrent
+//! pipelines but does not call into it yet; this vendored placeholder
+//! only has to resolve. `scope` is provided because it is the one
+//! crossbeam entry point std can emulate directly.
+
+/// Structured-concurrency scope backed by [`std::thread::scope`].
+pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+{
+    Ok(std::thread::scope(f))
+}

@@ -1,0 +1,112 @@
+//! Distribution traits and the `Standard` distribution.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over a type's natural domain: all values for
+/// integers and `bool`, the half-open unit interval for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Range sampling used by `Rng::gen_range`.
+
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A range that `Rng::gen_range` can sample from.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Maps a uniform 64-bit word onto `[0, n)` by widening multiply.
+    #[inline]
+    fn mul_shift(word: u64, n: u64) -> u64 {
+        ((word as u128 * n as u128) >> 64) as u64
+    }
+
+    macro_rules! int_range {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as $u).wrapping_sub(self.start as $u);
+                    self.start.wrapping_add(mul_shift(rng.next_u64(), span as u64) as $t)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as $u).wrapping_sub(lo as $u).wrapping_add(1);
+                    if span == 0 {
+                        // Inclusive range covering the full integer domain.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(mul_shift(rng.next_u64(), span as u64) as $t)
+                }
+            }
+        )*};
+    }
+    int_range!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => u64,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => u64
+    );
+
+    macro_rules! float_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                    lo + unit * (hi - lo)
+                }
+            }
+        )*};
+    }
+    float_range!(f32, f64);
+}

@@ -1,0 +1,33 @@
+//! Sequence helpers: random element choice and Fisher–Yates shuffle.
+
+use crate::Rng;
+
+/// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// In-place uniform permutation (Fisher–Yates, back to front).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_range(0..=i));
+        }
+    }
+}

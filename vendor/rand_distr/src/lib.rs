@@ -1,0 +1,167 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Implements the continuous distributions this workspace samples —
+//! [`LogNormal`], [`Pareto`], plus [`Normal`] and [`Exp`] for good
+//! measure — on top of the vendored `rand`. Normal deviates come from
+//! the Box–Muller transform rather than upstream's ziggurat tables, so
+//! streams are deterministic per seed but not bit-compatible with the
+//! real crate.
+
+use rand::{Rng, RngCore};
+
+pub use rand::distributions::Distribution;
+
+/// Parameter-validation error shared by every distribution here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Uniform draw from the open-closed unit interval `(0, 1]`, safe to
+/// feed into `ln`.
+fn open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    1.0 - rng.gen::<f64>()
+}
+
+/// Standard normal deviate via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u = open01(rng);
+    let v = rng.gen::<f64>();
+    (-2.0 * u.ln()).sqrt() * (core::f64::consts::TAU * v).cos()
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution; `sigma` must be finite and
+    /// non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Pareto distribution with the given scale (minimum value) and shape
+/// `alpha`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution; both parameters must be finite
+    /// and positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if !(scale.is_finite() && shape.is_finite() && scale > 0.0 && shape > 0.0) {
+            return Err(Error("Pareto requires scale > 0 and shape > 0"));
+        }
+        Ok(Self { scale, shape })
+    }
+}
+
+impl Distribution<f64> for Pareto {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: scale * U^(-1/shape) for U in (0, 1].
+        self.scale * open01(rng).powf(-1.0 / self.shape)
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution; `lambda` must be finite
+    /// and positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(Error("Exp requires lambda > 0"));
+        }
+        Ok(Self { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -open01(rng).ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_mean_is_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        // E[X] = exp(mu + sigma^2 / 2) ≈ 3.08.
+        assert!((mean - 3.08).abs() < 0.15, "mean = {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_its_scale_floor() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = Pareto::new(8.0, 1.5).unwrap();
+        assert!((0..10_000).all(|_| d.sample(&mut rng) >= 8.0));
+    }
+}

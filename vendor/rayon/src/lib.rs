@@ -1,0 +1,139 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Exposes the parallel-iterator entry points this workspace calls
+//! (`par_iter`, `into_par_iter`, `reduce_with`, plus everything the
+//! standard [`Iterator`] trait already provides) but executes them
+//! sequentially on the calling thread. Algorithms keep their exact
+//! semantics — "parallel" variants produce identical results to their
+//! eager counterparts — only the speedup is absent until a real rayon
+//! can be resolved.
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude`.
+
+    /// Sequential stand-in for `rayon::iter::ParallelIterator`:
+    /// anything iterable gains the rayon-specific combinators; the
+    /// rest (`map`, `filter_map`, `collect`, ...) come from
+    /// [`Iterator`] itself.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Folds the items pairwise with `op`, returning `None` on an
+        /// empty iterator (mirrors rayon's `reduce_with`).
+        fn reduce_with<F>(mut self, mut op: F) -> Option<Self::Item>
+        where
+            F: FnMut(Self::Item, Self::Item) -> Self::Item,
+        {
+            let first = self.next()?;
+            Some(self.fold(first, &mut op))
+        }
+
+        /// Hint only; sequential execution ignores chunking.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// Hint only; sequential execution ignores chunking.
+        fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+
+    /// By-value conversion into a "parallel" iterator.
+    pub trait IntoParallelIterator {
+        /// Iterator produced by the conversion.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// Converts `self`; here simply `into_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// By-reference conversion into a "parallel" iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Iterator produced by the conversion.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (shared references into `self`).
+        type Item: 'data;
+        /// Converts `&self`; here simply `iter`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: 'data,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        type Item = <&'data C as IntoIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// By-mutable-reference conversion into a "parallel" iterator.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Iterator produced by the conversion.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (mutable references into `self`).
+        type Item: 'data;
+        /// Converts `&mut self`; here simply `iter_mut`.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+        <&'data mut C as IntoIterator>::Item: 'data,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+        type Item = <&'data mut C as IntoIterator>::Item;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Runs both closures (sequentially here) and returns their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of "worker threads"; one, since execution is sequential.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![3u64, 1, 4, 1, 5];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        let max = v.par_iter().copied().reduce_with(u64::max);
+        assert_eq!(max, Some(5));
+        let empty: Option<u64> = Vec::<u64>::new().into_par_iter().reduce_with(u64::max);
+        assert_eq!(empty, None);
+    }
+
+    #[test]
+    fn range_into_par_iter_collects() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+}

@@ -1,0 +1,450 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde streams values through `Serializer` / `Deserializer`
+//! visitors; the only data format this workspace uses is JSON via
+//! `serde_json`, so this vendored subset collapses the data model to a
+//! concrete [`Value`] tree. [`Serialize`] renders a value into the
+//! tree and [`Deserialize`] rebuilds one from it; `serde_json` maps
+//! the tree to and from text. The `derive` feature re-exports
+//! `#[derive(Serialize, Deserialize)]` from the vendored
+//! `serde_derive`, which supports the shapes this workspace declares:
+//! non-generic named-field structs and enums with unit, newtype,
+//! tuple, and struct variants (externally tagged), plus
+//! `#[serde(default)]` on fields.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Self-describing data-model tree: the rendezvous point between
+/// typed values and data formats.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Negative integers (and any in-range signed value).
+    Int(i64),
+    /// Non-negative integers; kept apart from [`Value::Int`] so the
+    /// full `u64` range round-trips exactly.
+    UInt(u64),
+    /// Floating-point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Ordered sequences.
+    Seq(Vec<Value>),
+    /// Key–value maps in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrows the sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interprets a single-entry map as an externally tagged enum
+    /// variant: `(tag, payload)`.
+    pub fn as_variant(&self) -> Option<(&str, &Value)> {
+        match self {
+            Value::Map(entries) if entries.len() == 1 => {
+                Some((entries[0].0.as_str(), &entries[0].1))
+            }
+            _ => None,
+        }
+    }
+
+    /// One-word description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable message with the offending
+/// context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Free-form error.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// `expected` a kind while deserializing `target`, found `value`.
+    pub fn invalid_type(target: &str, expected: &str, value: &Value) -> Self {
+        Self::custom(format!(
+            "invalid type for {target}: expected {expected}, found {}",
+            value.kind()
+        ))
+    }
+
+    /// A required map key was absent.
+    pub fn missing_field(field: &str) -> Self {
+        Self::custom(format!("missing field `{field}`"))
+    }
+
+    /// An enum tag matched no declared variant.
+    pub fn unknown_variant(tag: &str, target: &str) -> Self {
+        Self::custom(format!("unknown variant `{tag}` for {target}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Converts from a value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// Value to use when a struct field is absent entirely; `None`
+    /// means absence is an error. `Option<T>` overrides this so
+    /// missing optional fields deserialize as `None`, as in real
+    /// serde.
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide = match *value {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    _ => return Err(Error::invalid_type(stringify!($t), "unsigned integer", value)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide = match *value {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u)
+                        .map_err(|_| Error::custom(format!("{u} out of range for {}", stringify!($t))))?,
+                    _ => return Err(Error::invalid_type(stringify!($t), "integer", value)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error::custom(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match *value {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(i) => Ok(i as $t),
+                    Value::UInt(u) => Ok(u as $t),
+                    // JSON cannot carry non-finite numbers; they are
+                    // serialized as null and round back to NaN.
+                    Value::Null => Ok(<$t>::NAN),
+                    _ => Err(Error::invalid_type(stringify!($t), "number", value)),
+                }
+            }
+        }
+    )*};
+}
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::invalid_type("bool", "bool", value)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::invalid_type("String", "string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::invalid_type("Vec", "sequence", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident : $index:tt),+) of $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$index.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| Error::invalid_type("tuple", "sequence", value))?;
+                if seq.len() != $len {
+                    return Err(Error::custom(format!(
+                        "expected a sequence of {} elements, found {}",
+                        $len,
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$index])?,)+))
+            }
+        }
+    )*};
+}
+serialize_tuple! {
+    (A: 0) of 1;
+    (A: 0, B: 1) of 2;
+    (A: 0, B: 1, C: 2) of 3;
+    (A: 0, B: 1, C: 2, D: 3) of 4;
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::invalid_type("BTreeMap", "map", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic key order keeps serialized output stable.
+        let mut entries: Vec<_> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::invalid_type("HashMap", "map", value))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+pub mod __private {
+    //! Support functions referenced by `serde_derive`-generated code.
+    //! Not part of the public API.
+
+    use super::{Deserialize, Error, Serialize, Value};
+
+    /// Looks up a struct field by key; absent keys fall back to
+    /// [`Deserialize::from_missing`].
+    pub fn field<T: Deserialize>(map: &[(String, Value)], key: &str) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => T::from_value(v),
+            None => T::from_missing().ok_or_else(|| Error::missing_field(key)),
+        }
+    }
+
+    /// Looks up a `#[serde(default)]` struct field by key.
+    pub fn field_or_default<T: Deserialize + Default>(
+        map: &[(String, Value)],
+        key: &str,
+    ) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == key) {
+            Some((_, v)) => T::from_value(v),
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Builds an externally tagged enum payload.
+    pub fn variant(tag: &str, payload: Value) -> Value {
+        Value::Map(vec![(tag.to_owned(), payload)])
+    }
+
+    /// Serializes one value (function form, handy in generated code).
+    pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+        value.to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_round_trip_across_kinds() {
+        assert_eq!(u32::from_value(&Value::UInt(7)).unwrap(), 7);
+        assert_eq!(u32::from_value(&Value::Int(7)).unwrap(), 7);
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert_eq!(i64::from_value(&Value::UInt(9)).unwrap(), 9);
+    }
+
+    #[test]
+    fn option_fields_accept_null_and_absence() {
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_missing(), Some(None));
+        assert_eq!(u32::from_missing(), None);
+    }
+
+    #[test]
+    fn tuples_are_sequences() {
+        let v = (3u32, 4u64).to_value();
+        assert_eq!(v, Value::Seq(vec![Value::UInt(3), Value::UInt(4)]));
+        let back: (u32, u64) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, (3, 4));
+    }
+}

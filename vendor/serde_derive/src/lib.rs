@@ -1,0 +1,401 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The registry (and therefore `syn`/`quote`) is unavailable in this
+//! build environment, so the derive walks the raw
+//! [`proc_macro::TokenStream`] itself. It supports exactly the shapes
+//! this workspace declares:
+//!
+//! * non-generic structs with named fields, and
+//! * non-generic enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde's default), plus
+//! * the `#[serde(default)]` field attribute.
+//!
+//! Anything else (generics, tuple structs, other serde attributes)
+//! panics at expansion time with a message naming the limitation, so
+//! unsupported shapes fail loudly at compile time rather than
+//! serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.body {
+        Body::Struct(fields) => serialize_struct(&item.name, fields),
+        Body::Enum(variants) => serialize_enum(&item.name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.body {
+        Body::Struct(fields) => deserialize_struct(&item.name, fields),
+        Body::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// Marked `#[serde(default)]`.
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes leading `#[...]` attributes; returns whether any of them
+/// was `#[serde(default)]`.
+fn skip_attributes(tokens: &mut Tokens) -> bool {
+    let mut has_default = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                if let Some(arg) = parse_serde_attribute(g.stream()) {
+                    match arg.as_str() {
+                        "default" => has_default = true,
+                        other => panic!(
+                            "vendored serde_derive does not support #[serde({other})]; \
+                             only #[serde(default)] is implemented"
+                        ),
+                    }
+                }
+            }
+            other => panic!("malformed attribute: expected [...], found {other:?}"),
+        }
+    }
+    has_default
+}
+
+/// If the bracket content is `serde(...)`, returns the inner tokens as
+/// a string (e.g. `"default"`).
+fn parse_serde_attribute(stream: TokenStream) -> Option<String> {
+    let mut it = stream.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return None,
+    }
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Some(g.stream().to_string().trim().to_owned())
+        }
+        _ => None,
+    }
+}
+
+/// Consumes an optional `pub` / `pub(crate)` / `pub(in ...)`.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens, context: &str) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("expected identifier ({context}), found {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = expect_ident(&mut tokens, "struct or enum keyword");
+    let name = expect_ident(&mut tokens, "type name");
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("vendored serde_derive does not support tuple struct `{name}`")
+        }
+        other => panic!("expected {{...}} body for `{name}`, found {other:?}"),
+    };
+    let body = match keyword.as_str() {
+        "struct" => Body::Struct(parse_fields(group.stream())),
+        "enum" => Body::Enum(parse_variants(group.stream())),
+        other => panic!("expected struct or enum, found `{other}`"),
+    };
+    Item { name, body }
+}
+
+/// Parses `name: Type, ...` named fields, honouring attributes and
+/// skipping type tokens (tracking `<`/`>` depth so commas inside
+/// generic arguments do not split fields).
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    while tokens.peek().is_some() {
+        let default = skip_attributes(&mut tokens);
+        skip_visibility(&mut tokens);
+        let name = expect_ident(&mut tokens, "field name");
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    while tokens.peek().is_some() {
+        skip_attributes(&mut tokens);
+        let name = expect_ident(&mut tokens, "variant name");
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_types(g.stream());
+                tokens.next();
+                if arity == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(arity)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                tokens.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            tokens.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Number of comma-separated types at angle-depth zero (tuple-variant
+/// arity).
+fn count_top_level_types(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tt in stream {
+        saw_any = true;
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn serialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        pushes.push_str(&format!(
+            "__entries.push((::std::string::String::from(\"{0}\"), \
+             ::serde::__private::to_value(&self.{0})));\n",
+            f.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                     ::std::vec::Vec::with_capacity({len});\n\
+                 {pushes}\
+                 ::serde::Value::Map(__entries)\n\
+             }}\n\
+         }}\n",
+        len = fields.len(),
+    )
+}
+
+fn deserialize_struct_body(name: &str, path: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let getter = if f.default {
+            "field_or_default"
+        } else {
+            "field"
+        };
+        inits.push_str(&format!(
+            "{0}: ::serde::__private::{getter}({source}, \"{0}\")?,\n",
+            f.name
+        ));
+    }
+    format!(
+        "::std::result::Result::Ok({path} {{\n{inits}}})",
+        path = if path.is_empty() { name } else { path },
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let body = deserialize_struct_body(name, name, fields, "__map");
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let __map = __value\n\
+                     .as_map()\n\
+                     .ok_or_else(|| ::serde::Error::invalid_type(\"{name}\", \"map\", __value))?;\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+            )),
+            VariantKind::Newtype => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => ::serde::__private::variant(\"{vname}\", \
+                 ::serde::__private::to_value(__f0)),\n"
+            )),
+            VariantKind::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                let elems: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::__private::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => ::serde::__private::variant(\"{vname}\", \
+                     ::serde::Value::Seq(vec![{elems}])),\n",
+                    binds = binders.join(", "),
+                    elems = elems.join(", "),
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let mut pushes = String::new();
+                for f in fields {
+                    pushes.push_str(&format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::__private::to_value({0})),\n",
+                        f.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => ::serde::__private::variant(\"{vname}\", \
+                     ::serde::Value::Map(vec![{pushes}])),\n",
+                    binds = binders.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+            )),
+            VariantKind::Newtype => tagged_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                 ::serde::Deserialize::from_value(__payload)?)),\n"
+            )),
+            VariantKind::Tuple(arity) => {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                         let __seq = __payload\n\
+                             .as_seq()\n\
+                             .ok_or_else(|| ::serde::Error::invalid_type(\"{name}::{vname}\", \"sequence\", __payload))?;\n\
+                         if __seq.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\n\
+                                 format!(\"expected {arity} elements for {name}::{vname}, found {{}}\", __seq.len())));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                     }}\n",
+                    elems = elems.join(", "),
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let body =
+                    deserialize_struct_body(name, &format!("{name}::{vname}"), fields, "__fields");
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                         let __fields = __payload\n\
+                             .as_map()\n\
+                             .ok_or_else(|| ::serde::Error::invalid_type(\"{name}::{vname}\", \"map\", __payload))?;\n\
+                         {body}\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let ::serde::Value::Str(__s) = __value {{\n\
+                     match __s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 let (__tag, __payload) = __value\n\
+                     .as_variant()\n\
+                     .ok_or_else(|| ::serde::Error::invalid_type(\"{name}\", \"externally tagged variant\", __value))?;\n\
+                 match __tag {{\n\
+                     {tagged_arms}\
+                     _ => ::std::result::Result::Err(::serde::Error::unknown_variant(__tag, \"{name}\")),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}

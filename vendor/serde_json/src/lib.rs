@@ -1,0 +1,443 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Maps JSON text to and from the vendored `serde` [`Value`] tree: a
+//! recursive-descent parser on one side, compact and pretty printers
+//! on the other. Covers the full JSON grammar (nested containers,
+//! escapes including `\uXXXX` surrogate pairs, scientific notation)
+//! with `u64`/`i64` integers kept exact rather than routed through
+//! `f64`.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Parse or conversion error with a byte offset when parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn parse(message: impl Into<String>, offset: usize) -> Self {
+        Self {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self {
+            message: e.to_string(),
+            offset: None,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.offset {
+            Some(at) => write!(f, "{} at byte {at}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Deserializes a value of type `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Serializes a value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value as two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace();
+    let value = p.value()?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse("trailing characters after JSON value", p.pos));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(
+                format!("expected `{}`", char::from(b)),
+                self.pos,
+            ))
+        }
+    }
+
+    fn eat_literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error::parse("expected a JSON value", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::parse("expected `,` or `}` in object", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::parse("expected `,` or `]` in array", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the longest run without escapes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::parse("invalid UTF-8 in string", start))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                _ => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000C}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let unit = self.hex4()?;
+                let ch = if (0xD800..0xDC00).contains(&unit) {
+                    // High surrogate: a \uXXXX low surrogate must follow.
+                    if !(self.eat_literal("\\u")) {
+                        return Err(Error::parse("unpaired surrogate", self.pos));
+                    }
+                    let low = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return Err(Error::parse("invalid low surrogate", self.pos));
+                    }
+                    let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                    char::from_u32(code)
+                        .ok_or_else(|| Error::parse("invalid surrogate pair", self.pos))?
+                } else {
+                    char::from_u32(unit)
+                        .ok_or_else(|| Error::parse("invalid \\u escape", self.pos))?
+                };
+                out.push(ch);
+            }
+            _ => return Err(Error::parse("unknown escape character", self.pos - 1)),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut unit = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::parse("non-hex digit in \\u escape", self.pos))?;
+            unit = unit * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(i) = stripped.parse::<u64>() {
+                    if i <= i64::MAX as u64 {
+                        return Ok(Value::Int(-(i as i64)));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))
+    }
+}
+
+// --------------------------------------------------------------- printer
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_container(out, indent, depth, b'[', items.len(), |out, i| {
+            write_value(out, &items[i], indent, depth + 1)
+        }),
+        Value::Map(entries) => {
+            write_container(out, indent, depth, b'{', entries.len(), |out, i| {
+                write_string(out, &entries[i].0);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, &entries[i].1, indent, depth + 1)
+            })
+        }
+    }
+}
+
+fn write_container(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: u8,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    let close = if open == b'[' { ']' } else { '}' };
+    out.push(char::from(open));
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(width * (depth + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // JSON has no NaN/Infinity; mirror serde_json and emit null.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep a decimal point so the value reparses as a float.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert_eq!(from_str::<String>(r#""a\nbA""#).unwrap(), "a\nbA");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+        assert_eq!(from_str::<u64>(&u64::MAX.to_string()).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<(String, Vec<f64>)> = from_str(r#"[["a", [1.0, 2.5]], ["b", []]]"#).unwrap();
+        assert_eq!(v[0].0, "a");
+        assert_eq!(v[0].1, vec![1.0, 2.5]);
+        let text = to_string(&v).unwrap();
+        let back: Vec<(String, Vec<f64>)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = vec![(String::from("x"), vec![1.5f64, -0.25])];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<(String, Vec<f64>)> = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_keep_their_floatness() {
+        let text = to_string(&3.0f64).unwrap();
+        assert_eq!(text, "3.0");
+        assert_eq!(from_str::<f64>(&text).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(from_str::<u64>("{not json").is_err());
+        assert!(from_str::<u64>("1 2").is_err());
+        assert!(from_str::<Vec<u64>>("[1,]").is_err());
+        assert!(from_str::<String>("\"open").is_err());
+    }
+}
