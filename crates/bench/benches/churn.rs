@@ -1,0 +1,121 @@
+//! Churn-throughput benchmark of the incremental placement engine.
+//!
+//! Full scale: an Ark-like general topology with |V| = 1000 and
+//! |F| = 10000 flow spans, replaying the first 5000 churn events.
+//! The `incremental` target drives the event-driven engine (bounded
+//! local repair, no oracle); `forced_replan` runs the per-event
+//! from-scratch GTP baseline on a small event prefix — its per-event
+//! cost is scale-independent here, so events/sec can be compared
+//! directly against the incremental target's.
+//!
+//! Smoke mode (`TDMD_BENCH_SMOKE=1`, used by CI) shrinks the scenario
+//! to |V| = 100 / |F| = 300 so one iteration finishes in well under a
+//! second while still exercising the whole pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdmd_bench::{tuned_group, BENCH_SEED};
+use tdmd_graph::generators::ark::ark_like;
+use tdmd_graph::DiGraph;
+use tdmd_online::{events_from_spans, FlowSpan, HopPricer, OnlineEngine, RepairPolicy, TimedEvent};
+use tdmd_traffic::{general_workload, WorkloadConfig};
+
+/// CI smoke mode: tiny scenario, same code paths.
+fn smoke() -> bool {
+    std::env::var("TDMD_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+struct Churn {
+    graph: DiGraph,
+    lambda: f64,
+    k: usize,
+    events: Vec<TimedEvent>,
+}
+
+/// Builds the churn scenario: random flow lifetimes over a fixed
+/// horizon on an Ark-like topology.
+fn build() -> Churn {
+    let (size, flows_n, clusters, k, max_events) = if smoke() {
+        (100, 300, 5, 10, 600)
+    } else {
+        (1000, 10_000, 20, 32, 5000)
+    };
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let graph = ark_like(size, clusters, &mut rng);
+    let dests: Vec<u32> = (0..3.min(clusters as u32)).collect();
+    let flows = general_workload(
+        &graph,
+        &dests,
+        &WorkloadConfig::with_count(flows_n),
+        &mut rng,
+    );
+    let horizon = 1_000_000u64;
+    let spans: Vec<FlowSpan> = flows
+        .into_iter()
+        .map(|flow| {
+            let start_us = rng.gen_range(0..horizon);
+            let hold = rng.gen_range(1..horizon / 4);
+            FlowSpan {
+                start_us,
+                end_us: start_us + hold,
+                flow,
+            }
+        })
+        .collect();
+    let mut events = events_from_spans(&spans);
+    events.truncate(max_events);
+    Churn {
+        graph,
+        lambda: 0.5,
+        k,
+        events,
+    }
+}
+
+fn replay(churn: &Churn, policy: RepairPolicy, events: &[TimedEvent]) -> f64 {
+    let mut engine = OnlineEngine::new(
+        churn.graph.clone(),
+        churn.lambda,
+        churn.k,
+        HopPricer::default(),
+        policy,
+    )
+    .expect("valid lambda");
+    for ev in events {
+        engine.apply(&ev.event).expect("generated events are valid");
+    }
+    engine.objective()
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let churn = build();
+    let mut g = tuned_group(c, "churn");
+
+    // Bounded local repair only — the streaming fast path.
+    g.bench_function(format!("incremental_{}ev", churn.events.len()), |b| {
+        b.iter(|| replay(&churn, RepairPolicy::local_only(4), &churn.events))
+    });
+
+    // Default policy: local repair + periodic drift-sampled replans.
+    g.bench_function(format!("drift_sampled_{}ev", churn.events.len()), |b| {
+        b.iter(|| replay(&churn, RepairPolicy::default(), &churn.events))
+    });
+
+    // Per-event from-scratch GTP on a short prefix (its per-event
+    // cost dwarfs the incremental engine's; normalize by event count
+    // when comparing).
+    let prefix = &churn.events[..churn.events.len().min(if smoke() { 20 } else { 64 })];
+    g.bench_function(format!("forced_replan_{}ev", prefix.len()), |b| {
+        b.iter(|| replay(&churn, RepairPolicy::forced_replan(), prefix))
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_churn
+}
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 pub mod chain;
 pub mod evaluate;
 pub mod place;
+pub mod stream;
 pub mod topo;
 pub mod workload;
 

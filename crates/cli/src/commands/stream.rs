@@ -1,0 +1,299 @@
+//! `tdmd stream` — span-file generation and churn replay.
+//!
+//! `stream gen` lowers a static workload to a span file (each flow
+//! gets a random lifetime inside the scenario horizon); `stream run`
+//! replays a span file through the incremental engine and reports
+//! per-event repair latency percentiles, throughput, and the
+//! objective-vs-oracle gap.
+
+use std::time::Instant;
+
+use crate::args::Args;
+use crate::commands::{load_topology, load_workload, write_out};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdmd_online::{events_from_spans, FlowSpan, HopPricer, OnlineEngine, PathPricer, RepairPolicy};
+
+/// `tdmd stream gen --workload wl.json --duration D [--mean-hold H]
+/// [--seed S] --out spans.json`
+///
+/// Every flow of the workload receives a uniform-random arrival in
+/// `[0, D − 1]` and an exponential-ish hold time around `H`
+/// (clamped to at least 1 µs), producing a churn scenario with the
+/// same spatial structure as the static workload.
+pub fn generate(args: &Args) -> Result<String, String> {
+    let flows = load_workload(args.required("workload")?)?;
+    let duration: u64 = args.num("duration", 1_000_000)?;
+    if duration == 0 {
+        return Err("--duration must be positive".to_string());
+    }
+    let mean_hold: u64 = args.num("mean-hold", duration / 4)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let out_path = args.required("out")?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spans: Vec<FlowSpan> = flows
+        .into_iter()
+        .map(|flow| {
+            let start_us = rng.gen_range(0..duration);
+            // Geometric-flavoured hold time: the product of a uniform
+            // pair stretches the tail without needing a distr crate.
+            let u = (rng.gen_range(1..=1000) as f64) / 1000.0;
+            let hold = ((-u.ln()) * mean_hold.max(1) as f64).ceil() as u64;
+            FlowSpan {
+                start_us,
+                end_us: start_us + hold.max(1),
+                flow,
+            }
+        })
+        .collect();
+
+    let n = spans.len();
+    let json = serde_json::to_string_pretty(&spans).map_err(|e| e.to_string())?;
+    write_out(out_path, &json)?;
+    Ok(format!(
+        "{n} spans over [0, {duration}) µs (mean hold ≈ {mean_hold} µs) written to {out_path}\n"
+    ))
+}
+
+/// Loads a span JSON file (a `Vec<FlowSpan>`).
+pub fn load_spans(path: &str) -> Result<Vec<FlowSpan>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// Percentile of a sorted sample (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// `tdmd stream run --topo t.json --spans spans.json --lambda L --k K
+/// [--policy incremental|replanned] [--move-budget N] [--eps E]
+/// [--sample-every N] [--oracle-every N]`
+///
+/// Replays the span file event by event, measuring the wall-clock
+/// latency of each apply+repair step, and samples the gap between the
+/// maintained objective and a from-scratch GTP solve every
+/// `--oracle-every` events (0 disables gap sampling; the final event
+/// is always sampled).
+pub fn run(args: &Args) -> Result<String, String> {
+    let graph = load_topology(args.required("topo")?)?;
+    let spans = load_spans(args.required("spans")?)?;
+    let lambda: f64 = args.num_required("lambda")?;
+    let k: usize = args.num_required("k")?;
+    let policy_name = args.optional("policy").unwrap_or("incremental");
+    let policy = match policy_name {
+        "incremental" => RepairPolicy {
+            move_budget: args.num("move-budget", 4)?,
+            drift_eps: args.num("eps", 0.05)?,
+            sample_every: args.num("sample-every", 256)?,
+            force_replan: false,
+        },
+        "replanned" => RepairPolicy::forced_replan(),
+        other => return Err(format!("unknown policy '{other}' (incremental|replanned)")),
+    };
+    let oracle_every: u64 = args.num("oracle-every", 0)?;
+
+    let pricer = HopPricer::default();
+    let mut engine = OnlineEngine::new(graph, lambda, k, HopPricer::default(), policy)
+        .map_err(|e| e.to_string())?;
+    let events = events_from_spans(&spans);
+    if events.is_empty() {
+        return Ok("no events (every span is zero-length)\n".to_string());
+    }
+
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(events.len());
+    let mut gaps: Vec<f64> = Vec::new();
+    let total = events.len() as u64;
+    let replay_start = Instant::now();
+    for (i, ev) in events.iter().enumerate() {
+        let t0 = Instant::now();
+        engine.apply(&ev.event).map_err(|e| e.to_string())?;
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+
+        let is_last = i as u64 + 1 == total;
+        let sampled = oracle_every > 0 && (i as u64 + 1).is_multiple_of(oracle_every);
+        if (sampled || is_last) && engine.active_count() > 0 {
+            let inst = engine.snapshot_instance().map_err(|e| e.to_string())?;
+            if let Ok(oracle) = pricer.solve_oracle(&inst) {
+                let oracle_obj = engine.evaluate_deployment(&oracle);
+                if oracle_obj > 0.0 {
+                    gaps.push(engine.objective() / oracle_obj - 1.0);
+                }
+            }
+        }
+    }
+    let replay_secs = replay_start.elapsed().as_secs_f64();
+
+    latencies_us.sort_by(f64::total_cmp);
+    let stats = engine.stats();
+    let mut out = format!(
+        "policy:       {policy_name}\nevents:       {total} ({} arrivals, {} departures)\n\
+         events/sec:   {:.0}\nlatency p50:  {:.1} µs\nlatency p90:  {:.1} µs\n\
+         latency p99:  {:.1} µs\nlatency max:  {:.1} µs\n",
+        stats.arrivals,
+        stats.departures,
+        total as f64 / replay_secs.max(1e-9),
+        percentile(&latencies_us, 50.0),
+        percentile(&latencies_us, 90.0),
+        percentile(&latencies_us, 99.0),
+        latencies_us.last().copied().unwrap_or(0.0),
+    );
+    out.push_str(&format!(
+        "repairs:      {} adds, {} drops, {} swaps, {} replans\n",
+        stats.adds, stats.drops, stats.swaps, stats.replans
+    ));
+    if gaps.is_empty() {
+        out.push_str("oracle gap:   n/a (stream drained or oracle infeasible)\n");
+    } else {
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let max = gaps.iter().cloned().fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "oracle gap:   mean {:.2}% / max {:.2}% over {} samples\n",
+            100.0 * mean,
+            100.0 * max,
+            gaps.len()
+        ));
+    }
+    out.push_str(&format!(
+        "final state:  {} active flows, objective {:.2}, {} middleboxes\n",
+        engine.active_count(),
+        engine.exact_objective(),
+        engine.deployment().len()
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::{topo, workload};
+
+    fn args(pairs: &[(&str, &str)]) -> Args {
+        let flat: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        Args::parse(&flat).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("tdmd-cli-test-{name}"))
+            .display()
+            .to_string()
+    }
+
+    fn fixture() -> (String, String) {
+        let topo_path = tmp("stream-topo.json");
+        topo::generate(&args(&[
+            ("kind", "tree"),
+            ("size", "14"),
+            ("out", &topo_path),
+        ]))
+        .unwrap();
+        let wl_path = tmp("stream-wl.json");
+        workload::generate(&args(&[
+            ("topo", &topo_path),
+            ("count", "10"),
+            ("out", &wl_path),
+        ]))
+        .unwrap();
+        (topo_path, wl_path)
+    }
+
+    #[test]
+    fn gen_writes_a_replayable_span_file() {
+        let (_topo, wl) = fixture();
+        let spans_path = tmp("stream-spans.json");
+        let report = generate(&args(&[
+            ("workload", &wl),
+            ("duration", "1000"),
+            ("seed", "7"),
+            ("out", &spans_path),
+        ]))
+        .unwrap();
+        assert!(report.contains("10 spans"));
+        let spans = load_spans(&spans_path).unwrap();
+        assert_eq!(spans.len(), 10);
+        assert!(spans.iter().all(|s| s.start_us < s.end_us));
+    }
+
+    #[test]
+    fn run_reports_latency_and_oracle_gap() {
+        let (topo_path, wl) = fixture();
+        let spans_path = tmp("stream-run-spans.json");
+        generate(&args(&[
+            ("workload", &wl),
+            ("duration", "1000"),
+            ("seed", "7"),
+            ("out", &spans_path),
+        ]))
+        .unwrap();
+        for policy in ["incremental", "replanned"] {
+            let report = run(&args(&[
+                ("topo", &topo_path),
+                ("spans", &spans_path),
+                ("lambda", "0.5"),
+                ("k", "4"),
+                ("policy", policy),
+                ("oracle-every", "5"),
+            ]))
+            .unwrap();
+            assert!(report.contains("latency p99:"), "{policy}: {report}");
+            assert!(report.contains("oracle gap:"), "{policy}: {report}");
+            assert!(report.contains("0 active flows"), "{policy}: {report}");
+        }
+    }
+
+    #[test]
+    fn replanned_policy_reports_a_zero_gap() {
+        let (topo_path, wl) = fixture();
+        let spans_path = tmp("stream-zero-gap-spans.json");
+        generate(&args(&[
+            ("workload", &wl),
+            ("duration", "500"),
+            ("seed", "3"),
+            ("out", &spans_path),
+        ]))
+        .unwrap();
+        let report = run(&args(&[
+            ("topo", &topo_path),
+            ("spans", &spans_path),
+            ("lambda", "0.5"),
+            ("k", "6"),
+            ("policy", "replanned"),
+            ("oracle-every", "1"),
+        ]))
+        .unwrap();
+        assert!(
+            report.contains("mean 0.00% / max 0.00%"),
+            "forced replans track the oracle exactly: {report}"
+        );
+    }
+
+    #[test]
+    fn bad_policy_is_rejected() {
+        let (topo_path, wl) = fixture();
+        let spans_path = tmp("stream-badpolicy-spans.json");
+        generate(&args(&[
+            ("workload", &wl),
+            ("duration", "100"),
+            ("out", &spans_path),
+        ]))
+        .unwrap();
+        let err = run(&args(&[
+            ("topo", &topo_path),
+            ("spans", &spans_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+            ("policy", "psychic"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown policy"));
+    }
+}

@@ -8,6 +8,9 @@
 //! tdmd place --topo topo.json --workload wl.json --lambda 0.5 --k 8 \
 //!            --algorithm gtp --out plan.json
 //! tdmd evaluate --topo topo.json --workload wl.json --lambda 0.5 --k 8 --plan plan.json
+//! tdmd stream gen --workload wl.json --duration 100000 --seed 3 --out spans.json
+//! tdmd stream run --topo topo.json --spans spans.json --lambda 0.5 --k 8 \
+//!                 --policy incremental --oracle-every 64
 //! ```
 
 use tdmd_cli::args::Args;
@@ -53,6 +56,15 @@ fn run(argv: &[String]) -> Result<String, String> {
                 other => Err(format!("unknown chain subcommand '{other}'")),
             }
         }
+        "stream" => {
+            let (sub, rest) = rest.split_first().ok_or_else(usage)?;
+            let args = Args::parse(rest)?;
+            match sub.as_str() {
+                "gen" => commands::stream::generate(&args),
+                "run" => commands::stream::run(&args),
+                other => Err(format!("unknown stream subcommand '{other}'")),
+            }
+        }
         "place" => commands::place::place(&Args::parse(rest)?),
         "evaluate" => commands::evaluate::evaluate(&Args::parse(rest)?),
         "--help" | "-h" | "help" => Ok(usage()),
@@ -61,7 +73,8 @@ fn run(argv: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: tdmd <topo gen|topo stats|topo dot|workload gen|place|evaluate|chain place> [--flag value ...]\n\
+    "usage: tdmd <topo gen|topo stats|topo dot|workload gen|place|evaluate|\
+     chain place|stream gen|stream run> [--flag value ...]\n\
      see the crate docs for the full flag list"
         .to_string()
 }

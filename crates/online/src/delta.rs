@@ -1,0 +1,590 @@
+//! [`DeltaState`] — the incrementally-maintained mirror of the static
+//! CSR flow index.
+//!
+//! The static engine compiles the whole workload into one immutable
+//! CSR arena; a stream cannot. `DeltaState` keeps the same
+//! information — per-vertex `(flow, gain)` rows, per-flow serving
+//! assignments, and the objective — under churn, with every update
+//! touching only the affected flow's path:
+//!
+//! # Invariants
+//!
+//! 1. **Row mirror** — for every vertex `v`, `rows[v]` holds exactly
+//!    one entry per *active* flow whose path crosses `v`, and the
+//!    flow's `row_pos` back-pointers index those entries (so a
+//!    departure removes its entries by `swap_remove` in O(path
+//!    length) without scanning).
+//! 2. **Assignment optimality** — each active flow's `assigned` is
+//!    the deployed on-path vertex maximizing `(gain, smaller id)`, or
+//!    `None` when no deployed vertex lies on its path; this matches
+//!    the forced allocation of the static `allocate` (§3.1)
+//!    deterministically, tie-break included.
+//! 3. **Running objective** — `unprocessed = Σ r_f · cost(p_f)` and
+//!    `saved = Σ_{assigned} r_f · (1 − λ) · gain` over active flows,
+//!    so `objective() = unprocessed − saved` in O(1). `primary_load[v]`
+//!    is the `saved` share of the flows assigned to `v` — an upper
+//!    bound on the objective loss of undeploying `v` (flows re-home
+//!    to their second-best box, recovering part of it).
+//!
+//! All three are restored by every mutation (insert, remove, commit,
+//! rehome, rebuild); the engine's repair logic relies on them.
+
+use std::collections::HashMap;
+
+use tdmd_core::Deployment;
+use tdmd_graph::NodeId;
+use tdmd_traffic::Flow;
+
+use crate::event::FlowKey;
+
+/// An active flow with its arrival-time pricing and current serving
+/// assignment.
+#[derive(Debug, Clone)]
+pub struct ActiveFlow {
+    /// Stream-stable key the flow arrived under.
+    pub key: FlowKey,
+    /// Rate `r_f`.
+    pub rate: u64,
+    /// Path `p_f`.
+    pub path: Vec<NodeId>,
+    /// Per-position serving gains (pricer output, fixed at arrival).
+    pub gains: Vec<f64>,
+    /// Unprocessed metric of the whole path.
+    pub cost: f64,
+    /// Serving middlebox and its gain, if any deployed vertex lies on
+    /// the path.
+    pub assigned: Option<(NodeId, f64)>,
+    /// Arrival sequence number — the canonical densification order.
+    pub seq: u64,
+    /// `row_pos[i]` = index of this flow's entry within
+    /// `rows[path[i]]`.
+    row_pos: Vec<u32>,
+}
+
+/// One per-vertex row entry: which flow slot, at which path position.
+/// The gain is read through the slot (`flows[slot].gains[pos]`) so a
+/// row entry never goes stale.
+#[derive(Debug, Clone, Copy)]
+struct RowEntry {
+    slot: u32,
+    pos: u32,
+}
+
+/// Incrementally-maintained flow index, assignments and objective.
+#[derive(Debug, Clone)]
+pub struct DeltaState {
+    lambda: f64,
+    /// Flow slots; `None` marks a freed slot awaiting reuse.
+    flows: Vec<Option<ActiveFlow>>,
+    free: Vec<u32>,
+    key_to_slot: HashMap<FlowKey, u32>,
+    /// Per-vertex rows — the mutable analogue of the CSR arena.
+    rows: Vec<Vec<RowEntry>>,
+    unprocessed: f64,
+    saved: f64,
+    /// Per-vertex saved share of the flows assigned there.
+    primary_load: Vec<f64>,
+    active: usize,
+    next_seq: u64,
+}
+
+/// `(gain, smaller id)` assignment preference (invariant 2).
+#[inline]
+fn better_assignment(cand: (NodeId, f64), cur: Option<(NodeId, f64)>) -> bool {
+    match cur {
+        None => true,
+        Some((cv, cg)) => cand.1 > cg || (cand.1 == cg && cand.0 < cv),
+    }
+}
+
+impl DeltaState {
+    /// Empty state over a topology of `n` vertices with
+    /// traffic-changing ratio `lambda`.
+    pub fn new(n: usize, lambda: f64) -> Self {
+        Self {
+            lambda,
+            flows: Vec::new(),
+            free: Vec::new(),
+            key_to_slot: HashMap::new(),
+            rows: vec![Vec::new(); n],
+            unprocessed: 0.0,
+            saved: 0.0,
+            primary_load: vec![0.0; n],
+            active: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// `1 − λ`, the diminishing factor every saving is scaled by.
+    #[inline]
+    fn factor(&self) -> f64 {
+        1.0 - self.lambda
+    }
+
+    /// Number of active flows.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// True if `key` is currently active.
+    #[inline]
+    pub fn is_active(&self, key: FlowKey) -> bool {
+        self.key_to_slot.contains_key(&key)
+    }
+
+    /// Running objective: unprocessed total minus savings (invariant
+    /// 3). O(1), but accumulates float drift under long streams — see
+    /// [`DeltaState::exact_objective`].
+    #[inline]
+    pub fn objective(&self) -> f64 {
+        self.unprocessed - self.saved
+    }
+
+    /// The active flow stored under `key`.
+    pub fn flow(&self, key: FlowKey) -> Option<&ActiveFlow> {
+        let &slot = self.key_to_slot.get(&key)?;
+        self.flows[slot as usize].as_ref()
+    }
+
+    /// Per-vertex saved share (the swap-repair victim metric).
+    #[inline]
+    pub fn primary_load(&self, v: NodeId) -> f64 {
+        self.primary_load[v as usize]
+    }
+
+    /// Active flow slots in arrival (seq) order — the canonical
+    /// densification order for oracle snapshots.
+    fn slots_in_seq_order(&self) -> Vec<u32> {
+        let mut slots: Vec<u32> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|_| i as u32))
+            .collect();
+        slots.sort_by_key(|&s| self.flows[s as usize].as_ref().expect("live slot").seq);
+        slots
+    }
+
+    /// Densified snapshot of the active flows (ids re-assigned
+    /// `0..n` in arrival order) — the workload of the from-scratch
+    /// oracle.
+    pub fn active_snapshot(&self) -> Vec<Flow> {
+        self.slots_in_seq_order()
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let f = self.flows[s as usize].as_ref().expect("live slot");
+                Flow::new(i as u32, f.rate, f.path.clone())
+            })
+            .collect()
+    }
+
+    /// Objective recomputed from scratch, flow by flow in arrival
+    /// order — term-for-term the same sum as the static
+    /// `FlowIndex::bandwidth_of` evaluates on the densified snapshot,
+    /// so the two agree *exactly* (bitwise), not just approximately.
+    pub fn exact_objective(&self) -> f64 {
+        let factor = self.factor();
+        self.slots_in_seq_order()
+            .into_iter()
+            .map(|s| {
+                let f = self.flows[s as usize].as_ref().expect("live slot");
+                let full = f.rate as f64 * f.cost;
+                match f.assigned {
+                    Some((_, g)) => full - f.rate as f64 * factor * g,
+                    None => full,
+                }
+            })
+            .sum::<f64>()
+            // `Sum<f64>` folds from -0.0, so a drained state would
+            // otherwise report a negative zero.
+            + 0.0
+    }
+
+    /// Marginal objective decrement of deploying on `v` given the
+    /// current assignments — Def. 2 maintained incrementally: only
+    /// `rows[v]` is scanned.
+    pub fn marginal_gain(&self, v: NodeId) -> f64 {
+        let factor = self.factor();
+        self.rows[v as usize]
+            .iter()
+            .map(|e| {
+                let f = self.flows[e.slot as usize]
+                    .as_ref()
+                    .expect("row entry is live");
+                let g = f.gains[e.pos as usize];
+                let cur = f.assigned.map_or(0.0, |(_, cg)| cg);
+                if g > cur {
+                    f.rate as f64 * factor * (g - cur)
+                } else {
+                    0.0
+                }
+            })
+            .sum()
+    }
+
+    /// Inserts an arriving flow and computes its assignment against
+    /// `deployment`. Returns the flow's path vertices (the caller
+    /// dirties them). O(path length).
+    ///
+    /// # Panics
+    /// Panics if `key` is already active or `gains` does not match the
+    /// path length — the engine validates events before applying them.
+    pub fn insert(
+        &mut self,
+        key: FlowKey,
+        rate: u64,
+        path: Vec<NodeId>,
+        gains: Vec<f64>,
+        cost: f64,
+        deployment: &Deployment,
+    ) -> Vec<NodeId> {
+        assert!(!self.key_to_slot.contains_key(&key), "duplicate flow key");
+        assert_eq!(gains.len(), path.len(), "one gain per path position");
+        let factor = self.factor();
+        // Best deployed on-path vertex under the (gain, smaller id)
+        // preference.
+        let mut assigned: Option<(NodeId, f64)> = None;
+        for (pos, &v) in path.iter().enumerate() {
+            if deployment.contains(v) && better_assignment((v, gains[pos]), assigned) {
+                assigned = Some((v, gains[pos]));
+            }
+        }
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.flows.push(None);
+                (self.flows.len() - 1) as u32
+            }
+        };
+        let mut row_pos = Vec::with_capacity(path.len());
+        for (pos, &v) in path.iter().enumerate() {
+            let row = &mut self.rows[v as usize];
+            row_pos.push(row.len() as u32);
+            row.push(RowEntry {
+                slot,
+                pos: pos as u32,
+            });
+        }
+        self.unprocessed += rate as f64 * cost;
+        if let Some((v, g)) = assigned {
+            let s = rate as f64 * factor * g;
+            self.saved += s;
+            self.primary_load[v as usize] += s;
+        }
+        let dirty = path.clone();
+        self.flows[slot as usize] = Some(ActiveFlow {
+            key,
+            rate,
+            path,
+            gains,
+            cost,
+            assigned,
+            seq: self.next_seq,
+            row_pos,
+        });
+        self.next_seq += 1;
+        self.key_to_slot.insert(key, slot);
+        self.active += 1;
+        dirty
+    }
+
+    /// Removes a departing flow, subtracting its contributions and
+    /// unlinking its row entries. Returns its path vertices (the
+    /// caller dirties them). O(path length).
+    ///
+    /// # Panics
+    /// Panics if `key` is not active.
+    pub fn remove(&mut self, key: FlowKey) -> Vec<NodeId> {
+        let slot = self
+            .key_to_slot
+            .remove(&key)
+            .expect("departure of an unknown flow key");
+        let flow = self.flows[slot as usize].take().expect("slot is live");
+        let factor = self.factor();
+        self.unprocessed -= flow.rate as f64 * flow.cost;
+        if let Some((v, g)) = flow.assigned {
+            let s = flow.rate as f64 * factor * g;
+            self.saved -= s;
+            self.primary_load[v as usize] -= s;
+        }
+        for (pos, &v) in flow.path.iter().enumerate() {
+            let idx = flow.row_pos[pos] as usize;
+            let row = &mut self.rows[v as usize];
+            row.swap_remove(idx);
+            if idx < row.len() {
+                // Fix the back-pointer of the entry that moved into
+                // `idx`. A simple path visits each vertex once, so the
+                // moved entry belongs to a *different* (live) flow.
+                let moved = row[idx];
+                self.flows[moved.slot as usize]
+                    .as_mut()
+                    .expect("moved row entry is live")
+                    .row_pos[moved.pos as usize] = idx as u32;
+            }
+        }
+        self.free.push(slot);
+        self.active -= 1;
+        flow.path
+    }
+
+    /// Re-homes every flow whose serving gain improves under a newly
+    /// deployed `v` (invariant 2 restoration after an insert into the
+    /// deployment). Returns the dirtied vertices: the full paths of
+    /// every re-homed flow (their marginal gains changed everywhere).
+    pub fn commit(&mut self, v: NodeId) -> Vec<NodeId> {
+        let factor = self.factor();
+        let mut dirty = Vec::new();
+        let entries: Vec<RowEntry> = self.rows[v as usize].clone();
+        for e in entries {
+            let f = self.flows[e.slot as usize]
+                .as_mut()
+                .expect("row entry is live");
+            let g = f.gains[e.pos as usize];
+            if !better_assignment((v, g), f.assigned) {
+                continue;
+            }
+            if let Some((ov, og)) = f.assigned {
+                let s = f.rate as f64 * factor * og;
+                self.saved -= s;
+                self.primary_load[ov as usize] -= s;
+            }
+            let s = f.rate as f64 * factor * g;
+            self.saved += s;
+            self.primary_load[v as usize] += s;
+            f.assigned = Some((v, g));
+            dirty.extend_from_slice(&f.path);
+        }
+        dirty
+    }
+
+    /// Re-homes every flow assigned to `v` after `v` was removed from
+    /// `deployment` (which must no longer contain `v`). Returns the
+    /// dirtied vertices. O(Σ path length of the affected flows).
+    pub fn rehome_from(&mut self, v: NodeId, deployment: &Deployment) -> Vec<NodeId> {
+        debug_assert!(!deployment.contains(v), "remove v before re-homing");
+        let factor = self.factor();
+        let orphans: Vec<u32> = self.rows[v as usize]
+            .iter()
+            .filter(|e| {
+                self.flows[e.slot as usize]
+                    .as_ref()
+                    .expect("row entry is live")
+                    .assigned
+                    .is_some_and(|(av, _)| av == v)
+            })
+            .map(|e| e.slot)
+            .collect();
+        let mut dirty = Vec::new();
+        for slot in orphans {
+            let f = self.flows[slot as usize].as_mut().expect("orphan is live");
+            let old = f.assigned.expect("orphan was assigned").1;
+            let mut next: Option<(NodeId, f64)> = None;
+            for (pos, &u) in f.path.iter().enumerate() {
+                if deployment.contains(u) && better_assignment((u, f.gains[pos]), next) {
+                    next = Some((u, f.gains[pos]));
+                }
+            }
+            let s_old = f.rate as f64 * factor * old;
+            self.saved -= s_old;
+            self.primary_load[v as usize] -= s_old;
+            if let Some((nv, ng)) = next {
+                let s = f.rate as f64 * factor * ng;
+                self.saved += s;
+                self.primary_load[nv as usize] += s;
+            }
+            f.assigned = next;
+            dirty.extend_from_slice(&f.path);
+        }
+        dirty
+    }
+
+    /// Exact objective increase of undeploying `v` under `deployment`
+    /// (which still contains `v`): each flow assigned to `v` falls
+    /// back to its second-best deployed box. Never exceeds
+    /// [`DeltaState::primary_load`] of `v`.
+    pub fn removal_loss(&self, v: NodeId, deployment: &Deployment) -> f64 {
+        let factor = self.factor();
+        let mut loss = 0.0;
+        for e in &self.rows[v as usize] {
+            let f = self.flows[e.slot as usize]
+                .as_ref()
+                .expect("row entry is live");
+            let Some((av, ag)) = f.assigned else { continue };
+            if av != v {
+                continue;
+            }
+            let mut second = 0.0f64;
+            for (pos, &u) in f.path.iter().enumerate() {
+                if u != v && deployment.contains(u) && f.gains[pos] > second {
+                    second = f.gains[pos];
+                }
+            }
+            loss += f.rate as f64 * factor * (ag - second);
+        }
+        loss
+    }
+
+    /// Recomputes every assignment and all running sums from scratch
+    /// against `deployment` (after a full replan adopts a new
+    /// deployment wholesale). Sums are rebuilt in arrival order, so
+    /// the running objective coincides with
+    /// [`DeltaState::exact_objective`] right after a rebuild.
+    pub fn rebuild_assignments(&mut self, deployment: &Deployment) {
+        let factor = self.factor();
+        self.primary_load.iter_mut().for_each(|l| *l = 0.0);
+        self.saved = 0.0;
+        self.unprocessed = 0.0;
+        for slot in self.slots_in_seq_order() {
+            let f = self.flows[slot as usize].as_mut().expect("live slot");
+            let mut best: Option<(NodeId, f64)> = None;
+            for (pos, &u) in f.path.iter().enumerate() {
+                if deployment.contains(u) && better_assignment((u, f.gains[pos]), best) {
+                    best = Some((u, f.gains[pos]));
+                }
+            }
+            f.assigned = best;
+            self.unprocessed += f.rate as f64 * f.cost;
+            if let Some((v, g)) = best {
+                let s = f.rate as f64 * factor * g;
+                self.saved += s;
+                self.primary_load[v as usize] += s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricer::{HopPricer, PathPricer};
+
+    /// Inserts a flow priced by hop count.
+    fn add(state: &mut DeltaState, key: FlowKey, rate: u64, path: Vec<NodeId>, dep: &Deployment) {
+        let f = Flow::new(0, rate, path.clone());
+        let pricer = HopPricer::default();
+        let gains = pricer.gains(&f);
+        let cost = pricer.unprocessed_cost(&f);
+        state.insert(key, rate, path, gains, cost, dep);
+    }
+
+    #[test]
+    fn objective_tracks_arrivals_and_departures() {
+        let mut st = DeltaState::new(4, 0.5);
+        let dep = Deployment::from_vertices(4, [1]);
+        add(&mut st, 7, 2, vec![3, 2, 1, 0], &dep); // gain at v1 = 1
+        assert_eq!(st.active_count(), 1);
+        // unprocessed 2*3 = 6; saved 2*0.5*1 = 1.
+        assert_eq!(st.objective(), 5.0);
+        assert_eq!(st.exact_objective(), 5.0);
+        add(&mut st, 8, 4, vec![2, 1, 0], &dep); // gain at v1 = 1
+                                                 // + unprocessed 4*2 = 8, + saved 4*0.5*1 = 2.
+        assert_eq!(st.objective(), 11.0);
+        let dirty = st.remove(7);
+        assert_eq!(dirty, vec![3, 2, 1, 0]);
+        assert_eq!(st.objective(), 6.0);
+        st.remove(8);
+        assert_eq!(st.objective(), 0.0);
+        assert_eq!(st.active_count(), 0);
+        // Not the empty `Sum<f64>`'s -0.0 — a drained state must
+        // format as "0.00", not "-0.00".
+        assert!(st.exact_objective().is_sign_positive());
+    }
+
+    #[test]
+    fn commit_rehomes_to_better_boxes() {
+        let mut st = DeltaState::new(4, 0.0);
+        let mut dep = Deployment::from_vertices(4, [1]);
+        add(&mut st, 0, 1, vec![3, 2, 1, 0], &dep);
+        assert_eq!(st.objective(), 2.0); // 3 hops − gain 1
+        dep.insert(3);
+        let dirty = st.commit(3);
+        assert_eq!(dirty, vec![3, 2, 1, 0]);
+        assert_eq!(st.objective(), 0.0); // served at the source
+        assert_eq!(st.primary_load(3), 3.0);
+        assert_eq!(st.primary_load(1), 0.0);
+    }
+
+    #[test]
+    fn rehome_from_falls_back_to_second_best() {
+        let mut st = DeltaState::new(4, 0.0);
+        let mut dep = Deployment::from_vertices(4, [1, 3]);
+        add(&mut st, 0, 1, vec![3, 2, 1, 0], &dep);
+        assert_eq!(st.flow(0).unwrap().assigned, Some((3, 3.0)));
+        assert_eq!(st.removal_loss(3, &dep), 2.0); // falls to gain 1 at v1
+        dep.remove(3);
+        st.rehome_from(3, &dep);
+        assert_eq!(st.flow(0).unwrap().assigned, Some((1, 1.0)));
+        assert_eq!(st.objective(), 2.0);
+        assert!(st.primary_load(3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_gain_matches_def2() {
+        let mut st = DeltaState::new(4, 0.5);
+        let dep = Deployment::empty(4);
+        add(&mut st, 0, 2, vec![3, 2, 1, 0], &dep);
+        add(&mut st, 1, 4, vec![2, 1], &dep);
+        // v2 (id 2): f0 gain 2, f1 gain 1 → 0.5*(2*2 + 4*1) = 4.
+        assert_eq!(st.marginal_gain(2), 4.0);
+        // After deploying v2, v3's marginal shrinks to the delta.
+        let mut dep = dep;
+        dep.insert(2);
+        st.commit(2);
+        // v3: f0 gain 3 vs current 2 → 0.5*2*(3−2) = 1.
+        assert_eq!(st.marginal_gain(3), 1.0);
+    }
+
+    #[test]
+    fn snapshot_densifies_in_arrival_order_with_slot_reuse() {
+        let mut st = DeltaState::new(4, 0.5);
+        let dep = Deployment::empty(4);
+        add(&mut st, 10, 1, vec![0, 1], &dep);
+        add(&mut st, 20, 2, vec![1, 2], &dep);
+        st.remove(10);
+        add(&mut st, 30, 3, vec![2, 3], &dep); // reuses slot 0 but arrives last
+        let snap = st.active_snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].id, 0);
+        assert_eq!(snap[0].rate, 2, "key 20 arrived first among survivors");
+        assert_eq!(snap[1].rate, 3);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental_bookkeeping() {
+        let mut st = DeltaState::new(5, 0.3);
+        let mut dep = Deployment::empty(5);
+        add(&mut st, 0, 2, vec![4, 3, 2, 1, 0], &dep);
+        add(&mut st, 1, 5, vec![3, 2, 1], &dep);
+        dep.insert(2);
+        st.commit(2);
+        dep.insert(4);
+        st.commit(4);
+        let incremental = st.objective();
+        let mut rebuilt = st.clone();
+        rebuilt.rebuild_assignments(&dep);
+        assert!((rebuilt.objective() - incremental).abs() < 1e-9);
+        assert_eq!(rebuilt.exact_objective(), st.exact_objective());
+    }
+
+    #[test]
+    fn assignment_tiebreak_prefers_smaller_vertex() {
+        // Two deployed vertices with equal gain 0 at the destination
+        // never happen on simple paths under hop pricing, so force a
+        // tie with λ anything and a custom gains vector.
+        let mut st = DeltaState::new(3, 0.5);
+        let dep = Deployment::from_vertices(3, [1, 2]);
+        st.insert(0, 1, vec![2, 1, 0], vec![1.0, 1.0, 0.0], 2.0, &dep);
+        assert_eq!(st.flow(0).unwrap().assigned, Some((1, 1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flow key")]
+    fn duplicate_keys_are_rejected() {
+        let mut st = DeltaState::new(3, 0.5);
+        let dep = Deployment::empty(3);
+        add(&mut st, 0, 1, vec![0, 1], &dep);
+        add(&mut st, 0, 1, vec![1, 2], &dep);
+    }
+}

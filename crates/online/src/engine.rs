@@ -1,0 +1,577 @@
+//! [`OnlineEngine`] — event-driven incremental placement.
+//!
+//! The engine owns the topology, a [`DeltaState`], a [`LazyQueue`]
+//! and the current deployment, and applies churn events in
+//! O(path length · log V) amortized state touches: an arrival dirties
+//! only the vertices on the new flow's path; a departure subtracts
+//! only the departing flow's contributions. Solution quality is
+//! restored by the [`RepairPolicy`] (see [`crate::repair`]).
+//!
+//! The engine optimizes the diminishing objective; it does not
+//! enforce the coverage constraint per event (a flow no deployed
+//! vertex can profitably serve simply rides at full rate, like the
+//! static best-effort baseline). The drift oracle *does* run the full
+//! budgeted GTP with its feasibility guard, so adopted replans are
+//! feasible whenever the budget allows.
+
+use tdmd_core::{Deployment, Instance, TdmdError};
+use tdmd_graph::{DiGraph, NodeId};
+use tdmd_traffic::Flow;
+
+use crate::delta::DeltaState;
+use crate::event::{Event, FlowKey, TimedEvent};
+use crate::pricer::PathPricer;
+use crate::queue::LazyQueue;
+use crate::repair::{RepairPolicy, RepairStats};
+
+/// Gains below this are treated as zero by the repair loop.
+const GAIN_EPS: f64 = 1e-12;
+
+/// Errors an event stream can raise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineError {
+    /// λ outside `[0, 1]`.
+    BadLambda(f64),
+    /// An arrival's path is degenerate, non-simple, off the topology,
+    /// or its rate is zero.
+    InvalidFlow {
+        /// Offending flow key.
+        key: FlowKey,
+    },
+    /// An arrival reused a key that is still active.
+    DuplicateKey {
+        /// Offending flow key.
+        key: FlowKey,
+    },
+    /// A departure named a key that is not active.
+    UnknownKey {
+        /// Offending flow key.
+        key: FlowKey,
+    },
+}
+
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlineError::BadLambda(l) => write!(f, "lambda {l} outside [0, 1]"),
+            OnlineError::InvalidFlow { key } => write!(f, "flow {key}: invalid path or rate"),
+            OnlineError::DuplicateKey { key } => write!(f, "flow {key} is already active"),
+            OnlineError::UnknownKey { key } => write!(f, "flow {key} is not active"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// Event-driven incremental placement engine, generic over the
+/// pricing (and thereby over PR 1's cost models).
+pub struct OnlineEngine<P: PathPricer> {
+    graph: DiGraph,
+    lambda: f64,
+    k: usize,
+    pricer: P,
+    policy: RepairPolicy,
+    state: DeltaState,
+    queue: LazyQueue,
+    deployment: Deployment,
+    stats: RepairStats,
+}
+
+impl<P: PathPricer> OnlineEngine<P> {
+    /// Creates an engine over `graph` with budget `k`.
+    ///
+    /// # Errors
+    /// [`OnlineError::BadLambda`] if `λ ∉ [0, 1]`.
+    pub fn new(
+        graph: DiGraph,
+        lambda: f64,
+        k: usize,
+        pricer: P,
+        policy: RepairPolicy,
+    ) -> Result<Self, OnlineError> {
+        if !(0.0..=1.0).contains(&lambda) || lambda.is_nan() {
+            return Err(OnlineError::BadLambda(lambda));
+        }
+        let n = graph.node_count();
+        Ok(Self {
+            graph,
+            lambda,
+            k,
+            pricer,
+            policy,
+            state: DeltaState::new(n, lambda),
+            queue: LazyQueue::new(n),
+            deployment: Deployment::empty(n),
+            stats: RepairStats::default(),
+        })
+    }
+
+    /// Current deployment.
+    #[inline]
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// Running objective (O(1); see
+    /// [`DeltaState::exact_objective`] for the drift-free sum).
+    #[inline]
+    pub fn objective(&self) -> f64 {
+        self.state.objective()
+    }
+
+    /// Objective recomputed from scratch in arrival order — bitwise
+    /// equal to the static CSR evaluation of the same snapshot.
+    pub fn exact_objective(&self) -> f64 {
+        self.state.exact_objective()
+    }
+
+    /// Number of active flows.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.state.active_count()
+    }
+
+    /// Repair telemetry.
+    #[inline]
+    pub fn stats(&self) -> &RepairStats {
+        &self.stats
+    }
+
+    /// The maintained per-flow/assignment state.
+    #[inline]
+    pub fn state(&self) -> &DeltaState {
+        &self.state
+    }
+
+    /// Middlebox budget `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Densified [`Instance`] of the current active-flow set — what
+    /// the drift oracle solves.
+    ///
+    /// # Errors
+    /// Propagates [`Instance::new`] validation failures (cannot occur
+    /// for flows the engine accepted).
+    pub fn snapshot_instance(&self) -> Result<Instance, TdmdError> {
+        Instance::new(
+            self.graph.clone(),
+            self.state.active_snapshot(),
+            self.lambda,
+            self.k,
+        )
+    }
+
+    /// Objective the active flows would cost under `dep` (each flow
+    /// served by its best on-path vertex in `dep`), summed in arrival
+    /// order like [`OnlineEngine::exact_objective`].
+    pub fn evaluate_deployment(&self, dep: &Deployment) -> f64 {
+        let mut probe = self.state.clone();
+        probe.rebuild_assignments(dep);
+        probe.exact_objective()
+    }
+
+    /// Applies one event and repairs.
+    ///
+    /// # Errors
+    /// Rejects malformed events ([`OnlineError`]); the engine state
+    /// is unchanged on error.
+    pub fn apply(&mut self, event: &Event) -> Result<(), OnlineError> {
+        match event {
+            Event::FlowArrived { key, rate, path } => self.on_arrival(*key, *rate, path)?,
+            Event::FlowDeparted { key } => self.on_departure(*key)?,
+        }
+        self.stats.events += 1;
+        self.repair();
+        Ok(())
+    }
+
+    /// Applies a whole timed stream in order.
+    ///
+    /// # Errors
+    /// Stops at the first malformed event.
+    pub fn apply_all(&mut self, events: &[TimedEvent]) -> Result<(), OnlineError> {
+        for ev in events {
+            self.apply(&ev.event)?;
+        }
+        Ok(())
+    }
+
+    fn validate_arrival(
+        &self,
+        key: FlowKey,
+        rate: u64,
+        path: &[NodeId],
+    ) -> Result<(), OnlineError> {
+        if self.state.is_active(key) {
+            return Err(OnlineError::DuplicateKey { key });
+        }
+        let invalid = OnlineError::InvalidFlow { key };
+        if rate == 0 || path.len() < 2 {
+            return Err(invalid);
+        }
+        if path
+            .iter()
+            .any(|&v| (v as usize) >= self.graph.node_count())
+        {
+            return Err(invalid);
+        }
+        let mut seen = path.to_vec();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(invalid);
+        }
+        if path.windows(2).any(|w| !self.graph.has_edge(w[0], w[1])) {
+            return Err(invalid);
+        }
+        Ok(())
+    }
+
+    fn on_arrival(&mut self, key: FlowKey, rate: u64, path: &[NodeId]) -> Result<(), OnlineError> {
+        self.validate_arrival(key, rate, path)?;
+        let probe = Flow::new(0, rate, path.to_vec());
+        let gains = self.pricer.gains(&probe);
+        let cost = self.pricer.unprocessed_cost(&probe);
+        let factor = 1.0 - self.lambda;
+        // Gains can only *rise* at the new flow's own vertices; bump
+        // each bound by the flow's maximum contribution there.
+        for (pos, &v) in path.iter().enumerate() {
+            if !self.deployment.contains(v) {
+                self.queue.touch_up(v, rate as f64 * factor * gains[pos]);
+            }
+        }
+        self.state
+            .insert(key, rate, path.to_vec(), gains, cost, &self.deployment);
+        self.stats.arrivals += 1;
+        Ok(())
+    }
+
+    fn on_departure(&mut self, key: FlowKey) -> Result<(), OnlineError> {
+        if !self.state.is_active(key) {
+            return Err(OnlineError::UnknownKey { key });
+        }
+        let dirty = self.state.remove(key);
+        // A departure only shrinks marginal gains: cached bounds stay
+        // valid, just stale.
+        for v in dirty {
+            self.queue.touch_down(v);
+        }
+        self.stats.departures += 1;
+        Ok(())
+    }
+
+    /// Post-event repair per the policy (see [`crate::repair`]).
+    fn repair(&mut self) {
+        let policy = self.policy;
+        let sampled = policy.force_replan
+            || (policy.sample_every > 0 && self.stats.events.is_multiple_of(policy.sample_every));
+        if sampled && self.drift_check(policy.force_replan) {
+            return; // replan adopted: nothing left to repair
+        }
+        self.local_repair(policy.move_budget);
+    }
+
+    /// Commits `v` into the deployment, re-homing improved flows and
+    /// propagating queue invalidations.
+    fn commit(&mut self, v: NodeId) {
+        self.deployment.insert(v);
+        let dirty = self.state.commit(v);
+        for u in dirty {
+            self.queue.touch_down(u);
+        }
+    }
+
+    /// Removes `v` from the deployment; displaced flows fall back to
+    /// their second-best box, which can *raise* other vertices'
+    /// gains — bounds are bumped accordingly and `v` re-enters the
+    /// candidate pool.
+    fn uncommit(&mut self, v: NodeId) {
+        self.deployment.remove(v);
+        let mut dirty = self.state.rehome_from(v, &self.deployment);
+        dirty.sort_unstable();
+        dirty.dedup();
+        for u in dirty {
+            if u != v && !self.deployment.contains(u) {
+                // Re-homed flows lost serving quality, so gains here
+                // may have *risen*; restore the exact bound.
+                let g = self.state.marginal_gain(u);
+                self.queue.reinsert(u, g);
+            }
+        }
+        self.queue.reinsert(v, self.state.marginal_gain(v));
+    }
+
+    fn local_repair(&mut self, move_budget: usize) {
+        // 1. Free drops: a deployed vertex with zero primary load
+        //    loses nothing on removal; reclaim its budget slot.
+        let deployed: Vec<NodeId> = self.deployment.vertices().to_vec();
+        for v in deployed {
+            if !self.deployment.is_empty() && self.state.primary_load(v) <= GAIN_EPS {
+                self.uncommit(v);
+                self.stats.drops += 1;
+            }
+        }
+        // 2. Greedy fill: add best candidates while budget remains
+        //    and gains are positive.
+        while self.deployment.len() < self.k {
+            let Some((v, gain)) = self.settle() else {
+                break;
+            };
+            if gain <= GAIN_EPS {
+                break;
+            }
+            self.queue.take(v);
+            self.commit(v);
+            self.stats.adds += 1;
+        }
+        // 3. Bounded swap repair: replace the lightest-loaded box
+        //    with the queue's best candidate when that provably
+        //    improves the objective (candidate gain exceeds the
+        //    victim's primary load, an upper bound on its removal
+        //    loss).
+        for _ in 0..move_budget {
+            if self.deployment.len() < self.k {
+                break; // spare budget: adds already handled it
+            }
+            let Some((cand, gain)) = self.settle() else {
+                break;
+            };
+            let Some((victim, load)) = self
+                .deployment
+                .vertices()
+                .iter()
+                .map(|&u| (u, self.state.primary_load(u)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+            else {
+                break;
+            };
+            if gain <= load + GAIN_EPS {
+                break; // no provable improvement left
+            }
+            self.queue.take(cand);
+            self.uncommit(victim);
+            self.commit(cand);
+            self.stats.swaps += 1;
+        }
+    }
+
+    /// Settles the lazy queue against the live marginal-gain
+    /// evaluator.
+    fn settle(&mut self) -> Option<(NodeId, f64)> {
+        let state = &self.state;
+        self.queue
+            .settle(&self.deployment, |v| state.marginal_gain(v))
+    }
+
+    /// Samples the from-scratch oracle; adopts its deployment when
+    /// forced or drifted beyond ε. Returns whether a replan was
+    /// adopted.
+    fn drift_check(&mut self, force: bool) -> bool {
+        self.stats.drift_samples += 1;
+        let instance = match self.snapshot_instance() {
+            Ok(i) => i,
+            Err(_) => return false,
+        };
+        let oracle = match self.pricer.solve_oracle(&instance) {
+            Ok(dep) => dep,
+            Err(_) => {
+                self.stats.oracle_failures += 1;
+                return false;
+            }
+        };
+        let oracle_obj = self.evaluate_deployment(&oracle);
+        let current = self.state.objective();
+        self.stats.last_drift = if oracle_obj > 0.0 {
+            current / oracle_obj - 1.0
+        } else {
+            0.0
+        };
+        let drifted = current > oracle_obj * (1.0 + self.policy.drift_eps) + GAIN_EPS;
+        if !(force || drifted) {
+            return false;
+        }
+        self.adopt(oracle);
+        true
+    }
+
+    /// Adopts `new_dep` wholesale: rebuild assignments, then restore
+    /// the queue invariant by re-entering every affected candidate
+    /// with an exact bound (the replan already did strictly more
+    /// work, so this does not change the asymptotics).
+    fn adopt(&mut self, new_dep: Deployment) {
+        let old = std::mem::replace(&mut self.deployment, new_dep);
+        self.state.rebuild_assignments(&self.deployment);
+        self.queue.invalidate_all();
+        for v in 0..self.graph.node_count() as NodeId {
+            if !self.deployment.contains(v)
+                && (old.contains(v) || self.state.marginal_gain(v) > GAIN_EPS)
+            {
+                self.queue.reinsert(v, self.state.marginal_gain(v));
+            }
+        }
+        self.stats.replans += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{events_from_spans, FlowSpan};
+    use crate::pricer::HopPricer;
+    use tdmd_core::objective::bandwidth_of;
+    use tdmd_core::paper::fig1_instance;
+
+    fn fig1_graph() -> tdmd_graph::DiGraph {
+        fig1_instance(2).graph().clone()
+    }
+
+    fn engine(k: usize, policy: RepairPolicy) -> OnlineEngine<HopPricer> {
+        OnlineEngine::new(fig1_graph(), 0.5, k, HopPricer::default(), policy).unwrap()
+    }
+
+    fn arrive(key: FlowKey, rate: u64, path: Vec<NodeId>) -> Event {
+        Event::FlowArrived { key, rate, path }
+    }
+
+    /// Fig. 1's four flows as arrivals (0-based vertex ids).
+    fn fig1_arrivals() -> Vec<Event> {
+        vec![
+            arrive(1, 4, vec![4, 2, 0]),
+            arrive(2, 2, vec![5, 2, 1]),
+            arrive(3, 2, vec![3, 1]),
+            arrive(4, 2, vec![5, 1]),
+        ]
+    }
+
+    #[test]
+    fn greedy_fill_matches_static_gtp_on_fig1() {
+        let mut e = engine(3, RepairPolicy::local_only(0));
+        for ev in fig1_arrivals() {
+            e.apply(&ev).unwrap();
+        }
+        // Static GTP with k = 3 picks {3, 4, 5} for bandwidth 8.
+        assert_eq!(e.deployment().vertices(), &[3, 4, 5]);
+        assert_eq!(e.objective(), 8.0);
+        let inst = e.snapshot_instance().unwrap();
+        assert_eq!(bandwidth_of(&inst, e.deployment()), 8.0);
+    }
+
+    #[test]
+    fn departures_shrink_the_objective_to_zero() {
+        let mut e = engine(2, RepairPolicy::local_only(2));
+        for ev in fig1_arrivals() {
+            e.apply(&ev).unwrap();
+        }
+        for key in [1, 2, 3, 4] {
+            e.apply(&Event::FlowDeparted { key }).unwrap();
+        }
+        assert_eq!(e.active_count(), 0);
+        assert_eq!(e.objective(), 0.0);
+        assert_eq!(e.exact_objective(), 0.0);
+    }
+
+    #[test]
+    fn forced_replan_tracks_the_oracle_exactly() {
+        let mut e = engine(2, RepairPolicy::forced_replan());
+        for ev in fig1_arrivals() {
+            e.apply(&ev).unwrap();
+        }
+        // Per-event GTP with k = 2 ends at {1, 4} (the paper's
+        // feasibility-guard walk-through), bandwidth 12.
+        assert_eq!(e.deployment().vertices(), &[1, 4]);
+        let inst = e.snapshot_instance().unwrap();
+        let oracle = HopPricer::default().solve_oracle(&inst).unwrap();
+        assert_eq!(e.deployment(), &oracle);
+        assert_eq!(e.exact_objective(), bandwidth_of(&inst, &oracle));
+        assert_eq!(e.stats().replans, 4);
+    }
+
+    #[test]
+    fn swap_repair_recovers_after_departures() {
+        // Arrive fig1, then remove the two flows served at v5; the
+        // engine should eventually rehome budget toward the rest.
+        let mut e = engine(2, RepairPolicy::local_only(4));
+        for ev in fig1_arrivals() {
+            e.apply(&ev).unwrap();
+        }
+        let before = e.objective();
+        e.apply(&Event::FlowDeparted { key: 1 }).unwrap();
+        e.apply(&Event::FlowDeparted { key: 2 }).unwrap();
+        assert!(e.objective() < before);
+        // Whatever the deployment now is, the objective must match
+        // its exact evaluation (invariants held through swaps).
+        assert!((e.objective() - e.exact_objective()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_events_are_rejected_without_state_damage() {
+        let mut e = engine(2, RepairPolicy::local_only(0));
+        e.apply(&arrive(1, 4, vec![4, 2, 0])).unwrap();
+        let obj = e.objective();
+        assert_eq!(
+            e.apply(&arrive(1, 1, vec![3, 1])),
+            Err(OnlineError::DuplicateKey { key: 1 })
+        );
+        assert_eq!(
+            e.apply(&arrive(9, 0, vec![3, 1])),
+            Err(OnlineError::InvalidFlow { key: 9 })
+        );
+        assert_eq!(
+            e.apply(&arrive(9, 1, vec![3, 3])),
+            Err(OnlineError::InvalidFlow { key: 9 })
+        );
+        assert_eq!(
+            e.apply(&arrive(9, 1, vec![0, 5])),
+            Err(OnlineError::InvalidFlow { key: 9 }),
+            "no edge 0→5 in fig1"
+        );
+        assert_eq!(
+            e.apply(&arrive(9, 1, vec![0, 99])),
+            Err(OnlineError::InvalidFlow { key: 9 })
+        );
+        assert_eq!(
+            e.apply(&Event::FlowDeparted { key: 42 }),
+            Err(OnlineError::UnknownKey { key: 42 })
+        );
+        assert_eq!(e.objective(), obj);
+        assert_eq!(e.active_count(), 1);
+    }
+
+    #[test]
+    fn span_stream_replays_end_to_end() {
+        let spans = vec![
+            FlowSpan {
+                start_us: 0,
+                end_us: 100,
+                flow: Flow::new(0, 4, vec![4, 2, 0]),
+            },
+            FlowSpan {
+                start_us: 10,
+                end_us: 50,
+                flow: Flow::new(1, 2, vec![5, 2, 1]),
+            },
+        ];
+        let mut e = engine(2, RepairPolicy::default());
+        e.apply_all(&events_from_spans(&spans)).unwrap();
+        assert_eq!(e.active_count(), 0);
+        assert_eq!(e.stats().events, 4);
+        assert_eq!(e.objective(), 0.0);
+    }
+
+    #[test]
+    fn bad_lambda_is_rejected() {
+        assert_eq!(
+            OnlineEngine::new(
+                fig1_graph(),
+                1.5,
+                2,
+                HopPricer::default(),
+                RepairPolicy::default()
+            )
+            .err(),
+            Some(OnlineError::BadLambda(1.5))
+        );
+    }
+}

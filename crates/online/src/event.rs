@@ -1,0 +1,144 @@
+//! The churn event stream and its on-disk span representation.
+//!
+//! A scenario is described either directly as [`Event`]s or as a list
+//! of [`FlowSpan`]s (one lifetime per flow), which
+//! [`events_from_spans`] lowers to a time-ordered event stream. At
+//! equal timestamps departures precede arrivals, matching the
+//! half-open `[start, end)` activity convention of the timeline
+//! simulator — a flow whose span ends exactly when another starts is
+//! never co-active with it, and a zero-length span is never active at
+//! all (it produces no events).
+
+use serde::{Deserialize, Serialize};
+use tdmd_traffic::Flow;
+
+/// Stable identity of a flow across the stream, independent of the
+/// dense slot ids the engine uses internally.
+pub type FlowKey = u64;
+
+/// One flow's lifetime.
+///
+/// This is the canonical span record: the timeline simulator re-exports
+/// it and `tdmd stream` replays JSON lists of it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpan {
+    /// Arrival time (inclusive), microseconds.
+    pub start_us: u64,
+    /// Departure time (exclusive), microseconds.
+    pub end_us: u64,
+    /// The flow (its id is only meaningful within this span list).
+    pub flow: Flow,
+}
+
+/// A churn event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A new flow joins the active set.
+    FlowArrived {
+        /// Stream-stable identity of the flow.
+        key: FlowKey,
+        /// Initial rate `r_f`.
+        rate: u64,
+        /// Path `p_f` as a vertex sequence.
+        path: Vec<tdmd_graph::NodeId>,
+    },
+    /// An active flow leaves.
+    FlowDeparted {
+        /// Key the flow arrived under.
+        key: FlowKey,
+    },
+}
+
+/// An event with its timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Event time, microseconds.
+    pub time_us: u64,
+    /// The event.
+    pub event: Event,
+}
+
+/// Lowers spans to a time-ordered event stream.
+///
+/// The flow key is the span's index in `spans`. Ordering at equal
+/// timestamps is departures first, then arrivals; within each class,
+/// span order. Zero-length spans (`start_us == end_us`) are dropped —
+/// under the half-open activity convention they are never active.
+pub fn events_from_spans(spans: &[FlowSpan]) -> Vec<TimedEvent> {
+    let mut out = Vec::with_capacity(2 * spans.len());
+    for (i, s) in spans.iter().enumerate() {
+        if s.start_us >= s.end_us {
+            continue;
+        }
+        out.push(TimedEvent {
+            time_us: s.start_us,
+            event: Event::FlowArrived {
+                key: i as FlowKey,
+                rate: s.flow.rate,
+                path: s.flow.path.clone(),
+            },
+        });
+        out.push(TimedEvent {
+            time_us: s.end_us,
+            event: Event::FlowDeparted { key: i as FlowKey },
+        });
+    }
+    // Stable sort keeps span order within a (time, class) bucket.
+    out.sort_by_key(|e| {
+        (
+            e.time_us,
+            match e.event {
+                Event::FlowDeparted { .. } => 0u8,
+                Event::FlowArrived { .. } => 1u8,
+            },
+        )
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(start: u64, end: u64, id: u32) -> FlowSpan {
+        FlowSpan {
+            start_us: start,
+            end_us: end,
+            flow: Flow::new(id, 1, vec![0, 1]),
+        }
+    }
+
+    #[test]
+    fn spans_lower_to_sorted_events() {
+        let evs = events_from_spans(&[span(0, 10, 0), span(5, 8, 1)]);
+        let times: Vec<u64> = evs.iter().map(|e| e.time_us).collect();
+        assert_eq!(times, vec![0, 5, 8, 10]);
+        assert!(matches!(evs[0].event, Event::FlowArrived { key: 0, .. }));
+        assert!(matches!(evs[2].event, Event::FlowDeparted { key: 1 }));
+    }
+
+    #[test]
+    fn departures_precede_arrivals_at_equal_times() {
+        let evs = events_from_spans(&[span(0, 5, 0), span(5, 9, 1)]);
+        assert_eq!(evs[1].time_us, 5);
+        assert!(matches!(evs[1].event, Event::FlowDeparted { key: 0 }));
+        assert!(matches!(evs[2].event, Event::FlowArrived { key: 1, .. }));
+    }
+
+    #[test]
+    fn zero_length_spans_produce_no_events() {
+        let evs = events_from_spans(&[span(3, 3, 0), span(0, 1, 1)]);
+        assert_eq!(evs.len(), 2);
+        assert!(evs
+            .iter()
+            .all(|e| !matches!(e.event, Event::FlowArrived { key: 0, .. })));
+    }
+
+    #[test]
+    fn span_serde_round_trip() {
+        let s = span(1, 9, 3);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: FlowSpan = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,39 @@
+//! # tdmd-online — incremental placement under streaming flow churn
+//!
+//! The paper solves a *static* TDMD instance; this crate maintains a
+//! deployment and its flow→middlebox assignment under a stream of
+//! [`Event::FlowArrived`] / [`Event::FlowDeparted`] events without
+//! recomputing from scratch (the Lukovszki–Rost–Schmid incremental
+//! placement setting, applied to the traffic-diminishing objective).
+//!
+//! * [`event`] — the churn event stream and the serializable
+//!   [`FlowSpan`] records a stream is replayed from.
+//! * [`pricer`] — [`PathPricer`], the streaming face of PR 1's
+//!   [`CostModel`](tdmd_core::CostModel): prices one path at arrival
+//!   time, so hop-count, weighted-edge and chain pricing all get
+//!   incremental maintenance through the same engine.
+//! * [`delta`] — [`DeltaState`], the incrementally-maintained mirror
+//!   of the static CSR flow index: per-vertex flow rows with O(1)
+//!   removal, per-flow assignments, and the objective as a running
+//!   sum. Arrivals and departures touch only the flow's own path.
+//! * [`queue`] — [`LazyQueue`], a CELF-style lazy priority queue whose
+//!   cached marginal gains survive across events under epoch-stamped
+//!   invalidation.
+//! * [`engine`] / [`repair`] — [`OnlineEngine`] applies events and
+//!   runs the pluggable [`RepairPolicy`]: greedy adds/drops, bounded
+//!   swap repair, and a drift-triggered full replan against a
+//!   periodically-sampled from-scratch GTP solve.
+
+pub mod delta;
+pub mod engine;
+pub mod event;
+pub mod pricer;
+pub mod queue;
+pub mod repair;
+
+pub use delta::DeltaState;
+pub use engine::{OnlineEngine, OnlineError};
+pub use event::{events_from_spans, Event, FlowKey, FlowSpan, TimedEvent};
+pub use pricer::{HopPricer, ModelPricer, PathPricer, WeightedPathPricer};
+pub use queue::LazyQueue;
+pub use repair::{RepairPolicy, RepairStats};

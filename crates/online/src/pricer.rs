@@ -1,0 +1,160 @@
+//! Streaming path pricing — the online face of PR 1's [`CostModel`].
+//!
+//! The static engine compiles a [`CostModel`] against a whole
+//! [`Instance`] at once (the CSR `FlowIndex`). A stream has no
+//! instance: flows appear one at a time, so a [`PathPricer`] prices a
+//! single flow's path at arrival and the engine stores the resulting
+//! per-position gains for the flow's lifetime. Every [`CostModel`]
+//! whose `serving_gain` depends only on the flow and its path position
+//! (hop count, the chain crate's stack model, …) lifts to a pricer
+//! for free through [`ModelPricer`]; graph-priced models like the
+//! weighted-edges extension get a dedicated pricer that resolves edge
+//! weights against the topology ([`WeightedPathPricer`]).
+//!
+//! A pricer also knows how to run the matching *from-scratch oracle*
+//! ([`PathPricer::solve_oracle`]) on a densified snapshot of the
+//! active flows — the drift-triggered full replan and the
+//! objective-vs-oracle gap reporting both need the oracle to price
+//! exactly like the stream does, so the two live on one trait.
+
+use tdmd_core::algorithms::gtp::gtp_budgeted_with;
+use tdmd_core::cost::EdgeWeights;
+use tdmd_core::{CostModel, Deployment, HopCount, Instance, TdmdError, WeightedEdges};
+use tdmd_graph::DiGraph;
+use tdmd_traffic::Flow;
+
+/// Prices one flow path and solves the matching static oracle.
+///
+/// # Contract
+///
+/// `gains` must be non-negative and non-increasing along the path
+/// (Theorem 2's monotonicity, exactly as for [`CostModel`]),
+/// `unprocessed_cost` must dominate every gain of the same flow, and
+/// `solve_oracle` must optimize the objective induced by those gains —
+/// otherwise the drift trigger compares apples to oranges.
+pub trait PathPricer {
+    /// Per-position serving gains of `flow` (`gains[i]` = metric
+    /// credited for processing at `flow.path[i]`; length =
+    /// `flow.path.len()`).
+    fn gains(&self, flow: &Flow) -> Vec<f64>;
+
+    /// Metric of the wholly unprocessed flow
+    /// ([`CostModel::unprocessed_cost`] generalized).
+    fn unprocessed_cost(&self, flow: &Flow) -> f64;
+
+    /// From-scratch solve of a densified active-flow snapshot under
+    /// this pricing (the drift oracle).
+    ///
+    /// # Errors
+    /// Propagates the solver's feasibility errors
+    /// ([`TdmdError::Infeasible`] when the budget cannot cover the
+    /// active flows).
+    fn solve_oracle(&self, instance: &Instance) -> Result<Deployment, TdmdError>;
+}
+
+/// Lifts any position-stateless [`CostModel`] to a [`PathPricer`].
+///
+/// Correct for models whose `serving_gain(flow, pos)` is independent
+/// of the instance the model was built against — [`HopCount`] and the
+/// chain stack model qualify; the instance-compiled `WeightedEdges`
+/// does not (use [`WeightedPathPricer`] instead).
+#[derive(Debug, Clone, Default)]
+pub struct ModelPricer<M: CostModel>(pub M);
+
+impl<M: CostModel> PathPricer for ModelPricer<M> {
+    fn gains(&self, flow: &Flow) -> Vec<f64> {
+        (0..flow.path.len())
+            .map(|pos| self.0.serving_gain(flow, pos))
+            .collect()
+    }
+
+    fn unprocessed_cost(&self, flow: &Flow) -> f64 {
+        self.0.unprocessed_cost(flow)
+    }
+
+    fn solve_oracle(&self, instance: &Instance) -> Result<Deployment, TdmdError> {
+        gtp_budgeted_with(instance, instance.k(), &self.0)
+    }
+}
+
+/// The paper's hop-count pricing, streaming edition.
+pub type HopPricer = ModelPricer<HopCount>;
+
+/// Weighted-edge pricing resolved against the topology: a position's
+/// gain is the suffix sum of edge weights downstream of it — the same
+/// quantity `WeightedEdges` precomputes per instance, computed per
+/// flow at arrival instead.
+#[derive(Debug, Clone)]
+pub struct WeightedPathPricer {
+    weights: EdgeWeights,
+}
+
+impl WeightedPathPricer {
+    /// Indexes the edge weights of `g` once for `O(1)` per-edge
+    /// lookups.
+    pub fn new(g: &DiGraph) -> Self {
+        Self {
+            weights: EdgeWeights::new(g),
+        }
+    }
+}
+
+impl PathPricer for WeightedPathPricer {
+    fn gains(&self, flow: &Flow) -> Vec<f64> {
+        let m = flow.path.len();
+        let mut d = vec![0.0f64; m];
+        for i in (0..m - 1).rev() {
+            d[i] = d[i + 1] + self.weights.get(flow.path[i], flow.path[i + 1]);
+        }
+        d
+    }
+
+    fn unprocessed_cost(&self, flow: &Flow) -> f64 {
+        // The suffix sum at the source — identical to `gains(flow)[0]`.
+        flow.path
+            .windows(2)
+            .map(|w| self.weights.get(w[0], w[1]))
+            .sum()
+    }
+
+    fn solve_oracle(&self, instance: &Instance) -> Result<Deployment, TdmdError> {
+        // WeightedEdges prices suffix sums off the same graph weights,
+        // so the oracle's objective matches the streamed gains.
+        let model = WeightedEdges::new(instance);
+        gtp_budgeted_with(instance, instance.k(), &model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmd_core::paper::fig1_instance;
+
+    #[test]
+    fn hop_pricer_matches_downstream_hops() {
+        let f = Flow::new(0, 3, vec![5, 3, 1]);
+        let g = HopPricer::default().gains(&f);
+        assert_eq!(g, vec![2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn weighted_pricer_matches_instance_model_on_unit_weights() {
+        let inst = fig1_instance(2);
+        let pricer = WeightedPathPricer::new(inst.graph());
+        let model = WeightedEdges::new(&inst);
+        for f in inst.flows() {
+            let gains = pricer.gains(f);
+            for (pos, &g) in gains.iter().enumerate() {
+                assert_eq!(g, model.serving_gain(f, pos), "flow {} pos {pos}", f.id);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_solves_like_plain_gtp() {
+        use tdmd_core::algorithms::gtp::gtp_budgeted;
+        let inst = fig1_instance(2);
+        let dep = HopPricer::default().solve_oracle(&inst).unwrap();
+        assert_eq!(dep, gtp_budgeted(&inst, 2).unwrap());
+    }
+}

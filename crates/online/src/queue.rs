@@ -1,0 +1,257 @@
+//! [`LazyQueue`] — a CELF lazy priority queue whose cached gains
+//! survive across churn events.
+//!
+//! The static CELF greedy exploits submodularity: cached marginal
+//! gains only shrink as the deployment grows, so a popped entry whose
+//! refreshed gain still tops the heap is the round's true maximum.
+//! Under churn the same trick works across *events* with two
+//! amendments:
+//!
+//! * **Departures and commits** only lower gains, so existing cached
+//!   entries stay valid *upper bounds* — they are merely flagged
+//!   dirty and re-evaluated lazily if they ever reach the top.
+//! * **Arrivals** can raise a gain, breaking the upper-bound
+//!   invariant; the queue restores it by bumping the cache with the
+//!   new flow's maximum possible contribution (`r · (1 − λ) · gain`
+//!   at that vertex) — an optimistic bound that the next lazy
+//!   re-evaluation tightens.
+//!
+//! Every push carries an **epoch stamp**; bumping a vertex's stamp
+//! invalidates all of its older heap entries at once (they are
+//! skipped on pop), so the queue never scans or rebuilds the heap to
+//! invalidate. Per vertex at most one entry carries the current
+//! stamp, so the heap size stays O(total pushes), and each event
+//! pushes only O(path length) entries.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use tdmd_core::Deployment;
+use tdmd_graph::NodeId;
+
+/// Heap entry: cached gain upper bound for a vertex at a stamp.
+#[derive(Debug, Clone, Copy)]
+struct QEntry {
+    gain: f64,
+    v: NodeId,
+    stamp: u64,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Larger gain first; ties prefer the smaller vertex id, like
+        // the static greedy's ladder.
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.v.cmp(&self.v))
+    }
+}
+
+/// Lazy max-gain queue with epoch-stamped invalidation.
+#[derive(Debug, Clone)]
+pub struct LazyQueue {
+    heap: BinaryHeap<QEntry>,
+    /// Current stamp per vertex; heap entries with an older stamp are
+    /// dead.
+    stamp: Vec<u64>,
+    /// Last known gain upper bound per vertex.
+    cached: Vec<f64>,
+    /// Whether the cached bound must be re-evaluated before trusting
+    /// it as exact.
+    dirty: Vec<bool>,
+    /// Number of exact re-evaluations performed (telemetry).
+    pub recomputes: u64,
+}
+
+impl LazyQueue {
+    /// Empty queue over `n` vertices. Vertices enter the heap the
+    /// first time a flow path touches them ([`LazyQueue::touch_up`]).
+    pub fn new(n: usize) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            stamp: vec![0; n],
+            cached: vec![0.0; n],
+            dirty: vec![false; n],
+            recomputes: 0,
+        }
+    }
+
+    /// Arrival invalidation: raises `v`'s bound by `bump` (the new
+    /// flow's maximum contribution at `v`) and pushes a fresh entry.
+    pub fn touch_up(&mut self, v: NodeId, bump: f64) {
+        let i = v as usize;
+        self.cached[i] += bump;
+        self.dirty[i] = true;
+        self.stamp[i] += 1;
+        self.heap.push(QEntry {
+            gain: self.cached[i],
+            v,
+            stamp: self.stamp[i],
+        });
+    }
+
+    /// Departure/commit invalidation: gains only shrink, so the
+    /// existing entry stays a valid upper bound — just mark it for
+    /// lazy re-evaluation.
+    pub fn touch_down(&mut self, v: NodeId) {
+        self.dirty[v as usize] = true;
+    }
+
+    /// Re-enters a vertex that left the candidate pool (it was
+    /// deployed and has now been undeployed, e.g. by a swap or a
+    /// replan).
+    pub fn reinsert(&mut self, v: NodeId, bound: f64) {
+        let i = v as usize;
+        self.cached[i] = bound;
+        self.dirty[i] = true;
+        self.stamp[i] += 1;
+        self.heap.push(QEntry {
+            gain: bound,
+            v,
+            stamp: self.stamp[i],
+        });
+    }
+
+    /// Settles the head of the queue: skips dead and deployed
+    /// entries, lazily re-evaluates dirty ones via `recompute`, and
+    /// returns the vertex with the (exact) maximum gain without
+    /// removing it. `None` when no candidate remains.
+    pub fn settle<F: FnMut(NodeId) -> f64>(
+        &mut self,
+        deployment: &Deployment,
+        mut recompute: F,
+    ) -> Option<(NodeId, f64)> {
+        loop {
+            let top = *self.heap.peek()?;
+            let i = top.v as usize;
+            if top.stamp != self.stamp[i] || deployment.contains(top.v) {
+                self.heap.pop();
+                continue;
+            }
+            if self.dirty[i] {
+                self.heap.pop();
+                let g = recompute(top.v);
+                self.recomputes += 1;
+                self.dirty[i] = false;
+                self.cached[i] = g;
+                self.stamp[i] += 1;
+                self.heap.push(QEntry {
+                    gain: g,
+                    v: top.v,
+                    stamp: self.stamp[i],
+                });
+                continue;
+            }
+            return Some((top.v, top.gain));
+        }
+    }
+
+    /// Removes the settled head (call right after
+    /// [`LazyQueue::settle`] returned `Some((v, _))` to consume it,
+    /// typically because `v` is being deployed).
+    pub fn take(&mut self, v: NodeId) {
+        debug_assert_eq!(self.heap.peek().map(|e| e.v), Some(v), "take after settle");
+        self.heap.pop();
+    }
+
+    /// Marks every vertex dirty (after a replan rewires assignments
+    /// wholesale). Existing entries survive as stale upper bounds
+    /// only if gains could not have increased; the caller must
+    /// [`LazyQueue::reinsert`] vertices whose bound may have risen.
+    pub fn invalidate_all(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = true);
+    }
+
+    /// Number of live + dead entries currently in the heap.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settle_returns_exact_max_after_lazy_refresh() {
+        let mut q = LazyQueue::new(3);
+        // Optimistic bounds: v0=5, v1=9, v2=1; true gains 4, 3, 1.
+        q.touch_up(0, 5.0);
+        q.touch_up(1, 9.0);
+        q.touch_up(2, 1.0);
+        let dep = Deployment::empty(3);
+        let truth = [4.0, 3.0, 1.0];
+        let (v, g) = q.settle(&dep, |v| truth[v as usize]).unwrap();
+        assert_eq!((v, g), (0, 4.0));
+        // v1's inflated bound forced one refresh, v0's another.
+        assert!(q.recomputes >= 2);
+    }
+
+    #[test]
+    fn deployed_vertices_are_skipped() {
+        let mut q = LazyQueue::new(2);
+        q.touch_up(0, 5.0);
+        q.touch_up(1, 2.0);
+        let dep = Deployment::from_vertices(2, [0]);
+        let (v, _) = q.settle(&dep, |_| 2.0).unwrap();
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn stale_stamps_are_dead() {
+        let mut q = LazyQueue::new(2);
+        q.touch_up(0, 5.0);
+        q.touch_up(0, 5.0); // stamps the old entry dead, bound now 10
+        let dep = Deployment::empty(2);
+        let (v, g) = q.settle(&dep, |_| 7.0).unwrap();
+        assert_eq!((v, g), (0, 7.0));
+        q.take(0);
+        assert!(q.settle(&dep, |_| 0.0).is_none(), "no duplicate survives");
+    }
+
+    #[test]
+    fn touch_down_forces_reevaluation() {
+        let mut q = LazyQueue::new(2);
+        q.touch_up(0, 5.0);
+        let dep = Deployment::empty(2);
+        let (_, g) = q.settle(&dep, |_| 5.0).unwrap();
+        assert_eq!(g, 5.0);
+        q.touch_down(0);
+        let (_, g) = q.settle(&dep, |_| 2.5).unwrap();
+        assert_eq!(g, 2.5, "departure shrank the gain");
+    }
+
+    #[test]
+    fn reinsert_revives_an_undeployed_vertex() {
+        let mut q = LazyQueue::new(2);
+        q.touch_up(0, 4.0);
+        let dep = Deployment::empty(2);
+        q.settle(&dep, |_| 4.0).unwrap();
+        q.take(0);
+        assert!(q.settle(&dep, |_| 4.0).is_none());
+        q.reinsert(0, 4.0);
+        let (v, g) = q.settle(&dep, |_| 3.0).unwrap();
+        assert_eq!((v, g), (0, 3.0));
+    }
+
+    #[test]
+    fn ties_prefer_the_smaller_vertex() {
+        let mut q = LazyQueue::new(3);
+        q.touch_up(2, 4.0);
+        q.touch_up(1, 4.0);
+        let dep = Deployment::empty(3);
+        let (v, _) = q.settle(&dep, |_| 4.0).unwrap();
+        assert_eq!(v, 1);
+    }
+}

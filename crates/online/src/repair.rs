@@ -1,0 +1,105 @@
+//! The pluggable repair policy and its telemetry.
+//!
+//! After every event the engine restores solution quality with two
+//! mechanisms, both bounded per event:
+//!
+//! * **Local repair** — drop deployed vertices whose removal is free
+//!   (zero primary load), greedily fill spare budget from the lazy
+//!   queue, then apply up to [`RepairPolicy::move_budget`] improving
+//!   swaps (undeploy the lightest-loaded box, deploy the queue's best
+//!   candidate) — each swap is accepted only when the candidate's
+//!   exact gain exceeds the victim's primary load, a conservative
+//!   upper bound on the removal loss, so every accepted swap strictly
+//!   improves the objective.
+//! * **Drift-triggered full replan** — every
+//!   [`RepairPolicy::sample_every`] events the engine runs the
+//!   pricer's from-scratch oracle on a densified snapshot of the
+//!   active flows. If the incremental objective exceeds the oracle's
+//!   by more than a factor of `1 + drift_eps`, the oracle's
+//!   deployment is adopted wholesale. With
+//!   [`RepairPolicy::force_replan`] the oracle is adopted
+//!   *unconditionally on every event*, which makes the engine
+//!   bit-for-bit equivalent to a per-event from-scratch solve — the
+//!   property tests pin that equivalence.
+//!
+//! The documented bound: at every sampled event the objective is
+//! within `1 + drift_eps` of the from-scratch solve (exactly equal
+//! under `force_replan`); between samples only local repair runs, so
+//! the instantaneous gap is bounded by the drift accumulated since
+//! the last sample.
+
+/// Repair configuration of an [`OnlineEngine`](crate::OnlineEngine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairPolicy {
+    /// Maximum improving swaps applied per event.
+    pub move_budget: usize,
+    /// Relative drift tolerance ε: a sampled incremental objective
+    /// above `(1 + ε) ·` oracle triggers adoption of the oracle
+    /// deployment.
+    pub drift_eps: f64,
+    /// Sample the from-scratch oracle every this many events
+    /// (`0` disables drift sampling entirely).
+    pub sample_every: u64,
+    /// Adopt the oracle on every event (testing / oracle-tracking
+    /// mode; equivalent to the timeline's "replanned" policy).
+    pub force_replan: bool,
+}
+
+impl Default for RepairPolicy {
+    fn default() -> Self {
+        Self {
+            move_budget: 4,
+            drift_eps: 0.05,
+            sample_every: 256,
+            force_replan: false,
+        }
+    }
+}
+
+impl RepairPolicy {
+    /// Local-repair-only policy: never consults the oracle.
+    pub fn local_only(move_budget: usize) -> Self {
+        Self {
+            move_budget,
+            drift_eps: f64::INFINITY,
+            sample_every: 0,
+            force_replan: false,
+        }
+    }
+
+    /// Oracle-tracking policy: replan from scratch on every event.
+    pub fn forced_replan() -> Self {
+        Self {
+            move_budget: 0,
+            drift_eps: 0.0,
+            sample_every: 1,
+            force_replan: true,
+        }
+    }
+}
+
+/// Per-engine repair telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RepairStats {
+    /// Events applied.
+    pub events: u64,
+    /// Arrival events.
+    pub arrivals: u64,
+    /// Departure events.
+    pub departures: u64,
+    /// Greedy additions committed.
+    pub adds: u64,
+    /// Free (zero-loss) drops.
+    pub drops: u64,
+    /// Improving swaps applied.
+    pub swaps: u64,
+    /// Oracle solves sampled.
+    pub drift_samples: u64,
+    /// Full replans adopted.
+    pub replans: u64,
+    /// Oracle solves that failed (infeasible budget).
+    pub oracle_failures: u64,
+    /// Relative drift observed at the last sample
+    /// (`objective / oracle − 1`; 0 when never sampled).
+    pub last_drift: f64,
+}

@@ -22,6 +22,9 @@ pub mod prelude {
     pub use crate::metrics::LinkMetrics;
     pub use crate::replay::{replay, LinkLoads};
     pub use crate::runner::{run_comparison, AlgoStats, TrialConfig};
-    pub use crate::timeline::{simulate_replanned, simulate_static, DynamicScenario, FlowSpan};
+    pub use crate::timeline::{
+        simulate_incremental, simulate_replanned, simulate_static, DynamicScenario, FlowSpan,
+        RepairPolicy,
+    };
     pub use crate::validate::validate_deployment;
 }

@@ -7,6 +7,7 @@
 //! * [`graph`] — graph substrate (CSR digraph, trees, LCA, generators)
 //! * [`traffic`] — flow model and CAIDA-like workload generation
 //! * [`core`] — TDMD instance, objective and placement algorithms
+//! * [`online`] — event-driven incremental placement under flow churn
 //! * [`sim`] — link-level replay simulator and experiment runner
 //! * [`chain`] — service-chain extension (ordered multi-type
 //!   middleboxes with traffic-changing effects)
@@ -16,6 +17,7 @@
 pub use tdmd_chain as chain;
 pub use tdmd_core as core;
 pub use tdmd_graph as graph;
+pub use tdmd_online as online;
 pub use tdmd_sim as sim;
 pub use tdmd_traffic as traffic;
 
