@@ -1,0 +1,423 @@
+//! `tdmd bench` — the seeded benchmark trajectory.
+//!
+//! Runs the paper-default scenarios through the static solvers and
+//! the incremental engine, collecting wall-clock time, the objective,
+//! and the `tdmd-obs` telemetry (engine counters, event latency
+//! percentiles), and writes two schema-stable JSON artifacts:
+//!
+//! * `BENCH_solve.json` ([`SOLVE_SCHEMA`]) — one entry per
+//!   scenario × GTP variant with the engine counter deltas.
+//! * `BENCH_stream.json` ([`STREAM_SCHEMA`]) — one entry per
+//!   scenario × repair policy with per-event latency percentiles.
+//!
+//! The JSON shape is a consumer contract (CI parses it, trend tooling
+//! diffs it); grow it by *adding* fields, never renaming.
+
+use crate::args::Args;
+use crate::commands::write_out;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tdmd_core::algorithms::gtp::{gtp_budgeted, gtp_lazy, gtp_parallel};
+use tdmd_core::objective::bandwidth_of;
+use tdmd_core::{Deployment, Instance, TdmdError};
+use tdmd_experiments::scenarios::{general_instance, tree_instance, Scenario};
+use tdmd_obs::{normalize_zero, percentile, StatsRecorder, Stopwatch};
+use tdmd_online::{events_from_spans, obs_keys, FlowSpan, HopPricer, OnlineEngine, RepairPolicy};
+
+/// Schema tag of `BENCH_solve.json`.
+pub const SOLVE_SCHEMA: &str = "tdmd-bench-solve/v1";
+/// Schema tag of `BENCH_stream.json`.
+pub const STREAM_SCHEMA: &str = "tdmd-bench-stream/v1";
+
+/// Engine-counter deltas attributed to one solve (see
+/// [`tdmd_core::obs::EngineCounters`] for the meanings).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SolveCounters {
+    /// Marginal-gain evaluations.
+    pub gain_evals: u64,
+    /// CELF heap pops (lazy variant only).
+    pub lazy_pops: u64,
+    /// Stale pops that forced a refresh.
+    pub lazy_stale_refreshes: u64,
+    /// Feasibility-guard evaluations.
+    pub guard_checks: u64,
+    /// Rounds where the guard restricted the candidate set.
+    pub guard_activations: u64,
+}
+
+/// One scenario × algorithm measurement.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SolveEntry {
+    /// Scenario name (`tree-default` / `general-default`).
+    pub scenario: String,
+    /// Solver variant (`gtp_eager` / `gtp_lazy` / `gtp_parallel`).
+    pub algorithm: String,
+    /// Topology size.
+    pub nodes: usize,
+    /// Workload size.
+    pub flows: usize,
+    /// Middlebox budget.
+    pub k: usize,
+    /// Traffic-changing ratio.
+    pub lambda: f64,
+    /// Wall-clock solve time in µs.
+    pub wall_us: f64,
+    /// Total bandwidth of the returned plan.
+    pub objective: f64,
+    /// Engine hot-path counters spent by this solve.
+    pub counters: SolveCounters,
+}
+
+/// `BENCH_solve.json` document.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SolveBench {
+    /// Always [`SOLVE_SCHEMA`].
+    pub schema: String,
+    /// Base RNG seed the scenarios were drawn from.
+    pub seed: u64,
+    /// Measurements.
+    pub entries: Vec<SolveEntry>,
+}
+
+/// Per-event latency percentiles in µs (nearest-rank).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct LatencyUs {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Slowest event.
+    pub max: f64,
+}
+
+/// Repair-activity counters for one stream replay.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct StreamCounters {
+    /// Arrival events applied.
+    pub arrivals: u64,
+    /// Departure events applied.
+    pub departures: u64,
+    /// Greedy adds performed by local repair.
+    pub adds: u64,
+    /// Free drops performed by local repair.
+    pub drops: u64,
+    /// Bounded swaps performed by local repair.
+    pub swaps: u64,
+    /// Oracle deployments adopted.
+    pub replans: u64,
+}
+
+/// One scenario × policy stream measurement.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct StreamEntry {
+    /// Scenario name.
+    pub scenario: String,
+    /// Repair policy (`incremental` / `replanned`).
+    pub policy: String,
+    /// Events replayed.
+    pub events: usize,
+    /// Wall-clock replay time in µs.
+    pub wall_us: f64,
+    /// Final exact objective after the replay.
+    pub objective: f64,
+    /// Per-event apply latency percentiles.
+    pub latency_us: LatencyUs,
+    /// Event and repair counters.
+    pub counters: StreamCounters,
+}
+
+/// `BENCH_stream.json` document.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct StreamBench {
+    /// Always [`STREAM_SCHEMA`].
+    pub schema: String,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Measurements.
+    pub entries: Vec<StreamEntry>,
+}
+
+/// The two paper-default scenarios, with their bench names.
+fn scenarios() -> [(&'static str, Scenario, bool); 2] {
+    [
+        ("tree-default", Scenario::tree_default(), true),
+        ("general-default", Scenario::general_default(), false),
+    ]
+}
+
+fn instance_for(seed: u64, s: Scenario, is_tree: bool) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if is_tree {
+        tree_instance(&mut rng, s)
+    } else {
+        general_instance(&mut rng, s)
+    }
+}
+
+/// Times one solver and attributes the engine counter delta to it.
+fn measure_solve(
+    name: &'static str,
+    scenario: &str,
+    inst: &Instance,
+    solve: &dyn Fn(&Instance) -> Result<Deployment, TdmdError>,
+) -> Result<SolveEntry, String> {
+    let before = tdmd_core::obs::snapshot();
+    let sw = Stopwatch::start();
+    let dep = solve(inst).map_err(|e| format!("{scenario}/{name}: {e}"))?;
+    let wall_us = sw.elapsed_us();
+    let spent = tdmd_core::obs::snapshot().delta_since(&before);
+    Ok(SolveEntry {
+        scenario: scenario.to_string(),
+        algorithm: name.to_string(),
+        nodes: inst.node_count(),
+        flows: inst.flows().len(),
+        k: inst.k(),
+        lambda: inst.lambda(),
+        wall_us,
+        objective: normalize_zero(bandwidth_of(inst, &dep)),
+        counters: SolveCounters {
+            gain_evals: spent.gain_evals,
+            lazy_pops: spent.lazy_pops,
+            lazy_stale_refreshes: spent.lazy_stale_refreshes,
+            guard_checks: spent.guard_checks,
+            guard_activations: spent.guard_activations,
+        },
+    })
+}
+
+/// A named GTP driver as the bench exercises it.
+type Variant = (
+    &'static str,
+    fn(&Instance, usize) -> Result<Deployment, TdmdError>,
+);
+
+/// Runs every scenario through the three GTP drivers.
+pub fn solve_bench(seed: u64) -> Result<SolveBench, String> {
+    const VARIANTS: [Variant; 3] = [
+        ("gtp_eager", gtp_budgeted),
+        ("gtp_lazy", gtp_lazy),
+        ("gtp_parallel", gtp_parallel),
+    ];
+    let mut entries = Vec::new();
+    for (name, s, is_tree) in scenarios() {
+        let inst = instance_for(seed, s, is_tree);
+        for (alg, solve) in VARIANTS {
+            entries.push(measure_solve(alg, name, &inst, &|i| solve(i, s.k))?);
+        }
+    }
+    Ok(SolveBench {
+        schema: SOLVE_SCHEMA.to_string(),
+        seed,
+        entries,
+    })
+}
+
+/// Synthesizes a churn stream from the scenario's workload (uniform
+/// arrivals, geometric-flavoured holds — same shape as `stream gen`).
+fn spans_for(inst: &Instance, seed: u64) -> Vec<FlowSpan> {
+    let duration = 1_000_000u64;
+    let mean_hold = duration / 4;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57_AE_A0);
+    inst.flows()
+        .iter()
+        .map(|flow| {
+            let start_us = rng.gen_range(0..duration);
+            let u = (rng.gen_range(1..=1000) as f64) / 1000.0;
+            let hold = ((-u.ln()) * mean_hold as f64).ceil() as u64;
+            FlowSpan {
+                start_us,
+                end_us: start_us + hold.max(1),
+                flow: flow.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Replays every scenario's synthetic stream under both policies.
+pub fn stream_bench(seed: u64) -> Result<StreamBench, String> {
+    let mut entries = Vec::new();
+    for (name, s, is_tree) in scenarios() {
+        let inst = instance_for(seed, s, is_tree);
+        let spans = spans_for(&inst, seed);
+        let events = events_from_spans(&spans);
+        for (policy_name, policy) in [
+            ("incremental", RepairPolicy::default()),
+            ("replanned", RepairPolicy::forced_replan()),
+        ] {
+            let recorder = StatsRecorder::new();
+            let mut engine = OnlineEngine::with_recorder(
+                inst.graph().clone(),
+                s.lambda,
+                s.k,
+                HopPricer::default(),
+                policy,
+                &recorder,
+            )
+            .map_err(|e| e.to_string())?;
+            let sw = Stopwatch::start();
+            for ev in &events {
+                engine
+                    .apply(&ev.event)
+                    .map_err(|e| format!("{name}/{policy_name}: {e}"))?;
+            }
+            let wall_us = sw.elapsed_us();
+            let lat = recorder.sorted_samples(obs_keys::EVENT_APPLY_US);
+            let stats = engine.stats();
+            entries.push(StreamEntry {
+                scenario: name.to_string(),
+                policy: policy_name.to_string(),
+                events: events.len(),
+                wall_us,
+                objective: normalize_zero(engine.exact_objective()),
+                latency_us: LatencyUs {
+                    p50: percentile(&lat, 50.0),
+                    p90: percentile(&lat, 90.0),
+                    p99: percentile(&lat, 99.0),
+                    max: lat.last().copied().unwrap_or(0.0),
+                },
+                counters: StreamCounters {
+                    arrivals: recorder.counter(obs_keys::ARRIVALS),
+                    departures: recorder.counter(obs_keys::DEPARTURES),
+                    adds: stats.adds,
+                    drops: stats.drops,
+                    swaps: stats.swaps,
+                    replans: recorder.counter(obs_keys::REPLANS),
+                },
+            });
+        }
+    }
+    Ok(StreamBench {
+        schema: STREAM_SCHEMA.to_string(),
+        seed,
+        entries,
+    })
+}
+
+/// `tdmd bench [--seed S] [--out-dir DIR]`
+///
+/// Writes `BENCH_solve.json` and `BENCH_stream.json` into `DIR`
+/// (default `.`) and prints a one-line-per-entry summary.
+pub fn bench(args: &Args) -> Result<String, String> {
+    let seed: u64 = args.num("seed", 42)?;
+    let out_dir = args.optional("out-dir").unwrap_or(".");
+
+    let solve = solve_bench(seed)?;
+    let stream = stream_bench(seed)?;
+
+    let solve_path = format!("{out_dir}/BENCH_solve.json");
+    let stream_path = format!("{out_dir}/BENCH_stream.json");
+    write_out(
+        &solve_path,
+        &serde_json::to_string_pretty(&solve).map_err(|e| e.to_string())?,
+    )?;
+    write_out(
+        &stream_path,
+        &serde_json::to_string_pretty(&stream).map_err(|e| e.to_string())?,
+    )?;
+
+    let mut out = format!("seed {seed}\n== solve ({solve_path}) ==\n");
+    for e in &solve.entries {
+        out.push_str(&format!(
+            "  {:>16}/{:<12} {:>10.0} µs  objective {:>10.2}  {} gain evals\n",
+            e.scenario, e.algorithm, e.wall_us, e.objective, e.counters.gain_evals
+        ));
+    }
+    out.push_str(&format!("== stream ({stream_path}) ==\n"));
+    for e in &stream.entries {
+        out.push_str(&format!(
+            "  {:>16}/{:<12} {:>6} events  p99 {:>8.1} µs  {} replans\n",
+            e.scenario, e.policy, e.events, e.latency_us.p99, e.counters.replans
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(pairs: &[(&str, &str)]) -> Args {
+        let flat: Vec<String> = pairs
+            .iter()
+            .flat_map(|(k, v)| [format!("--{k}"), v.to_string()])
+            .collect();
+        Args::parse(&flat).unwrap()
+    }
+
+    #[test]
+    fn solve_bench_covers_every_scenario_and_variant() {
+        let b = solve_bench(7).unwrap();
+        assert_eq!(b.schema, SOLVE_SCHEMA);
+        assert_eq!(b.entries.len(), 6, "2 scenarios × 3 GTP variants");
+        for e in &b.entries {
+            assert!(e.wall_us >= 0.0);
+            assert!(e.objective > 0.0, "{}/{}", e.scenario, e.algorithm);
+            assert!(e.counters.gain_evals > 0);
+            assert!(e.flows > 0 && e.nodes > 0);
+        }
+        // The three variants must agree on the objective: they are
+        // the same algorithm with different drivers.
+        for chunk in b.entries.chunks(3) {
+            assert!(chunk.windows(2).all(|w| w[0].objective == w[1].objective));
+        }
+    }
+
+    #[test]
+    fn stream_bench_reports_latency_and_drains() {
+        let b = stream_bench(7).unwrap();
+        assert_eq!(b.schema, STREAM_SCHEMA);
+        assert_eq!(b.entries.len(), 4, "2 scenarios × 2 policies");
+        for e in &b.entries {
+            assert!(e.events > 0);
+            assert_eq!(e.counters.arrivals + e.counters.departures, e.events as u64);
+            // Every span ends inside the horizon, so the stream
+            // drains and the final objective is exactly zero, with a
+            // positive sign (+0.0) at the formatting boundary.
+            assert_eq!(e.objective.to_bits(), 0.0f64.to_bits());
+            assert!(e.latency_us.p50 <= e.latency_us.p99);
+            assert!(e.latency_us.p99 <= e.latency_us.max);
+        }
+    }
+
+    #[test]
+    fn bench_writes_schema_stable_json() {
+        let dir = std::env::temp_dir().join("tdmd-cli-test-bench");
+        let out = bench(&args(&[
+            ("seed", "11"),
+            ("out-dir", &dir.display().to_string()),
+        ]))
+        .unwrap();
+        assert!(out.contains("== solve"));
+        assert!(out.contains("== stream"));
+        // Golden-schema check: the emitted JSON must round-trip into
+        // the published document types.
+        let solve: SolveBench =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("BENCH_solve.json")).unwrap())
+                .unwrap();
+        assert_eq!(solve.schema, SOLVE_SCHEMA);
+        assert_eq!(solve.seed, 11);
+        assert!(!solve.entries.is_empty());
+        let stream: StreamBench =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("BENCH_stream.json")).unwrap())
+                .unwrap();
+        assert_eq!(stream.schema, STREAM_SCHEMA);
+        assert!(!stream.entries.is_empty());
+    }
+
+    #[test]
+    fn bench_is_deterministic_in_everything_but_time() {
+        let a = solve_bench(3).unwrap();
+        let b = solve_bench(3).unwrap();
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.objective, y.objective);
+            assert_eq!(x.flows, y.flows);
+            // Counter deltas are merged across concurrent solves
+            // (tests in this binary run in parallel), so only their
+            // presence is stable here.
+            assert!(x.counters.gain_evals > 0 && y.counters.gain_evals > 0);
+        }
+    }
+}

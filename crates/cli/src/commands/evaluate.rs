@@ -28,7 +28,7 @@ pub fn evaluate(args: &Args) -> Result<String, String> {
     let instance = Instance::new(g, flows, lambda, k).map_err(|e| e.to_string())?;
     validate_deployment(&instance, &plan).map_err(|e| format!("validation failed: {e}"))?;
     let loads = replay(&instance, &plan);
-    let m = LinkMetrics::from_loads(&instance, &loads, capacity);
+    let m = LinkMetrics::from_loads(&loads, capacity);
     let ((hu, hv), hl) = loads.max_link().unwrap_or(((0, 0), 0.0));
     let mut report = format!(
         "plan:            {:?}\nfeasible:        {}\ntotal bandwidth: {:.2}\n\

@@ -1,6 +1,7 @@
 //! CLI command implementations. Each returns the text to print so the
 //! commands are unit-testable without process spawning.
 
+pub mod bench;
 pub mod chain;
 pub mod evaluate;
 pub mod place;

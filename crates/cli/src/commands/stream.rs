@@ -6,13 +6,14 @@
 //! per-event repair latency percentiles, throughput, and the
 //! objective-vs-oracle gap.
 
-use std::time::Instant;
-
 use crate::args::Args;
 use crate::commands::{load_topology, load_workload, write_out};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tdmd_online::{events_from_spans, FlowSpan, HopPricer, OnlineEngine, PathPricer, RepairPolicy};
+use tdmd_obs::{normalize_zero, percentile, StatsRecorder, Stopwatch};
+use tdmd_online::{
+    events_from_spans, obs_keys, FlowSpan, HopPricer, OnlineEngine, PathPricer, RepairPolicy,
+};
 
 /// `tdmd stream gen --workload wl.json --duration D [--mean-hold H]
 /// [--seed S] --out spans.json`
@@ -62,15 +63,6 @@ pub fn load_spans(path: &str) -> Result<Vec<FlowSpan>, String> {
     serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))
 }
 
-/// Percentile of a sorted sample (nearest-rank).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
-    sorted[rank.min(sorted.len()) - 1]
-}
-
 /// `tdmd stream run --topo t.json --spans spans.json --lambda L --k K
 /// [--policy incremental|replanned] [--move-budget N] [--eps E]
 /// [--sample-every N] [--oracle-every N]`
@@ -99,21 +91,20 @@ pub fn run(args: &Args) -> Result<String, String> {
     let oracle_every: u64 = args.num("oracle-every", 0)?;
 
     let pricer = HopPricer::default();
-    let mut engine = OnlineEngine::new(graph, lambda, k, HopPricer::default(), policy)
-        .map_err(|e| e.to_string())?;
+    let recorder = StatsRecorder::new();
+    let mut engine =
+        OnlineEngine::with_recorder(graph, lambda, k, HopPricer::default(), policy, &recorder)
+            .map_err(|e| e.to_string())?;
     let events = events_from_spans(&spans);
     if events.is_empty() {
         return Ok("no events (every span is zero-length)\n".to_string());
     }
 
-    let mut latencies_us: Vec<f64> = Vec::with_capacity(events.len());
     let mut gaps: Vec<f64> = Vec::new();
     let total = events.len() as u64;
-    let replay_start = Instant::now();
+    let replay_start = Stopwatch::start();
     for (i, ev) in events.iter().enumerate() {
-        let t0 = Instant::now();
         engine.apply(&ev.event).map_err(|e| e.to_string())?;
-        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
 
         let is_last = i as u64 + 1 == total;
         let sampled = oracle_every > 0 && (i as u64 + 1).is_multiple_of(oracle_every);
@@ -127,9 +118,9 @@ pub fn run(args: &Args) -> Result<String, String> {
             }
         }
     }
-    let replay_secs = replay_start.elapsed().as_secs_f64();
+    let replay_secs = replay_start.elapsed_secs();
 
-    latencies_us.sort_by(f64::total_cmp);
+    let latencies_us = recorder.sorted_samples(obs_keys::EVENT_APPLY_US);
     let stats = engine.stats();
     let mut out = format!(
         "policy:       {policy_name}\nevents:       {total} ({} arrivals, {} departures)\n\
@@ -162,7 +153,7 @@ pub fn run(args: &Args) -> Result<String, String> {
     out.push_str(&format!(
         "final state:  {} active flows, objective {:.2}, {} middleboxes\n",
         engine.active_count(),
-        engine.exact_objective(),
+        normalize_zero(engine.exact_objective()),
         engine.deployment().len()
     ));
     Ok(out)

@@ -11,6 +11,7 @@
 //! tdmd stream gen --workload wl.json --duration 100000 --seed 3 --out spans.json
 //! tdmd stream run --topo topo.json --spans spans.json --lambda 0.5 --k 8 \
 //!                 --policy incremental --oracle-every 64
+//! tdmd bench --seed 42 --out-dir bench-out
 //! ```
 
 use tdmd_cli::args::Args;
@@ -67,6 +68,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         }
         "place" => commands::place::place(&Args::parse(rest)?),
         "evaluate" => commands::evaluate::evaluate(&Args::parse(rest)?),
+        "bench" => commands::bench::bench(&Args::parse(rest)?),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -74,7 +76,7 @@ fn run(argv: &[String]) -> Result<String, String> {
 
 fn usage() -> String {
     "usage: tdmd <topo gen|topo stats|topo dot|workload gen|place|evaluate|\
-     chain place|stream gen|stream run> [--flag value ...]\n\
+     chain place|stream gen|stream run|bench> [--flag value ...]\n\
      see the crate docs for the full flag list"
         .to_string()
 }

@@ -126,11 +126,15 @@ pub fn dp_optimal(instance: &Instance) -> Result<DpSolution, TdmdError> {
 /// Computes the DP tables for the walk-through / inspection API.
 ///
 /// # Errors
-/// Same conditions as [`dp_optimal`] (an empty flow set is also
-/// rejected since there is nothing to tabulate).
+/// Same conditions as [`dp_optimal`], plus
+/// [`TdmdError::EmptyWorkload`] for an empty flow set (there is
+/// nothing to tabulate — the topology may still be a valid tree, so
+/// this is *not* [`TdmdError::NotATreeInstance`]).
 pub fn dp_tables(instance: &Instance) -> Result<DpTables, TdmdError> {
     if instance.flows().is_empty() {
-        return Err(TdmdError::NotATreeInstance("no flows to tabulate".into()));
+        return Err(TdmdError::EmptyWorkload {
+            operation: "tabulate",
+        });
     }
     let (tree, local) = validate_tree_instance(instance)?;
     let kmax = instance.k().min(instance.node_count()).max(1);
@@ -409,6 +413,20 @@ mod tests {
         let sol = dp_optimal(&inst).unwrap();
         assert_eq!(sol.bandwidth, 0.0);
         assert!(sol.deployment.is_empty());
+    }
+
+    #[test]
+    fn empty_flow_set_tables_report_empty_workload_not_tree_shape() {
+        // fig5 *is* a tree, so the old NotATreeInstance classification
+        // was a lie; the error must name the actual problem.
+        let g = fig5_graph();
+        let inst = Instance::new(g, vec![], 0.5, 2).unwrap();
+        assert_eq!(
+            dp_tables(&inst).unwrap_err(),
+            TdmdError::EmptyWorkload {
+                operation: "tabulate"
+            }
+        );
     }
 
     #[test]

@@ -108,6 +108,7 @@ impl State {
     }
 
     pub fn score(&self, ctx: &Ctx<'_>, v: NodeId) -> Score {
+        crate::obs::ENGINE.gain_evals.incr();
         Score {
             gain: ctx.index.marginal_decrement(ctx.instance, &self.cur, v),
             coverage: if ctx.coverage_ties {
@@ -168,6 +169,7 @@ pub(crate) fn guard_candidates(
     deployment: &Deployment,
     remaining: usize,
 ) -> Result<Option<Vec<NodeId>>, TdmdError> {
+    crate::obs::ENGINE.guard_checks.incr();
     if served.iter().all(|&s| s) {
         return Ok(None);
     }
@@ -177,6 +179,7 @@ pub(crate) fn guard_candidates(
         return Err(TdmdError::Infeasible { budget: remaining });
     }
     if cover.len() == remaining {
+        crate::obs::ENGINE.guard_activations.incr();
         let allowed = open_candidates(instance, deployment)
             .into_iter()
             .filter(|&v| cover_after(instance, served, v) < remaining)
@@ -330,6 +333,7 @@ pub(crate) fn lazy(ctx: &Ctx<'_>, k: usize) -> Result<Deployment, TdmdError> {
             None => {
                 // CELF pop-refresh loop.
                 loop {
+                    crate::obs::ENGINE.lazy_pops.incr();
                     let Some(top) = heap.pop() else {
                         if state.all_served() {
                             return Ok(state.deployment);
@@ -345,6 +349,7 @@ pub(crate) fn lazy(ctx: &Ctx<'_>, k: usize) -> Result<Deployment, TdmdError> {
                         }
                         break top.score.v;
                     }
+                    crate::obs::ENGINE.lazy_stale_refreshes.incr();
                     let fresh = Entry {
                         score: state.score(ctx, top.score.v),
                         round,

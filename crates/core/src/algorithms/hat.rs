@@ -89,6 +89,10 @@ impl MergeState<'_> {
     fn delta_b(&mut self, i: NodeId, j: NodeId, lca: NodeId) -> f64 {
         let factor = 1.0 - self.instance.lambda();
         let affected = self.affected(i, j, lca);
+        // `member` mirrors `live` outside the flip window, so the
+        // pre-flip bit is exactly `live.contains(&lca)` — saving it
+        // avoids an O(|live|) scan per candidate evaluation.
+        let lca_was_member = self.member[lca as usize];
         self.flip(i, j, lca);
         let mut delta = 0.0;
         for &fi in &affected {
@@ -97,7 +101,7 @@ impl MergeState<'_> {
             let old_l = self.best_l[fi];
             delta += self.instance.flows()[fi].rate as f64 * factor * (old_l as f64 - new_l as f64);
         }
-        self.unflip(i, j, lca);
+        self.unflip(i, j, lca, lca_was_member);
         delta
     }
 
@@ -107,8 +111,8 @@ impl MergeState<'_> {
         self.member[lca as usize] = true;
     }
 
-    fn unflip(&mut self, i: NodeId, j: NodeId, lca: NodeId) {
-        self.member[lca as usize] = self.live.contains(&lca);
+    fn unflip(&mut self, i: NodeId, j: NodeId, lca: NodeId, lca_was_member: bool) {
+        self.member[lca as usize] = lca_was_member;
         self.member[i as usize] = true;
         self.member[j as usize] = true;
     }
@@ -270,6 +274,18 @@ mod tests {
             let inst = fig5_instance(k);
             let h = bandwidth_of(&inst, &hat(&inst, k).unwrap());
             assert_eq!(h, dp_optimal(&inst).unwrap().bandwidth, "k={k}");
+        }
+    }
+
+    #[test]
+    fn candidate_evaluation_leaves_state_intact() {
+        // `delta_b` must restore `member` exactly — including when the
+        // candidate pair's LCA is already a live box (the k=1 collapse
+        // revisits the root repeatedly). Together with the pinned
+        // deployments above this guards the saved-bit `unflip`.
+        for k in 1..=4 {
+            let inst = fig5_instance(k);
+            assert_eq!(hat(&inst, k).unwrap(), hat(&inst, k).unwrap(), "k={k}");
         }
     }
 

@@ -22,6 +22,15 @@ pub enum TdmdError {
     /// A tree algorithm was invoked on an instance that is not a tree
     /// rooted at the flows' common destination with leaf sources.
     NotATreeInstance(String),
+    /// An API that needs at least one flow was given an empty
+    /// workload (e.g. [`dp_tables`](crate::algorithms::dp::dp_tables)
+    /// has nothing to tabulate). Distinct from
+    /// [`TdmdError::NotATreeInstance`]: the topology may be a
+    /// perfectly good tree.
+    EmptyWorkload {
+        /// What the caller asked for of the empty workload.
+        operation: &'static str,
+    },
     /// The exhaustive search space exceeds the configured cap.
     SearchSpaceTooLarge {
         /// Number of candidate subsets that would be enumerated.
@@ -43,6 +52,9 @@ impl std::fmt::Display for TdmdError {
                 )
             }
             TdmdError::NotATreeInstance(why) => write!(f, "not a tree instance: {why}"),
+            TdmdError::EmptyWorkload { operation } => {
+                write!(f, "empty workload: no flows to {operation}")
+            }
             TdmdError::SearchSpaceTooLarge { subsets, cap } => {
                 write!(
                     f,
@@ -68,6 +80,11 @@ mod tests {
         assert!(TdmdError::NotATreeInstance("cycle".into())
             .to_string()
             .contains("cycle"));
+        assert!(TdmdError::EmptyWorkload {
+            operation: "tabulate"
+        }
+        .to_string()
+        .contains("tabulate"));
         let e = TdmdError::SearchSpaceTooLarge {
             subsets: 10,
             cap: 5,

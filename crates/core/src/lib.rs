@@ -25,6 +25,7 @@ pub mod error;
 pub mod feasibility;
 pub mod instance;
 pub mod objective;
+pub mod obs;
 pub mod paper;
 pub mod plan;
 pub mod weighted;

@@ -217,9 +217,9 @@ pub fn dynamic_replanning(seed: u64) -> ExtraResult {
     text.push_str(&format!(
         "  events: {}   Σ static {:.1}   Σ replanned {:.1}   saved {:.1}%\n",
         stat.len(),
-        sum_s,
-        sum_r,
-        100.0 * (1.0 - sum_r / sum_s.max(1e-12))
+        tdmd_obs::normalize_zero(sum_s),
+        tdmd_obs::normalize_zero(sum_r),
+        tdmd_obs::normalize_zero(100.0 * (1.0 - sum_r / sum_s.max(1e-12)))
     ));
     ExtraResult {
         name: "ext_dynamic".into(),
@@ -380,14 +380,19 @@ pub fn capacity_sweep(seed: u64) -> ExtraResult {
     };
     let inst = tree_instance(&mut rng, s);
     let n_flows = inst.flows().len();
-    let uncapped = tdmd_core::algorithms::gtp::gtp_budgeted(&inst, 6)
-        .map(|d| bandwidth_of(&inst, &d))
-        .unwrap_or(f64::NAN);
     let mut text = String::from("== extension: per-middlebox capacity sweep (k = 6) ==\n");
     let mut csv = String::from("capacity,bandwidth,feasible\n");
-    text.push_str(&format!(
-        "  {n_flows} flows; uncapacitated GTP: {uncapped:.0}\n"
-    ));
+    // Surface an infeasible baseline as such instead of folding it
+    // into a NaN that renders as "NaN" downstream.
+    match tdmd_core::algorithms::gtp::gtp_budgeted(&inst, 6) {
+        Ok(d) => {
+            let uncapped = bandwidth_of(&inst, &d);
+            text.push_str(&format!(
+                "  {n_flows} flows; uncapacitated GTP: {uncapped:.0}\n"
+            ));
+        }
+        Err(e) => text.push_str(&format!("  {n_flows} flows; uncapacitated GTP: {e}\n")),
+    }
     for cap in [n_flows, n_flows / 2, n_flows / 3, n_flows / 4, n_flows / 6] {
         let cap = cap.max(1);
         match tdmd_core::capacitated::gtp_capacitated(&inst, 6, cap) {
@@ -443,5 +448,10 @@ mod extension_tests {
         let r = capacity_sweep(33);
         assert!(r.csv.lines().count() >= 5);
         assert!(r.text.contains("uncapacitated"));
+        assert!(
+            !r.text.contains("NaN"),
+            "infeasibility must be reported, not formatted as NaN: {}",
+            r.text
+        );
     }
 }

@@ -113,6 +113,9 @@ impl FigureResult {
                     } else {
                         (p.time_ms, p.time_std)
                     };
+                    // A -0.0 mean would render as "-0.00".
+                    let m = tdmd_obs::normalize_zero(m);
+                    let sd = tdmd_obs::normalize_zero(sd);
                     out.push_str(&format!("{:>24}", format!("{m:.2} ± {sd:.2}")));
                 }
                 out.push('\n');

@@ -1,0 +1,216 @@
+//! [`Histogram`] — bounded-footprint atomic latency histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets: bucket 0 holds values in `[0, 1)`, bucket
+/// `i ≥ 1` holds `[2^(i−1), 2^i)`, and the last bucket is unbounded.
+const BUCKETS: usize = 65;
+
+/// Log₂-bucketed histogram of non-negative samples (typically
+/// microsecond latencies), updatable concurrently with relaxed
+/// atomics and O(1) memory regardless of sample count.
+///
+/// Quantiles read from bucket boundaries are upper bounds with at
+/// most 2× relative error — enough to spot an order-of-magnitude
+/// regression; exact percentiles over raw samples live in
+/// [`StatsRecorder`](crate::StatsRecorder) / [`crate::percentile`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Sum of samples, rounded to integral units.
+    sum: AtomicU64,
+    /// Bit pattern of the maximum sample (non-negative f64 bit
+    /// patterns order like the floats themselves).
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram, usable in `static` position.
+    pub const fn new() -> Self {
+        // `[const { ... }; N]` inline-const array repetition.
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(value: f64) -> usize {
+        let v = value.max(0.0) as u64;
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample. Negative and NaN samples clamp to zero
+    /// (latencies cannot be negative; clamping keeps the hot path
+    /// branch-free of error handling).
+    pub fn record(&self, value: f64) {
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v.round() as u64, Ordering::Relaxed);
+        self.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Consistent point-in-time copy (consistent at quiescence; under
+    /// concurrent writers each field is individually atomic).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.each_ref().map(|b| b.load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed) as f64,
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Resets every bucket and aggregate to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max_bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`Histogram`] for the bucket bounds).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples (rounded per sample).
+    pub sum: f64,
+    /// Largest sample seen.
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the nearest-rank `p`-th
+    /// percentile (0 when empty). At most one bucket (2×) above the
+    /// exact value.
+    pub fn quantile_upper(&self, p: f64) -> f64 {
+        debug_assert!((0.0..=100.0).contains(&p), "quantile {p} outside [0, 100]");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * self.count as f64)
+            .ceil()
+            .max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i: 2^i (bucket 0 is [0, 1)).
+                return if i == 0 { 1.0 } else { (1u128 << i) as f64 };
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_follow_log2_bounds() {
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(0.9), 0);
+        assert_eq!(Histogram::bucket_of(1.0), 1);
+        assert_eq!(Histogram::bucket_of(2.0), 2);
+        assert_eq!(Histogram::bucket_of(3.0), 2);
+        assert_eq!(Histogram::bucket_of(4.0), 3);
+        assert_eq!(Histogram::bucket_of(1024.0), 11);
+        assert_eq!(Histogram::bucket_of(f64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn aggregates_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0.5, 1.5, 2.5, 100.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.sum, 1.0 + 2.0 + 3.0 + 100.0, "half rounds away from zero");
+        assert_eq!(s.quantile_upper(0.0), 1.0, "min is in [0, 1)");
+        // p50 rank 2 → sample 1.5 → bucket [1, 2) → upper bound 2.
+        assert_eq!(s.quantile_upper(50.0), 2.0);
+        // p100 → 100.0 → bucket [64, 128) → upper bound 128.
+        assert_eq!(s.quantile_upper(100.0), 128.0);
+    }
+
+    #[test]
+    fn degenerate_samples_clamp_to_zero() {
+        let h = Histogram::new();
+        h.record(-5.0);
+        h.record(f64::NAN);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn concurrent_records_preserve_totals() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..5_000u32 {
+                        h.record((t * 5_000 + i) as f64);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 20_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 20_000);
+        assert_eq!(s.max, 19_999.0);
+    }
+
+    #[test]
+    fn reset_empties_everything() {
+        let h = Histogram::new();
+        h.record(7.0);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile_upper(99.0), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

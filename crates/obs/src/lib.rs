@@ -1,0 +1,136 @@
+//! # tdmd-obs — always-compiled solver telemetry
+//!
+//! Machine-readable counters and timers for the placement engines,
+//! cheap enough to leave compiled into every hot path:
+//!
+//! * [`Counter`] — a relaxed [`AtomicU64`](std::sync::atomic::AtomicU64)
+//!   wrapper; one `fetch_add` per increment, safe to bump from rayon
+//!   workers.
+//! * [`Histogram`] — a log₂-bucketed atomic latency histogram with a
+//!   bounded footprint (65 buckets), for per-event timings whose
+//!   sample count is unbounded.
+//! * [`Stopwatch`] — a monotonic-clock span timer
+//!   ([`Instant`](std::time::Instant)-based, never affected by wall
+//!   clock adjustments).
+//! * [`Recorder`] — the sink trait instrumented code reports through.
+//!   The default [`NoopRecorder`] has [`Recorder::ENABLED`]` = false`
+//!   and empty inlined methods, so a monomorphized hot path costs
+//!   nothing when telemetry is off; [`StatsRecorder`] collects named
+//!   counters and raw samples for exact percentile reporting.
+//! * [`percentile`] — exact nearest-rank percentile over a sorted
+//!   sample (the one true implementation; callers must not hand-roll
+//!   it).
+//! * [`normalize_zero`] — collapses IEEE `-0.0` to `+0.0` at
+//!   formatting boundaries so objective sums never print as `-0.00`.
+//!
+//! The crate is deliberately dependency-free; serialization of
+//! snapshots (e.g. the `tdmd bench` JSON) is the caller's concern.
+
+mod counter;
+mod hist;
+mod recorder;
+mod timer;
+
+pub use counter::Counter;
+pub use hist::{Histogram, HistogramSnapshot};
+pub use recorder::{NoopRecorder, Recorder, StatsRecorder};
+pub use timer::Stopwatch;
+
+/// Exact nearest-rank percentile of an ascending-sorted sample.
+///
+/// `p` is in percent (`0.0..=100.0`); `p = 0` returns the minimum,
+/// `p = 100` the maximum. Out-of-range `p` is clamped (and rejected by
+/// a debug assertion), as are unsorted or NaN-bearing inputs — both
+/// would silently return a wrong rank, which is exactly the bug class
+/// this function exists to prevent. An empty sample yields `0.0`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile {p} outside [0, 100]"
+    );
+    debug_assert!(
+        sorted.iter().all(|x| !x.is_nan()),
+        "NaN in percentile sample"
+    );
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile sample is not sorted ascending"
+    );
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Collapses signed zero: `-0.0` formats as `-0.00`, which reads as a
+/// (nonexistent) negative objective. Apply at the formatting boundary
+/// of any `f64` produced by summation. Every other value — including
+/// NaN — passes through unchanged.
+#[inline]
+pub fn normalize_zero(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank_endpoints() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0, "p=0 is the minimum");
+        assert_eq!(percentile(&s, 100.0), 4.0, "p=100 is the maximum");
+        assert_eq!(percentile(&s, 50.0), 2.0);
+        assert_eq!(percentile(&s, 75.0), 3.0);
+        assert_eq!(percentile(&s, 76.0), 4.0);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_that_sample() {
+        for p in [0.0, 37.5, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_empty_sample_is_zero() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "outside [0, 100]"))]
+    fn percentile_rejects_out_of_range_p() {
+        // Release builds clamp instead of panicking.
+        assert_eq!(percentile(&[1.0, 2.0], 150.0), 2.0);
+        panic!("outside [0, 100]"); // keep the expectation satisfied in release
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "NaN in percentile sample"))]
+    fn percentile_rejects_nan_samples() {
+        let _ = percentile(&[1.0, f64::NAN], 50.0);
+        panic!("NaN in percentile sample");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "not sorted"))]
+    fn percentile_rejects_unsorted_samples() {
+        let _ = percentile(&[3.0, 1.0], 50.0);
+        panic!("not sorted");
+    }
+
+    #[test]
+    fn normalize_zero_fixes_negative_zero_only() {
+        assert_eq!(normalize_zero(-0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(format!("{:.2}", normalize_zero(-0.0)), "0.00");
+        assert_eq!(normalize_zero(1.5), 1.5);
+        assert_eq!(normalize_zero(-1.5), -1.5);
+        assert!(normalize_zero(f64::NAN).is_nan());
+    }
+}

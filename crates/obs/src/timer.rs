@@ -1,0 +1,52 @@
+//! [`Stopwatch`] — monotonic span timer.
+
+use std::time::Instant;
+
+/// A started span timer over the monotonic clock.
+///
+/// Thin wrapper over [`Instant`] whose accessors return the units the
+/// telemetry layer traffics in (µs/ms as `f64`), so call sites never
+/// repeat the `as_secs_f64() * 1e6` dance.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    /// Microseconds elapsed since start.
+    #[inline]
+    pub fn elapsed_us(&self) -> f64 {
+        self.0.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Milliseconds elapsed since start.
+    #[inline]
+    pub fn elapsed_ms(&self) -> f64 {
+        self.0.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Seconds elapsed since start.
+    #[inline]
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_and_unit_consistent() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let us = sw.elapsed_us();
+        let ms = sw.elapsed_ms();
+        assert!(us >= 2_000.0, "slept 2ms but measured {us}µs");
+        assert!(ms >= 2.0);
+        assert!(sw.elapsed_us() >= us, "monotone");
+    }
+}

@@ -16,6 +16,7 @@
 
 use tdmd_core::{Deployment, Instance, TdmdError};
 use tdmd_graph::{DiGraph, NodeId};
+use tdmd_obs::{NoopRecorder, Recorder, Stopwatch};
 use tdmd_traffic::Flow;
 
 use crate::delta::DeltaState;
@@ -63,9 +64,31 @@ impl std::fmt::Display for OnlineError {
 
 impl std::error::Error for OnlineError {}
 
+/// Telemetry keys the engine reports through its
+/// [`Recorder`] — the stable schema of the `tdmd bench` stream JSON.
+pub mod obs_keys {
+    /// Sample: wall-clock µs of one full [`OnlineEngine::apply`]
+    /// (event ingestion + repair).
+    pub const EVENT_APPLY_US: &str = "event_apply_us";
+    /// Sample: wall-clock µs of one post-event repair pass.
+    pub const REPAIR_US: &str = "repair_us";
+    /// Sample: wall-clock µs of one drift-oracle solve (sampled
+    /// events only).
+    pub const REPLAN_US: &str = "replan_us";
+    /// Counter: arrival events applied.
+    pub const ARRIVALS: &str = "arrivals";
+    /// Counter: departure events applied.
+    pub const DEPARTURES: &str = "departures";
+    /// Counter: oracle deployments adopted (replans).
+    pub const REPLANS: &str = "replans";
+}
+
 /// Event-driven incremental placement engine, generic over the
-/// pricing (and thereby over PR 1's cost models).
-pub struct OnlineEngine<P: PathPricer> {
+/// pricing (and thereby over PR 1's cost models) and over the
+/// telemetry [`Recorder`] — the default [`NoopRecorder`]
+/// monomorphizes every recording call (and its clock reads, guarded
+/// by [`Recorder::ENABLED`]) away.
+pub struct OnlineEngine<P: PathPricer, R: Recorder = NoopRecorder> {
     graph: DiGraph,
     lambda: f64,
     k: usize,
@@ -75,10 +98,12 @@ pub struct OnlineEngine<P: PathPricer> {
     queue: LazyQueue,
     deployment: Deployment,
     stats: RepairStats,
+    recorder: R,
 }
 
 impl<P: PathPricer> OnlineEngine<P> {
-    /// Creates an engine over `graph` with budget `k`.
+    /// Creates an engine over `graph` with budget `k` and telemetry
+    /// disabled.
     ///
     /// # Errors
     /// [`OnlineError::BadLambda`] if `λ ∉ [0, 1]`.
@@ -88,6 +113,24 @@ impl<P: PathPricer> OnlineEngine<P> {
         k: usize,
         pricer: P,
         policy: RepairPolicy,
+    ) -> Result<Self, OnlineError> {
+        Self::with_recorder(graph, lambda, k, pricer, policy, NoopRecorder)
+    }
+}
+
+impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
+    /// Creates an engine reporting per-event latency samples and
+    /// counters (see [`obs_keys`]) through `recorder`.
+    ///
+    /// # Errors
+    /// [`OnlineError::BadLambda`] if `λ ∉ [0, 1]`.
+    pub fn with_recorder(
+        graph: DiGraph,
+        lambda: f64,
+        k: usize,
+        pricer: P,
+        policy: RepairPolicy,
+        recorder: R,
     ) -> Result<Self, OnlineError> {
         if !(0.0..=1.0).contains(&lambda) || lambda.is_nan() {
             return Err(OnlineError::BadLambda(lambda));
@@ -103,6 +146,7 @@ impl<P: PathPricer> OnlineEngine<P> {
             queue: LazyQueue::new(n),
             deployment: Deployment::empty(n),
             stats: RepairStats::default(),
+            recorder,
         })
     }
 
@@ -179,12 +223,23 @@ impl<P: PathPricer> OnlineEngine<P> {
     /// Rejects malformed events ([`OnlineError`]); the engine state
     /// is unchanged on error.
     pub fn apply(&mut self, event: &Event) -> Result<(), OnlineError> {
+        let sw = R::ENABLED.then(Stopwatch::start);
         match event {
-            Event::FlowArrived { key, rate, path } => self.on_arrival(*key, *rate, path)?,
-            Event::FlowDeparted { key } => self.on_departure(*key)?,
+            Event::FlowArrived { key, rate, path } => {
+                self.on_arrival(*key, *rate, path)?;
+                self.recorder.count(obs_keys::ARRIVALS, 1);
+            }
+            Event::FlowDeparted { key } => {
+                self.on_departure(*key)?;
+                self.recorder.count(obs_keys::DEPARTURES, 1);
+            }
         }
         self.stats.events += 1;
         self.repair();
+        if let Some(sw) = sw {
+            self.recorder
+                .sample(obs_keys::EVENT_APPLY_US, sw.elapsed_us());
+        }
         Ok(())
     }
 
@@ -264,13 +319,17 @@ impl<P: PathPricer> OnlineEngine<P> {
 
     /// Post-event repair per the policy (see [`crate::repair`]).
     fn repair(&mut self) {
+        let sw = R::ENABLED.then(Stopwatch::start);
         let policy = self.policy;
         let sampled = policy.force_replan
             || (policy.sample_every > 0 && self.stats.events.is_multiple_of(policy.sample_every));
-        if sampled && self.drift_check(policy.force_replan) {
-            return; // replan adopted: nothing left to repair
+        let replanned = sampled && self.drift_check(policy.force_replan);
+        if !replanned {
+            self.local_repair(policy.move_budget);
         }
-        self.local_repair(policy.move_budget);
+        if let Some(sw) = sw {
+            self.recorder.sample(obs_keys::REPAIR_US, sw.elapsed_us());
+        }
     }
 
     /// Commits `v` into the deployment, re-homing improved flows and
@@ -374,6 +433,7 @@ impl<P: PathPricer> OnlineEngine<P> {
             Ok(i) => i,
             Err(_) => return false,
         };
+        let sw = R::ENABLED.then(Stopwatch::start);
         let oracle = match self.pricer.solve_oracle(&instance) {
             Ok(dep) => dep,
             Err(_) => {
@@ -381,6 +441,9 @@ impl<P: PathPricer> OnlineEngine<P> {
                 return false;
             }
         };
+        if let Some(sw) = sw {
+            self.recorder.sample(obs_keys::REPLAN_US, sw.elapsed_us());
+        }
         let oracle_obj = self.evaluate_deployment(&oracle);
         let current = self.state.objective();
         self.stats.last_drift = if oracle_obj > 0.0 {
@@ -412,6 +475,7 @@ impl<P: PathPricer> OnlineEngine<P> {
             }
         }
         self.stats.replans += 1;
+        self.recorder.count(obs_keys::REPLANS, 1);
     }
 }
 
@@ -558,6 +622,60 @@ mod tests {
         assert_eq!(e.active_count(), 0);
         assert_eq!(e.stats().events, 4);
         assert_eq!(e.objective(), 0.0);
+    }
+
+    #[test]
+    fn recorder_sees_every_event_and_replan() {
+        use tdmd_obs::StatsRecorder;
+        let rec = StatsRecorder::new();
+        let mut e = OnlineEngine::with_recorder(
+            fig1_graph(),
+            0.5,
+            2,
+            HopPricer::default(),
+            RepairPolicy::forced_replan(),
+            &rec,
+        )
+        .unwrap();
+        for ev in fig1_arrivals() {
+            e.apply(&ev).unwrap();
+        }
+        e.apply(&Event::FlowDeparted { key: 4 }).unwrap();
+        assert_eq!(rec.counter(obs_keys::ARRIVALS), 4);
+        assert_eq!(rec.counter(obs_keys::DEPARTURES), 1);
+        assert_eq!(rec.counter(obs_keys::REPLANS), e.stats().replans);
+        assert_eq!(rec.sample_count(obs_keys::EVENT_APPLY_US), 5);
+        assert_eq!(rec.sample_count(obs_keys::REPAIR_US), 5);
+        assert_eq!(
+            rec.sample_count(obs_keys::REPLAN_US) as u64,
+            e.stats().drift_samples - e.stats().oracle_failures
+        );
+        assert!(rec
+            .sorted_samples(obs_keys::EVENT_APPLY_US)
+            .iter()
+            .all(|&us| us >= 0.0));
+    }
+
+    #[test]
+    fn noop_recorder_engine_matches_recorded_engine() {
+        use tdmd_obs::StatsRecorder;
+        let rec = StatsRecorder::new();
+        let mut plain = engine(3, RepairPolicy::default());
+        let mut recorded = OnlineEngine::with_recorder(
+            fig1_graph(),
+            0.5,
+            3,
+            HopPricer::default(),
+            RepairPolicy::default(),
+            &rec,
+        )
+        .unwrap();
+        for ev in fig1_arrivals() {
+            plain.apply(&ev).unwrap();
+            recorded.apply(&ev).unwrap();
+        }
+        assert_eq!(plain.deployment(), recorded.deployment());
+        assert_eq!(plain.objective(), recorded.objective());
     }
 
     #[test]

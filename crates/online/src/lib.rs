@@ -32,7 +32,7 @@ pub mod queue;
 pub mod repair;
 
 pub use delta::DeltaState;
-pub use engine::{OnlineEngine, OnlineError};
+pub use engine::{obs_keys, OnlineEngine, OnlineError};
 pub use event::{events_from_spans, Event, FlowKey, FlowSpan, TimedEvent};
 pub use pricer::{HopPricer, ModelPricer, PathPricer, WeightedPathPricer};
 pub use queue::LazyQueue;

@@ -1,7 +1,6 @@
 //! Link-utilization metrics over a replay.
 
 use crate::replay::LinkLoads;
-use tdmd_core::Instance;
 
 /// Aggregate link metrics for a replayed deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,14 +16,14 @@ pub struct LinkMetrics {
     /// Max link load / capacity (the congestion check the paper's
     /// over-provisioning assumption makes moot, §6.1).
     pub max_utilization: f64,
-    /// Share of total traffic that was processed (diminished) when it
-    /// crossed its last link.
+    /// Whether every flow was served by some deployed middlebox on
+    /// its path (the coverage constraint held during replay).
     pub feasible: bool,
 }
 
 impl LinkMetrics {
     /// Computes metrics from a replay given the per-link capacity.
-    pub fn from_loads(instance: &Instance, loads: &LinkLoads, link_capacity: u64) -> Self {
+    pub fn from_loads(loads: &LinkLoads, link_capacity: u64) -> Self {
         let loaded_links = loads.per_link.len();
         let max_link_load = loads.per_link.values().copied().fold(0.0f64, f64::max);
         let mean_loaded_link = if loaded_links == 0 {
@@ -32,7 +31,6 @@ impl LinkMetrics {
         } else {
             loads.per_link.values().sum::<f64>() / loaded_links as f64
         };
-        let _ = instance;
         Self {
             total_bandwidth: loads.total,
             max_link_load,
@@ -59,7 +57,7 @@ mod tests {
     fn metrics_summarize_fig1() {
         let inst = fig1_instance(2);
         let loads = replay(&inst, &Deployment::from_vertices(6, [4, 1]));
-        let m = LinkMetrics::from_loads(&inst, &loads, 100);
+        let m = LinkMetrics::from_loads(&loads, 100);
         assert_eq!(m.total_bandwidth, 12.0);
         assert!(m.feasible);
         assert_eq!(m.loaded_links, 6);
@@ -71,7 +69,7 @@ mod tests {
     fn infeasible_deployment_is_flagged() {
         let inst = fig1_instance(2);
         let loads = replay(&inst, &Deployment::empty(6));
-        let m = LinkMetrics::from_loads(&inst, &loads, 100);
+        let m = LinkMetrics::from_loads(&loads, 100);
         assert!(!m.feasible);
     }
 
@@ -79,7 +77,7 @@ mod tests {
     fn zero_capacity_does_not_divide_by_zero() {
         let inst = fig1_instance(2);
         let loads = replay(&inst, &Deployment::from_vertices(6, [4, 1]));
-        let m = LinkMetrics::from_loads(&inst, &loads, 0);
+        let m = LinkMetrics::from_loads(&loads, 0);
         assert_eq!(m.max_utilization, 0.0);
     }
 }

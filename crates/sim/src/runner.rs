@@ -8,7 +8,6 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::time::Instant;
 use tdmd_core::algorithms::Algorithm;
 use tdmd_core::objective::bandwidth_of;
 use tdmd_core::Instance;
@@ -82,9 +81,9 @@ where
         let mut row = Vec::with_capacity(algorithms.len());
         for alg in algorithms {
             let mut alg_rng = StdRng::seed_from_u64(seed ^ 0x5EED_5EED);
-            let start = Instant::now();
+            let sw = tdmd_obs::Stopwatch::start();
             let result = alg.run(&instance, &mut alg_rng);
-            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            let elapsed_ms = sw.elapsed_ms();
             match result {
                 Ok(dep) => {
                     debug_assert!(

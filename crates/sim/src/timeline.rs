@@ -257,8 +257,10 @@ pub fn simulate_incremental(
         }
         out.push(TimelinePoint {
             time_us: t,
+            // The incremental engine's running sum can end a drained
+            // stream at -0.0, which CSV sinks print as "-0".
+            bandwidth: tdmd_obs::normalize_zero(engine.exact_objective()),
             active_flows: engine.active_count(),
-            bandwidth: engine.exact_objective(),
             middleboxes: engine.deployment().len(),
         });
     }
