@@ -1,0 +1,135 @@
+//! Fault-injection throughput benchmark of the online engine.
+//!
+//! Replays a churn scenario through `tdmd_sim::chaos::run_chaos`
+//! under both failure models — independent per-vertex MTBF/MTTR and
+//! the targeted kill-the-biggest-box adversary — timing the whole
+//! replay (event ingestion + orphan reassignment + degradation-aware
+//! repair). The `no_failures` target replays the same spans with no
+//! injection as the baseline, so the failure layer's overhead is the
+//! difference.
+//!
+//! Smoke mode (`TDMD_BENCH_SMOKE=1`, used by CI) shrinks the scenario
+//! to |V| = 60 / |F| = 150 so one iteration finishes in well under a
+//! second while still exercising orphaning, degraded accounting, and
+//! both schedules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdmd_bench::{tuned_group, BENCH_SEED};
+use tdmd_graph::generators::ark::ark_like;
+use tdmd_online::{FlowSpan, RepairPolicy};
+use tdmd_sim::chaos::{run_chaos, ChaosConfig, ChaosMode};
+use tdmd_sim::timeline::DynamicScenario;
+use tdmd_traffic::{general_workload, WorkloadConfig};
+
+/// CI smoke mode: tiny scenario, same code paths.
+fn smoke() -> bool {
+    std::env::var("TDMD_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+/// Builds the chaos scenario: random flow lifetimes over a fixed
+/// horizon on an Ark-like topology.
+fn build() -> DynamicScenario {
+    let (size, flows_n, clusters, k) = if smoke() {
+        (60, 150, 4, 6)
+    } else {
+        (400, 3_000, 10, 16)
+    };
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let graph = ark_like(size, clusters, &mut rng);
+    let dests: Vec<u32> = (0..3.min(clusters as u32)).collect();
+    let flows = general_workload(
+        &graph,
+        &dests,
+        &WorkloadConfig::with_count(flows_n),
+        &mut rng,
+    );
+    let horizon = 1_000_000u64;
+    let spans: Vec<FlowSpan> = flows
+        .into_iter()
+        .map(|flow| {
+            let start_us = rng.gen_range(0..horizon);
+            let hold = rng.gen_range(1..horizon / 4);
+            FlowSpan {
+                start_us,
+                end_us: start_us + hold,
+                flow,
+            }
+        })
+        .collect();
+    DynamicScenario {
+        graph,
+        lambda: 0.5,
+        k,
+        spans,
+    }
+}
+
+fn bench_chaos(c: &mut Criterion) {
+    let scn = build();
+    let mut g = tuned_group(c, "chaos");
+    let policy = RepairPolicy::default();
+
+    // Baseline: the same replay with an MTBF far beyond the horizon,
+    // i.e. no failures ever fire — isolates the injection overhead.
+    g.bench_function("no_failures", |b| {
+        b.iter(|| {
+            run_chaos(
+                &scn,
+                policy,
+                &ChaosConfig {
+                    mode: ChaosMode::Independent {
+                        mtbf_us: u64::MAX / 4,
+                        mttr_us: 1,
+                    },
+                    seed: BENCH_SEED,
+                },
+            )
+            .expect("valid scenario")
+        })
+    });
+
+    g.bench_function("independent_mtbf", |b| {
+        b.iter(|| {
+            run_chaos(
+                &scn,
+                policy,
+                &ChaosConfig {
+                    mode: ChaosMode::Independent {
+                        mtbf_us: 400_000,
+                        mttr_us: 50_000,
+                    },
+                    seed: BENCH_SEED,
+                },
+            )
+            .expect("valid scenario")
+        })
+    });
+
+    g.bench_function("targeted_kills", |b| {
+        b.iter(|| {
+            run_chaos(
+                &scn,
+                policy,
+                &ChaosConfig {
+                    mode: ChaosMode::Targeted {
+                        period_us: 50_000,
+                        mttr_us: 25_000,
+                    },
+                    seed: BENCH_SEED,
+                },
+            )
+            .expect("valid scenario")
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_chaos
+}
+criterion_main!(benches);

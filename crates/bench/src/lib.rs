@@ -7,6 +7,14 @@
 //! paper's (b)-panels. `micro` covers the primitive operations and
 //! `ablation` the design alternatives called out in DESIGN.md (eager
 //! vs CELF vs parallel GTP).
+//!
+//! Beyond the figure panels, `benches/churn.rs` measures the online
+//! engine's event throughput and `benches/chaos.rs` the
+//! fault-injection replay (both honor `TDMD_BENCH_SMOKE=1`, which CI
+//! uses to run a shrunken scenario through the full pipeline). This
+//! lib target only hosts the shared fixtures: [`BENCH_SEED`],
+//! [`tree_fixture`] / [`general_fixture`], [`tuned_group`] and
+//! [`bench_suite`].
 
 use criterion::{BenchmarkId, Criterion};
 use rand::rngs::StdRng;

@@ -12,7 +12,8 @@
 //!   per-flow DP re-homes every flow on each candidate evaluation.
 //!   Since the `CostModel` refactor the loop itself lives in
 //!   `tdmd-core`'s generic engine ([`run_move_greedy`]); this module
-//!   only supplies the [`MoveGreedy`] driver ([`PrefixStackMoves`]).
+//!   only supplies the [`MoveGreedy`] driver (the private
+//!   `PrefixStackMoves`).
 //! * [`chain_stacked_gtp`] — the chain-aware [`CostModel`] adapter
 //!   ([`ChainStackModel`]): collapse the chain's best diminishing
 //!   prefix into a single stacked placement problem and run the core

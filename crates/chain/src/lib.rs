@@ -2,13 +2,13 @@
 //!
 //! The paper restricts itself to a *single* middlebox type; the
 //! literature it builds on places totally-ordered *chains* (Ma et al.
-//! [22], Chen & Wu [7]): every flow must traverse types
+//! \[22\], Chen & Wu \[7\]): every flow must traverse types
 //! `t₁ → t₂ → … → t_m` in order, each type multiplying the flow's rate
 //! by its own ratio `λ_t` — which may shrink (*filters, optimizers*,
 //! `λ < 1`) or **grow** traffic (*decryption, decompression*,
 //! `λ > 1`). Ordering then matters: shrinkers want to sit early,
 //! expanders late, and instances are shared across flows (the paper's
-//! critique of [22] is precisely that it never shares).
+//! critique of \[22\] is precisely that it never shares).
 //!
 //! * [`spec`] — chain specifications and per-type ratios.
 //! * [`deployment`] — per-type instance sets.

@@ -1,10 +1,13 @@
-//! `tdmd stream` — span-file generation and churn replay.
+//! `tdmd stream` — span-file generation, churn replay and fault
+//! injection.
 //!
 //! `stream gen` lowers a static workload to a span file (each flow
 //! gets a random lifetime inside the scenario horizon); `stream run`
 //! replays a span file through the incremental engine and reports
 //! per-event repair latency percentiles, throughput, and the
-//! objective-vs-oracle gap.
+//! objective-vs-oracle gap; `stream inject` replays the same spans
+//! under a seeded failure schedule (independent MTBF/MTTR or targeted
+//! kills) and reports the degradation/repair telemetry.
 
 use crate::args::Args;
 use crate::commands::{load_topology, load_workload, write_out};
@@ -14,6 +17,8 @@ use tdmd_obs::{normalize_zero, percentile, StatsRecorder, Stopwatch};
 use tdmd_online::{
     events_from_spans, obs_keys, FlowSpan, HopPricer, OnlineEngine, PathPricer, RepairPolicy,
 };
+use tdmd_sim::chaos::{run_chaos, ChaosConfig, ChaosMode};
+use tdmd_sim::timeline::DynamicScenario;
 
 /// `tdmd stream gen --workload wl.json --duration D [--mean-hold H]
 /// [--seed S] --out spans.json`
@@ -83,7 +88,7 @@ pub fn run(args: &Args) -> Result<String, String> {
             move_budget: args.num("move-budget", 4)?,
             drift_eps: args.num("eps", 0.05)?,
             sample_every: args.num("sample-every", 256)?,
-            force_replan: false,
+            ..RepairPolicy::default()
         },
         "replanned" => RepairPolicy::forced_replan(),
         other => return Err(format!("unknown policy '{other}' (incremental|replanned)")),
@@ -156,6 +161,99 @@ pub fn run(args: &Args) -> Result<String, String> {
         normalize_zero(engine.exact_objective()),
         engine.deployment().len()
     ));
+    Ok(out)
+}
+
+/// `tdmd stream inject --topo t.json --spans spans.json --lambda L
+/// --k K [--mode independent|targeted] [--mtbf-us N] [--mttr-us N]
+/// [--period-us N] [--seed S] [--policy incremental|replanned|local]
+/// [--move-budget N] [--eps E] [--sample-every N]`
+///
+/// Replays the span file through the incremental engine while
+/// injecting middlebox failures: `independent` draws per-vertex
+/// exponential up/down phases (means `--mtbf-us` / `--mttr-us`);
+/// `targeted` kills the highest-loaded deployed vertex every
+/// `--period-us`, recovering it `--mttr-us` later. Reports failures,
+/// orphaned/degraded flows, degraded flow-time, and post-failure
+/// repair latency percentiles.
+pub fn inject(args: &Args) -> Result<String, String> {
+    let graph = load_topology(args.required("topo")?)?;
+    let spans = load_spans(args.required("spans")?)?;
+    let lambda: f64 = args.num_required("lambda")?;
+    let k: usize = args.num_required("k")?;
+    let mttr_us: u64 = args.num("mttr-us", 2_000)?;
+    let seed: u64 = args.num("seed", 0)?;
+    let mode_name = args.optional("mode").unwrap_or("independent");
+    let mode = match mode_name {
+        "independent" => ChaosMode::Independent {
+            mtbf_us: args.num("mtbf-us", 10_000)?,
+            mttr_us,
+        },
+        "targeted" => ChaosMode::Targeted {
+            period_us: args.num("period-us", 5_000)?,
+            mttr_us,
+        },
+        other => return Err(format!("unknown mode '{other}' (independent|targeted)")),
+    };
+    let policy_name = args.optional("policy").unwrap_or("incremental");
+    let policy = match policy_name {
+        "incremental" => RepairPolicy {
+            move_budget: args.num("move-budget", 4)?,
+            drift_eps: args.num("eps", 0.05)?,
+            sample_every: args.num("sample-every", 256)?,
+            ..RepairPolicy::default()
+        },
+        "replanned" => RepairPolicy::forced_replan(),
+        "local" => RepairPolicy::local_only(args.num("move-budget", 4)?),
+        other => {
+            return Err(format!(
+                "unknown policy '{other}' (incremental|replanned|local)"
+            ))
+        }
+    };
+
+    let scn = DynamicScenario {
+        graph,
+        lambda,
+        k,
+        spans,
+    };
+    let report = run_chaos(&scn, policy, &ChaosConfig { mode, seed }).map_err(|e| e.to_string())?;
+
+    let lat = &report.repair_latency_us;
+    let mut out = format!(
+        "mode:           {mode_name} (seed {seed})\npolicy:         {policy_name}\n\
+         failures:       {} ({} recoveries)\nflows orphaned: {} ({} degraded)\n\
+         degraded time:  {} flow·µs\n",
+        report.failures,
+        report.recoveries,
+        report.flows_orphaned,
+        report.flows_degraded,
+        report.degraded_flow_us,
+    );
+    if lat.is_empty() {
+        out.push_str("repair latency: n/a (no failures injected)\n");
+    } else {
+        out.push_str(&format!(
+            "repair latency: p50 {:.1} µs / p90 {:.1} µs / p99 {:.1} µs over {} failures\n",
+            percentile(lat, 50.0),
+            percentile(lat, 90.0),
+            percentile(lat, 99.0),
+            lat.len()
+        ));
+    }
+    match report.points.last() {
+        Some(p) => out.push_str(&format!(
+            "final state:    {} active flows, {} degraded, objective {:.2}, \
+             {} middleboxes, {} failed vertices\n",
+            p.active_flows,
+            p.degraded_flows,
+            normalize_zero(p.bandwidth),
+            p.middleboxes,
+            p.failed_vertices
+        )),
+        None => out.push_str("final state:    no events (every span is zero-length)\n"),
+    }
     Ok(out)
 }
 
@@ -265,6 +363,59 @@ mod tests {
             report.contains("mean 0.00% / max 0.00%"),
             "forced replans track the oracle exactly: {report}"
         );
+    }
+
+    #[test]
+    fn inject_reports_failures_for_both_modes() {
+        let (topo_path, wl) = fixture();
+        let spans_path = tmp("stream-inject-spans.json");
+        generate(&args(&[
+            ("workload", &wl),
+            ("duration", "10000"),
+            ("seed", "7"),
+            ("out", &spans_path),
+        ]))
+        .unwrap();
+        for (mode, extra) in [
+            ("independent", ("mtbf-us", "2000")),
+            ("targeted", ("period-us", "1500")),
+        ] {
+            let report = inject(&args(&[
+                ("topo", &topo_path),
+                ("spans", &spans_path),
+                ("lambda", "0.5"),
+                ("k", "4"),
+                ("mode", mode),
+                extra,
+                ("mttr-us", "500"),
+                ("seed", "3"),
+            ]))
+            .unwrap();
+            assert!(report.contains("failures:"), "{mode}: {report}");
+            assert!(report.contains("repair latency:"), "{mode}: {report}");
+            assert!(report.contains("0 failed vertices"), "{mode}: {report}");
+        }
+    }
+
+    #[test]
+    fn inject_rejects_unknown_mode() {
+        let (topo_path, wl) = fixture();
+        let spans_path = tmp("stream-inject-badmode-spans.json");
+        generate(&args(&[
+            ("workload", &wl),
+            ("duration", "100"),
+            ("out", &spans_path),
+        ]))
+        .unwrap();
+        let err = inject(&args(&[
+            ("topo", &topo_path),
+            ("spans", &spans_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+            ("mode", "cosmic-rays"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unknown mode"));
     }
 
     #[test]

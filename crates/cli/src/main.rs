@@ -11,6 +11,8 @@
 //! tdmd stream gen --workload wl.json --duration 100000 --seed 3 --out spans.json
 //! tdmd stream run --topo topo.json --spans spans.json --lambda 0.5 --k 8 \
 //!                 --policy incremental --oracle-every 64
+//! tdmd stream inject --topo topo.json --spans spans.json --lambda 0.5 --k 8 \
+//!                    --mode targeted --period-us 5000 --mttr-us 2000 --seed 4
 //! tdmd bench --seed 42 --out-dir bench-out
 //! ```
 
@@ -63,6 +65,7 @@ fn run(argv: &[String]) -> Result<String, String> {
             match sub.as_str() {
                 "gen" => commands::stream::generate(&args),
                 "run" => commands::stream::run(&args),
+                "inject" => commands::stream::inject(&args),
                 other => Err(format!("unknown stream subcommand '{other}'")),
             }
         }
@@ -76,7 +79,7 @@ fn run(argv: &[String]) -> Result<String, String> {
 
 fn usage() -> String {
     "usage: tdmd <topo gen|topo stats|topo dot|workload gen|place|evaluate|\
-     chain place|stream gen|stream run|bench> [--flag value ...]\n\
+     chain place|stream gen|stream run|stream inject|bench> [--flag value ...]\n\
      see the crate docs for the full flag list"
         .to_string()
 }

@@ -1,8 +1,8 @@
 //! The generic greedy engine behind every objective variant.
 //!
-//! One [`Ctx`] pairs an [`Instance`] with a compiled
-//! [`FlowIndex`](crate::cost::FlowIndex), and the three GTP drivers
-//! ([`eager`], [`lazy`], [`parallel`]) run the paper's Alg. 1 against
+//! One `Ctx` pairs an [`Instance`] with a compiled
+//! [`FlowIndex`], and the three GTP drivers
+//! (`eager`, `lazy`, `parallel`) run the paper's Alg. 1 against
 //! it — the cost model is already baked into the index, so hop-count,
 //! weighted-edge, and chain-stack pricing all share this single loop
 //! (Thm. 2's submodularity argument only needs the per-flow metric to
@@ -11,7 +11,7 @@
 //!
 //! The tight-budget **feasibility guard** (the paper's "can only
 //! deploy on v2" rule, generalized) lives here once as
-//! [`guard_candidates`] and is shared by the GTP drivers, the
+//! `guard_candidates` and is shared by the GTP drivers, the
 //! capacitated greedy, and the best-effort baseline — it used to be
 //! duplicated in each.
 //!

@@ -11,7 +11,7 @@
 //! * [`gtp_parallel`] — Rayon-parallel candidate scoring.
 //!
 //! Every variant is a thin wrapper over the generic engine in
-//! [`engine`](super::engine) instantiated with the paper's
+//! [`super::engine`] instantiated with the paper's
 //! [`HopCount`] pricing; the `*_with` versions accept any
 //! [`CostModel`] (Thm. 2 only needs the per-flow metric to be
 //! monotone along the path, so the guarantee carries over).

@@ -1,8 +1,8 @@
 //! Capacitated-middlebox extension.
 //!
 //! The paper assumes "a middlebox does not have a capacity limit"
-//! (§1); the related work it positions against (Sallam & Ji [27],
-//! Sang et al. [28]) does budget middlebox capacity. This module adds
+//! (§1); the related work it positions against (Sallam & Ji \[27\],
+//! Sang et al. \[28\]) does budget middlebox capacity. This module adds
 //! the natural capacitated variant: every deployed middlebox serves at
 //! most `cap` flows. Two things change:
 //!

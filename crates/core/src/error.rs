@@ -31,6 +31,14 @@ pub enum TdmdError {
         /// What the caller asked for of the empty workload.
         operation: &'static str,
     },
+    /// A failure/recovery event named a vertex the stream layer
+    /// rejects (outside the topology, already failed, not failed, or
+    /// hosting no middlebox) — see `tdmd_online::OnlineError` for the
+    /// fine-grained cause.
+    FailedVertex {
+        /// Offending vertex id.
+        vertex: u32,
+    },
     /// The exhaustive search space exceeds the configured cap.
     SearchSpaceTooLarge {
         /// Number of candidate subsets that would be enumerated.
@@ -54,6 +62,9 @@ impl std::fmt::Display for TdmdError {
             TdmdError::NotATreeInstance(why) => write!(f, "not a tree instance: {why}"),
             TdmdError::EmptyWorkload { operation } => {
                 write!(f, "empty workload: no flows to {operation}")
+            }
+            TdmdError::FailedVertex { vertex } => {
+                write!(f, "invalid failure/recovery event at vertex {vertex}")
             }
             TdmdError::SearchSpaceTooLarge { subsets, cap } => {
                 write!(
@@ -85,6 +96,9 @@ mod tests {
         }
         .to_string()
         .contains("tabulate"));
+        assert!(TdmdError::FailedVertex { vertex: 7 }
+            .to_string()
+            .contains('7'));
         let e = TdmdError::SearchSpaceTooLarge {
             subsets: 10,
             cap: 5,

@@ -17,6 +17,37 @@
 //! * [`algorithms`] — GTP (Alg. 1, eager/lazy/parallel), the tree DP
 //!   (Eqs. 7–10), HAT (Alg. 2), the paper's Random and Best-effort
 //!   baselines, and an exhaustive optimum for small instances.
+//!
+//! # Example
+//!
+//! Build an instance by hand and solve it with GTP under the default
+//! hop-count cost model:
+//!
+//! ```
+//! use tdmd_core::algorithms::gtp::gtp_budgeted_with;
+//! use tdmd_core::objective::bandwidth_of;
+//! use tdmd_core::{HopCount, Instance};
+//! use tdmd_graph::DiGraph;
+//! use tdmd_traffic::Flow;
+//!
+//! // A 3-vertex path 0 → 1 → 2 carrying two flows.
+//! let graph = DiGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+//! let flows = vec![
+//!     Flow::new(0, 5, vec![0, 1, 2]), // rate 5, two hops
+//!     Flow::new(1, 3, vec![1, 2]),    // rate 3, one hop
+//! ];
+//! let inst = Instance::new(graph, flows, 0.5, 1)?; // λ = 0.5, k = 1
+//!
+//! // With one box, only vertex 1 covers both flows; the feasibility
+//! // guard steers GTP there. Unprocessed cost is 5·2 + 3·1 = 13 and
+//! // the box saves (1 − λ)·(5·1 + 3·1) = 4 downstream units.
+//! let plan = gtp_budgeted_with(&inst, 1, &HopCount)?;
+//! assert_eq!(plan.vertices(), &[1]);
+//! assert_eq!(bandwidth_of(&inst, &plan), 9.0);
+//! # Ok::<(), tdmd_core::TdmdError>(())
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod algorithms;
 pub mod capacitated;

@@ -3,7 +3,7 @@
 //! The paper's objective charges every link equally (`b(f)` counts
 //! hops). Real WANs price links differently — a transatlantic segment
 //! costs more than an intra-pod hop — and the NFV-placement literature
-//! the paper builds on (e.g. Kuo et al. [19] on link consumption)
+//! the paper builds on (e.g. Kuo et al. \[19\] on link consumption)
 //! weights link usage. This module generalizes the objective to
 //! per-edge costs taken from the topology's edge weights:
 //!
@@ -22,8 +22,7 @@
 //! module contains *no greedy loop of its own*: [`WeightedIndex`] is
 //! a façade over the generic CSR [`FlowIndex`] compiled from
 //! [`WeightedEdges`], and [`gtp_weighted`] dispatches straight into
-//! the shared engine via
-//! [`gtp_budgeted_with`](crate::algorithms::gtp::gtp_budgeted_with).
+//! the shared engine via [`gtp_budgeted_with`].
 
 use crate::algorithms::gtp::gtp_budgeted_with;
 use crate::cost::{FlowIndex, WeightedEdges};

@@ -9,6 +9,13 @@
 //!
 //! Run `cargo run -p tdmd-experiments --release -- all` to print every
 //! figure and drop CSVs under `results/`.
+//!
+//! * [`figure`] — the [`FigureResult`] / [`Series`] result model and
+//!   CSV rendering.
+//! * [`figures`] — one module per paper figure (Figs. 9–17).
+//! * [`scenarios`] — the shared instance families the figures sweep.
+//! * [`extras`] — beyond-the-paper sweeps (oracle gap, λ extremes).
+//! * [`svg`] — dependency-free SVG plotting of a figure's panels.
 
 pub mod extras;
 pub mod figure;

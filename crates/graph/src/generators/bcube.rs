@@ -1,5 +1,5 @@
 //! BCube server-centric data center topology (Guo et al., SIGCOMM'09 —
-//! ref [14] in the paper, cited for "tree-based tiered topologies").
+//! ref \[14\] in the paper, cited for "tree-based tiered topologies").
 
 use crate::digraph::{DiGraph, GraphBuilder, NodeId};
 

@@ -1,5 +1,5 @@
 //! Fat-tree data center topology (Al-Fares et al., SIGCOMM'08 — ref
-//! [3] in the paper). The paper motivates the tree setting with
+//! \[3\] in the paper). The paper motivates the tree setting with
 //! "tree-based tiered topologies like Fat-tree"; this generator backs
 //! the data-center example application.
 

@@ -7,8 +7,8 @@
 //! redistributable, so [`ark`] synthesizes an Ark-like clustered WAN
 //! (geographic monitor clusters attached to a meshed backbone); the
 //! remaining modules provide the standard families the paper's
-//! motivation cites: trees/streaming ([`trees`]), fat-tree [3]
-//! ([`fattree`]), BCube [14] ([`bcube`]), and generic random graphs
+//! motivation cites: trees/streaming ([`trees`]), fat-tree \[3\]
+//! ([`fattree`]), BCube \[14\] ([`mod@bcube`]), and generic random graphs
 //! ([`random`]). [`mutate`] implements the size sweeps.
 //!
 //! All generators emit bidirectional unit-weight links, matching the

@@ -5,7 +5,7 @@
 //! preprocesses the Euler tour of a [`RootedTree`] into a sparse table
 //! in `O(n log n)` and answers queries in `O(1)` (the classical
 //! reduction of LCA to range-minimum, in the spirit of the
-//! Schieber–Vishkin reference [29] the paper cites). [`NaiveLca`]
+//! Schieber–Vishkin reference \[29\] the paper cites). [`NaiveLca`]
 //! walks parent pointers and is kept as the oracle for tests.
 
 use crate::digraph::NodeId;

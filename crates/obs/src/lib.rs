@@ -26,6 +26,8 @@
 //! The crate is deliberately dependency-free; serialization of
 //! snapshots (e.g. the `tdmd bench` JSON) is the caller's concern.
 
+#![warn(missing_docs)]
+
 mod counter;
 mod hist;
 mod recorder;

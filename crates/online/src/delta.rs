@@ -25,9 +25,14 @@
 //!    is the `saved` share of the flows assigned to `v` — an upper
 //!    bound on the objective loss of undeploying `v` (flows re-home
 //!    to their second-best box, recovering part of it).
+//! 4. **Unserved census** — `unserved` counts exactly the active
+//!    flows with `assigned == None`. Those flows ride at full rate
+//!    (their whole `r_f · cost(p_f)` stays in the objective); the
+//!    failure layer reads this as its degraded-flow census.
 //!
-//! All three are restored by every mutation (insert, remove, commit,
-//! rehome, rebuild); the engine's repair logic relies on them.
+//! All four are restored by every mutation (insert, remove, commit,
+//! rehome/failover, rebuild); the engine's repair logic relies on
+//! them.
 
 use std::collections::HashMap;
 
@@ -61,6 +66,21 @@ pub struct ActiveFlow {
     row_pos: Vec<u32>,
 }
 
+/// Outcome of orphaning the flows served at a failed/undeployed
+/// vertex (see [`DeltaState::fail_rehome`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Failover {
+    /// Orphans re-pinned to a surviving deployed on-path vertex.
+    pub reassigned: usize,
+    /// Orphans left with no serving middlebox — they ride at full
+    /// rate (degraded-unprocessed accounting) until repair or
+    /// recovery re-covers them.
+    pub degraded: usize,
+    /// Vertices whose marginal gains may have changed (the full paths
+    /// of every orphaned flow).
+    pub dirty: Vec<NodeId>,
+}
+
 /// One per-vertex row entry: which flow slot, at which path position.
 /// The gain is read through the slot (`flows[slot].gains[pos]`) so a
 /// row entry never goes stale.
@@ -85,6 +105,9 @@ pub struct DeltaState {
     /// Per-vertex saved share of the flows assigned there.
     primary_load: Vec<f64>,
     active: usize,
+    /// Active flows with no serving middlebox (`assigned == None`) —
+    /// they are accounted at full rate.
+    unserved: usize,
     next_seq: u64,
 }
 
@@ -111,6 +134,7 @@ impl DeltaState {
             saved: 0.0,
             primary_load: vec![0.0; n],
             active: 0,
+            unserved: 0,
             next_seq: 0,
         }
     }
@@ -125,6 +149,22 @@ impl DeltaState {
     #[inline]
     pub fn active_count(&self) -> usize {
         self.active
+    }
+
+    /// Number of active flows with no serving middlebox — whether
+    /// because no deployed vertex lies on their path or because a
+    /// failure orphaned them. These flows are accounted at full rate.
+    #[inline]
+    pub fn unserved_count(&self) -> usize {
+        self.unserved
+    }
+
+    /// Iterates over the active flows in unspecified order (use
+    /// [`DeltaState::active_snapshot`] for the canonical arrival
+    /// order). Handy for invariant checks: every `assigned` vertex
+    /// must be deployed, never failed.
+    pub fn active_flows(&self) -> impl Iterator<Item = &ActiveFlow> {
+        self.flows.iter().filter_map(|f| f.as_ref())
     }
 
     /// True if `key` is currently active.
@@ -272,6 +312,8 @@ impl DeltaState {
             let s = rate as f64 * factor * g;
             self.saved += s;
             self.primary_load[v as usize] += s;
+        } else {
+            self.unserved += 1;
         }
         let dirty = path.clone();
         self.flows[slot as usize] = Some(ActiveFlow {
@@ -308,6 +350,8 @@ impl DeltaState {
             let s = flow.rate as f64 * factor * g;
             self.saved -= s;
             self.primary_load[v as usize] -= s;
+        } else {
+            self.unserved -= 1;
         }
         for (pos, &v) in flow.path.iter().enumerate() {
             let idx = flow.row_pos[pos] as usize;
@@ -349,6 +393,8 @@ impl DeltaState {
                 let s = f.rate as f64 * factor * og;
                 self.saved -= s;
                 self.primary_load[ov as usize] -= s;
+            } else {
+                self.unserved -= 1;
             }
             let s = f.rate as f64 * factor * g;
             self.saved += s;
@@ -363,6 +409,18 @@ impl DeltaState {
     /// `deployment` (which must no longer contain `v`). Returns the
     /// dirtied vertices. O(Σ path length of the affected flows).
     pub fn rehome_from(&mut self, v: NodeId, deployment: &Deployment) -> Vec<NodeId> {
+        self.fail_rehome(v, deployment).dirty
+    }
+
+    /// Orphan reassignment after `v` stopped serving (failure or
+    /// undeployment; `deployment` must no longer contain `v`): every
+    /// flow assigned to `v` is re-pinned to the best surviving
+    /// deployed vertex on its path under the `(gain, smaller id)`
+    /// preference, or marked degraded-unprocessed (full-rate
+    /// accounting, [`DeltaState::unserved_count`]) when none exists.
+    /// Returns how many orphans were reassigned vs degraded alongside
+    /// the dirtied vertices. O(Σ path length of the affected flows).
+    pub fn fail_rehome(&mut self, v: NodeId, deployment: &Deployment) -> Failover {
         debug_assert!(!deployment.contains(v), "remove v before re-homing");
         let factor = self.factor();
         let orphans: Vec<u32> = self.rows[v as usize]
@@ -376,7 +434,7 @@ impl DeltaState {
             })
             .map(|e| e.slot)
             .collect();
-        let mut dirty = Vec::new();
+        let mut out = Failover::default();
         for slot in orphans {
             let f = self.flows[slot as usize].as_mut().expect("orphan is live");
             let old = f.assigned.expect("orphan was assigned").1;
@@ -393,11 +451,15 @@ impl DeltaState {
                 let s = f.rate as f64 * factor * ng;
                 self.saved += s;
                 self.primary_load[nv as usize] += s;
+                out.reassigned += 1;
+            } else {
+                self.unserved += 1;
+                out.degraded += 1;
             }
             f.assigned = next;
-            dirty.extend_from_slice(&f.path);
+            out.dirty.extend_from_slice(&f.path);
         }
-        dirty
+        out
     }
 
     /// Exact objective increase of undeploying `v` under `deployment`
@@ -436,6 +498,7 @@ impl DeltaState {
         self.primary_load.iter_mut().for_each(|l| *l = 0.0);
         self.saved = 0.0;
         self.unprocessed = 0.0;
+        self.unserved = 0;
         for slot in self.slots_in_seq_order() {
             let f = self.flows[slot as usize].as_mut().expect("live slot");
             let mut best: Option<(NodeId, f64)> = None;
@@ -450,6 +513,8 @@ impl DeltaState {
                 let s = f.rate as f64 * factor * g;
                 self.saved += s;
                 self.primary_load[v as usize] += s;
+            } else {
+                self.unserved += 1;
             }
         }
     }

@@ -30,7 +30,14 @@ pub struct FlowSpan {
     pub flow: Flow,
 }
 
-/// A churn event.
+/// A churn or failure event.
+///
+/// The failure variants model *middlebox-plane* loss: a failed vertex
+/// can no longer host a middlebox (and any middlebox deployed there is
+/// gone), but the data plane keeps forwarding — flows whose paths cross
+/// the vertex stay up and simply ride unprocessed (full rate) wherever
+/// no surviving middlebox serves them. Link/route failures are out of
+/// scope: paths never change.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// A new flow joins the active set.
@@ -47,6 +54,47 @@ pub enum Event {
         /// Key the flow arrived under.
         key: FlowKey,
     },
+    /// The middlebox deployed at `vertex` crashes. The vertex is
+    /// marked failed (ineligible for placement) until a
+    /// [`Event::MiddleboxRecovered`] names it; flows it served are
+    /// re-pinned to their best surviving on-path middlebox or left
+    /// degraded at full rate. Rejected when no middlebox is deployed
+    /// there — use [`Event::VertexDown`] to fail an arbitrary vertex.
+    MiddleboxFailed {
+        /// Vertex hosting the failed middlebox.
+        vertex: tdmd_graph::NodeId,
+    },
+    /// A failed vertex comes back: it rejoins the placement candidate
+    /// pool (the repair policy decides whether to redeploy on it).
+    MiddleboxRecovered {
+        /// Vertex that recovered.
+        vertex: tdmd_graph::NodeId,
+    },
+    /// The vertex itself goes down for middlebox purposes, whether or
+    /// not a middlebox is deployed there. Like
+    /// [`Event::MiddleboxFailed`] it orphans any served flows and
+    /// blocks placement until recovery; unlike it, it is valid on
+    /// undeployed vertices (pre-emptively removing them from the
+    /// candidate pool).
+    VertexDown {
+        /// Vertex that went down.
+        vertex: tdmd_graph::NodeId,
+    },
+}
+
+impl Event {
+    /// Ordering class at equal timestamps: departures free state
+    /// first, then failures and recoveries settle the deployable set,
+    /// then arrivals see the post-churn world. Used by
+    /// [`events_from_spans`] and [`merge_events`].
+    fn class(&self) -> u8 {
+        match self {
+            Event::FlowDeparted { .. } => 0,
+            Event::MiddleboxFailed { .. } | Event::VertexDown { .. } => 1,
+            Event::MiddleboxRecovered { .. } => 2,
+            Event::FlowArrived { .. } => 3,
+        }
+    }
 }
 
 /// An event with its timestamp.
@@ -84,15 +132,22 @@ pub fn events_from_spans(spans: &[FlowSpan]) -> Vec<TimedEvent> {
         });
     }
     // Stable sort keeps span order within a (time, class) bucket.
-    out.sort_by_key(|e| {
-        (
-            e.time_us,
-            match e.event {
-                Event::FlowDeparted { .. } => 0u8,
-                Event::FlowArrived { .. } => 1u8,
-            },
-        )
-    });
+    out.sort_by_key(|e| (e.time_us, e.event.class()));
+    out
+}
+
+/// Merges two time-ordered event streams (e.g. flow churn from
+/// [`events_from_spans`] and a failure schedule) into one stream
+/// ordered by `(time, class)` — at equal timestamps departures come
+/// first, then failures, recoveries and arrivals, so an arrival at the
+/// instant of a failure already sees the post-failure deployable set.
+/// The merge is stable within a `(time, class)` bucket, `a` before
+/// `b`.
+pub fn merge_events(a: &[TimedEvent], b: &[TimedEvent]) -> Vec<TimedEvent> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    out.sort_by_key(|e| (e.time_us, e.event.class()));
     out
 }
 

@@ -5,8 +5,12 @@
 //! [`Event::FlowArrived`] / [`Event::FlowDeparted`] events without
 //! recomputing from scratch (the Lukovszki–Rost–Schmid incremental
 //! placement setting, applied to the traffic-diminishing objective).
+//! A failure layer ([`Event::MiddleboxFailed`] / [`Event::VertexDown`]
+//! / [`Event::MiddleboxRecovered`]) keeps the deployment safe under
+//! middlebox-plane loss: orphaned flows are re-pinned or degraded, and
+//! the repair policy re-spends the freed budget.
 //!
-//! * [`event`] — the churn event stream and the serializable
+//! * [`event`] — the churn + failure event stream and the serializable
 //!   [`FlowSpan`] records a stream is replayed from.
 //! * [`pricer`] — [`PathPricer`], the streaming face of PR 1's
 //!   [`CostModel`](tdmd_core::CostModel): prices one path at arrival
@@ -23,6 +27,40 @@
 //!   runs the pluggable [`RepairPolicy`]: greedy adds/drops, bounded
 //!   swap repair, and a drift-triggered full replan against a
 //!   periodically-sampled from-scratch GTP solve.
+//!
+//! # Example
+//!
+//! Drive the engine through an arrival, a vertex failure with repair,
+//! a recovery and a departure:
+//!
+//! ```
+//! use tdmd_graph::DiGraph;
+//! use tdmd_online::{Event, HopPricer, OnlineEngine, RepairPolicy};
+//!
+//! let graph = DiGraph::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+//! let mut engine =
+//!     OnlineEngine::new(graph, 0.5, 1, HopPricer::default(), RepairPolicy::default())?;
+//!
+//! // A rate-4 flow over both hops: the single box lands at the
+//! // source (gain 2 hops), so 4·2 − 0.5·4·2 = 4 units remain.
+//! engine.apply(&Event::FlowArrived { key: 1, rate: 4, path: vec![0, 1, 2] })?;
+//! assert_eq!(engine.deployment().vertices(), &[0]);
+//! assert_eq!(engine.objective(), 4.0);
+//!
+//! // The source vertex dies: the flow is orphaned and repair
+//! // re-spends the freed slot at vertex 1 (gain 1 hop).
+//! engine.apply(&Event::VertexDown { vertex: 0 })?;
+//! assert_eq!(engine.deployment().vertices(), &[1]);
+//! assert_eq!(engine.objective(), 6.0);
+//! assert_eq!(engine.degraded_count(), 0);
+//!
+//! engine.apply(&Event::MiddleboxRecovered { vertex: 0 })?;
+//! engine.apply(&Event::FlowDeparted { key: 1 })?;
+//! assert_eq!(engine.objective(), 0.0);
+//! # Ok::<(), tdmd_online::OnlineError>(())
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod delta;
 pub mod engine;
@@ -31,9 +69,9 @@ pub mod pricer;
 pub mod queue;
 pub mod repair;
 
-pub use delta::DeltaState;
+pub use delta::{DeltaState, Failover};
 pub use engine::{obs_keys, OnlineEngine, OnlineError};
-pub use event::{events_from_spans, Event, FlowKey, FlowSpan, TimedEvent};
+pub use event::{events_from_spans, merge_events, Event, FlowKey, FlowSpan, TimedEvent};
 pub use pricer::{HopPricer, ModelPricer, PathPricer, WeightedPathPricer};
 pub use queue::LazyQueue;
 pub use repair::{RepairPolicy, RepairStats};

@@ -16,6 +16,12 @@
 //!   at that vertex) — an optimistic bound that the next lazy
 //!   re-evaluation tightens.
 //!
+//! * **Failures** remove a vertex from the race entirely:
+//!   [`LazyQueue::block`] makes [`LazyQueue::settle`] discard the
+//!   vertex's entries instead of returning them, and recovery
+//!   ([`LazyQueue::unblock`]) re-enters it via [`LazyQueue::reinsert`]
+//!   with an exact bound.
+//!
 //! Every push carries an **epoch stamp**; bumping a vertex's stamp
 //! invalidates all of its older heap entries at once (they are
 //! skipped on pop), so the queue never scans or rebuilds the heap to
@@ -70,6 +76,11 @@ pub struct LazyQueue {
     /// Whether the cached bound must be re-evaluated before trusting
     /// it as exact.
     dirty: Vec<bool>,
+    /// Failed vertices: ineligible candidates whose entries are
+    /// consumed (not returned) by [`LazyQueue::settle`]. Unblocking
+    /// does not resurrect consumed entries — the caller re-enters the
+    /// vertex with [`LazyQueue::reinsert`].
+    blocked: Vec<bool>,
     /// Number of exact re-evaluations performed (telemetry).
     pub recomputes: u64,
 }
@@ -83,8 +94,27 @@ impl LazyQueue {
             stamp: vec![0; n],
             cached: vec![0.0; n],
             dirty: vec![false; n],
+            blocked: vec![false; n],
             recomputes: 0,
         }
+    }
+
+    /// Marks `v` ineligible (failed): [`LazyQueue::settle`] discards
+    /// its entries instead of returning them.
+    pub fn block(&mut self, v: NodeId) {
+        self.blocked[v as usize] = true;
+    }
+
+    /// Lifts a [`LazyQueue::block`]. Entries discarded while blocked
+    /// are gone — follow up with [`LazyQueue::reinsert`] to put the
+    /// vertex back in the race.
+    pub fn unblock(&mut self, v: NodeId) {
+        self.blocked[v as usize] = false;
+    }
+
+    /// Whether `v` is currently blocked.
+    pub fn is_blocked(&self, v: NodeId) -> bool {
+        self.blocked[v as usize]
     }
 
     /// Arrival invalidation: raises `v`'s bound by `bump` (the new
@@ -135,7 +165,7 @@ impl LazyQueue {
         loop {
             let top = *self.heap.peek()?;
             let i = top.v as usize;
-            if top.stamp != self.stamp[i] || deployment.contains(top.v) {
+            if top.stamp != self.stamp[i] || deployment.contains(top.v) || self.blocked[i] {
                 self.heap.pop();
                 continue;
             }

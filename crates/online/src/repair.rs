@@ -27,6 +27,22 @@
 //! under `force_replan`); between samples only local repair runs, so
 //! the instantaneous gap is bounded by the drift accumulated since
 //! the last sample.
+//!
+//! # Degradation-aware repair
+//!
+//! Failure events get one extra mechanism. A
+//! [`MiddleboxFailed`](crate::Event::MiddleboxFailed) /
+//! [`VertexDown`](crate::Event::VertexDown) frees the victim's budget
+//! slot, and the ordinary greedy fill immediately spends it on the
+//! best surviving candidate from the cross-event CELF queue. When
+//! that still leaves flows degraded (no surviving middlebox on their
+//! path) and [`RepairPolicy::replan_on_degraded`] is set, the engine
+//! falls back to an off-schedule drift check: the from-scratch oracle
+//! is consulted right away (failed vertices stripped from its answer)
+//! and adopted under the usual `1 + drift_eps` rule. Under active
+//! failures the oracle-equality guarantee is relaxed to *safety*: no
+//! repair mechanism ever deploys on, or leaves a flow assigned to, a
+//! failed vertex.
 
 /// Repair configuration of an [`OnlineEngine`](crate::OnlineEngine).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +59,11 @@ pub struct RepairPolicy {
     /// Adopt the oracle on every event (testing / oracle-tracking
     /// mode; equivalent to the timeline's "replanned" policy).
     pub force_replan: bool,
+    /// After a failure event that leaves flows degraded (no surviving
+    /// on-path middlebox) even once local repair has spent the freed
+    /// budget slot, run an off-schedule drift check so a full replan
+    /// can recover coverage without waiting for the next sample.
+    pub replan_on_degraded: bool,
 }
 
 impl Default for RepairPolicy {
@@ -52,18 +73,21 @@ impl Default for RepairPolicy {
             drift_eps: 0.05,
             sample_every: 256,
             force_replan: false,
+            replan_on_degraded: true,
         }
     }
 }
 
 impl RepairPolicy {
-    /// Local-repair-only policy: never consults the oracle.
+    /// Local-repair-only policy: never consults the oracle, not even
+    /// after a degrading failure.
     pub fn local_only(move_budget: usize) -> Self {
         Self {
             move_budget,
             drift_eps: f64::INFINITY,
             sample_every: 0,
             force_replan: false,
+            replan_on_degraded: false,
         }
     }
 
@@ -74,6 +98,7 @@ impl RepairPolicy {
             drift_eps: 0.0,
             sample_every: 1,
             force_replan: true,
+            replan_on_degraded: true,
         }
     }
 }
@@ -99,6 +124,16 @@ pub struct RepairStats {
     pub replans: u64,
     /// Oracle solves that failed (infeasible budget).
     pub oracle_failures: u64,
+    /// Failure events applied ([`MiddleboxFailed`](crate::Event::MiddleboxFailed)
+    /// + [`VertexDown`](crate::Event::VertexDown)).
+    pub failures: u64,
+    /// Recovery events applied.
+    pub recoveries: u64,
+    /// Flows orphaned by failures (re-pinned or degraded).
+    pub flows_orphaned: u64,
+    /// Orphaned flows left degraded (no surviving on-path middlebox
+    /// at the instant of the failure; repair may re-cover them later).
+    pub flows_degraded: u64,
     /// Relative drift observed at the last sample
     /// (`objective / oracle − 1`; 0 when never sampled).
     pub last_drift: f64,

@@ -139,7 +139,7 @@ proptest! {
             move_budget: 2,
             drift_eps: eps,
             sample_every: 1,
-            force_replan: false,
+            ..RepairPolicy::default()
         };
         let mut engine = OnlineEngine::new(
             g.clone(), lambda, k, HopPricer::default(), policy,
@@ -182,6 +182,7 @@ proptest! {
             match &ev {
                 Event::FlowArrived { key, .. } => active.push(*key),
                 Event::FlowDeparted { key } => active.retain(|k2| k2 != key),
+                _ => {} // random_events emits only flow churn
             }
             engine.apply(&ev).unwrap();
             let inst = snapshot(&engine, &g, lambda, k);

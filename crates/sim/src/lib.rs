@@ -2,12 +2,28 @@
 //!
 //! The analytic objective (Eq. 1) says what a deployment *should*
 //! cost; this crate independently verifies it by *replaying* every
-//! flow hop by hop over the topology ([`replay`]), accounting the
+//! flow hop by hop over the topology ([`mod@replay`]), accounting the
 //! occupied bandwidth on each directed link, and then drives the
 //! paper's evaluation protocol ([`runner`]): seeded multi-trial
 //! sweeps, per-algorithm wall-clock timing, mean ± std aggregation and
 //! workload resampling on infeasibility (§6.1).
+//!
+//! * [`mod@replay`] — hop-by-hop flow replay into per-link occupied
+//!   bandwidth (the independent check of Eq. 1).
+//! * [`metrics`] — aggregate link metrics (total/max/mean load,
+//!   utilization, coverage feasibility) over a replay.
+//! * [`runner`] — the seeded multi-trial experiment runner,
+//!   Rayon-parallel over trials.
+//! * [`validate`] — invariant checks (replay == analytic objective,
+//!   Lemma-1 bounds, coverage).
+//! * [`timeline`] — dynamic flow timelines replayed under the
+//!   static / warm-started-replanned / incremental policies.
+//! * [`chaos`] — seeded fault injection over the online engine:
+//!   independent MTBF/MTTR schedules and a targeted
+//!   kill-the-biggest-box adversary, with degraded-time and
+//!   repair-latency reporting.
 
+pub mod chaos;
 pub mod metrics;
 pub mod replay;
 pub mod runner;
@@ -19,6 +35,9 @@ pub use runner::{run_comparison, AlgoStats, TrialConfig};
 
 /// Convenience prelude.
 pub mod prelude {
+    pub use crate::chaos::{
+        independent_failure_schedule, run_chaos, ChaosConfig, ChaosMode, ChaosPoint, ChaosReport,
+    };
     pub use crate::metrics::LinkMetrics;
     pub use crate::replay::{replay, LinkLoads};
     pub use crate::runner::{run_comparison, AlgoStats, TrialConfig};

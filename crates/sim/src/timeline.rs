@@ -2,7 +2,7 @@
 //!
 //! The paper places middleboxes for a static workload; production
 //! networks see flows arrive and depart (the adaptive-provisioning
-//! line of work it cites, Fei et al. [11]). This module simulates a
+//! line of work it cites, Fei et al. \[11\]). This module simulates a
 //! timeline of flow spans under three policies:
 //!
 //! * **static** — place once for the *union* workload, keep the plan;
@@ -97,6 +97,9 @@ impl DynamicScenario {
                     Event::FlowDeparted { key } => {
                         active.remove(&(key as usize));
                     }
+                    // Spans lower only to arrivals/departures; failure
+                    // events belong to the chaos harness's streams.
+                    _ => {}
                 }
                 next += 1;
             }
@@ -268,13 +271,17 @@ pub fn simulate_incremental(
 }
 
 /// Maps stream-layer errors onto the core error type.
-fn lift(err: OnlineError) -> TdmdError {
+pub(crate) fn lift(err: OnlineError) -> TdmdError {
     match err {
         OnlineError::BadLambda(l) => TdmdError::BadLambda(l),
         // Span keys are span indices, densified flow ids elsewhere.
         OnlineError::InvalidFlow { key }
         | OnlineError::DuplicateKey { key }
         | OnlineError::UnknownKey { key } => TdmdError::InvalidPath { flow: key as u32 },
+        OnlineError::UnknownVertex { vertex }
+        | OnlineError::AlreadyFailed { vertex }
+        | OnlineError::NotFailed { vertex }
+        | OnlineError::NoMiddleboxAt { vertex } => TdmdError::FailedVertex { vertex },
     }
 }
 

@@ -5,7 +5,7 @@
 //! That trace is not redistributable, so [`CaidaLike`] synthesizes the
 //! well-documented shape of Internet backbone flow sizes: a lognormal
 //! body of mice with a Pareto elephant tail (see e.g. the redundancy
-//! study [15] the paper cites). Rates are quantized to integral rate
+//! study \[15\] the paper cites). Rates are quantized to integral rate
 //! units (≥ 1) because the tree DP is pseudo-polynomial in `r_max`.
 
 use rand::Rng;

@@ -14,6 +14,8 @@
 //!   and general-topology workloads (random sources, designated
 //!   destinations, BFS shortest paths), both with density targeting.
 //! * [`density`] — load/capacity bookkeeping.
+//! * [`trace`] — synthetic packet-trace generation and aggregation
+//!   back into flows (the CAIDA-like end-to-end path).
 
 pub mod density;
 pub mod distribution;
