@@ -16,6 +16,9 @@
 //! [`tree_fixture`] / [`general_fixture`], [`tuned_group`] and
 //! [`bench_suite`].
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use criterion::{BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -22,6 +22,9 @@
 //!   engine place the chain's diminishing prefix directly
 //!   ([`greedy::chain_stacked_gtp`]).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod deployment;
 pub mod eval;
 pub mod greedy;

@@ -55,6 +55,17 @@ impl Args {
             .map_err(|_| format!("--{name}: cannot parse '{v}'"))
     }
 
+    /// Boolean flag (`--name true|false`), defaulting to `false` when
+    /// absent.
+    pub fn flag(&self, name: &str) -> Result<bool, String> {
+        match self.map.get(name).map(String::as_str) {
+            None => Ok(false),
+            Some("true") | Some("1") | Some("yes") | Some("on") => Ok(true),
+            Some("false") | Some("0") | Some("no") | Some("off") => Ok(false),
+            Some(v) => Err(format!("--{name}: expected true|false, got '{v}'")),
+        }
+    }
+
     /// Comma-separated list of u32 ids.
     pub fn id_list(&self, name: &str) -> Result<Vec<u32>, String> {
         match self.map.get(name) {

@@ -8,7 +8,7 @@ use tdmd_core::algorithms::best_effort::best_effort_with;
 use tdmd_core::algorithms::gtp::{gtp_budgeted_with, gtp_lazy_with, gtp_parallel_with};
 use tdmd_core::algorithms::local_search::gtp_with_local_search_with;
 use tdmd_core::algorithms::Algorithm;
-use tdmd_core::objective::{bandwidth_of, decrement, lemma1_bounds};
+use tdmd_core::objective::{allocate, bandwidth_of, decrement, lemma1_bounds};
 use tdmd_core::weighted::WeightedIndex;
 use tdmd_core::{Instance, WeightedEdges};
 
@@ -35,7 +35,7 @@ pub fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
 
 /// `tdmd place --topo t.json --workload wl.json --lambda L --k K
 /// --algorithm NAME [--cost-model hops|weighted] [--seed S]
-/// [--out plan.json]`
+/// [--audit true] [--out plan.json]` (also reachable as `tdmd solve`)
 pub fn place(args: &Args) -> Result<String, String> {
     let g = load_topology(args.required("topo")?)?;
     let flows = load_workload(args.required("workload")?)?;
@@ -44,8 +44,12 @@ pub fn place(args: &Args) -> Result<String, String> {
     let alg = algorithm_by_name(args.required("algorithm")?)?;
     let cost_model = args.optional("cost-model").unwrap_or("hops");
     let seed: u64 = args.num("seed", 0)?;
+    let audit = args.flag("audit")?;
 
     let instance = Instance::new(g, flows, lambda, k).map_err(|e| e.to_string())?;
+    if audit {
+        tdmd_core::audit::check_instance(&instance).map_err(|e| format!("audit: {e}"))?;
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let start = std::time::Instant::now();
     let plan = match cost_model {
@@ -72,6 +76,11 @@ pub fn place(args: &Args) -> Result<String, String> {
     };
     let elapsed = start.elapsed().as_secs_f64() * 1e3;
 
+    if audit {
+        let alloc = allocate(&instance, &plan);
+        tdmd_core::audit::check_solution(&instance, &plan, k, Some(&alloc))
+            .map_err(|e| format!("audit: {e}"))?;
+    }
     let b = bandwidth_of(&instance, &plan);
     let d = decrement(&instance, &plan);
     let (_, dmax) = lemma1_bounds(&instance);
@@ -85,6 +94,9 @@ pub fn place(args: &Args) -> Result<String, String> {
         instance.unprocessed_bandwidth(),
         if dmax > 0.0 { 100.0 * d / dmax } else { 100.0 },
     );
+    if audit {
+        out.push_str("audit:        instance + solution invariants hold\n");
+    }
     if cost_model == "weighted" {
         let wi = WeightedIndex::new(&instance);
         out.push_str(&format!(
@@ -175,6 +187,21 @@ mod tests {
         let plan: tdmd_core::Deployment =
             serde_json::from_str(&std::fs::read_to_string(&plan_path).unwrap()).unwrap();
         assert!(plan.len() <= 4);
+    }
+
+    #[test]
+    fn audit_flag_validates_instance_and_solution() {
+        let (topo_path, wl_path) = fixture();
+        let report = place(&args(&[
+            ("topo", &topo_path),
+            ("workload", &wl_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+            ("algorithm", "gtp"),
+            ("audit", "true"),
+        ]))
+        .unwrap();
+        assert!(report.contains("audit:        instance + solution invariants hold"));
     }
 
     #[test]

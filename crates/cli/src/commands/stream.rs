@@ -70,7 +70,7 @@ pub fn load_spans(path: &str) -> Result<Vec<FlowSpan>, String> {
 
 /// `tdmd stream run --topo t.json --spans spans.json --lambda L --k K
 /// [--policy incremental|replanned] [--move-budget N] [--eps E]
-/// [--sample-every N] [--oracle-every N]`
+/// [--sample-every N] [--oracle-every N] [--audit true]`
 ///
 /// Replays the span file event by event, measuring the wall-clock
 /// latency of each apply+repair step, and samples the gap between the
@@ -94,12 +94,16 @@ pub fn run(args: &Args) -> Result<String, String> {
         other => return Err(format!("unknown policy '{other}' (incremental|replanned)")),
     };
     let oracle_every: u64 = args.num("oracle-every", 0)?;
+    let audit = args.flag("audit")?;
 
     let pricer = HopPricer::default();
     let recorder = StatsRecorder::new();
     let mut engine =
         OnlineEngine::with_recorder(graph, lambda, k, HopPricer::default(), policy, &recorder)
             .map_err(|e| e.to_string())?;
+    if audit {
+        engine.enable_audit();
+    }
     let events = events_from_spans(&spans);
     if events.is_empty() {
         return Ok("no events (every span is zero-length)\n".to_string());
@@ -161,6 +165,12 @@ pub fn run(args: &Args) -> Result<String, String> {
         normalize_zero(engine.exact_objective()),
         engine.deployment().len()
     ));
+    if audit {
+        tdmd_online::audit::check_engine(&engine).map_err(|e| format!("audit: {e}"))?;
+        out.push_str(&format!(
+            "audit:        engine invariants held after every one of {total} events\n"
+        ));
+    }
     Ok(out)
 }
 
@@ -337,6 +347,28 @@ mod tests {
             assert!(report.contains("oracle gap:"), "{policy}: {report}");
             assert!(report.contains("0 active flows"), "{policy}: {report}");
         }
+    }
+
+    #[test]
+    fn audit_flag_checks_every_event_and_the_final_state() {
+        let (topo_path, wl) = fixture();
+        let spans_path = tmp("stream-audit-spans.json");
+        generate(&args(&[
+            ("workload", &wl),
+            ("duration", "1000"),
+            ("seed", "11"),
+            ("out", &spans_path),
+        ]))
+        .unwrap();
+        let report = run(&args(&[
+            ("topo", &topo_path),
+            ("spans", &spans_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+            ("audit", "true"),
+        ]))
+        .unwrap();
+        assert!(report.contains("engine invariants held"), "{report}");
     }
 
     #[test]

@@ -19,5 +19,8 @@
 //!   and stream benchmark JSON (`tdmd-bench-solve/v1`,
 //!   `tdmd-bench-stream/v1`).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod args;
 pub mod commands;

@@ -16,6 +16,8 @@
 //! tdmd bench --seed 42 --out-dir bench-out
 //! ```
 
+#![forbid(unsafe_code)]
+
 use tdmd_cli::args::Args;
 use tdmd_cli::commands;
 
@@ -69,7 +71,7 @@ fn run(argv: &[String]) -> Result<String, String> {
                 other => Err(format!("unknown stream subcommand '{other}'")),
             }
         }
-        "place" => commands::place::place(&Args::parse(rest)?),
+        "place" | "solve" => commands::place::place(&Args::parse(rest)?),
         "evaluate" => commands::evaluate::evaluate(&Args::parse(rest)?),
         "bench" => commands::bench::bench(&Args::parse(rest)?),
         "--help" | "-h" | "help" => Ok(usage()),
@@ -78,8 +80,9 @@ fn run(argv: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: tdmd <topo gen|topo stats|topo dot|workload gen|place|evaluate|\
-     chain place|stream gen|stream run|stream inject|bench> [--flag value ...]\n\
-     see the crate docs for the full flag list"
+    "usage: tdmd <topo gen|topo stats|topo dot|workload gen|place (alias: solve)|\
+     evaluate|chain place|stream gen|stream run|stream inject|bench> [--flag value ...]\n\
+     pass --audit true to place/solve and stream run to re-validate the structural\n\
+     invariants (see tdmd-core::audit); see the crate docs for the full flag list"
         .to_string()
 }

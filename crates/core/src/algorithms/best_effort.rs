@@ -23,6 +23,7 @@ use crate::cost::{CostModel, FlowIndex, HopCount};
 use crate::error::TdmdError;
 use crate::feasibility::is_feasible;
 use crate::instance::Instance;
+use crate::num::ix;
 use crate::plan::Deployment;
 use tdmd_graph::NodeId;
 
@@ -63,8 +64,8 @@ pub fn best_effort_with<M: CostModel>(
             let volume: u64 = instance
                 .flows_through(v)
                 .iter()
-                .filter(|&&(fi, _)| !served[fi as usize])
-                .map(|&(fi, _)| flows[fi as usize].rate)
+                .filter(|&&(fi, _)| !served[ix(fi)])
+                .map(|&(fi, _)| flows[ix(fi)].rate)
                 .sum();
             let tie = index.marginal_decrement(instance, &cur, v);
             let better = match &best {
@@ -83,9 +84,9 @@ pub fn best_effort_with<M: CostModel>(
         }
         deployment.insert(v);
         for &(fi, g) in index.flows_through(v) {
-            served[fi as usize] = true;
-            if g > cur[fi as usize] {
-                cur[fi as usize] = g;
+            served[ix(fi)] = true;
+            if g > cur[ix(fi)] {
+                cur[ix(fi)] = g;
             }
         }
     }

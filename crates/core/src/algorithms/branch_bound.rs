@@ -12,6 +12,7 @@
 
 use crate::error::TdmdError;
 use crate::instance::Instance;
+use crate::num::{approx_f64, ix};
 use crate::objective::{coverage_gain, marginal_decrement};
 use crate::plan::Deployment;
 use tdmd_graph::NodeId;
@@ -48,8 +49,8 @@ impl Search<'_> {
         self.stats.expanded += 1;
         if self.stats.expanded > self.node_budget {
             return Err(TdmdError::SearchSpaceTooLarge {
-                subsets: self.stats.expanded as u128,
-                cap: self.node_budget as u128,
+                subsets: u128::from(self.stats.expanded),
+                cap: u128::from(self.node_budget),
             });
         }
         let feasible = served.iter().all(|&s| s);
@@ -89,9 +90,11 @@ impl Search<'_> {
             let mut gain = 0.0;
             let factor = 1.0 - self.instance.lambda();
             for &(fi, l) in self.instance.flows_through(v) {
-                let fi = fi as usize;
+                let fi = ix(fi);
                 if l > cur_l[fi] {
-                    gain += self.instance.flows()[fi].rate as f64 * factor * (l - cur_l[fi]) as f64;
+                    gain += approx_f64(self.instance.flows()[fi].rate)
+                        * factor
+                        * f64::from(l - cur_l[fi]);
                 }
                 touched.push((fi, cur_l[fi], served[fi]));
                 served[fi] = true;

@@ -21,6 +21,7 @@
 
 use crate::error::TdmdError;
 use crate::instance::Instance;
+use crate::num::{approx_f64, big_ix, id16, id32, ix, usize_f64, wide};
 use crate::plan::Deployment;
 use tdmd_graph::tree::RootedTree;
 use tdmd_graph::NodeId;
@@ -83,7 +84,7 @@ pub(crate) fn validate_tree_instance(
         .map_err(|e| TdmdError::NotATreeInstance(e.to_string()))?;
     let mut local = vec![0u64; instance.node_count()];
     for f in flows {
-        local[f.src() as usize] += f.rate;
+        local[ix(f.src())] += f.rate;
     }
     Ok((tree, local))
 }
@@ -107,9 +108,9 @@ pub fn dp_optimal(instance: &Instance) -> Result<DpSolution, TdmdError> {
     let (tree, local) = validate_tree_instance(instance)?;
     let kmax = instance.k().min(instance.node_count());
     let tables = run_dp(instance, &tree, &local, kmax);
-    let root = tree.root() as usize;
+    let root = ix(tree.root());
     let tot_root = tables[root].tot;
-    let best = tables[root].p[kmax * (tot_root as usize + 1) + tot_root as usize];
+    let best = tables[root].p[kmax * (big_ix(tot_root) + 1) + big_ix(tot_root)];
     debug_assert!(
         best.is_finite(),
         "a box on the root always serves everything"
@@ -146,12 +147,12 @@ pub fn dp_tables(instance: &Instance) -> Result<DpTables, TdmdError> {
     #[allow(clippy::needless_range_loop)] // v is a vertex id, not just an index
     for v in 0..n {
         let t = &tables[v];
-        let width = t.tot as usize + 1;
+        let width = big_ix(t.tot) + 1;
         let mut pv = Vec::with_capacity(kmax + 1);
         let mut fv = Vec::with_capacity(kmax + 1);
         for q in 0..=kmax {
             pv.push(t.p[q * width..(q + 1) * width].to_vec());
-            fv.push(t.p[q * width + t.tot as usize]);
+            fv.push(t.p[q * width + big_ix(t.tot)]);
         }
         p.push(pv);
         f.push(fv);
@@ -193,14 +194,14 @@ fn run_dp_weighted(
         let mut child_backs = Vec::with_capacity(children.len());
         let mut child_caps = Vec::with_capacity(children.len());
         for &c in children {
-            let ct = tables[c as usize].as_ref().expect("postorder: child done");
+            let ct = tables[ix(c)].as_ref().expect("postorder: child done");
             let w_up = edge_w(c, v);
-            let cw = ct.tot as usize + 1;
+            let cw = big_ix(ct.tot) + 1;
             let new_cap = cap + ct.tot;
-            let new_w = new_cap as usize + 1;
+            let new_w = big_ix(new_cap) + 1;
             let mut next = vec![INF; (kmax + 1) * new_w];
             let mut back = vec![(0u16, 0u32); (kmax + 1) * new_w];
-            let old_w = cap as usize + 1;
+            let old_w = big_ix(cap) + 1;
             for q in 0..=kmax {
                 for qc in 0..=q {
                     let qa = q - qc;
@@ -212,7 +213,8 @@ fn run_dp_weighted(
                         // Uplink c -> v: processed rate bc rides at λ,
                         // the rest of tot(c) at full rate, priced by
                         // the uplink's edge cost.
-                        let g = pc + w_up * (lambda * bc as f64 + (ct.tot - bc as u64) as f64);
+                        let g =
+                            pc + w_up * (lambda * usize_f64(bc) + approx_f64(ct.tot - wide(bc)));
                         for ba in 0..old_w {
                             let a = acc[qa * old_w + ba];
                             if a == INF {
@@ -223,7 +225,7 @@ fn run_dp_weighted(
                             let val = a + g;
                             if val < next[slot] {
                                 next[slot] = val;
-                                back[slot] = (qc as u16, bc as u32);
+                                back[slot] = (id16(qc), id32(bc));
                             }
                         }
                     }
@@ -236,10 +238,10 @@ fn run_dp_weighted(
         }
         // Lift to the vertex table: b range extends to tot(v) =
         // cap + local(v); a box on v reaches exactly b = tot(v).
-        let tot = cap + local[v as usize];
-        let width = tot as usize + 1;
+        let tot = cap + local[ix(v)];
+        let width = big_ix(tot) + 1;
         let mut p = vec![INF; (kmax + 1) * width];
-        let old_w = cap as usize + 1;
+        let old_w = big_ix(cap) + 1;
         for q in 0..=kmax {
             for b in 0..old_w {
                 p[q * width + b] = acc[q * old_w + b];
@@ -255,16 +257,16 @@ fn run_dp_weighted(
                 let val = acc[(q - 1) * old_w + b];
                 if val < best {
                     best = val;
-                    best_b = b as u64;
+                    best_b = wide(b);
                 }
             }
-            let slot = q * width + tot as usize;
+            let slot = q * width + big_ix(tot);
             if best < p[slot] {
                 p[slot] = best;
                 box_choice[q] = Some(best_b);
             }
         }
-        tables[v as usize] = Some(VertexDp {
+        tables[ix(v)] = Some(VertexDp {
             p,
             tot,
             box_choice,
@@ -301,9 +303,9 @@ pub fn dp_optimal_weighted(instance: &Instance) -> Result<DpSolution, TdmdError>
     let weights = crate::cost::EdgeWeights::new(instance.graph());
     let lookup = |u: NodeId, v: NodeId| -> f64 { weights.get(u, v) };
     let tables = run_dp_weighted(instance, &tree, &local, kmax, &lookup);
-    let root = tree.root() as usize;
+    let root = ix(tree.root());
     let tot_root = tables[root].tot;
-    let best = tables[root].p[kmax * (tot_root as usize + 1) + tot_root as usize];
+    let best = tables[root].p[kmax * (big_ix(tot_root) + 1) + big_ix(tot_root)];
     debug_assert!(
         best.is_finite(),
         "a box on the root always serves everything"
@@ -327,10 +329,10 @@ fn recover(
     b: u64,
     out: &mut Vec<NodeId>,
 ) {
-    let t = &tables[v as usize];
-    let width = t.tot as usize + 1;
+    let t = &tables[ix(v)];
+    let width = big_ix(t.tot) + 1;
     debug_assert!(
-        t.p[q * width + b as usize].is_finite(),
+        t.p[q * width + big_ix(b)].is_finite(),
         "recovering unreachable state"
     );
     let (mut q_cur, mut b_cur) = (q, b);
@@ -346,12 +348,12 @@ fn recover(
     }
     let children = tree.children(v);
     for (i, &c) in children.iter().enumerate().rev() {
-        let cap = t.child_caps[i] as usize;
+        let cap = big_ix(t.child_caps[i]);
         let back = &t.child_backs[i];
-        let (qc, bc) = back[q_cur * (cap + 1) + b_cur as usize];
-        recover(tables, tree, c, qc as usize, bc as u64, out);
-        q_cur -= qc as usize;
-        b_cur -= bc as u64;
+        let (qc, bc) = back[q_cur * (cap + 1) + big_ix(b_cur)];
+        recover(tables, tree, c, usize::from(qc), u64::from(bc), out);
+        q_cur -= usize::from(qc);
+        b_cur -= u64::from(bc);
     }
     debug_assert_eq!(b_cur, 0, "all processed rate must be attributed");
 }

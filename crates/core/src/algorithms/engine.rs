@@ -20,7 +20,7 @@
 //! chain crate's prefix-stack greedy where a "move" deploys several
 //! middlebox instances at once.
 
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 
 use rayon::prelude::*;
 use tdmd_graph::NodeId;
@@ -29,27 +29,10 @@ use crate::cost::FlowIndex;
 use crate::error::TdmdError;
 use crate::feasibility::greedy_cover;
 use crate::instance::Instance;
+use crate::num::ix;
 use crate::objective::coverage_gain;
+use crate::order::TotalGain;
 use crate::plan::Deployment;
-
-/// `f64` wrapper ordering by [`f64::total_cmp`], so scores can live in
-/// a lexicographic tuple key.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct OrdF64(pub f64);
-
-impl Eq for OrdF64 {}
-
-impl PartialOrd for OrdF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for OrdF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// Lexicographic greedy score: decrement gain, then coverage, then
 /// smaller vertex id.
@@ -64,13 +47,29 @@ impl Score {
     /// The full tie-break ladder as one comparable key; `Reverse` on
     /// the vertex id makes the *smaller* id the larger key.
     #[inline]
-    fn key(&self) -> (OrdF64, usize, Reverse<NodeId>) {
-        (OrdF64(self.gain), self.coverage, Reverse(self.v))
+    fn key(&self) -> (TotalGain, usize, Reverse<NodeId>) {
+        (TotalGain::new(self.gain), self.coverage, Reverse(self.v))
     }
 
     #[inline]
     pub fn better_than(&self, other: &Score) -> bool {
         self.key() > other.key()
+    }
+}
+
+impl Eq for Score {}
+
+impl PartialOrd for Score {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Score {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
     }
 }
 
@@ -123,7 +122,7 @@ impl State {
     pub fn commit(&mut self, ctx: &Ctx<'_>, v: NodeId) {
         self.deployment.insert(v);
         for &(fi, g) in ctx.index.flows_through(v) {
-            let fi = fi as usize;
+            let fi = ix(fi);
             self.served[fi] = true;
             if g > self.cur[fi] {
                 self.cur[fi] = g;
@@ -146,7 +145,7 @@ fn open_candidates(instance: &Instance, deployment: &Deployment) -> Vec<NodeId> 
 pub(crate) fn cover_after(instance: &Instance, served: &[bool], extra: NodeId) -> usize {
     let mut served = served.to_vec();
     for &(fi, _) in instance.flows_through(extra) {
-        served[fi as usize] = true;
+        served[ix(fi)] = true;
     }
     greedy_cover(instance, &served).map_or(usize::MAX, |c| c.len())
 }
@@ -189,8 +188,21 @@ pub(crate) fn guard_candidates(
     Ok(None)
 }
 
-/// One guarded greedy round; returns the vertex to deploy or an error.
-fn pick<F>(ctx: &Ctx<'_>, state: &State, remaining: usize, best_of: F) -> Result<NodeId, TdmdError>
+/// A round's committed choice, with the audit-trace metadata the
+/// submodularity witness needs ([`crate::audit::check_greedy_trace`]).
+struct Picked {
+    v: NodeId,
+    // Only the cfg-gated trace reads these two; without the auditor
+    // compiled in they are write-only.
+    #[cfg_attr(not(any(debug_assertions, feature = "audit", test)), allow(dead_code))]
+    gain: f64,
+    /// Whether the feasibility guard restricted this round.
+    #[cfg_attr(not(any(debug_assertions, feature = "audit", test)), allow(dead_code))]
+    guarded: bool,
+}
+
+/// One guarded greedy round; returns the pick to deploy or an error.
+fn pick<F>(ctx: &Ctx<'_>, state: &State, remaining: usize, best_of: F) -> Result<Picked, TdmdError>
 where
     F: FnOnce(&State, &[NodeId]) -> Option<Score>,
 {
@@ -198,17 +210,29 @@ where
         let cands = open_candidates(ctx.instance, &state.deployment);
         return best_of(state, &cands)
             .filter(|s| s.gain > 0.0)
-            .map(|s| s.v)
+            .map(|s| Picked {
+                v: s.v,
+                gain: s.gain,
+                guarded: false,
+            })
             .ok_or(TdmdError::Infeasible { budget: remaining }); // caller stops on this
     }
     match guard_candidates(ctx.instance, &state.served, &state.deployment, remaining)? {
         Some(feasible) => best_of(state, &feasible)
-            .map(|s| s.v)
+            .map(|s| Picked {
+                v: s.v,
+                gain: s.gain,
+                guarded: true,
+            })
             .ok_or(TdmdError::Infeasible { budget: remaining }),
         None => {
             let cands = open_candidates(ctx.instance, &state.deployment);
             best_of(state, &cands)
-                .map(|s| s.v)
+                .map(|s| Picked {
+                    v: s.v,
+                    gain: s.gain,
+                    guarded: false,
+                })
                 .ok_or(TdmdError::Infeasible { budget: remaining })
         }
     }
@@ -223,12 +247,23 @@ fn run_greedy<F>(
 where
     F: FnMut(&State, &[NodeId]) -> Option<Score>,
 {
+    #[cfg(any(debug_assertions, feature = "audit", test))]
+    crate::audit::enforce(crate::audit::check_instance(ctx.instance));
+    #[cfg(any(debug_assertions, feature = "audit", test))]
+    let mut trace: Vec<crate::audit::TraceRound> = Vec::new();
     let mut state = State::new(ctx);
     let limit = budget.unwrap_or(ctx.instance.node_count());
     for round in 0..limit {
         let remaining = limit - round;
         match pick(ctx, &state, remaining, &mut best_of) {
-            Ok(v) => state.commit(ctx, v),
+            Ok(p) => {
+                #[cfg(any(debug_assertions, feature = "audit", test))]
+                trace.push(crate::audit::TraceRound {
+                    gain: p.gain,
+                    guarded: p.guarded,
+                });
+                state.commit(ctx, p.v);
+            }
             // No useful vertex left and everything served: done early.
             Err(_) if state.all_served() => break,
             Err(e) => return Err(e),
@@ -239,6 +274,16 @@ where
     }
     if !state.all_served() {
         return Err(TdmdError::Infeasible { budget: limit });
+    }
+    #[cfg(any(debug_assertions, feature = "audit", test))]
+    {
+        crate::audit::enforce(crate::audit::check_greedy_trace(&trace));
+        crate::audit::enforce(crate::audit::check_solution(
+            ctx.instance,
+            &state.deployment,
+            limit,
+            None,
+        ));
     }
     Ok(state.deployment)
 }
@@ -279,7 +324,8 @@ pub(crate) fn parallel(ctx: &Ctx<'_>, k: usize) -> Result<Deployment, TdmdError>
 pub(crate) fn lazy(ctx: &Ctx<'_>, k: usize) -> Result<Deployment, TdmdError> {
     use std::collections::BinaryHeap;
 
-    /// Heap entry ordered by the lexicographic score.
+    /// Heap entry ordered by the lexicographic score (the
+    /// [`TotalGain`]-backed `Ord` on [`Score`]).
     struct Entry {
         score: Score,
         round: usize,
@@ -297,16 +343,14 @@ pub(crate) fn lazy(ctx: &Ctx<'_>, k: usize) -> Result<Deployment, TdmdError> {
     }
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            if self.score.better_than(&other.score) {
-                std::cmp::Ordering::Greater
-            } else if other.score.better_than(&self.score) {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
+            self.score.cmp(&other.score)
         }
     }
 
+    #[cfg(any(debug_assertions, feature = "audit", test))]
+    crate::audit::enforce(crate::audit::check_instance(ctx.instance));
+    #[cfg(any(debug_assertions, feature = "audit", test))]
+    let mut trace: Vec<crate::audit::TraceRound> = Vec::new();
     let mut state = State::new(ctx);
     let mut heap: BinaryHeap<Entry> = ctx
         .instance
@@ -318,25 +362,22 @@ pub(crate) fn lazy(ctx: &Ctx<'_>, k: usize) -> Result<Deployment, TdmdError> {
         })
         .collect();
     let mut round = 0usize;
-    while round < k {
+    let mut feasible_early_exit = false;
+    'rounds: while round < k {
         let remaining = k - round;
         // The feasibility guard must run eagerly; a tight round is
         // delegated to the eager picker so lazy output stays
         // identical.
-        let picked =
-            match guard_candidates(ctx.instance, &state.served, &state.deployment, remaining)? {
-                Some(_) => Some(pick(ctx, &state, remaining, eager_best(ctx))?),
-                None => None,
-            };
-        let v = match picked {
-            Some(v) => v,
+        let p = match guard_candidates(ctx.instance, &state.served, &state.deployment, remaining)? {
+            Some(_) => pick(ctx, &state, remaining, eager_best(ctx))?,
             None => {
                 // CELF pop-refresh loop.
                 loop {
                     crate::obs::ENGINE.lazy_pops.incr();
                     let Some(top) = heap.pop() else {
                         if state.all_served() {
-                            return Ok(state.deployment);
+                            feasible_early_exit = true;
+                            break 'rounds;
                         }
                         return Err(TdmdError::Infeasible { budget: remaining });
                     };
@@ -345,9 +386,14 @@ pub(crate) fn lazy(ctx: &Ctx<'_>, k: usize) -> Result<Deployment, TdmdError> {
                     }
                     if top.round == round {
                         if top.score.gain <= 0.0 && state.all_served() {
-                            return Ok(state.deployment);
+                            feasible_early_exit = true;
+                            break 'rounds;
                         }
-                        break top.score.v;
+                        break Picked {
+                            v: top.score.v,
+                            gain: top.score.gain,
+                            guarded: false,
+                        };
                     }
                     crate::obs::ENGINE.lazy_stale_refreshes.incr();
                     let fresh = Entry {
@@ -359,21 +405,41 @@ pub(crate) fn lazy(ctx: &Ctx<'_>, k: usize) -> Result<Deployment, TdmdError> {
                         .is_none_or(|next| !next.score.better_than(&fresh.score));
                     if dominates {
                         if fresh.score.gain <= 0.0 && state.all_served() {
-                            return Ok(state.deployment);
+                            feasible_early_exit = true;
+                            break 'rounds;
                         }
-                        break fresh.score.v;
+                        break Picked {
+                            v: fresh.score.v,
+                            gain: fresh.score.gain,
+                            guarded: false,
+                        };
                     }
                     heap.push(fresh);
                 }
             }
         };
-        state.commit(ctx, v);
+        #[cfg(any(debug_assertions, feature = "audit", test))]
+        trace.push(crate::audit::TraceRound {
+            gain: p.gain,
+            guarded: p.guarded,
+        });
+        state.commit(ctx, p.v);
         round += 1;
         // Scores of other vertices only decrease; stale entries are
         // refreshed on pop. Nothing to push.
     }
-    if !state.all_served() {
+    if !feasible_early_exit && !state.all_served() {
         return Err(TdmdError::Infeasible { budget: k });
+    }
+    #[cfg(any(debug_assertions, feature = "audit", test))]
+    {
+        crate::audit::enforce(crate::audit::check_greedy_trace(&trace));
+        crate::audit::enforce(crate::audit::check_solution(
+            ctx.instance,
+            &state.deployment,
+            k,
+            None,
+        ));
     }
     Ok(state.deployment)
 }

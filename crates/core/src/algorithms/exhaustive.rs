@@ -21,7 +21,8 @@ fn subset_count(n: usize, k: usize) -> u128 {
     let mut level: u128 = 1; // C(n, 0)
     for i in 0..=k.min(n) {
         total = total.saturating_add(level);
-        level = level.saturating_mul((n - i) as u128) / (i as u128 + 1);
+        level = level.saturating_mul(u128::from(crate::num::wide(n - i)))
+            / (u128::from(crate::num::wide(i)) + 1);
     }
     total
 }

@@ -21,25 +21,12 @@
 use crate::algorithms::dp::validate_tree_instance;
 use crate::error::TdmdError;
 use crate::instance::Instance;
+use crate::num::{approx_f64, id32, ix};
+use crate::order::TotalGain;
 use crate::plan::Deployment;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use tdmd_graph::{Lca, NodeId};
-
-/// Total-order f64 key for the min-heap.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Key(f64);
-impl Eq for Key {}
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// Mutable merge state.
 struct MergeState<'a> {
@@ -57,11 +44,11 @@ impl MergeState<'_> {
     /// Best downstream hops of flow `fi` under the current bitmap.
     fn flow_best(&self, fi: usize) -> u32 {
         let f = &self.instance.flows()[fi];
-        let hops = f.hops() as u32;
+        let hops = id32(f.hops());
         let mut best = 0;
         for (pos, &v) in f.path.iter().enumerate() {
-            if self.member[v as usize] {
-                best = best.max(hops - pos as u32);
+            if self.member[ix(v)] {
+                best = best.max(hops - id32(pos));
                 break; // first on-path box from the source is the max l
             }
         }
@@ -92,43 +79,45 @@ impl MergeState<'_> {
         // `member` mirrors `live` outside the flip window, so the
         // pre-flip bit is exactly `live.contains(&lca)` — saving it
         // avoids an O(|live|) scan per candidate evaluation.
-        let lca_was_member = self.member[lca as usize];
+        let lca_was_member = self.member[ix(lca)];
         self.flip(i, j, lca);
         let mut delta = 0.0;
         for &fi in &affected {
-            let fi = fi as usize;
+            let fi = ix(fi);
             let new_l = self.flow_best(fi);
             let old_l = self.best_l[fi];
-            delta += self.instance.flows()[fi].rate as f64 * factor * (old_l as f64 - new_l as f64);
+            delta += approx_f64(self.instance.flows()[fi].rate)
+                * factor
+                * (f64::from(old_l) - f64::from(new_l));
         }
         self.unflip(i, j, lca, lca_was_member);
         delta
     }
 
     fn flip(&mut self, i: NodeId, j: NodeId, lca: NodeId) {
-        self.member[i as usize] = false;
-        self.member[j as usize] = false;
-        self.member[lca as usize] = true;
+        self.member[ix(i)] = false;
+        self.member[ix(j)] = false;
+        self.member[ix(lca)] = true;
     }
 
     fn unflip(&mut self, i: NodeId, j: NodeId, lca: NodeId, lca_was_member: bool) {
-        self.member[lca as usize] = lca_was_member;
-        self.member[i as usize] = true;
-        self.member[j as usize] = true;
+        self.member[ix(lca)] = lca_was_member;
+        self.member[ix(i)] = true;
+        self.member[ix(j)] = true;
     }
 
     /// Commits the merge and refreshes per-flow assignments.
     fn commit(&mut self, i: NodeId, j: NodeId, lca: NodeId) {
         let affected = self.affected(i, j, lca);
-        self.member[i as usize] = false;
-        self.member[j as usize] = false;
-        self.member[lca as usize] = true;
+        self.member[ix(i)] = false;
+        self.member[ix(j)] = false;
+        self.member[ix(lca)] = true;
         self.live.retain(|&v| v != i && v != j);
         if !self.live.contains(&lca) {
             self.live.push(lca);
         }
         for &fi in &affected {
-            let fi = fi as usize;
+            let fi = ix(fi);
             self.best_l[fi] = self.flow_best(fi);
         }
     }
@@ -157,9 +146,9 @@ pub fn hat(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
 
     let mut member = vec![false; n];
     for &s in &sources {
-        member[s as usize] = true;
+        member[ix(s)] = true;
     }
-    let best_l = instance.flows().iter().map(|f| f.hops() as u32).collect();
+    let best_l = instance.flows().iter().map(|f| id32(f.hops())).collect();
     let mut state = MergeState {
         instance,
         member,
@@ -169,13 +158,13 @@ pub fn hat(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
 
     // Version-stamped lazy min-heap of merge candidates.
     let mut version = 0usize;
-    let mut heap: BinaryHeap<Reverse<(Key, NodeId, NodeId, usize)>> = BinaryHeap::new();
+    let mut heap: BinaryHeap<Reverse<(TotalGain, NodeId, NodeId, usize)>> = BinaryHeap::new();
     for a in 0..sources.len() {
         for b in (a + 1)..sources.len() {
             let (i, j) = (sources[a], sources[b]);
             let anc = lca.query(i, j);
             let d = state.delta_b(i, j, anc);
-            heap.push(Reverse((Key(d), i, j, version)));
+            heap.push(Reverse((TotalGain::new(d), i, j, version)));
         }
     }
 
@@ -185,14 +174,14 @@ pub fn hat(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
             // possible when k == 0, which we rejected above.
             return Err(TdmdError::Infeasible { budget: k });
         };
-        if !state.member[i as usize] || !state.member[j as usize] {
+        if !state.member[ix(i)] || !state.member[ix(j)] {
             continue; // endpoint already merged away
         }
         let anc = lca.query(i, j);
         if stamp != version {
             // Stale: refresh the cost at the current deployment.
             let d = state.delta_b(i, j, anc);
-            heap.push(Reverse((Key(d), i, j, version)));
+            heap.push(Reverse((TotalGain::new(d), i, j, version)));
             continue;
         }
         state.commit(i, j, anc);
@@ -204,7 +193,7 @@ pub fn hat(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
             }
             let a2 = lca.query(anc, other);
             let d = state.delta_b(anc, other, a2);
-            heap.push(Reverse((Key(d), anc, other, version)));
+            heap.push(Reverse((TotalGain::new(d), anc, other, version)));
         }
         // Refresh surviving pairs lazily: stale stamps are corrected
         // on pop.

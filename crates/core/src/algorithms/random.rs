@@ -5,6 +5,7 @@
 use crate::error::TdmdError;
 use crate::feasibility::is_feasible;
 use crate::instance::Instance;
+use crate::num::id32;
 use crate::plan::Deployment;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -23,7 +24,7 @@ pub fn random_feasible<R: Rng + ?Sized>(
 ) -> Result<Deployment, TdmdError> {
     let n = instance.node_count();
     let k_eff = k.min(n);
-    let mut vertices: Vec<u32> = (0..n as u32).collect();
+    let mut vertices: Vec<u32> = (0..id32(n)).collect();
     for _ in 0..max_tries {
         vertices.shuffle(rng);
         let d = Deployment::from_vertices(n, vertices[..k_eff].iter().copied());

@@ -1,0 +1,470 @@
+//! Structural invariant auditor — the runtime half of tdmd-audit.
+//!
+//! The static lint pass (`cargo xtask lint`) keeps *code* honest; this
+//! module keeps *data* honest. Each `check_*` function validates one
+//! layer of the solver's structural invariants and returns a
+//! [`AuditError`] naming the violated check with a `file:line`-style
+//! diagnostic detail, so corruption tests can assert on the exact
+//! failure mode:
+//!
+//! * [`check_instance`] — the [`Instance`] CSR flow index is
+//!   well-formed (offsets monotone, rows sorted and deduped, entries
+//!   in bounds) and *bijective* with the flow paths: entry `(f, l)` at
+//!   vertex `v` exists iff `v` sits on `p_f` with `l = l_v(f)`
+//!   downstream hops (the paper's §3.1 scoring quantity). Paths must
+//!   be simple and edge-connected on the topology.
+//! * [`check_solution`] — a deployment respects the budget `k`
+//!   (Eq. 3's constraint), every assignment is an on-path deployed
+//!   vertex with the maximal `l_v(f)` (the forced optimal allocation
+//!   of §3.1), and the decrement `d(P)` is non-negative (Lemma 1's
+//!   lower bound).
+//! * [`check_greedy_trace`] — the greedy's per-round marginal gains
+//!   are non-negative and monotone non-increasing across unguarded
+//!   rounds: a live submodularity witness for Thm. 2. Guard rounds
+//!   (the tight-budget feasibility rule) restrict the candidate set
+//!   and are exempt from the monotone comparison.
+//!
+//! The module is compiled under `debug_assertions`, the `audit` cargo
+//! feature, or tests; release builds without the feature pay nothing.
+//! Solver seams call [`enforce`] which panics with the diagnostic.
+
+use std::fmt;
+
+use crate::instance::Instance;
+use crate::plan::{Allocation, Deployment};
+
+/// A violated structural invariant.
+///
+/// `check` is a stable machine-matchable name (corruption tests match
+/// on it); `detail` is the human diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditError {
+    /// Stable name of the violated check, e.g. `"csr-row-sorted"`.
+    pub check: &'static str,
+    /// Human-readable description of the violation site.
+    pub detail: String,
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Shorthand for building an `Err(AuditError)`.
+macro_rules! fail {
+    ($check:expr, $($arg:tt)*) => {
+        return Err(AuditError {
+            check: $check,
+            detail: format!($($arg)*),
+        })
+    };
+}
+
+/// Panics with the audit diagnostic on a failed check. Solver seams
+/// route through this so a corrupted structure aborts loudly instead
+/// of producing a silently wrong placement.
+///
+/// # Panics
+/// Panics iff `result` is an `Err`.
+pub fn enforce(result: Result<(), AuditError>) {
+    if let Err(e) = result {
+        panic!("tdmd audit failure: {e}");
+    }
+}
+
+/// Validates the instance: simple connected flow paths and a CSR flow
+/// index bijective with them.
+///
+/// # Errors
+/// Returns the first violated check among `lambda-range`,
+/// `flow-id-dense`, `flow-rate-positive`, `path-vertex-bounds`,
+/// `path-simple`, `path-connected`, `csr-offsets-shape`,
+/// `csr-offsets-monotone`, `csr-entry-bounds`, `csr-row-sorted`,
+/// `csr-entry-offpath`, `csr-entry-hops` and `csr-bijective`.
+pub fn check_instance(instance: &Instance) -> Result<(), AuditError> {
+    let graph = instance.graph();
+    let n = graph.node_count();
+    let flows = instance.flows();
+    let lambda = instance.lambda();
+    if !(0.0..=1.0).contains(&lambda) || lambda.is_nan() {
+        fail!("lambda-range", "λ = {lambda} outside [0, 1]");
+    }
+    // Flow paths: dense ids, positive rates, simple, edge-connected.
+    let mut seen_round = vec![usize::MAX; n];
+    for (idx, f) in flows.iter().enumerate() {
+        if f.id as usize != idx {
+            fail!("flow-id-dense", "flow at index {idx} carries id {}", f.id);
+        }
+        if f.rate == 0 {
+            fail!("flow-rate-positive", "flow {idx} has zero rate");
+        }
+        if f.path.is_empty() {
+            fail!("path-vertex-bounds", "flow {idx} has an empty path");
+        }
+        for (pos, &v) in f.path.iter().enumerate() {
+            if (v as usize) >= n {
+                fail!(
+                    "path-vertex-bounds",
+                    "flow {idx} path[{pos}] = {v} out of bounds (n = {n})"
+                );
+            }
+            if seen_round[v as usize] == idx {
+                fail!("path-simple", "flow {idx} visits vertex {v} twice");
+            }
+            seen_round[v as usize] = idx;
+        }
+        for w in f.path.windows(2) {
+            if !graph.has_edge(w[0], w[1]) {
+                fail!(
+                    "path-connected",
+                    "flow {idx} uses missing edge {} -> {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+    // CSR shape: offsets are a monotone prefix-sum fence.
+    let (offsets, entries) = instance.audit_csr();
+    if offsets.len() != n + 1 {
+        fail!(
+            "csr-offsets-shape",
+            "offsets length {} != node_count + 1 = {}",
+            offsets.len(),
+            n + 1
+        );
+    }
+    if offsets[0] != 0 {
+        fail!("csr-offsets-shape", "offsets[0] = {} != 0", offsets[0]);
+    }
+    if offsets[n] as usize != entries.len() {
+        fail!(
+            "csr-offsets-shape",
+            "offsets[n] = {} != entries length {}",
+            offsets[n],
+            entries.len()
+        );
+    }
+    for v in 0..n {
+        if offsets[v] > offsets[v + 1] {
+            fail!(
+                "csr-offsets-monotone",
+                "offsets decrease across vertex {v}: {} > {}",
+                offsets[v],
+                offsets[v + 1]
+            );
+        }
+    }
+    // Rows: sorted strictly by flow id (sorted + deduped), entries in
+    // bounds, and every entry's l equal to the flow's true downstream
+    // hop count at that vertex (no off-path or mislabeled entries).
+    let mut per_flow = vec![0usize; flows.len()];
+    for v in 0..n {
+        let row = &entries[offsets[v] as usize..offsets[v + 1] as usize];
+        let mut prev: Option<u32> = None;
+        for &(fi, l) in row {
+            if let Some(p) = prev {
+                if fi <= p {
+                    fail!(
+                        "csr-row-sorted",
+                        "vertex {v} row not strictly sorted: flow {fi} after {p}"
+                    );
+                }
+            }
+            prev = Some(fi);
+            let Some(f) = flows.get(fi as usize) else {
+                fail!(
+                    "csr-entry-bounds",
+                    "vertex {v} row references flow {fi} of {}",
+                    flows.len()
+                );
+            };
+            let Some(true_l) = f.downstream_hops(v as tdmd_graph::NodeId) else {
+                fail!(
+                    "csr-entry-offpath",
+                    "vertex {v} row lists flow {fi}, whose path avoids it"
+                );
+            };
+            if l as usize != true_l {
+                fail!(
+                    "csr-entry-hops",
+                    "vertex {v} flow {fi}: stored l = {l}, true l_v(f) = {true_l}"
+                );
+            }
+            per_flow[fi as usize] += 1;
+        }
+    }
+    // Bijectivity: each flow contributes exactly one entry per path
+    // vertex. Combined with the per-entry checks above (on-path,
+    // correct l, deduped rows) this pins entries <-> path vertices 1:1.
+    for (idx, f) in flows.iter().enumerate() {
+        if per_flow[idx] != f.path.len() {
+            fail!(
+                "csr-bijective",
+                "flow {idx}: {} index entries for {} path vertices",
+                per_flow[idx],
+                f.path.len()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Validates a deployment (and optionally an allocation) against the
+/// instance: budget, vertex bounds, on-path assignments matching the
+/// forced optimal allocation, and a non-negative decrement.
+///
+/// `budget` is the round limit the solver ran under — `instance.k()`
+/// for the standard solvers, the derived budget for derive-`k` runs.
+///
+/// # Errors
+/// Returns the first violated check among `deployment-bounds`,
+/// `deployment-over-budget`, `assignment-shape`,
+/// `assignment-undeployed`, `assignment-offpath`,
+/// `assignment-suboptimal`, `assignment-unserved` and
+/// `decrement-negative`.
+pub fn check_solution(
+    instance: &Instance,
+    deployment: &Deployment,
+    budget: usize,
+    alloc: Option<&Allocation>,
+) -> Result<(), AuditError> {
+    let n = instance.node_count();
+    for &v in deployment.vertices() {
+        if (v as usize) >= n {
+            fail!("deployment-bounds", "deployed vertex {v} out of bounds");
+        }
+        if !deployment.contains(v) {
+            fail!(
+                "deployment-bounds",
+                "vertex list and membership bitmap disagree on {v}"
+            );
+        }
+    }
+    if deployment.len() > budget {
+        fail!(
+            "deployment-over-budget",
+            "{} middleboxes deployed, budget k = {budget}",
+            deployment.len()
+        );
+    }
+    if let Some(alloc) = alloc {
+        if alloc.assigned.len() != instance.flows().len() {
+            fail!(
+                "assignment-shape",
+                "{} assignment slots for {} flows",
+                alloc.assigned.len(),
+                instance.flows().len()
+            );
+        }
+        let best = crate::objective::best_hops(instance, deployment);
+        for (idx, (f, a)) in instance.flows().iter().zip(&alloc.assigned).enumerate() {
+            match *a {
+                Some(v) => {
+                    if !deployment.contains(v) {
+                        fail!(
+                            "assignment-undeployed",
+                            "flow {idx} assigned to undeployed vertex {v}"
+                        );
+                    }
+                    let Some(l) = f.downstream_hops(v) else {
+                        fail!(
+                            "assignment-offpath",
+                            "flow {idx} assigned to off-path vertex {v}"
+                        );
+                    };
+                    // §3.1: the optimal allocation is forced — the
+                    // deployed on-path vertex maximizing l_v(f).
+                    if Some(l as u32) != best[idx] {
+                        fail!(
+                            "assignment-suboptimal",
+                            "flow {idx} served at l = {l}, best deployed l = {:?}",
+                            best[idx]
+                        );
+                    }
+                }
+                None => {
+                    if best[idx].is_some() {
+                        fail!(
+                            "assignment-unserved",
+                            "flow {idx} unserved but a deployed vertex sits on its path"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let d = crate::objective::decrement(instance, deployment);
+    if d < -DECREMENT_EPS {
+        fail!("decrement-negative", "d(P) = {d} < 0 violates Lemma 1");
+    }
+    Ok(())
+}
+
+/// Tolerance for floating-point accumulation error in the decrement
+/// and trace-monotonicity checks.
+const DECREMENT_EPS: f64 = 1e-9;
+
+/// One committed greedy round, as recorded by the solver seam.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRound {
+    /// Marginal decrement gain of the committed vertex.
+    pub gain: f64,
+    /// Whether the tight-budget feasibility guard restricted this
+    /// round's candidates (guard rounds may pick a non-maximal
+    /// vertex, so they are exempt from the monotone comparison).
+    pub guarded: bool,
+}
+
+/// Validates a greedy trace: gains are finite and non-negative, and
+/// monotone non-increasing across unguarded rounds — the live
+/// submodularity witness for Thm. 2 (each vertex's marginal decrement
+/// only shrinks as `P` grows, so the per-round maximum does too).
+///
+/// # Errors
+/// Returns the first violated check among `trace-gain-finite`,
+/// `trace-gain-negative` and `trace-not-monotone`.
+pub fn check_greedy_trace(trace: &[TraceRound]) -> Result<(), AuditError> {
+    let mut last_unguarded: Option<(usize, f64)> = None;
+    for (round, r) in trace.iter().enumerate() {
+        if !r.gain.is_finite() {
+            fail!(
+                "trace-gain-finite",
+                "round {round} committed a non-finite gain {}",
+                r.gain
+            );
+        }
+        if r.gain < -DECREMENT_EPS {
+            fail!(
+                "trace-gain-negative",
+                "round {round} committed negative gain {}",
+                r.gain
+            );
+        }
+        if r.guarded {
+            continue;
+        }
+        if let Some((prev_round, prev)) = last_unguarded {
+            if r.gain > prev + DECREMENT_EPS {
+                fail!(
+                    "trace-not-monotone",
+                    "round {round} gain {} exceeds round {prev_round} gain {prev} \
+                     (submodularity witness, Thm. 2)",
+                    r.gain
+                );
+            }
+        }
+        last_unguarded = Some((round, r.gain));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::fig1_instance;
+
+    #[test]
+    fn clean_instance_passes() {
+        check_instance(&fig1_instance(2)).unwrap();
+    }
+
+    #[test]
+    fn swapped_csr_entries_are_caught() {
+        let mut inst = fig1_instance(2);
+        {
+            let (offsets, entries) = inst.audit_csr_mut();
+            // Swapping two entries *within* a row breaks the
+            // sorted-by-flow-id invariant.
+            let lo = offsets
+                .windows(2)
+                .map(|w| (w[0] as usize, w[1] as usize))
+                .find(|&(lo, hi)| hi - lo >= 2)
+                .expect("fig1 has a multi-flow row")
+                .0;
+            entries.swap(lo, lo + 1);
+        }
+        let err = check_instance(&inst).unwrap_err();
+        assert_eq!(err.check, "csr-row-sorted", "{err}");
+    }
+
+    #[test]
+    fn mislabeled_hop_count_is_caught() {
+        let mut inst = fig1_instance(2);
+        inst.audit_csr_mut().1[0].1 += 1;
+        let err = check_instance(&inst).unwrap_err();
+        assert_eq!(err.check, "csr-entry-hops", "{err}");
+    }
+
+    #[test]
+    fn solution_checks_pass_on_the_paper_optimum() {
+        let inst = fig1_instance(2);
+        let d = Deployment::from_vertices(6, [4, 1]);
+        let alloc = crate::objective::allocate(&inst, &d);
+        check_solution(&inst, &d, 2, Some(&alloc)).unwrap();
+    }
+
+    #[test]
+    fn over_budget_and_offpath_assignments_are_caught() {
+        let inst = fig1_instance(2);
+        let d = Deployment::from_vertices(6, [4, 1, 0]);
+        let err = check_solution(&inst, &d, 2, None).unwrap_err();
+        assert_eq!(err.check, "deployment-over-budget", "{err}");
+
+        // Boxes on v3 (=2) and v5 (=4): both sit on f1's path, but
+        // v3 serves it at l = 1 instead of the optimal l = 2.
+        let d = Deployment::from_vertices(6, [2, 4]);
+        let mut alloc = crate::objective::allocate(&inst, &d);
+        alloc.assigned[0] = Some(2);
+        let err = check_solution(&inst, &d, 2, Some(&alloc)).unwrap_err();
+        assert_eq!(err.check, "assignment-suboptimal", "{err}");
+
+        alloc.assigned[0] = Some(1); // vertex 1 is off f1's path entirely
+        let d3 = Deployment::from_vertices(6, [1, 2, 4]);
+        let err = check_solution(&inst, &d3, 3, Some(&alloc)).unwrap_err();
+        assert_eq!(err.check, "assignment-offpath", "{err}");
+    }
+
+    #[test]
+    fn trace_monotonicity_is_enforced_outside_guard_rounds() {
+        let ok = [
+            TraceRound {
+                gain: 4.0,
+                guarded: false,
+            },
+            TraceRound {
+                gain: 1.0,
+                guarded: true,
+            },
+            TraceRound {
+                gain: 3.0,
+                guarded: false,
+            },
+        ];
+        check_greedy_trace(&ok).unwrap();
+        let bad = [
+            TraceRound {
+                gain: 2.0,
+                guarded: false,
+            },
+            TraceRound {
+                gain: 3.0,
+                guarded: false,
+            },
+        ];
+        let err = check_greedy_trace(&bad).unwrap_err();
+        assert_eq!(err.check, "trace-not-monotone", "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "tdmd audit failure")]
+    fn enforce_panics_with_the_diagnostic() {
+        enforce(Err(AuditError {
+            check: "example",
+            detail: "boom".into(),
+        }));
+    }
+}

@@ -160,6 +160,24 @@ impl Instance {
     }
 }
 
+/// Raw CSR access for the structural auditor and its corruption tests.
+#[cfg(any(debug_assertions, feature = "audit", test))]
+impl Instance {
+    /// The raw CSR arena `(flow_offsets, flow_entries)` for
+    /// [`crate::audit::check_instance`].
+    pub fn audit_csr(&self) -> (&[u32], &[(u32, u32)]) {
+        (&self.flow_offsets, &self.flow_entries)
+    }
+
+    /// Mutable CSR access — a corruption hook for audit tests only.
+    /// Breaking the invariants here puts every algorithm off spec;
+    /// the only legitimate use is seeding violations that
+    /// [`crate::audit::check_instance`] must catch.
+    pub fn audit_csr_mut(&mut self) -> (&mut Vec<u32>, &mut Vec<(u32, u32)>) {
+        (&mut self.flow_offsets, &mut self.flow_entries)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,16 +47,21 @@
 //! # Ok::<(), tdmd_core::TdmdError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithms;
+#[cfg(any(debug_assertions, feature = "audit", test))]
+pub mod audit;
 pub mod capacitated;
 pub mod cost;
 pub mod error;
 pub mod feasibility;
 pub mod instance;
+pub mod num;
 pub mod objective;
 pub mod obs;
+pub mod order;
 pub mod paper;
 pub mod plan;
 pub mod weighted;
@@ -64,6 +69,7 @@ pub mod weighted;
 pub use cost::{CostModel, FlowIndex, HopCount, WeightedEdges};
 pub use error::TdmdError;
 pub use instance::Instance;
+pub use order::TotalGain;
 pub use plan::{Allocation, Deployment, PlanReport};
 
 /// Convenience prelude.

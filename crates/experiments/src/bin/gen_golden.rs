@@ -10,6 +10,13 @@ use tdmd_experiments::figures::{fig09, quick_protocol};
 use tdmd_experiments::scenarios::Scenario;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("gen_golden: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let base = Scenario {
         size: 12,
         density: 0.4,
@@ -28,7 +35,9 @@ fn main() {
             )
         })
         .collect();
-    let json = serde_json::to_string_pretty(&snapshot).expect("serializes");
-    std::fs::write("tests/golden/fig09_quick.json", &json).expect("write golden");
-    println!("wrote tests/golden/fig09_quick.json");
+    let json = serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?;
+    let path = "tests/golden/fig09_quick.json";
+    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {path}");
+    Ok(())
 }

@@ -17,6 +17,9 @@
 //! * [`extras`] — beyond-the-paper sweeps (oracle gap, λ extremes).
 //! * [`svg`] — dependency-free SVG plotting of a figure's panels.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod extras;
 pub mod figure;
 pub mod figures;

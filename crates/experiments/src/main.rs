@@ -7,12 +7,21 @@
 //! Prints each figure's two panels as text tables and writes
 //! `<name>.csv` / `<name>.json` under the output directory.
 
+#![forbid(unsafe_code)]
+
 use std::fs;
 use std::path::PathBuf;
 use tdmd_experiments::figure::FigureResult;
 use tdmd_experiments::figures;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out_dir = PathBuf::from("results");
@@ -29,7 +38,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!("usage: tdmd-experiments [--quick] [--out DIR] <fig9..fig17|all>...");
-                return;
+                return Ok(());
             }
             other => wanted.push(other.to_string()),
         }
@@ -84,15 +93,14 @@ fn main() {
         eprintln!("nothing matched; valid names: fig9..fig17, extras, all");
         std::process::exit(2);
     }
-    fs::create_dir_all(&out_dir).expect("create output dir");
+    let io = |e: std::io::Error| format!("{}: {e}", out_dir.display());
+    fs::create_dir_all(&out_dir).map_err(io)?;
     for fig in &results {
         println!("{}", fig.render());
-        fs::write(out_dir.join(format!("{}.csv", fig.name)), fig.to_csv()).expect("write csv");
-        fs::write(
-            out_dir.join(format!("{}.json", fig.name)),
-            serde_json::to_string_pretty(fig).expect("figure serializes"),
-        )
-        .expect("write json");
+        fs::write(out_dir.join(format!("{}.csv", fig.name)), fig.to_csv()).map_err(io)?;
+        let json = serde_json::to_string_pretty(fig)
+            .map_err(|e| format!("serializing {}: {e}", fig.name))?;
+        fs::write(out_dir.join(format!("{}.json", fig.name)), json).map_err(io)?;
         for (panel, suffix) in [
             (tdmd_experiments::svg::Panel::Bandwidth, "bandwidth"),
             (tdmd_experiments::svg::Panel::TimeMs, "time"),
@@ -101,12 +109,12 @@ fn main() {
                 out_dir.join(format!("{}_{suffix}.svg", fig.name)),
                 tdmd_experiments::svg::render_svg(fig, panel),
             )
-            .expect("write svg");
+            .map_err(io)?;
         }
     }
     for ex in &extra_results {
         println!("{}", ex.text);
-        fs::write(out_dir.join(format!("{}.csv", ex.name)), &ex.csv).expect("write csv");
+        fs::write(out_dir.join(format!("{}.csv", ex.name)), &ex.csv).map_err(io)?;
     }
     eprintln!(
         "wrote {} figure file pairs and {} extra reports to {}",
@@ -114,4 +122,5 @@ fn main() {
         extra_results.len(),
         out_dir.display()
     );
+    Ok(())
 }

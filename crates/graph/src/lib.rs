@@ -24,6 +24,9 @@
 //! flat `Vec`s rather than hash maps (see the perf-book guidance on
 //! avoiding hashing when dense indexing works).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod centrality;
 pub mod digraph;
 pub mod dot;

@@ -57,7 +57,10 @@ impl<R: Recorder> Recorder for &R {
 /// Collecting recorder: named counters plus raw sample vectors, for
 /// exact percentile reporting after a run. Mutex-guarded maps — this
 /// is the *enabled* path, used by benches and the CLI, where a lock
-/// per event is dwarfed by the event itself.
+/// per event is dwarfed by the event itself. A poisoned lock (a
+/// panicked writer) is survivable — the maps hold only monotone
+/// telemetry, never partially-updated pairs — so every lock recovers
+/// the inner value rather than unwrapping.
 #[derive(Debug, Default)]
 pub struct StatsRecorder {
     counters: Mutex<BTreeMap<&'static str, u64>>,
@@ -72,14 +75,19 @@ impl StatsRecorder {
 
     /// Value of a named counter (0 if never counted).
     pub fn counter(&self, name: &str) -> u64 {
-        *self.counters.lock().unwrap().get(name).unwrap_or(&0)
+        *self
+            .counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .unwrap_or(&0)
     }
 
     /// All counters, sorted by name.
     pub fn counters(&self) -> Vec<(String, u64)> {
         self.counters
             .lock()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .iter()
             .map(|(k, v)| (k.to_string(), *v))
             .collect()
@@ -92,7 +100,7 @@ impl StatsRecorder {
         let mut v = self
             .samples
             .lock()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .get(name)
             .cloned()
             .unwrap_or_default();
@@ -113,19 +121,28 @@ impl StatsRecorder {
 
     /// Number of samples recorded under `name`.
     pub fn sample_count(&self, name: &str) -> usize {
-        self.samples.lock().unwrap().get(name).map_or(0, Vec::len)
+        self.samples
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .map_or(0, Vec::len)
     }
 }
 
 impl Recorder for StatsRecorder {
     fn count(&self, name: &'static str, delta: u64) {
-        *self.counters.lock().unwrap().entry(name).or_insert(0) += delta;
+        *self
+            .counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entry(name)
+            .or_insert(0) += delta;
     }
 
     fn sample(&self, name: &'static str, value: f64) {
         self.samples
             .lock()
-            .unwrap()
+            .unwrap_or_else(|p| p.into_inner())
             .entry(name)
             .or_default()
             .push(value);

@@ -1,0 +1,46 @@
+//! Golden pin of the telemetry key registry.
+//!
+//! The `obs-keys` xtask lint rule and every dashboard/export consumer
+//! treat these strings as a stable wire format: renaming or reordering
+//! a key is a breaking change and must update this pin deliberately.
+
+use tdmd_obs::keys;
+
+#[test]
+fn registry_matches_the_golden_list() {
+    assert_eq!(
+        keys::ALL,
+        [
+            "event_apply_us",
+            "repair_us",
+            "replan_us",
+            "arrivals",
+            "departures",
+            "replans",
+            "failures",
+            "recoveries",
+            "flows_orphaned",
+            "flows_degraded",
+            "failure_repair_us",
+        ]
+    );
+}
+
+#[test]
+fn named_constants_point_into_the_registry() {
+    for key in [
+        keys::EVENT_APPLY_US,
+        keys::REPAIR_US,
+        keys::REPLAN_US,
+        keys::ARRIVALS,
+        keys::DEPARTURES,
+        keys::REPLANS,
+        keys::FAILURES,
+        keys::RECOVERIES,
+        keys::FLOWS_ORPHANED,
+        keys::FLOWS_DEGRADED,
+        keys::FAILURE_REPAIR_US,
+    ] {
+        assert!(keys::ALL.contains(&key), "{key} missing from keys::ALL");
+    }
+}

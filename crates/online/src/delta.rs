@@ -36,6 +36,7 @@
 
 use std::collections::HashMap;
 
+use tdmd_core::num::{approx_f64, id32, ix};
 use tdmd_core::Deployment;
 use tdmd_graph::NodeId;
 use tdmd_traffic::Flow;
@@ -184,13 +185,13 @@ impl DeltaState {
     /// The active flow stored under `key`.
     pub fn flow(&self, key: FlowKey) -> Option<&ActiveFlow> {
         let &slot = self.key_to_slot.get(&key)?;
-        self.flows[slot as usize].as_ref()
+        self.flows[ix(slot)].as_ref()
     }
 
     /// Per-vertex saved share (the swap-repair victim metric).
     #[inline]
     pub fn primary_load(&self, v: NodeId) -> f64 {
-        self.primary_load[v as usize]
+        self.primary_load[ix(v)]
     }
 
     /// Active flow slots in arrival (seq) order — the canonical
@@ -200,9 +201,9 @@ impl DeltaState {
             .flows
             .iter()
             .enumerate()
-            .filter_map(|(i, f)| f.as_ref().map(|_| i as u32))
+            .filter_map(|(i, f)| f.as_ref().map(|_| id32(i)))
             .collect();
-        slots.sort_by_key(|&s| self.flows[s as usize].as_ref().expect("live slot").seq);
+        slots.sort_by_key(|&s| self.flows[ix(s)].as_ref().expect("live slot").seq);
         slots
     }
 
@@ -214,8 +215,8 @@ impl DeltaState {
             .into_iter()
             .enumerate()
             .map(|(i, s)| {
-                let f = self.flows[s as usize].as_ref().expect("live slot");
-                Flow::new(i as u32, f.rate, f.path.clone())
+                let f = self.flows[ix(s)].as_ref().expect("live slot");
+                Flow::new(id32(i), f.rate, f.path.clone())
             })
             .collect()
     }
@@ -229,10 +230,10 @@ impl DeltaState {
         self.slots_in_seq_order()
             .into_iter()
             .map(|s| {
-                let f = self.flows[s as usize].as_ref().expect("live slot");
-                let full = f.rate as f64 * f.cost;
+                let f = self.flows[ix(s)].as_ref().expect("live slot");
+                let full = approx_f64(f.rate) * f.cost;
                 match f.assigned {
-                    Some((_, g)) => full - f.rate as f64 * factor * g,
+                    Some((_, g)) => full - approx_f64(f.rate) * factor * g,
                     None => full,
                 }
             })
@@ -247,16 +248,14 @@ impl DeltaState {
     /// `rows[v]` is scanned.
     pub fn marginal_gain(&self, v: NodeId) -> f64 {
         let factor = self.factor();
-        self.rows[v as usize]
+        self.rows[ix(v)]
             .iter()
             .map(|e| {
-                let f = self.flows[e.slot as usize]
-                    .as_ref()
-                    .expect("row entry is live");
-                let g = f.gains[e.pos as usize];
+                let f = self.flows[ix(e.slot)].as_ref().expect("row entry is live");
+                let g = f.gains[ix(e.pos)];
                 let cur = f.assigned.map_or(0.0, |(_, cg)| cg);
                 if g > cur {
-                    f.rate as f64 * factor * (g - cur)
+                    approx_f64(f.rate) * factor * (g - cur)
                 } else {
                     0.0
                 }
@@ -295,28 +294,28 @@ impl DeltaState {
             Some(s) => s,
             None => {
                 self.flows.push(None);
-                (self.flows.len() - 1) as u32
+                id32(self.flows.len() - 1)
             }
         };
         let mut row_pos = Vec::with_capacity(path.len());
         for (pos, &v) in path.iter().enumerate() {
-            let row = &mut self.rows[v as usize];
-            row_pos.push(row.len() as u32);
+            let row = &mut self.rows[ix(v)];
+            row_pos.push(id32(row.len()));
             row.push(RowEntry {
                 slot,
-                pos: pos as u32,
+                pos: id32(pos),
             });
         }
-        self.unprocessed += rate as f64 * cost;
+        self.unprocessed += approx_f64(rate) * cost;
         if let Some((v, g)) = assigned {
-            let s = rate as f64 * factor * g;
+            let s = approx_f64(rate) * factor * g;
             self.saved += s;
-            self.primary_load[v as usize] += s;
+            self.primary_load[ix(v)] += s;
         } else {
             self.unserved += 1;
         }
         let dirty = path.clone();
-        self.flows[slot as usize] = Some(ActiveFlow {
+        self.flows[ix(slot)] = Some(ActiveFlow {
             key,
             rate,
             path,
@@ -343,29 +342,29 @@ impl DeltaState {
             .key_to_slot
             .remove(&key)
             .expect("departure of an unknown flow key");
-        let flow = self.flows[slot as usize].take().expect("slot is live");
+        let flow = self.flows[ix(slot)].take().expect("slot is live");
         let factor = self.factor();
-        self.unprocessed -= flow.rate as f64 * flow.cost;
+        self.unprocessed -= approx_f64(flow.rate) * flow.cost;
         if let Some((v, g)) = flow.assigned {
-            let s = flow.rate as f64 * factor * g;
+            let s = approx_f64(flow.rate) * factor * g;
             self.saved -= s;
-            self.primary_load[v as usize] -= s;
+            self.primary_load[ix(v)] -= s;
         } else {
             self.unserved -= 1;
         }
         for (pos, &v) in flow.path.iter().enumerate() {
-            let idx = flow.row_pos[pos] as usize;
-            let row = &mut self.rows[v as usize];
+            let idx = ix(flow.row_pos[pos]);
+            let row = &mut self.rows[ix(v)];
             row.swap_remove(idx);
             if idx < row.len() {
                 // Fix the back-pointer of the entry that moved into
                 // `idx`. A simple path visits each vertex once, so the
                 // moved entry belongs to a *different* (live) flow.
                 let moved = row[idx];
-                self.flows[moved.slot as usize]
+                self.flows[ix(moved.slot)]
                     .as_mut()
                     .expect("moved row entry is live")
-                    .row_pos[moved.pos as usize] = idx as u32;
+                    .row_pos[ix(moved.pos)] = id32(idx);
             }
         }
         self.free.push(slot);
@@ -380,25 +379,23 @@ impl DeltaState {
     pub fn commit(&mut self, v: NodeId) -> Vec<NodeId> {
         let factor = self.factor();
         let mut dirty = Vec::new();
-        let entries: Vec<RowEntry> = self.rows[v as usize].clone();
+        let entries: Vec<RowEntry> = self.rows[ix(v)].clone();
         for e in entries {
-            let f = self.flows[e.slot as usize]
-                .as_mut()
-                .expect("row entry is live");
-            let g = f.gains[e.pos as usize];
+            let f = self.flows[ix(e.slot)].as_mut().expect("row entry is live");
+            let g = f.gains[ix(e.pos)];
             if !better_assignment((v, g), f.assigned) {
                 continue;
             }
             if let Some((ov, og)) = f.assigned {
-                let s = f.rate as f64 * factor * og;
+                let s = approx_f64(f.rate) * factor * og;
                 self.saved -= s;
-                self.primary_load[ov as usize] -= s;
+                self.primary_load[ix(ov)] -= s;
             } else {
                 self.unserved -= 1;
             }
-            let s = f.rate as f64 * factor * g;
+            let s = approx_f64(f.rate) * factor * g;
             self.saved += s;
-            self.primary_load[v as usize] += s;
+            self.primary_load[ix(v)] += s;
             f.assigned = Some((v, g));
             dirty.extend_from_slice(&f.path);
         }
@@ -423,10 +420,10 @@ impl DeltaState {
     pub fn fail_rehome(&mut self, v: NodeId, deployment: &Deployment) -> Failover {
         debug_assert!(!deployment.contains(v), "remove v before re-homing");
         let factor = self.factor();
-        let orphans: Vec<u32> = self.rows[v as usize]
+        let orphans: Vec<u32> = self.rows[ix(v)]
             .iter()
             .filter(|e| {
-                self.flows[e.slot as usize]
+                self.flows[ix(e.slot)]
                     .as_ref()
                     .expect("row entry is live")
                     .assigned
@@ -436,7 +433,7 @@ impl DeltaState {
             .collect();
         let mut out = Failover::default();
         for slot in orphans {
-            let f = self.flows[slot as usize].as_mut().expect("orphan is live");
+            let f = self.flows[ix(slot)].as_mut().expect("orphan is live");
             let old = f.assigned.expect("orphan was assigned").1;
             let mut next: Option<(NodeId, f64)> = None;
             for (pos, &u) in f.path.iter().enumerate() {
@@ -444,13 +441,13 @@ impl DeltaState {
                     next = Some((u, f.gains[pos]));
                 }
             }
-            let s_old = f.rate as f64 * factor * old;
+            let s_old = approx_f64(f.rate) * factor * old;
             self.saved -= s_old;
-            self.primary_load[v as usize] -= s_old;
+            self.primary_load[ix(v)] -= s_old;
             if let Some((nv, ng)) = next {
-                let s = f.rate as f64 * factor * ng;
+                let s = approx_f64(f.rate) * factor * ng;
                 self.saved += s;
-                self.primary_load[nv as usize] += s;
+                self.primary_load[ix(nv)] += s;
                 out.reassigned += 1;
             } else {
                 self.unserved += 1;
@@ -469,10 +466,8 @@ impl DeltaState {
     pub fn removal_loss(&self, v: NodeId, deployment: &Deployment) -> f64 {
         let factor = self.factor();
         let mut loss = 0.0;
-        for e in &self.rows[v as usize] {
-            let f = self.flows[e.slot as usize]
-                .as_ref()
-                .expect("row entry is live");
+        for e in &self.rows[ix(v)] {
+            let f = self.flows[ix(e.slot)].as_ref().expect("row entry is live");
             let Some((av, ag)) = f.assigned else { continue };
             if av != v {
                 continue;
@@ -483,7 +478,7 @@ impl DeltaState {
                     second = f.gains[pos];
                 }
             }
-            loss += f.rate as f64 * factor * (ag - second);
+            loss += approx_f64(f.rate) * factor * (ag - second);
         }
         loss
     }
@@ -500,7 +495,7 @@ impl DeltaState {
         self.unprocessed = 0.0;
         self.unserved = 0;
         for slot in self.slots_in_seq_order() {
-            let f = self.flows[slot as usize].as_mut().expect("live slot");
+            let f = self.flows[ix(slot)].as_mut().expect("live slot");
             let mut best: Option<(NodeId, f64)> = None;
             for (pos, &u) in f.path.iter().enumerate() {
                 if deployment.contains(u) && better_assignment((u, f.gains[pos]), best) {
@@ -508,15 +503,222 @@ impl DeltaState {
                 }
             }
             f.assigned = best;
-            self.unprocessed += f.rate as f64 * f.cost;
+            self.unprocessed += approx_f64(f.rate) * f.cost;
             if let Some((v, g)) = best {
-                let s = f.rate as f64 * factor * g;
+                let s = approx_f64(f.rate) * factor * g;
                 self.saved += s;
-                self.primary_load[v as usize] += s;
+                self.primary_load[ix(v)] += s;
             } else {
                 self.unserved += 1;
             }
         }
+    }
+}
+
+/// Structural auditor and corruption hooks (tdmd-audit).
+///
+/// [`DeltaState::check_invariants`] re-derives every documented
+/// invariant from scratch and compares it against the incremental
+/// bookkeeping; the `audit_*` hooks deliberately break one invariant
+/// each so the corruption proptests can assert the auditor catches it.
+#[cfg(any(debug_assertions, feature = "audit", test))]
+impl DeltaState {
+    /// Validates invariants 1–4 (module docs) against a from-scratch
+    /// recomputation under `deployment`.
+    ///
+    /// # Errors
+    /// Returns the first violated check among `delta-key-map`,
+    /// `delta-flow-shape`, `delta-active-census`, `delta-row-dead-slot`,
+    /// `delta-row-mirror`, `delta-row-backpointer`, `delta-assignment`,
+    /// `delta-sum-unprocessed`, `delta-sum-saved`,
+    /// `delta-primary-load` and `delta-unserved-census`.
+    pub fn check_invariants(
+        &self,
+        deployment: &Deployment,
+    ) -> Result<(), tdmd_core::audit::AuditError> {
+        use tdmd_core::audit::AuditError;
+        let err = |check: &'static str, detail: String| Err(AuditError { check, detail });
+        let tol = |x: f64| 1e-6 * x.abs().max(1.0);
+        // Slot table vs key map vs census.
+        let mut live = 0usize;
+        for (slot, f) in self.flows.iter().enumerate() {
+            let Some(f) = f else { continue };
+            live += 1;
+            if self.key_to_slot.get(&f.key) != Some(&id32(slot)) {
+                return err(
+                    "delta-key-map",
+                    format!("flow key {} not mapped to its slot {slot}", f.key),
+                );
+            }
+            if f.gains.len() != f.path.len() || f.row_pos.len() != f.path.len() {
+                return err(
+                    "delta-flow-shape",
+                    format!(
+                        "flow key {}: path {}, gains {}, row_pos {}",
+                        f.key,
+                        f.path.len(),
+                        f.gains.len(),
+                        f.row_pos.len()
+                    ),
+                );
+            }
+        }
+        if live != self.active || self.key_to_slot.len() != live {
+            return err(
+                "delta-active-census",
+                format!(
+                    "{live} live slots, active = {}, key map = {}",
+                    self.active,
+                    self.key_to_slot.len()
+                ),
+            );
+        }
+        // Invariant 1 — row mirror, both directions. Forward: every
+        // row entry points at a live flow crossing this vertex, and
+        // the flow's back-pointer points back at it.
+        let mut total_entries = 0usize;
+        for (v, row) in self.rows.iter().enumerate() {
+            for (idx, e) in row.iter().enumerate() {
+                let Some(f) = self.flows.get(ix(e.slot)).and_then(|f| f.as_ref()) else {
+                    return err(
+                        "delta-row-dead-slot",
+                        format!("rows[{v}][{idx}] references dead slot {}", e.slot),
+                    );
+                };
+                if f.path.get(ix(e.pos)) != Some(&id32(v)) {
+                    return err(
+                        "delta-row-mirror",
+                        format!(
+                            "rows[{v}][{idx}] claims position {} of flow key {}, whose path \
+                             disagrees",
+                            e.pos, f.key
+                        ),
+                    );
+                }
+                if f.row_pos[ix(e.pos)] != id32(idx) {
+                    return err(
+                        "delta-row-backpointer",
+                        format!(
+                            "rows[{v}][{idx}]: flow key {} back-pointer says {}",
+                            f.key,
+                            f.row_pos[ix(e.pos)]
+                        ),
+                    );
+                }
+                total_entries += 1;
+            }
+        }
+        // Reverse: one entry per (active flow, path vertex). Combined
+        // with the forward direction this pins the mirror 1:1.
+        let path_total: usize = self.active_flows().map(|f| f.path.len()).sum();
+        if total_entries != path_total {
+            return err(
+                "delta-row-mirror",
+                format!("{total_entries} row entries for {path_total} path vertices"),
+            );
+        }
+        // Invariant 2 — assignment optimality, recomputed per flow.
+        // Gains are bitwise copies of the stored per-position gains,
+        // so the comparison is exact (bit-level, not float ==).
+        for f in self.active_flows() {
+            let mut best: Option<(NodeId, f64)> = None;
+            for (pos, &u) in f.path.iter().enumerate() {
+                if deployment.contains(u) && better_assignment((u, f.gains[pos]), best) {
+                    best = Some((u, f.gains[pos]));
+                }
+            }
+            let agree = match (f.assigned, best) {
+                (None, None) => true,
+                (Some((av, ag)), Some((bv, bg))) => av == bv && ag.to_bits() == bg.to_bits(),
+                _ => false,
+            };
+            if !agree {
+                return err(
+                    "delta-assignment",
+                    format!(
+                        "flow key {}: assigned {:?}, optimal {best:?}",
+                        f.key, f.assigned
+                    ),
+                );
+            }
+        }
+        // Invariants 3–4 — running sums and unserved census, rebuilt
+        // in arrival order like `rebuild_assignments`.
+        let factor = self.factor();
+        let mut unprocessed = 0.0;
+        let mut saved = 0.0;
+        let mut primary = vec![0.0f64; self.rows.len()];
+        let mut unserved = 0usize;
+        for slot in self.slots_in_seq_order() {
+            let f = self.flows[ix(slot)].as_ref().expect("live slot");
+            unprocessed += approx_f64(f.rate) * f.cost;
+            match f.assigned {
+                Some((v, g)) => {
+                    let s = approx_f64(f.rate) * factor * g;
+                    saved += s;
+                    primary[ix(v)] += s;
+                }
+                None => unserved += 1,
+            }
+        }
+        if (self.unprocessed - unprocessed).abs() > tol(unprocessed) {
+            return err(
+                "delta-sum-unprocessed",
+                format!("running {} vs rebuilt {unprocessed}", self.unprocessed),
+            );
+        }
+        if (self.saved - saved).abs() > tol(saved) {
+            return err(
+                "delta-sum-saved",
+                format!("running {} vs rebuilt {saved}", self.saved),
+            );
+        }
+        for (v, (&a, &b)) in self.primary_load.iter().zip(&primary).enumerate() {
+            if (a - b).abs() > tol(b) {
+                return err(
+                    "delta-primary-load",
+                    format!("vertex {v}: running {a} vs rebuilt {b}"),
+                );
+            }
+        }
+        if self.unserved != unserved {
+            return err(
+                "delta-unserved-census",
+                format!("running {} vs rebuilt {unserved}", self.unserved),
+            );
+        }
+        Ok(())
+    }
+
+    /// Corruption hook: repins `key`'s assignment without fixing the
+    /// running sums — breaks invariant 2 (and usually 3).
+    ///
+    /// # Panics
+    /// Panics if `key` is not active.
+    pub fn audit_force_assignment(&mut self, key: FlowKey, assigned: Option<(NodeId, f64)>) {
+        let slot = self.key_to_slot[&key];
+        self.flows[ix(slot)]
+            .as_mut()
+            .expect("slot is live")
+            .assigned = assigned;
+    }
+
+    /// Corruption hook: skews the running `saved` sum — breaks
+    /// invariant 3.
+    pub fn audit_skew_saved(&mut self, delta: f64) {
+        self.saved += delta;
+    }
+
+    /// Corruption hook: swaps the first two entries of `v`'s row
+    /// without fixing the back-pointers — breaks invariant 1. Returns
+    /// whether the row had two entries to swap.
+    pub fn audit_swap_row_entries(&mut self, v: NodeId) -> bool {
+        let row = &mut self.rows[ix(v)];
+        if row.len() < 2 {
+            return false;
+        }
+        row.swap(0, 1);
+        true
     }
 }
 

@@ -34,6 +34,7 @@
 //! is re-spent greedily, so replans stay safe at the cost of the
 //! oracle-equality guarantee (restored on full recovery).
 
+use tdmd_core::num::{approx_f64, id32, ix, wide};
 use tdmd_core::{Deployment, Instance, TdmdError};
 use tdmd_graph::{DiGraph, NodeId};
 use tdmd_obs::{NoopRecorder, Recorder, Stopwatch};
@@ -113,39 +114,17 @@ impl std::fmt::Display for OnlineError {
 
 impl std::error::Error for OnlineError {}
 
-/// Telemetry keys the engine reports through its
-/// [`Recorder`] — the stable schema of the `tdmd bench` stream JSON.
+/// Telemetry keys the engine reports through its [`Recorder`] — the
+/// stable schema of the `tdmd bench` stream JSON. Re-exported from
+/// the workspace registry ([`tdmd_obs::keys`]) so the `cargo xtask
+/// lint` `obs-keys` rule can check emitted keys against one source of
+/// truth; kept as a module here for the crate's historical public
+/// API.
 pub mod obs_keys {
-    /// Sample: wall-clock µs of one full
-    /// [`OnlineEngine::apply`](crate::OnlineEngine::apply)
-    /// (event ingestion + repair).
-    pub const EVENT_APPLY_US: &str = "event_apply_us";
-    /// Sample: wall-clock µs of one post-event repair pass.
-    pub const REPAIR_US: &str = "repair_us";
-    /// Sample: wall-clock µs of one drift-oracle solve (sampled
-    /// events only).
-    pub const REPLAN_US: &str = "replan_us";
-    /// Counter: arrival events applied.
-    pub const ARRIVALS: &str = "arrivals";
-    /// Counter: departure events applied.
-    pub const DEPARTURES: &str = "departures";
-    /// Counter: oracle deployments adopted (replans).
-    pub const REPLANS: &str = "replans";
-    /// Counter: failure events applied
-    /// ([`MiddleboxFailed`](crate::Event::MiddleboxFailed) +
-    /// [`VertexDown`](crate::Event::VertexDown)).
-    pub const FAILURES: &str = "failures";
-    /// Counter: recovery events applied.
-    pub const RECOVERIES: &str = "recoveries";
-    /// Counter: flows orphaned by failures (re-pinned or degraded).
-    pub const FLOWS_ORPHANED: &str = "flows_orphaned";
-    /// Counter: orphaned flows left degraded (no surviving on-path
-    /// middlebox at the instant of the failure).
-    pub const FLOWS_DEGRADED: &str = "flows_degraded";
-    /// Sample: wall-clock µs of the repair pass following a failure
-    /// event (a subset of [`REPAIR_US`]) — the repair-latency
-    /// histogram of the chaos harness.
-    pub const FAILURE_REPAIR_US: &str = "failure_repair_us";
+    pub use tdmd_obs::keys::{
+        ARRIVALS, DEPARTURES, EVENT_APPLY_US, FAILURES, FAILURE_REPAIR_US, FLOWS_DEGRADED,
+        FLOWS_ORPHANED, RECOVERIES, REPAIR_US, REPLANS, REPLAN_US,
+    };
 }
 
 /// Event-driven incremental placement engine, generic over the
@@ -167,6 +146,10 @@ pub struct OnlineEngine<P: PathPricer, R: Recorder = NoopRecorder> {
     failed_count: usize,
     stats: RepairStats,
     recorder: R,
+    /// Per-event auditing ([`OnlineEngine::enable_audit`]): every
+    /// `apply` re-validates the full invariant stack.
+    #[cfg(any(debug_assertions, feature = "audit", test))]
+    audit: bool,
 }
 
 impl<P: PathPricer> OnlineEngine<P> {
@@ -217,6 +200,8 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
             failed_count: 0,
             stats: RepairStats::default(),
             recorder,
+            #[cfg(any(debug_assertions, feature = "audit", test))]
+            audit: false,
         })
     }
 
@@ -248,7 +233,7 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
     /// Whether `v` is currently failed (ineligible for placement).
     #[inline]
     pub fn is_failed(&self, v: NodeId) -> bool {
-        self.failed[v as usize]
+        self.failed[ix(v)]
     }
 
     /// The currently failed vertices, in ascending id order.
@@ -256,7 +241,7 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
         self.failed
             .iter()
             .enumerate()
-            .filter_map(|(i, &f)| f.then_some(i as NodeId))
+            .filter_map(|(i, &f)| f.then_some(id32(i)))
             .collect()
     }
 
@@ -352,6 +337,10 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
             self.recorder
                 .sample(obs_keys::EVENT_APPLY_US, sw.elapsed_us());
         }
+        #[cfg(any(debug_assertions, feature = "audit", test))]
+        if self.audit {
+            tdmd_core::audit::enforce(self.audit_now());
+        }
         Ok(())
     }
 
@@ -379,10 +368,7 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
         if rate == 0 || path.len() < 2 {
             return Err(invalid);
         }
-        if path
-            .iter()
-            .any(|&v| (v as usize) >= self.graph.node_count())
-        {
+        if path.iter().any(|&v| ix(v) >= self.graph.node_count()) {
             return Err(invalid);
         }
         let mut seen = path.to_vec();
@@ -406,7 +392,8 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
         // each bound by the flow's maximum contribution there.
         for (pos, &v) in path.iter().enumerate() {
             if !self.deployment.contains(v) {
-                self.queue.touch_up(v, rate as f64 * factor * gains[pos]);
+                self.queue
+                    .touch_up(v, approx_f64(rate) * factor * gains[pos]);
             }
         }
         self.state
@@ -434,33 +421,33 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
     /// it served ([`DeltaState::fail_rehome`]). With `require_box`
     /// ([`Event::MiddleboxFailed`]) the vertex must host a middlebox.
     fn on_failure(&mut self, v: NodeId, require_box: bool) -> Result<(), OnlineError> {
-        if (v as usize) >= self.graph.node_count() {
+        if ix(v) >= self.graph.node_count() {
             return Err(OnlineError::UnknownVertex { vertex: v });
         }
-        if self.failed[v as usize] {
+        if self.failed[ix(v)] {
             return Err(OnlineError::AlreadyFailed { vertex: v });
         }
         if require_box && !self.deployment.contains(v) {
             return Err(OnlineError::NoMiddleboxAt { vertex: v });
         }
-        self.failed[v as usize] = true;
+        self.failed[ix(v)] = true;
         self.failed_count += 1;
         self.queue.block(v);
         self.stats.failures += 1;
         self.recorder.count(obs_keys::FAILURES, 1);
         if self.deployment.remove(v) {
             let fo = self.state.fail_rehome(v, &self.deployment);
-            let orphaned = (fo.reassigned + fo.degraded) as u64;
+            let orphaned = wide(fo.reassigned + fo.degraded);
             self.stats.flows_orphaned += orphaned;
-            self.stats.flows_degraded += fo.degraded as u64;
+            self.stats.flows_degraded += wide(fo.degraded);
             self.recorder.count(obs_keys::FLOWS_ORPHANED, orphaned);
             self.recorder
-                .count(obs_keys::FLOWS_DEGRADED, fo.degraded as u64);
+                .count(obs_keys::FLOWS_DEGRADED, wide(fo.degraded));
             let mut dirty = fo.dirty;
             dirty.sort_unstable();
             dirty.dedup();
             for u in dirty {
-                if u != v && !self.deployment.contains(u) && !self.failed[u as usize] {
+                if u != v && !self.deployment.contains(u) && !self.failed[ix(u)] {
                     // Orphans lost serving quality, so gains here may
                     // have *risen*; restore the exact bound.
                     let g = self.state.marginal_gain(u);
@@ -474,13 +461,13 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
     /// Lifts `v`'s failure mark and re-enters it in the candidate pool
     /// with an exact bound. Redeployment is the repair policy's call.
     fn on_recovery(&mut self, v: NodeId) -> Result<(), OnlineError> {
-        if (v as usize) >= self.graph.node_count() {
+        if ix(v) >= self.graph.node_count() {
             return Err(OnlineError::UnknownVertex { vertex: v });
         }
-        if !self.failed[v as usize] {
+        if !self.failed[ix(v)] {
             return Err(OnlineError::NotFailed { vertex: v });
         }
-        self.failed[v as usize] = false;
+        self.failed[ix(v)] = false;
         self.failed_count -= 1;
         self.queue.unblock(v);
         self.queue.reinsert(v, self.state.marginal_gain(v));
@@ -652,7 +639,7 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
         let mut stripped = false;
         if self.failed_count > 0 {
             for v in oracle.vertices().to_vec() {
-                if self.failed[v as usize] {
+                if self.failed[ix(v)] {
                     oracle.remove(v);
                     stripped = true;
                 }
@@ -687,8 +674,8 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
         let old = std::mem::replace(&mut self.deployment, new_dep);
         self.state.rebuild_assignments(&self.deployment);
         self.queue.invalidate_all();
-        for v in 0..self.graph.node_count() as NodeId {
-            if !self.failed[v as usize]
+        for v in 0..id32(self.graph.node_count()) {
+            if !self.failed[ix(v)]
                 && !self.deployment.contains(v)
                 && (old.contains(v) || self.state.marginal_gain(v) > GAIN_EPS)
             {
@@ -697,6 +684,77 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
         }
         self.stats.replans += 1;
         self.recorder.count(obs_keys::REPLANS, 1);
+    }
+}
+
+/// Structural auditor (tdmd-audit): the engine-level invariant stack.
+#[cfg(any(debug_assertions, feature = "audit", test))]
+impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
+    /// Turns on per-event auditing: every [`OnlineEngine::apply`]
+    /// re-validates the full invariant stack and panics with the
+    /// diagnostic on the first violation (`tdmd stream run --audit`).
+    pub fn enable_audit(&mut self) {
+        self.audit = true;
+    }
+
+    /// Validates every engine invariant now: deployment bounds and
+    /// budget, deployment ∩ failed = ∅, failure census, queue/failure
+    /// block sync, every [`DeltaState`] invariant against a
+    /// from-scratch rebuild, and [`LazyQueue`] epoch coherence
+    /// against exact marginal gains.
+    ///
+    /// # Errors
+    /// Returns the first violated check (see
+    /// [`crate::audit::check_engine`]).
+    pub fn audit_now(&self) -> Result<(), tdmd_core::audit::AuditError> {
+        use tdmd_core::audit::AuditError;
+        let err = |check: &'static str, detail: String| Err(AuditError { check, detail });
+        let n = self.graph.node_count();
+        for &v in self.deployment.vertices() {
+            if ix(v) >= n {
+                return err(
+                    "engine-deployment-bounds",
+                    format!("deployed vertex {v} out of bounds (n = {n})"),
+                );
+            }
+            if self.failed[ix(v)] {
+                return err(
+                    "engine-deployed-failed",
+                    format!("vertex {v} is deployed while failed"),
+                );
+            }
+        }
+        if self.deployment.len() > self.k {
+            return err(
+                "engine-over-budget",
+                format!(
+                    "{} middleboxes deployed, budget k = {}",
+                    self.deployment.len(),
+                    self.k
+                ),
+            );
+        }
+        let failed = self.failed.iter().filter(|&&f| f).count();
+        if failed != self.failed_count {
+            return err(
+                "engine-failed-census",
+                format!(
+                    "{failed} failed vertices, census says {}",
+                    self.failed_count
+                ),
+            );
+        }
+        for v in 0..id32(n) {
+            if self.queue.is_blocked(v) != self.failed[ix(v)] {
+                return err(
+                    "engine-blocked-sync",
+                    format!("vertex {v}: queue block does not mirror the failure mask"),
+                );
+            }
+        }
+        self.state.check_invariants(&self.deployment)?;
+        self.queue
+            .check_coherence(&self.deployment, |v| self.state.marginal_gain(v))
     }
 }
 

@@ -60,8 +60,11 @@
 //! # Ok::<(), tdmd_online::OnlineError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(any(debug_assertions, feature = "audit", test))]
+pub mod audit;
 pub mod delta;
 pub mod engine;
 pub mod event;

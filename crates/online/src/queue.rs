@@ -29,9 +29,11 @@
 //! stamp, so the heap size stays O(total pushes), and each event
 //! pushes only O(path length) entries.
 
-use std::cmp::Ordering;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
+use tdmd_core::num::ix;
+use tdmd_core::order::TotalGain;
 use tdmd_core::Deployment;
 use tdmd_graph::NodeId;
 
@@ -43,9 +45,19 @@ struct QEntry {
     stamp: u64,
 }
 
+impl QEntry {
+    /// Ordering key: larger gain first ([`TotalGain`]'s total order);
+    /// ties prefer the smaller vertex id, like the static greedy's
+    /// ladder.
+    #[inline]
+    fn key(&self) -> (TotalGain, Reverse<NodeId>) {
+        (TotalGain::new(self.gain), Reverse(self.v))
+    }
+}
+
 impl PartialEq for QEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+        self.key() == other.key()
     }
 }
 impl Eq for QEntry {}
@@ -56,11 +68,7 @@ impl PartialOrd for QEntry {
 }
 impl Ord for QEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Larger gain first; ties prefer the smaller vertex id, like
-        // the static greedy's ladder.
-        self.gain
-            .total_cmp(&other.gain)
-            .then_with(|| other.v.cmp(&self.v))
+        self.key().cmp(&other.key())
     }
 }
 
@@ -102,25 +110,25 @@ impl LazyQueue {
     /// Marks `v` ineligible (failed): [`LazyQueue::settle`] discards
     /// its entries instead of returning them.
     pub fn block(&mut self, v: NodeId) {
-        self.blocked[v as usize] = true;
+        self.blocked[ix(v)] = true;
     }
 
     /// Lifts a [`LazyQueue::block`]. Entries discarded while blocked
     /// are gone — follow up with [`LazyQueue::reinsert`] to put the
     /// vertex back in the race.
     pub fn unblock(&mut self, v: NodeId) {
-        self.blocked[v as usize] = false;
+        self.blocked[ix(v)] = false;
     }
 
     /// Whether `v` is currently blocked.
     pub fn is_blocked(&self, v: NodeId) -> bool {
-        self.blocked[v as usize]
+        self.blocked[ix(v)]
     }
 
     /// Arrival invalidation: raises `v`'s bound by `bump` (the new
     /// flow's maximum contribution at `v`) and pushes a fresh entry.
     pub fn touch_up(&mut self, v: NodeId, bump: f64) {
-        let i = v as usize;
+        let i = ix(v);
         self.cached[i] += bump;
         self.dirty[i] = true;
         self.stamp[i] += 1;
@@ -135,14 +143,14 @@ impl LazyQueue {
     /// existing entry stays a valid upper bound — just mark it for
     /// lazy re-evaluation.
     pub fn touch_down(&mut self, v: NodeId) {
-        self.dirty[v as usize] = true;
+        self.dirty[ix(v)] = true;
     }
 
     /// Re-enters a vertex that left the candidate pool (it was
     /// deployed and has now been undeployed, e.g. by a swap or a
     /// replan).
     pub fn reinsert(&mut self, v: NodeId, bound: f64) {
-        let i = v as usize;
+        let i = ix(v);
         self.cached[i] = bound;
         self.dirty[i] = true;
         self.stamp[i] += 1;
@@ -164,7 +172,7 @@ impl LazyQueue {
     ) -> Option<(NodeId, f64)> {
         loop {
             let top = *self.heap.peek()?;
-            let i = top.v as usize;
+            let i = ix(top.v);
             if top.stamp != self.stamp[i] || deployment.contains(top.v) || self.blocked[i] {
                 self.heap.pop();
                 continue;
@@ -206,6 +214,127 @@ impl LazyQueue {
     /// Number of live + dead entries currently in the heap.
     pub fn heap_len(&self) -> usize {
         self.heap.len()
+    }
+}
+
+/// Structural auditor and corruption hooks (tdmd-audit).
+#[cfg(any(debug_assertions, feature = "audit", test))]
+impl LazyQueue {
+    /// Validates epoch coherence against a from-scratch gain
+    /// evaluation: per-vertex bookkeeping shapes agree, no heap entry
+    /// carries a stamp from the future, at most one entry per vertex
+    /// is live (stamp-current) and its gain is bitwise the cached
+    /// bound, every clean cached bound equals the exact gain, every
+    /// dirty bound still upper-bounds it, and every eligible vertex
+    /// with a positive exact gain has a live entry (nothing silently
+    /// fell out of the race).
+    ///
+    /// # Errors
+    /// Returns the first violated check among `queue-shape`,
+    /// `queue-entry-bounds`, `queue-epoch-ahead`,
+    /// `queue-epoch-duplicate`, `queue-cached-mismatch`,
+    /// `queue-stale-exact`, `queue-bound-violated` and
+    /// `queue-missing-candidate`.
+    pub fn check_coherence<F: FnMut(NodeId) -> f64>(
+        &self,
+        deployment: &Deployment,
+        mut exact: F,
+    ) -> Result<(), tdmd_core::audit::AuditError> {
+        use tdmd_core::audit::AuditError;
+        let err = |check: &'static str, detail: String| Err(AuditError { check, detail });
+        let n = self.stamp.len();
+        if self.cached.len() != n || self.dirty.len() != n || self.blocked.len() != n {
+            return err(
+                "queue-shape",
+                format!(
+                    "stamp {n}, cached {}, dirty {}, blocked {}",
+                    self.cached.len(),
+                    self.dirty.len(),
+                    self.blocked.len()
+                ),
+            );
+        }
+        let mut live = vec![false; n];
+        for e in &self.heap {
+            let i = ix(e.v);
+            if i >= n {
+                return err(
+                    "queue-entry-bounds",
+                    format!("heap entry for vertex {} of {n}", e.v),
+                );
+            }
+            if e.stamp > self.stamp[i] {
+                return err(
+                    "queue-epoch-ahead",
+                    format!(
+                        "vertex {} entry stamped {} ahead of epoch {}",
+                        e.v, e.stamp, self.stamp[i]
+                    ),
+                );
+            }
+            if e.stamp == self.stamp[i] {
+                if live[i] {
+                    return err(
+                        "queue-epoch-duplicate",
+                        format!("vertex {} has two live heap entries", e.v),
+                    );
+                }
+                live[i] = true;
+                // Pushes always carry the cached bound, so a live
+                // entry matches it bit for bit.
+                if e.gain.to_bits() != self.cached[i].to_bits() {
+                    return err(
+                        "queue-cached-mismatch",
+                        format!(
+                            "vertex {} live entry gain {} != cached bound {}",
+                            e.v, e.gain, self.cached[i]
+                        ),
+                    );
+                }
+            }
+        }
+        const EPS: f64 = 1e-9;
+        for (i, &is_live) in live.iter().enumerate() {
+            let v = tdmd_core::num::id32(i);
+            if self.blocked[i] || deployment.contains(v) {
+                continue;
+            }
+            let g = exact(v);
+            if is_live {
+                if self.dirty[i] {
+                    if self.cached[i] + EPS < g {
+                        return err(
+                            "queue-bound-violated",
+                            format!(
+                                "vertex {v}: dirty bound {} below exact gain {g}",
+                                self.cached[i]
+                            ),
+                        );
+                    }
+                } else if (self.cached[i] - g).abs() > EPS * g.abs().max(1.0) {
+                    return err(
+                        "queue-stale-exact",
+                        format!(
+                            "vertex {v}: clean bound {} != exact gain {g}",
+                            self.cached[i]
+                        ),
+                    );
+                }
+            } else if g > EPS {
+                return err(
+                    "queue-missing-candidate",
+                    format!("vertex {v} has exact gain {g} but no live heap entry"),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Corruption hook: bumps `v`'s epoch without pushing a fresh
+    /// entry, killing its live entry — breaks the coverage invariant
+    /// (`queue-missing-candidate`) or the staleness accounting.
+    pub fn audit_stale_stamp(&mut self, v: NodeId) {
+        self.stamp[ix(v)] += 1;
     }
 }
 

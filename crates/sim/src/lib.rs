@@ -23,6 +23,9 @@
 //!   kill-the-biggest-box adversary, with degraded-time and
 //!   repair-latency reporting.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod chaos;
 pub mod metrics;
 pub mod replay;

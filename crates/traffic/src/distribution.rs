@@ -98,17 +98,29 @@ impl Default for CaidaLike {
 
 impl CaidaLike {
     /// Samples one integral rate.
+    ///
+    /// The fields are public (and deserializable), so degenerate
+    /// parameters are reachable from user config; they are clamped to
+    /// the nearest valid value rather than panicking mid-workload.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let raw = if rng.gen_bool(self.elephant_share) {
-            Pareto::new(self.tail_scale, self.tail_shape)
-                .expect("valid Pareto parameters")
-                .sample(rng)
+        let share = if self.elephant_share.is_finite() {
+            self.elephant_share.clamp(0.0, 1.0)
         } else {
-            LogNormal::new(self.body_mu, self.body_sigma)
-                .expect("valid LogNormal parameters")
-                .sample(rng)
+            0.0
         };
-        (raw.round() as u64).clamp(1, self.max_rate)
+        let raw = if rng.gen_bool(share) {
+            Pareto::new(
+                self.tail_scale.max(f64::MIN_POSITIVE),
+                self.tail_shape.max(f64::MIN_POSITIVE),
+            )
+            .map(|tail| tail.sample(rng))
+            .unwrap_or(self.tail_scale)
+        } else {
+            LogNormal::new(self.body_mu, self.body_sigma.abs())
+                .map(|body| body.sample(rng))
+                .unwrap_or_else(|_| self.body_mu.exp())
+        };
+        (raw.round() as u64).clamp(1, self.max_rate.max(1))
     }
 }
 

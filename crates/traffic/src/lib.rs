@@ -17,6 +17,9 @@
 //! * [`trace`] — synthetic packet-trace generation and aggregation
 //!   back into flows (the CAIDA-like end-to-end path).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod density;
 pub mod distribution;
 pub mod flow;

@@ -1,0 +1,140 @@
+//! Hand-parsed `lint.toml` allowlist (the crate is dependency-free,
+//! so no real TOML parser). Grammar, one entry per suppression:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "unwrap-expect"
+//! path = "crates/core/src/algorithms/dp.rs"
+//! contains = "child done"          # optional line-substring filter
+//! reason = "postorder guarantees the child was computed first"
+//! ```
+//!
+//! `reason` is mandatory — an unexplained suppression is itself a lint
+//! violation — and entries that match nothing are reported as stale so
+//! the allowlist can only shrink.
+
+/// One `[[allow]]` entry.
+#[derive(Debug)]
+pub struct Allow {
+    /// Rule id the entry suppresses (e.g. `unwrap-expect`).
+    pub rule: String,
+    /// Repo-relative path (matched exactly or by suffix).
+    pub path: String,
+    /// Optional substring the flagged line must contain.
+    pub contains: Option<String>,
+    /// Mandatory justification.
+    pub reason: String,
+    /// Line in lint.toml where the entry starts (for diagnostics).
+    pub line: usize,
+}
+
+/// Parses `lint.toml` text. Returns entries or a `line: message`
+/// parse/validation error.
+pub fn parse(text: &str) -> Result<Vec<Allow>, String> {
+    let mut entries: Vec<Allow> = Vec::new();
+    let mut current: Option<Allow> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(done) = current.take() {
+                validate(&done)?;
+                entries.push(done);
+            }
+            current = Some(Allow {
+                rule: String::new(),
+                path: String::new(),
+                contains: None,
+                reason: String::new(),
+                line: line_no,
+            });
+            continue;
+        }
+        let Some(entry) = current.as_mut() else {
+            return Err(format!("{line_no}: expected [[allow]] before '{line}'"));
+        };
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("{line_no}: expected key = \"value\", got '{line}'"));
+        };
+        let value = value.trim();
+        let value = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("{line_no}: value must be double-quoted: '{line}'"))?;
+        match key.trim() {
+            "rule" => entry.rule = value.to_string(),
+            "path" => entry.path = value.to_string(),
+            "contains" => entry.contains = Some(value.to_string()),
+            "reason" => entry.reason = value.to_string(),
+            other => return Err(format!("{line_no}: unknown key '{other}'")),
+        }
+    }
+    if let Some(done) = current.take() {
+        validate(&done)?;
+        entries.push(done);
+    }
+    Ok(entries)
+}
+
+fn validate(a: &Allow) -> Result<(), String> {
+    if a.rule.is_empty() || a.path.is_empty() {
+        return Err(format!("{}: entry needs both rule and path", a.line));
+    }
+    if a.reason.trim().is_empty() {
+        return Err(format!(
+            "{}: entry for {} lacks a reason — unexplained suppressions are not allowed",
+            a.line, a.path
+        ));
+    }
+    Ok(())
+}
+
+impl Allow {
+    /// Does this entry suppress a `rule` violation at `path` whose
+    /// flagged line text is `line_text`?
+    pub fn matches(&self, rule: &str, path: &str, line_text: &str) -> bool {
+        self.rule == rule
+            && (path == self.path || path.ends_with(&self.path))
+            && self
+                .contains
+                .as_deref()
+                .is_none_or(|frag| line_text.contains(frag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let toml = "# comment\n[[allow]]\nrule = \"unwrap-expect\"\n\
+                    path = \"crates/a/src/x.rs\"\ncontains = \"lock()\"\n\
+                    reason = \"poison recovery\"\n";
+        let entries = parse(toml).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].matches("unwrap-expect", "crates/a/src/x.rs", "m.lock().unwrap()"));
+        assert!(!entries[0].matches("unwrap-expect", "crates/a/src/x.rs", "v.pop().unwrap()"));
+        assert!(!entries[0].matches("float-eq", "crates/a/src/x.rs", "m.lock().unwrap()"));
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let toml = "[[allow]]\nrule = \"float-eq\"\npath = \"x.rs\"\n";
+        assert!(parse(toml).unwrap_err().contains("reason"));
+    }
+
+    #[test]
+    fn stray_keys_and_unquoted_values_are_rejected() {
+        assert!(parse("rule = \"x\"\n").unwrap_err().contains("[[allow]]"));
+        assert!(parse("[[allow]]\nrule = x\n")
+            .unwrap_err()
+            .contains("quoted"));
+        assert!(parse("[[allow]]\nbogus = \"x\"\n")
+            .unwrap_err()
+            .contains("bogus"));
+    }
+}

@@ -1,0 +1,160 @@
+//! `cargo xtask lint` — the tdmd-audit static analysis pass.
+//!
+//! A zero-dependency, token-level lint over every workspace crate's
+//! `src/` tree (no `syn`, no rustc plumbing — it must build instantly
+//! and run before clippy in CI). Rules:
+//!
+//! * `unwrap-expect` — no `.unwrap()` / `.expect(` outside
+//!   `#[cfg(test)]` regions.
+//! * `float-eq` — no exact `==`/`!=` on cost/gain floats; the
+//!   sanctioned idioms are `total_cmp`, `to_bits()` equality and
+//!   epsilon bands.
+//! * `as-cast` — no numeric `as` casts in the algorithm kernels
+//!   (`crates/core/src/algorithms/`, `crates/online/src/`).
+//! * `partial-cmp` — hand-written `partial_cmp` must delegate to a
+//!   total order.
+//! * `obs-keys` — telemetry keys emitted anywhere must round-trip
+//!   through the `crates/obs/src/keys.rs` registry.
+//!
+//! Suppressions live in `crates/xtask/lint.toml`; every entry needs a
+//! written `reason`, and stale entries fail the run. Diagnostics are
+//! `file:line: [rule] message`; the exit code is non-zero on any
+//! violation, so CI can gate on it.
+
+#![forbid(unsafe_code)]
+
+mod allowlist;
+mod rules;
+mod scrub;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => match lint() {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Runs the full lint pass; `Ok(true)` means clean.
+fn lint() -> Result<bool, String> {
+    let root = workspace_root()?;
+    let files = load_workspace_sources(&root)?;
+    let allow_path = root.join("crates/xtask/lint.toml");
+    let allows = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => allowlist::parse(&text).map_err(|e| format!("{}:{e}", allow_path.display()))?,
+        Err(_) => Vec::new(),
+    };
+
+    let violations = rules::run_all(&files);
+    let mut used = vec![false; allows.len()];
+    let mut active: Vec<&rules::Violation> = Vec::new();
+    for v in &violations {
+        let suppressed = allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.matches(v.rule, &v.path, &v.line_text));
+        match suppressed {
+            Some((i, _)) => used[i] = true,
+            None => active.push(v),
+        }
+    }
+
+    for v in &active {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.message);
+    }
+    let mut stale = 0;
+    for (a, used) in allows.iter().zip(&used) {
+        if !used {
+            stale += 1;
+            println!(
+                "crates/xtask/lint.toml:{}: [stale-allow] entry ({} @ {}) matches nothing — remove it",
+                a.line, a.rule, a.path
+            );
+        }
+    }
+
+    let suppressed_count = used.iter().filter(|&&u| u).count();
+    if active.is_empty() && stale == 0 {
+        println!(
+            "xtask lint: clean — {} files, 5 rules, {} justified suppressions",
+            files.len(),
+            suppressed_count
+        );
+        Ok(true)
+    } else {
+        println!(
+            "xtask lint: {} violation(s), {} stale allowlist entr(ies)",
+            active.len(),
+            stale
+        );
+        Ok(false)
+    }
+}
+
+/// Workspace root: the xtask manifest sits at `<root>/crates/xtask`.
+fn workspace_root() -> Result<PathBuf, String> {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .map_err(|_| "CARGO_MANIFEST_DIR not set (run via `cargo xtask lint`)".to_string())?;
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .ok_or_else(|| format!("cannot locate workspace root from {}", manifest.display()))
+}
+
+/// Every `.rs` file under `crates/*/src`, loaded and pre-processed.
+/// Test and bench *directories* are deliberately not walked — the
+/// rules only govern library and binary code.
+fn load_workspace_sources(root: &Path) -> Result<Vec<rules::SourceFile>, String> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    let entries =
+        std::fs::read_dir(&crates_dir).map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk_rs(root, &src, &mut files)?;
+        }
+    }
+    Ok(files)
+}
+
+fn walk_rs(root: &Path, dir: &Path, out: &mut Vec<rules::SourceFile>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            walk_rs(root, &p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let raw = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rules::SourceFile::load(rel, raw));
+        }
+    }
+    Ok(())
+}

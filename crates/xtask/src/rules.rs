@@ -1,0 +1,695 @@
+//! The five tdmd-audit lint rules. All scanners work on scrubbed
+//! source (comments and literal bodies blanked — see [`crate::scrub`])
+//! so they cannot match inside strings or docs, and all skip exact
+//! `#[cfg(test)]` regions where a rule exempts test code.
+
+use crate::scrub;
+
+/// One rule hit, pointing at a repo-relative `file:line`.
+#[derive(Debug)]
+pub struct Violation {
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule id (`unwrap-expect`, `float-eq`, `as-cast`,
+    /// `partial-cmp`, `obs-keys`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The raw source line, for allowlist `contains` matching.
+    pub line_text: String,
+}
+
+/// A loaded workspace source file with its scrubbed mirror and
+/// test-region mask.
+pub struct SourceFile {
+    /// Repo-relative path (forward slashes).
+    pub rel_path: String,
+    /// Original contents.
+    pub raw: String,
+    /// Comment/literal-blanked mirror (same byte offsets).
+    pub scrubbed: String,
+    /// Per-line `#[cfg(test)]` membership.
+    pub test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Loads and pre-processes one file.
+    pub fn load(rel_path: String, raw: String) -> Self {
+        let scrubbed = scrub::scrub(&raw);
+        let test_mask = scrub::test_region_mask(&scrubbed);
+        Self {
+            rel_path,
+            raw,
+            scrubbed,
+            test_mask,
+        }
+    }
+
+    fn in_test(&self, line0: usize) -> bool {
+        self.test_mask.get(line0).copied().unwrap_or(false)
+    }
+
+    fn raw_line(&self, line0: usize) -> &str {
+        self.raw.lines().nth(line0).unwrap_or("")
+    }
+}
+
+/// Runs every rule over `files` and returns all violations found.
+pub fn run_all(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        unwrap_expect(f, &mut out);
+        float_eq(f, &mut out);
+        as_cast(f, &mut out);
+        partial_cmp_rule(f, &mut out);
+    }
+    obs_keys(files, &mut out);
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    f: &SourceFile,
+    line0: usize,
+    rule: &'static str,
+    message: String,
+) {
+    out.push(Violation {
+        path: f.rel_path.clone(),
+        line: line0 + 1,
+        rule,
+        message,
+        line_text: f.raw_line(line0).to_string(),
+    });
+}
+
+/// Rule `unwrap-expect`: no `.unwrap()` / `.expect(` outside
+/// `#[cfg(test)]` regions. Library code surfaces typed errors; a panic
+/// is only acceptable where it is provably unreachable, and then only
+/// via an allowlist entry with a written justification.
+fn unwrap_expect(f: &SourceFile, out: &mut Vec<Violation>) {
+    for (l, line) in f.scrubbed.lines().enumerate() {
+        if f.in_test(l) {
+            continue;
+        }
+        for needle in [".unwrap()", ".expect("] {
+            if line.contains(needle) {
+                push(
+                    out,
+                    f,
+                    l,
+                    "unwrap-expect",
+                    format!("`{needle}` in non-test code — return a typed error instead"),
+                );
+            }
+        }
+    }
+}
+
+/// Identifier fragments that mark a value as a cost/gain quantity for
+/// the `float-eq` rule.
+const FLOAT_NAME_FRAGMENTS: &[&str] = &[
+    "gain",
+    "cost",
+    "obj",
+    "saved",
+    "load",
+    "lambda",
+    "bandwidth",
+    "decrement",
+    "drift",
+];
+
+/// Rule `float-eq`: no `==` / `!=` on cost/gain floats. Exact
+/// comparison of accumulated `f64`s silently breaks under reordering;
+/// the sanctioned idioms are `total_cmp`, bitwise `to_bits()` equality
+/// (for provably-copied values), or an epsilon band. Heuristic: for
+/// each `==`/`!=`, extract the two operand expressions (bounded by
+/// `&&`, `||`, braces, commas and unbalanced brackets) and flag the
+/// comparison when an operand carries a float literal or its
+/// type-indicative identifier (the trailing name after stripping call
+/// and index groups, so `xs.len()` reads as `len`, not `xs`) names a
+/// cost/gain quantity. Token-level limits: a comparison of renamed
+/// float locals (no fragment, no literal) escapes — the auditor's
+/// runtime checks are the backstop.
+fn float_eq(f: &SourceFile, out: &mut Vec<Violation>) {
+    for (l, line) in f.scrubbed.lines().enumerate() {
+        if f.in_test(l) {
+            continue;
+        }
+        if line.contains("to_bits()") || line.contains("total_cmp") {
+            continue;
+        }
+        let b = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < b.len() {
+            let two = &b[i..i + 2];
+            let is_eq = two == b"==" && (i == 0 || !b"=!<>".contains(&b[i - 1]));
+            let is_ne = two == b"!=";
+            if !(is_eq || is_ne) {
+                i += 1;
+                continue;
+            }
+            let left = operand_left(line, i);
+            let right = operand_right(line, i + 2);
+            // Comparing against a string literal is never a float
+            // comparison, whatever the other operand is named.
+            let is_str = |e: &str| {
+                let t = e.trim();
+                t.starts_with('"') || t.ends_with('"')
+            };
+            if is_str(&left) || is_str(&right) {
+                i += 2;
+                continue;
+            }
+            let floaty = floaty_operand(&left).or_else(|| floaty_operand(&right));
+            if let Some(why) = floaty {
+                push(
+                    out,
+                    f,
+                    l,
+                    "float-eq",
+                    format!(
+                        "exact float comparison ({why}) — use total_cmp, to_bits or an epsilon"
+                    ),
+                );
+            }
+            i += 2;
+        }
+    }
+}
+
+/// Characters that end an operand expression at bracket depth 0.
+const OPERAND_STOPS: &[u8] = b",;{}=<>!&|+-*/%^?";
+
+/// The expression text to the left of an operator at byte `op_at`.
+fn operand_left(line: &str, op_at: usize) -> String {
+    let b = line.as_bytes();
+    let mut depth = 0usize;
+    let mut j = op_at;
+    while j > 0 {
+        let c = b[j - 1];
+        match c {
+            b')' | b']' => depth += 1,
+            b'(' | b'[' if depth > 0 => depth -= 1,
+            b'(' | b'[' => break,
+            _ if depth == 0 && OPERAND_STOPS.contains(&c) => break,
+            _ => {}
+        }
+        j -= 1;
+    }
+    line[j..op_at].to_string()
+}
+
+/// The expression text to the right of an operator ending at `from`.
+fn operand_right(line: &str, from: usize) -> String {
+    let b = line.as_bytes();
+    let mut depth = 0usize;
+    let mut k = from;
+    while k < b.len() {
+        let c = b[k];
+        match c {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' if depth > 0 => depth -= 1,
+            b')' | b']' => break,
+            _ if depth == 0 && OPERAND_STOPS.contains(&c) => break,
+            _ => {}
+        }
+        k += 1;
+    }
+    line[from..k].to_string()
+}
+
+/// Does this operand expression look like a cost/gain float? Returns
+/// the evidence, or `None` for integers, strings and unrelated names.
+fn floaty_operand(expr: &str) -> Option<String> {
+    let t = expr.trim();
+    if t.starts_with('"') || t.ends_with('"') {
+        return None; // string comparison
+    }
+    if has_float_literal(t) {
+        return Some("a float literal operand".to_string());
+    }
+    // Strip trailing call/index groups so the type-indicative name is
+    // the method (`xs.len()` → `len`), but indexing falls through to
+    // the container (`f.gains[pos]` → `gains`).
+    let b = t.as_bytes();
+    let mut end = b.len();
+    loop {
+        while end > 0 && b[end - 1] == b' ' {
+            end -= 1;
+        }
+        if end == 0 || !(b[end - 1] == b')' || b[end - 1] == b']') {
+            break;
+        }
+        let (open, close) = if b[end - 1] == b')' {
+            (b'(', b')')
+        } else {
+            (b'[', b']')
+        };
+        let mut depth = 0usize;
+        let mut j = end;
+        while j > 0 {
+            j -= 1;
+            if b[j] == close {
+                depth += 1;
+            } else if b[j] == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        if depth != 0 {
+            break;
+        }
+        end = j;
+    }
+    let mut start = end;
+    while start > 0 && (b[start - 1].is_ascii_alphanumeric() || b[start - 1] == b'_') {
+        start -= 1;
+    }
+    let ident = &t[start..end];
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let lower = ident.to_ascii_lowercase();
+    if lower == "nan" || lower == "infinity" {
+        return Some(format!("`{ident}` is never `==` anything / a sentinel"));
+    }
+    let hit = lower.split('_').any(|seg| {
+        FLOAT_NAME_FRAGMENTS
+            .iter()
+            .any(|fr| seg == *fr || (seg.strip_suffix('s') == Some(fr)))
+    });
+    hit.then(|| format!("`{ident}` names a cost/gain float"))
+}
+
+/// Directories where rule `as-cast` forbids numeric `as` casts: the
+/// hot algorithm kernels, where a silent truncation corrupts flow
+/// indices. Use `u32::try_from` / `usize::from` helpers instead.
+const AS_CAST_DIRS: &[&str] = &["crates/core/src/algorithms/", "crates/online/src/"];
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+fn as_cast(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !AS_CAST_DIRS.iter().any(|d| f.rel_path.starts_with(d)) {
+        return;
+    }
+    for (l, line) in f.scrubbed.lines().enumerate() {
+        if f.in_test(l) {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(at) = rest.find(" as ") {
+            let after = &rest[at + 4..];
+            let ty: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if NUMERIC_TYPES.contains(&ty.as_str()) {
+                push(
+                    out,
+                    f,
+                    l,
+                    "as-cast",
+                    format!(
+                        "numeric `as {ty}` cast in an algorithm kernel — use a checked conversion"
+                    ),
+                );
+            }
+            rest = after;
+        }
+    }
+}
+
+/// Rule `partial-cmp`: every hand-written `partial_cmp` must delegate
+/// to a total order (`Ord::cmp` or `f64::total_cmp`) — the four ad-hoc
+/// gain orderings this rule replaced each had their own NaN story, and
+/// `BinaryHeap` silently misorders on an inconsistent `PartialOrd`.
+fn partial_cmp_rule(f: &SourceFile, out: &mut Vec<Violation>) {
+    let s = &f.scrubbed;
+    let mut search = 0;
+    while let Some(rel) = s[search..].find("fn partial_cmp") {
+        let at = search + rel;
+        // Word boundary: don't match longer names like
+        // `fn partial_cmp_helper`.
+        let next = s.as_bytes().get(at + "fn partial_cmp".len());
+        if next.is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_') {
+            search = at + "fn partial_cmp".len();
+            continue;
+        }
+        let line0 = s.as_bytes()[..at].iter().filter(|&&c| c == b'\n').count();
+        if f.in_test(line0) {
+            search = at + "fn partial_cmp".len();
+            continue;
+        }
+        // Find the fn body (skip signatures ending in `;`).
+        let after = &s[at..];
+        let body = after.find('{').and_then(|open| {
+            if let Some(semi) = after.find(';') {
+                if semi < open {
+                    return None;
+                }
+            }
+            let b = after.as_bytes();
+            let mut depth = 0usize;
+            for (i, &c) in b.iter().enumerate().skip(open) {
+                match c {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(&after[open..=i]);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        });
+        if let Some(body) = body {
+            if !(body.contains(".cmp(") || body.contains("total_cmp")) {
+                push(
+                    out,
+                    f,
+                    line0,
+                    "partial-cmp",
+                    "partial_cmp not backed by a total order — delegate to Ord::cmp or total_cmp"
+                        .to_string(),
+                );
+            }
+        }
+        search = at + "fn partial_cmp".len();
+    }
+}
+
+/// Rule `obs-keys`: the telemetry schema lives in
+/// `crates/obs/src/keys.rs`. Every key emitted through
+/// `Recorder::count` / `Recorder::sample` must be a registry value,
+/// every registry constant must appear in `keys::ALL`, and every
+/// registry constant must be referenced by emitting code — a key that
+/// exists nowhere else is dead schema.
+fn obs_keys(files: &[SourceFile], out: &mut Vec<Violation>) {
+    const REGISTRY: &str = "crates/obs/src/keys.rs";
+    let Some(reg_file) = files.iter().find(|f| f.rel_path.ends_with(REGISTRY)) else {
+        return; // nothing to check against (e.g. partial checkout)
+    };
+    let consts = parse_registry_consts(&reg_file.raw);
+    let all_block = parse_all_block(&reg_file.raw);
+
+    // Registry self-consistency: each const is listed in ALL and vice
+    // versa.
+    for (name, _, line0) in &consts {
+        if !all_block.contains(name) {
+            push(
+                out,
+                reg_file,
+                *line0,
+                "obs-keys",
+                format!("const {name} is not listed in keys::ALL"),
+            );
+        }
+    }
+    for name in &all_block {
+        if !consts.iter().any(|(n, _, _)| n == name) {
+            let line0 = find_line(&reg_file.raw, name).unwrap_or(0);
+            push(
+                out,
+                reg_file,
+                line0,
+                "obs-keys",
+                format!("keys::ALL lists {name}, which is not a registry const"),
+            );
+        }
+    }
+
+    // Forward: every literal handed to count()/sample() outside the
+    // registry must be a registered value.
+    let values: Vec<&str> = consts.iter().map(|(_, v, _)| v.as_str()).collect();
+    for f in files {
+        if f.rel_path.ends_with(REGISTRY) {
+            continue;
+        }
+        for (l, line) in f.scrubbed.lines().enumerate() {
+            if f.in_test(l) {
+                continue;
+            }
+            for call in [".count(\"", ".sample(\""] {
+                let Some(at) = line.find(call) else { continue };
+                let raw_line = f.raw_line(l);
+                let lit_start = at + call.len();
+                let Some(rest) = raw_line.get(lit_start..) else {
+                    continue;
+                };
+                let Some(end) = rest.find('"') else { continue };
+                let value = &rest[..end];
+                if !values.contains(&value) {
+                    push(
+                        out,
+                        f,
+                        l,
+                        "obs-keys",
+                        format!(
+                            "telemetry key \"{value}\" is not in the keys.rs registry — \
+                             add it there and emit via the named const"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Reverse: every registry const is referenced outside keys.rs.
+    for (name, _, line0) in &consts {
+        let used = files
+            .iter()
+            .any(|f| !f.rel_path.ends_with(REGISTRY) && contains_word(&f.scrubbed, name));
+        if !used {
+            push(
+                out,
+                reg_file,
+                *line0,
+                "obs-keys",
+                format!("registry key {name} is never referenced by emitting code"),
+            );
+        }
+    }
+}
+
+/// `pub const NAME: &str = "value";` triples (name, value, 0-based line).
+fn parse_registry_consts(raw: &str) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for (l, line) in raw.lines().enumerate() {
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some((name, tail)) = rest.split_once(':') else {
+            continue;
+        };
+        if !tail.contains("&str") {
+            continue; // skip `ALL: &[&str]`
+        }
+        let Some(q1) = tail.find('"') else { continue };
+        let Some(q2) = tail[q1 + 1..].find('"') else {
+            continue;
+        };
+        out.push((
+            name.trim().to_string(),
+            tail[q1 + 1..q1 + 1 + q2].to_string(),
+            l,
+        ));
+    }
+    out
+}
+
+/// Identifier list inside the `pub const ALL` bracket block.
+fn parse_all_block(raw: &str) -> Vec<String> {
+    let Some(at) = raw.find("pub const ALL") else {
+        return Vec::new();
+    };
+    let tail = &raw[at..];
+    let (Some(open), Some(close)) = (tail.find('['), tail.find(']')) else {
+        return Vec::new();
+    };
+    // The element type `&[&str]` also brackets — take the *last* `[`
+    // before the first `]`'s matching content by re-finding from `=`.
+    let eq = tail.find('=').unwrap_or(open);
+    let body_open = tail[eq..].find('[').map(|i| eq + i).unwrap_or(open);
+    let body_close = tail[body_open..]
+        .find(']')
+        .map(|i| body_open + i)
+        .unwrap_or(close);
+    identifiers(&tail[body_open..body_close])
+        .filter(|id| id.chars().next().is_some_and(|c| c.is_ascii_uppercase()))
+        .map(str::to_string)
+        .collect()
+}
+
+fn find_line(raw: &str, needle: &str) -> Option<usize> {
+    raw.lines().position(|l| l.contains(needle))
+}
+
+/// Iterator over the identifiers in `s`.
+fn identifiers(s: &str) -> impl Iterator<Item = &str> {
+    s.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|w| !w.is_empty() && !w.chars().next().is_some_and(|c| c.is_ascii_digit()))
+}
+
+/// Does `text` contain `word` bounded by non-identifier characters?
+fn contains_word(text: &str, word: &str) -> bool {
+    let mut search = 0;
+    while let Some(rel) = text[search..].find(word) {
+        let at = search + rel;
+        let before_ok = at == 0
+            || !text.as_bytes()[at - 1].is_ascii_alphanumeric() && text.as_bytes()[at - 1] != b'_';
+        let after = at + word.len();
+        let after_ok = after >= text.len()
+            || !text.as_bytes()[after].is_ascii_alphanumeric() && text.as_bytes()[after] != b'_';
+        if before_ok && after_ok {
+            return true;
+        }
+        search = at + 1;
+    }
+    false
+}
+
+/// Is there a float literal (`digit . digit`) on the line?
+fn has_float_literal(line: &str) -> bool {
+    let b = line.as_bytes();
+    (1..b.len().saturating_sub(1))
+        .any(|i| b[i] == b'.' && b[i - 1].is_ascii_digit() && b[i + 1].is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(path: &str, src: &str) -> SourceFile {
+        SourceFile::load(path.to_string(), src.to_string())
+    }
+
+    fn rules_on(path: &str, src: &str) -> Vec<Violation> {
+        run_all(&[file(path, src)])
+    }
+
+    #[test]
+    fn unwrap_outside_tests_is_flagged_inside_tests_is_not() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn b() { y.unwrap(); } }\n";
+        let v = rules_on("crates/a/src/l.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].rule, "unwrap-expect");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let v = rules_on(
+            "crates/a/src/l.rs",
+            "fn a() { m.lock().unwrap_or_else(|p| p.into_inner()); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn float_eq_flags_gain_comparisons_but_not_bitwise() {
+        let bad = rules_on("crates/a/src/l.rs", "fn a() { if gain == best { } }\n");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "float-eq");
+        let lit = rules_on("crates/a/src/l.rs", "fn a() { if x == 0.0 { } }\n");
+        assert_eq!(lit.len(), 1, "{lit:?}");
+        let ok = rules_on(
+            "crates/a/src/l.rs",
+            "fn a() { if gain.to_bits() == best.to_bits() { } }\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let ints = rules_on("crates/a/src/l.rs", "fn a() { if i == j { } }\n");
+        assert!(ints.is_empty(), "{ints:?}");
+    }
+
+    #[test]
+    fn float_eq_is_operand_local_not_line_local() {
+        // Integer comparison; the float literal sits past the `&&`
+        // boundary in a different comparison.
+        let v = rules_on(
+            "crates/a/src/l.rs",
+            "fn a() { if volume == 0 && tie <= 0.0 { } }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // `.len()` reads as integer even when the receiver names gains.
+        let v = rules_on(
+            "crates/a/src/l.rs",
+            "fn a() { if f.gains.len() != f.path.len() { } }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // String comparison of a `cost`-named variable.
+        let v = rules_on(
+            "crates/a/src/l.rs",
+            "fn a() { if cost_model == \"weighted\" { } }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // A call named after a gain is still flagged...
+        let v = rules_on(
+            "crates/a/src/l.rs",
+            "fn a() { if coverage_gain(inst, s, v) == n { } }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        // ...and so is indexing into a gains vector.
+        let v = rules_on(
+            "crates/a/src/l.rs",
+            "fn a() { if f.gains[pos] == second { } }\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn as_casts_only_flagged_in_kernel_dirs() {
+        let src = "fn a(x: u64) -> usize { x as usize }\n";
+        assert_eq!(rules_on("crates/core/src/algorithms/gtp.rs", src).len(), 1);
+        assert_eq!(rules_on("crates/online/src/delta.rs", src).len(), 1);
+        assert!(rules_on("crates/graph/src/digraph.rs", src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_must_delegate_to_a_total_order() {
+        let bad = "impl PartialOrd for G { fn partial_cmp(&self, o: &Self) -> Option<Ordering> {\n\
+                   self.0.partial_cmp(&o.0) } }\n";
+        let v = rules_on("crates/a/src/l.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "partial-cmp");
+        let good =
+            "impl PartialOrd for G { fn partial_cmp(&self, o: &Self) -> Option<Ordering> {\n\
+                    Some(self.cmp(o)) } }\n";
+        assert!(rules_on("crates/a/src/l.rs", good).is_empty());
+    }
+
+    #[test]
+    fn obs_keys_registry_and_emissions_are_cross_checked() {
+        let registry = "pub const GOOD: &str = \"good\";\npub const DEAD: &str = \"dead\";\n\
+                        pub const ALL: &[&str] = &[GOOD, DEAD];\n";
+        let emitter =
+            "fn e(r: &impl Recorder) { r.count(\"good\", 1); r.sample(\"rogue\", 2.0); GOOD; }\n";
+        let v = run_all(&[
+            file("crates/obs/src/keys.rs", registry),
+            file("crates/online/src/engine.rs", emitter),
+        ]);
+        let msgs: Vec<&str> = v.iter().map(|x| x.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("\"rogue\"")),
+            "unregistered emission must be flagged: {msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("DEAD")),
+            "dead registry key must be flagged: {msgs:?}"
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Token-level source scrubbing: blank out comments and literal
+//! contents while preserving byte offsets and line structure, so the
+//! rule scanners never match inside a string or a doc comment, and a
+//! reported offset maps back to the original `file:line`.
+
+/// Returns `src` with comment bodies and string/char literal contents
+/// replaced by spaces. Newlines are preserved everywhere (so line
+/// numbers survive), string delimiters are kept (so scanners can still
+/// see that a literal sits there), and all byte offsets are unchanged.
+pub fn scrub(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Rust block comments nest.
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend([b' ', b' ']);
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend([b' ', b' ']);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b'"');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        // Preserve an escaped newline (string line
+                        // continuation) or line numbers drift.
+                        out.push(b' ');
+                        out.push(blank(b[i + 1]));
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b'"');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                // r"..", r#".."#, br".." , b"..": skip past the prefix,
+                // count hashes, then blank until the matching close.
+                out.push(b[i]);
+                i += 1;
+                if b.get(i) == Some(&b'r') || b.get(i) == Some(&b'"') || b.get(i) == Some(&b'#') {
+                    if b[i] == b'r' {
+                        out.push(b'r');
+                        i += 1;
+                    }
+                    let mut hashes = 0;
+                    while b.get(i) == Some(&b'#') {
+                        out.push(b'#');
+                        i += 1;
+                        hashes += 1;
+                    }
+                    if b.get(i) == Some(&b'"') {
+                        out.push(b'"');
+                        i += 1;
+                        'scan: while i < b.len() {
+                            if b[i] == b'"' {
+                                let close = (1..=hashes).all(|h| b.get(i + h) == Some(&b'#'));
+                                if close {
+                                    out.push(b'"');
+                                    out.extend(std::iter::repeat_n(b'#', hashes));
+                                    i += 1 + hashes;
+                                    break 'scan;
+                                }
+                            }
+                            out.push(blank(b[i]));
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: 'x' / '\n' are literals,
+                // 'a (no close quote right after) is a lifetime.
+                if b.get(i + 1) == Some(&b'\\') {
+                    out.push(b'\'');
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\\' && i + 1 < b.len() {
+                            out.push(b' ');
+                            out.push(blank(b[i + 1]));
+                            i += 2;
+                        } else {
+                            out.push(blank(b[i]));
+                            i += 1;
+                        }
+                    }
+                    if i < b.len() {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    out.extend([b'\'', b' ', b'\'']);
+                    i += 3;
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Everything we emitted is either a verbatim source byte (valid
+    // UTF-8 in context) or an ASCII space/newline, so this cannot fail;
+    // fall back to a lossy copy rather than panicking in a linter.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// Is the `r`/`b` at `i` the start of a raw or byte string literal
+/// (`r"`, `r#`, `br"`, `b"`) rather than the tail of an identifier?
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    match b[i] {
+        b'r' => matches!(b.get(i + 1), Some(&b'"') | Some(&b'#')),
+        b'b' => match b.get(i + 1) {
+            Some(&b'"') => true,
+            Some(&b'r') => matches!(b.get(i + 2), Some(&b'"') | Some(&b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Per-line mask of `#[cfg(test)]`-gated regions in scrubbed source:
+/// `mask[line0]` is true when that (0-based) line sits inside an item
+/// gated by an exact `#[cfg(test)]` attribute. Predicates like
+/// `#[cfg(any(debug_assertions, feature = "audit", test))]` are NOT
+/// exempted — code that also compiles outside tests must pass the
+/// lint.
+pub fn test_region_mask(scrubbed: &str) -> Vec<bool> {
+    let n_lines = scrubbed.lines().count();
+    let mut mask = vec![false; n_lines];
+    let b = scrubbed.as_bytes();
+    let mut search = 0;
+    while let Some(rel) = scrubbed[search..].find("#[cfg(test)]") {
+        let attr_at = search + rel;
+        let mut i = attr_at + "#[cfg(test)]".len();
+        // The gated item runs to its matching close brace, or to a
+        // semicolon for brace-less items (`#[cfg(test)] use x;`).
+        let mut depth = 0usize;
+        let mut end = b.len();
+        while i < b.len() {
+            match b[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    // A stray close brace before the item's own open
+                    // brace ends the enclosing block — stop there.
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = i + 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let first_line = line_of(scrubbed, attr_at);
+        let last_line = line_of(scrubbed, end.min(b.len().saturating_sub(1)));
+        let stop = last_line.min(n_lines.saturating_sub(1));
+        for m in mask[first_line..=stop].iter_mut() {
+            *m = true;
+        }
+        search = end.max(attr_at + 1);
+    }
+    mask
+}
+
+/// 0-based line number of byte offset `at`.
+fn line_of(s: &str, at: usize) -> usize {
+    s.as_bytes()[..at.min(s.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"a.unwrap()\"; // .unwrap()\nlet y = 1; /* == 0.0 */\n";
+        let s = scrub(src);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("=="));
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert_eq!(s.len(), src.len());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_survive() {
+        let src = "let r = r#\"x.unwrap()\"#; let c = '=' ; fn f<'a>(x: &'a str) {}";
+        let s = scrub(src);
+        assert!(!s.contains("unwrap"));
+        assert!(
+            s.contains("let c = ' ' ;"),
+            "char content must be blanked: {s}"
+        );
+        assert!(s.contains("<'a>"), "lifetimes must survive: {s}");
+    }
+
+    #[test]
+    fn escaped_newlines_in_strings_keep_line_numbers_aligned() {
+        // The literal spans lines 1-2 via a `\` continuation; the
+        // unwrap sits on line 3 and must stay there after scrubbing.
+        let src = "let s = \"one \\\ntwo\";\nx.unwrap();\n";
+        let s = scrub(src);
+        assert_eq!(s.lines().count(), src.lines().count(), "{s:?}");
+        assert!(
+            s.lines().nth(2).is_some_and(|l| l.contains(".unwrap()")),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let s = scrub("/* outer /* inner */ still */ let live = 1;");
+        assert!(s.contains("let live = 1;"));
+        assert!(!s.contains("outer"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_terminate_strings() {
+        let s = scrub(r#"let x = "a\".unwrap()"; let live = 1;"#);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("let live = 1;"));
+    }
+
+    #[test]
+    fn test_regions_cover_gated_items_only() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    fn t() { y.unwrap(); }\n}\n\
+                   fn live2() {}\n";
+        let mask = test_region_mask(&scrub(src));
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_any_with_test_is_not_exempt() {
+        let src = "#[cfg(any(debug_assertions, test))]\nfn audit() { x.unwrap(); }\n";
+        let mask = test_region_mask(&scrub(src));
+        assert!(mask.iter().all(|&m| !m), "{mask:?}");
+    }
+}
