@@ -9,6 +9,10 @@
 //!   scenario × GTP variant with the engine counter deltas.
 //! * `BENCH_stream.json` ([`STREAM_SCHEMA`]) — one entry per
 //!   scenario × repair policy with per-event latency percentiles.
+//! * `BENCH_joint.json` ([`JOINT_SCHEMA`]) — the route-diversity
+//!   sweep: one entry per candidate-set size, comparing the joint
+//!   routing + placement solver against its fixed-path baseline and
+//!   LP lower bound.
 //!
 //! The JSON shape is a consumer contract (CI parses it, trend tooling
 //! diffs it); grow it by *adding* fields, never renaming.
@@ -19,9 +23,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tdmd_core::algorithms::gtp::{gtp_budgeted, gtp_lazy, gtp_parallel};
+use tdmd_core::algorithms::joint::{joint_solve_with, JointConfig};
 use tdmd_core::objective::bandwidth_of;
 use tdmd_core::{Deployment, Instance, TdmdError};
-use tdmd_experiments::scenarios::{general_instance, tree_instance, Scenario};
+use tdmd_experiments::scenarios::{
+    general_instance, general_pathset_instance, tree_instance, Scenario,
+};
 use tdmd_obs::{normalize_zero, percentile, StatsRecorder, Stopwatch};
 use tdmd_online::{events_from_spans, obs_keys, FlowSpan, HopPricer, OnlineEngine, RepairPolicy};
 
@@ -29,6 +36,8 @@ use tdmd_online::{events_from_spans, obs_keys, FlowSpan, HopPricer, OnlineEngine
 pub const SOLVE_SCHEMA: &str = "tdmd-bench-solve/v1";
 /// Schema tag of `BENCH_stream.json`.
 pub const STREAM_SCHEMA: &str = "tdmd-bench-stream/v1";
+/// Schema tag of `BENCH_joint.json`.
+pub const JOINT_SCHEMA: &str = "tdmd-bench-joint/v1";
 
 /// Engine-counter deltas attributed to one solve (see
 /// [`tdmd_core::obs::EngineCounters`] for the meanings).
@@ -138,6 +147,48 @@ pub struct StreamBench {
     pub seed: u64,
     /// Measurements.
     pub entries: Vec<StreamEntry>,
+}
+
+/// One route-diversity measurement of the joint solver.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct JointEntry {
+    /// Scenario name.
+    pub scenario: String,
+    /// Candidate paths per flow fed to the solver.
+    pub k_paths: usize,
+    /// Topology size.
+    pub nodes: usize,
+    /// Workload size.
+    pub flows: usize,
+    /// Middlebox budget.
+    pub k: usize,
+    /// Traffic-changing ratio.
+    pub lambda: f64,
+    /// Wall-clock joint solve time in µs (includes the LP bound).
+    pub wall_us: f64,
+    /// Joint objective (routing + placement).
+    pub objective: f64,
+    /// Fixed-path GTP baseline on the same workload's primaries.
+    pub fixed_objective: f64,
+    /// LP-relaxation lower bound on the joint optimum.
+    pub lp_bound: f64,
+    /// GTP placement rounds the alternation spent.
+    pub rounds: usize,
+    /// Active-path switches applied.
+    pub path_switches: u64,
+    /// Wall-clock µs of the LP bound computation alone.
+    pub lp_bound_us: f64,
+}
+
+/// `BENCH_joint.json` document.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct JointBench {
+    /// Always [`JOINT_SCHEMA`].
+    pub schema: String,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Measurements, one per swept candidate-set size.
+    pub entries: Vec<JointEntry>,
 }
 
 /// The two paper-default scenarios, with their bench names.
@@ -296,19 +347,60 @@ pub fn stream_bench(seed: u64) -> Result<StreamBench, String> {
     })
 }
 
+/// Route-diversity sweep: the general-default scenario re-drawn with
+/// `k_paths ∈ {1, 2, 3, 4}` candidates per flow, each entry solved
+/// jointly and compared against its own fixed-path GTP baseline.
+pub fn joint_bench(seed: u64) -> Result<JointBench, String> {
+    let s = Scenario::general_default();
+    let mut entries = Vec::new();
+    for k_paths in 1..=4usize {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = general_pathset_instance(&mut rng, s, k_paths);
+        let recorder = StatsRecorder::new();
+        let sw = Stopwatch::start();
+        let sol = joint_solve_with(&inst, &JointConfig::default(), &recorder)
+            .map_err(|e| format!("joint/k_paths={k_paths}: {e}"))?;
+        let wall_us = sw.elapsed_us();
+        let lp_samples = recorder.sorted_samples(tdmd_obs::keys::LP_BOUND_US);
+        entries.push(JointEntry {
+            scenario: "general-default".to_string(),
+            k_paths,
+            nodes: inst.node_count(),
+            flows: inst.flows().len(),
+            k: inst.k(),
+            lambda: inst.lambda(),
+            wall_us,
+            objective: normalize_zero(sol.objective),
+            fixed_objective: normalize_zero(sol.fixed_objective),
+            lp_bound: normalize_zero(sol.lp_bound),
+            rounds: sol.rounds,
+            path_switches: sol.path_switches,
+            lp_bound_us: lp_samples.last().copied().unwrap_or(0.0),
+        });
+    }
+    Ok(JointBench {
+        schema: JOINT_SCHEMA.to_string(),
+        seed,
+        entries,
+    })
+}
+
 /// `tdmd bench [--seed S] [--out-dir DIR]`
 ///
-/// Writes `BENCH_solve.json` and `BENCH_stream.json` into `DIR`
-/// (default `.`) and prints a one-line-per-entry summary.
+/// Writes `BENCH_solve.json`, `BENCH_stream.json` and
+/// `BENCH_joint.json` into `DIR` (default `.`) and prints a
+/// one-line-per-entry summary.
 pub fn bench(args: &Args) -> Result<String, String> {
     let seed: u64 = args.num("seed", 42)?;
     let out_dir = args.optional("out-dir").unwrap_or(".");
 
     let solve = solve_bench(seed)?;
     let stream = stream_bench(seed)?;
+    let joint = joint_bench(seed)?;
 
     let solve_path = format!("{out_dir}/BENCH_solve.json");
     let stream_path = format!("{out_dir}/BENCH_stream.json");
+    let joint_path = format!("{out_dir}/BENCH_joint.json");
     write_out(
         &solve_path,
         &serde_json::to_string_pretty(&solve).map_err(|e| e.to_string())?,
@@ -316,6 +408,10 @@ pub fn bench(args: &Args) -> Result<String, String> {
     write_out(
         &stream_path,
         &serde_json::to_string_pretty(&stream).map_err(|e| e.to_string())?,
+    )?;
+    write_out(
+        &joint_path,
+        &serde_json::to_string_pretty(&joint).map_err(|e| e.to_string())?,
     )?;
 
     let mut out = format!("seed {seed}\n== solve ({solve_path}) ==\n");
@@ -330,6 +426,14 @@ pub fn bench(args: &Args) -> Result<String, String> {
         out.push_str(&format!(
             "  {:>16}/{:<12} {:>6} events  p99 {:>8.1} µs  {} replans\n",
             e.scenario, e.policy, e.events, e.latency_us.p99, e.counters.replans
+        ));
+    }
+    out.push_str(&format!("== joint ({joint_path}) ==\n"));
+    for e in &joint.entries {
+        out.push_str(&format!(
+            "  {:>16}/k_paths={} joint {:>10.2}  fixed {:>10.2}  lp bound {:>10.2}  \
+             {} switches\n",
+            e.scenario, e.k_paths, e.objective, e.fixed_objective, e.lp_bound, e.path_switches
         ));
     }
     Ok(out)
@@ -383,6 +487,37 @@ mod tests {
     }
 
     #[test]
+    fn joint_bench_certifies_the_route_diversity_sweep() {
+        let b = joint_bench(42).unwrap();
+        assert_eq!(b.schema, JOINT_SCHEMA);
+        assert_eq!(b.entries.len(), 4, "k_paths 1..=4");
+        for e in &b.entries {
+            // The incumbent is seeded with the fixed-path baseline
+            // and the LP bound is a valid relaxation: the sandwich
+            // lp_bound ≤ objective ≤ fixed_objective always holds.
+            assert!(e.objective <= e.fixed_objective, "k_paths={}", e.k_paths);
+            assert!(e.lp_bound <= e.objective + 1e-9, "k_paths={}", e.k_paths);
+            assert!(e.lp_bound >= 0.0);
+            assert!(e.rounds >= 1);
+        }
+        // A singleton candidate set *is* the fixed-path problem.
+        let singleton = &b.entries[0];
+        assert_eq!(singleton.k_paths, 1);
+        assert_eq!(singleton.objective, singleton.fixed_objective);
+        assert_eq!(singleton.path_switches, 0);
+        // With ≥ 3 candidate routes per flow the joint solver finds a
+        // strictly better routing than fixed-path GTP on this seed.
+        let diverse = b.entries.iter().find(|e| e.k_paths >= 3).unwrap();
+        assert!(
+            diverse.objective < diverse.fixed_objective,
+            "k_paths={} joint {} ≥ fixed {}",
+            diverse.k_paths,
+            diverse.objective,
+            diverse.fixed_objective
+        );
+    }
+
+    #[test]
     fn bench_writes_schema_stable_json() {
         let dir = std::env::temp_dir().join("tdmd-cli-test-bench");
         let out = bench(&args(&[
@@ -405,6 +540,11 @@ mod tests {
                 .unwrap();
         assert_eq!(stream.schema, STREAM_SCHEMA);
         assert!(!stream.entries.is_empty());
+        let joint: JointBench =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("BENCH_joint.json")).unwrap())
+                .unwrap();
+        assert_eq!(joint.schema, JOINT_SCHEMA);
+        assert_eq!(joint.entries.len(), 4);
     }
 
     #[test]

@@ -6,11 +6,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tdmd_core::algorithms::best_effort::best_effort_with;
 use tdmd_core::algorithms::gtp::{gtp_budgeted_with, gtp_lazy_with, gtp_parallel_with};
+use tdmd_core::algorithms::joint::joint_solve;
 use tdmd_core::algorithms::local_search::gtp_with_local_search_with;
 use tdmd_core::algorithms::Algorithm;
 use tdmd_core::objective::{allocate, bandwidth_of, decrement, lemma1_bounds};
 use tdmd_core::weighted::WeightedIndex;
 use tdmd_core::{Instance, WeightedEdges};
+use tdmd_traffic::candidate_sets;
 
 /// Maps a CLI name to an [`Algorithm`].
 pub fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
@@ -34,8 +36,9 @@ pub fn algorithm_by_name(name: &str) -> Result<Algorithm, String> {
 }
 
 /// `tdmd place --topo t.json --workload wl.json --lambda L --k K
-/// --algorithm NAME [--cost-model hops|weighted] [--seed S]
-/// [--audit true] [--out plan.json]` (also reachable as `tdmd solve`)
+/// --algorithm NAME [--routing fixed|joint] [--k-paths N]
+/// [--cost-model hops|weighted] [--seed S] [--audit true]
+/// [--out plan.json]` (also reachable as `tdmd solve`)
 pub fn place(args: &Args) -> Result<String, String> {
     let g = load_topology(args.required("topo")?)?;
     let flows = load_workload(args.required("workload")?)?;
@@ -45,6 +48,13 @@ pub fn place(args: &Args) -> Result<String, String> {
     let cost_model = args.optional("cost-model").unwrap_or("hops");
     let seed: u64 = args.num("seed", 0)?;
     let audit = args.flag("audit")?;
+    let routing = args.optional("routing").unwrap_or("fixed");
+
+    match routing {
+        "fixed" => {}
+        "joint" => return place_joint(args, g, flows, lambda, k, alg, cost_model, audit),
+        other => return Err(format!("unknown routing mode '{other}' (fixed|joint)")),
+    }
 
     let instance = Instance::new(g, flows, lambda, k).map_err(|e| e.to_string())?;
     if audit {
@@ -107,6 +117,95 @@ pub fn place(args: &Args) -> Result<String, String> {
     }
     if let Some(path) = args.optional("out") {
         let json = serde_json::to_string_pretty(&plan).map_err(|e| e.to_string())?;
+        write_out(path, &json)?;
+        out.push_str(&format!("plan written to {path}\n"));
+    }
+    Ok(out)
+}
+
+/// The `--routing joint` arm: Yen candidate sets feed the alternating
+/// joint routing + placement solver, which reports the fixed-path
+/// baseline and its LP-relaxation optimality certificate next to the
+/// solved objective.
+#[allow(clippy::too_many_arguments)]
+fn place_joint(
+    args: &Args,
+    g: tdmd_graph::DiGraph,
+    flows: Vec<tdmd_traffic::Flow>,
+    lambda: f64,
+    k: usize,
+    alg: Algorithm,
+    cost_model: &str,
+    audit: bool,
+) -> Result<String, String> {
+    if !matches!(alg, Algorithm::Gtp) {
+        return Err(format!(
+            "--routing joint runs the alternating GTP solver; pass --algorithm gtp, not '{}'",
+            alg.name()
+        ));
+    }
+    if cost_model != "hops" {
+        return Err(format!(
+            "--routing joint prices hop counts only, not '{cost_model}'"
+        ));
+    }
+    let k_paths: usize = args.num("k-paths", 3)?;
+    if k_paths == 0 {
+        return Err("--k-paths must be at least 1".to_string());
+    }
+    let sets = candidate_sets(&flows, &g, k_paths);
+    let instance = Instance::with_path_sets(g, sets, lambda, k).map_err(|e| e.to_string())?;
+    if audit {
+        tdmd_core::audit::check_instance(&instance).map_err(|e| format!("audit: {e}"))?;
+    }
+    let start = std::time::Instant::now();
+    let sol = joint_solve(&instance).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+
+    // Re-apply the solution routing so the report (and the audit) see
+    // the instance the objective was priced on.
+    let mut routed = instance;
+    let switches: Vec<(u32, u32)> = sol
+        .active
+        .iter()
+        .enumerate()
+        .map(|(f, &j)| (f as u32, j))
+        .collect();
+    routed.set_active_paths(&switches);
+    if audit {
+        tdmd_core::audit::check_instance(&routed).map_err(|e| format!("audit: {e}"))?;
+        let alloc = allocate(&routed, &sol.deployment);
+        tdmd_core::audit::check_solution(&routed, &sol.deployment, k, Some(&alloc))
+            .map_err(|e| format!("audit: {e}"))?;
+    }
+    let gap = if sol.lp_bound > 0.0 {
+        100.0 * (sol.objective - sol.lp_bound) / sol.lp_bound
+    } else {
+        f64::NAN
+    };
+    let mut out = format!(
+        "algorithm:    GTP + joint routing ({k_paths} candidate paths)\n\
+         middleboxes:  {} / {k}\nvertices:     {:?}\n\
+         bandwidth:    {:.2} (unprocessed {:.2})\n\
+         fixed-path:   {:.2} (joint saves {:.2})\n\
+         lp bound:     {:.2} (objective within {:.1}% of optimal)\n\
+         rounds:       {} ({} path switches)\ntime:         {elapsed:.3} ms\n",
+        sol.deployment.len(),
+        sol.deployment.vertices(),
+        sol.objective,
+        routed.unprocessed_bandwidth(),
+        sol.fixed_objective,
+        sol.fixed_objective - sol.objective,
+        sol.lp_bound,
+        gap,
+        sol.rounds,
+        sol.path_switches,
+    );
+    if audit {
+        out.push_str("audit:        instance + solution invariants hold\n");
+    }
+    if let Some(path) = args.optional("out") {
+        let json = serde_json::to_string_pretty(&sol.deployment).map_err(|e| e.to_string())?;
         write_out(path, &json)?;
         out.push_str(&format!("plan written to {path}\n"));
     }
@@ -244,6 +343,72 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("unknown cost model"));
+    }
+
+    #[test]
+    fn joint_routing_reports_bound_and_baseline() {
+        let (topo_path, wl_path) = fixture();
+        let report = place(&args(&[
+            ("topo", &topo_path),
+            ("workload", &wl_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+            ("algorithm", "gtp"),
+            ("routing", "joint"),
+            ("k-paths", "3"),
+            ("audit", "true"),
+        ]))
+        .unwrap();
+        assert!(report.contains("joint routing (3 candidate paths)"));
+        assert!(report.contains("fixed-path:"));
+        assert!(report.contains("lp bound:"));
+        assert!(report.contains("audit:        instance + solution invariants hold"));
+    }
+
+    #[test]
+    fn joint_routing_never_beats_itself_with_one_candidate() {
+        // --k-paths 1 is the singleton case: the joint report must
+        // show a zero saving over the fixed-path baseline.
+        let (topo_path, wl_path) = fixture();
+        let report = place(&args(&[
+            ("topo", &topo_path),
+            ("workload", &wl_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+            ("algorithm", "gtp"),
+            ("routing", "joint"),
+            ("k-paths", "1"),
+        ]))
+        .unwrap();
+        assert!(report.contains("joint saves 0.00"));
+    }
+
+    #[test]
+    fn joint_routing_rejects_bad_modes() {
+        let (topo_path, wl_path) = fixture();
+        let base = [
+            ("topo", topo_path.as_str()),
+            ("workload", wl_path.as_str()),
+            ("lambda", "0.5"),
+            ("k", "4"),
+        ];
+        let mut with_alg = base.to_vec();
+        with_alg.extend([("algorithm", "dp"), ("routing", "joint")]);
+        assert!(place(&args(&with_alg)).unwrap_err().contains("gtp"));
+        let mut with_cost = base.to_vec();
+        with_cost.extend([
+            ("algorithm", "gtp"),
+            ("routing", "joint"),
+            ("cost-model", "weighted"),
+        ]);
+        assert!(place(&args(&with_cost))
+            .unwrap_err()
+            .contains("hop counts only"));
+        let mut with_mode = base.to_vec();
+        with_mode.extend([("algorithm", "gtp"), ("routing", "split")]);
+        assert!(place(&args(&with_mode))
+            .unwrap_err()
+            .contains("unknown routing mode"));
     }
 
     #[test]

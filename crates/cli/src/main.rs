@@ -7,6 +7,8 @@
 //! tdmd workload gen --topo topo.json --dests 0,1 --density 0.5 --seed 2 --out wl.json
 //! tdmd place --topo topo.json --workload wl.json --lambda 0.5 --k 8 \
 //!            --algorithm gtp --out plan.json
+//! tdmd solve --topo topo.json --workload wl.json --lambda 0.5 --k 8 \
+//!            --algorithm gtp --routing joint --k-paths 3 --audit true
 //! tdmd evaluate --topo topo.json --workload wl.json --lambda 0.5 --k 8 --plan plan.json
 //! tdmd stream gen --workload wl.json --duration 100000 --seed 3 --out spans.json
 //! tdmd stream run --topo topo.json --spans spans.json --lambda 0.5 --k 8 \

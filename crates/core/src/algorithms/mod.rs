@@ -11,6 +11,8 @@
 //! * [`best_effort`] and [`random`] — the paper's two baselines.
 //! * [`exhaustive`] — brute-force optimum for small instances (used to
 //!   certify the DP and to measure heuristic gaps).
+//! * [`joint`] — alternating joint routing + placement over candidate
+//!   path sets, with an LP-relaxation lower bound on the optimum.
 
 pub mod best_effort;
 pub mod branch_bound;
@@ -20,6 +22,7 @@ pub mod engine;
 pub mod exhaustive;
 pub mod gtp;
 pub mod hat;
+pub mod joint;
 pub mod local_search;
 pub mod random;
 

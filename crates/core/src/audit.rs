@@ -83,7 +83,10 @@ pub fn enforce(result: Result<(), AuditError>) {
 /// `flow-id-dense`, `flow-rate-positive`, `path-vertex-bounds`,
 /// `path-simple`, `path-connected`, `csr-offsets-shape`,
 /// `csr-offsets-monotone`, `csr-entry-bounds`, `csr-row-sorted`,
-/// `csr-entry-offpath`, `csr-entry-hops` and `csr-bijective`.
+/// `csr-entry-offpath`, `csr-entry-hops`, `csr-bijective`, and the
+/// candidate-path-set checks `pathset-shape`, `pathset-active-range`,
+/// `pathset-active-mirror`, `pathset-endpoints` and
+/// `pathset-member-roundtrip`.
 pub fn check_instance(instance: &Instance) -> Result<(), AuditError> {
     let graph = instance.graph();
     let n = graph.node_count();
@@ -208,6 +211,110 @@ pub fn check_instance(instance: &Instance) -> Result<(), AuditError> {
                 per_flow[idx],
                 f.path.len()
             );
+        }
+    }
+    check_path_sets(instance)
+}
+
+/// Validates the candidate path sets and their two-level membership
+/// CSR (called from [`check_instance`]): every flow has an in-range
+/// active candidate mirrored by its `Flow::path`, every candidate
+/// connects the flow's `(src, dst)` over existing edges, and the
+/// membership index round-trips the candidate vertices exactly.
+fn check_path_sets(instance: &Instance) -> Result<(), AuditError> {
+    let graph = instance.graph();
+    let n = graph.node_count();
+    let flows = instance.flows();
+    let ps = instance.path_sets();
+    if ps.flow_count() != flows.len() {
+        fail!(
+            "pathset-shape",
+            "{} candidate sets for {} flows",
+            ps.flow_count(),
+            flows.len()
+        );
+    }
+    for (idx, f) in flows.iter().enumerate() {
+        if ps.candidate_count(idx) == 0 {
+            fail!("pathset-shape", "flow {idx} has no candidate paths");
+        }
+        let active = ps.active(idx);
+        if active as usize >= ps.candidate_count(idx) {
+            fail!(
+                "pathset-active-range",
+                "flow {idx}: active candidate {active} of {}",
+                ps.candidate_count(idx)
+            );
+        }
+        if ps.path(idx, active as usize) != f.path {
+            fail!(
+                "pathset-active-mirror",
+                "flow {idx}: Flow::path differs from active candidate {active}"
+            );
+        }
+        for j in 0..ps.candidate_count(idx) {
+            let p = ps.path(idx, j);
+            if p.len() < 2 || p[0] != f.src() || *p.last().expect("non-empty") != f.dst() {
+                fail!(
+                    "pathset-endpoints",
+                    "flow {idx} candidate {j} does not connect ({}, {})",
+                    f.src(),
+                    f.dst()
+                );
+            }
+            for w in p.windows(2) {
+                if w[0] as usize >= n || w[1] as usize >= n || !graph.has_edge(w[0], w[1]) {
+                    fail!(
+                        "pathset-endpoints",
+                        "flow {idx} candidate {j} uses missing edge {} -> {}",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+    }
+    // Round-trip: every membership record points at an on-path vertex
+    // with the true downstream hop count, and every candidate vertex
+    // is covered exactly once.
+    let mut per_path = vec![0usize; ps.total_paths()];
+    for v in 0..n as tdmd_graph::NodeId {
+        for m in ps.memberships_through(v) {
+            if m.flow as usize >= flows.len()
+                || m.path as usize >= ps.candidate_count(m.flow as usize)
+            {
+                fail!(
+                    "pathset-member-roundtrip",
+                    "vertex {v} lists candidate ({}, {}) out of range",
+                    m.flow,
+                    m.path
+                );
+            }
+            let p = ps.path(m.flow as usize, m.path as usize);
+            let hops = (p.len() - 1) as u32;
+            match p.iter().position(|&x| x == v) {
+                Some(pos) if hops - pos as u32 == m.l => {}
+                _ => fail!(
+                    "pathset-member-roundtrip",
+                    "vertex {v}: flow {} candidate {} stored l = {} disagrees with the path",
+                    m.flow,
+                    m.path,
+                    m.l
+                ),
+            }
+            per_path[ps.global_id(m.flow as usize, m.path as usize)] += 1;
+        }
+    }
+    for f in 0..flows.len() {
+        for j in 0..ps.candidate_count(f) {
+            let want = ps.path(f, j).len();
+            let got = per_path[ps.global_id(f, j)];
+            if got != want {
+                fail!(
+                    "pathset-member-roundtrip",
+                    "flow {f} candidate {j}: {got} membership records for {want} vertices"
+                );
+            }
         }
     }
     Ok(())
@@ -397,6 +504,45 @@ mod tests {
         inst.audit_csr_mut().1[0].1 += 1;
         let err = check_instance(&inst).unwrap_err();
         assert_eq!(err.check, "csr-entry-hops", "{err}");
+    }
+
+    #[test]
+    fn corrupted_active_index_is_caught() {
+        let mut inst = fig1_instance(2);
+        inst.audit_path_sets_mut().audit_parts_mut().0[0] = 7;
+        let err = check_instance(&inst).unwrap_err();
+        assert_eq!(err.check, "pathset-active-range", "{err}");
+    }
+
+    #[test]
+    fn corrupted_membership_hops_are_caught() {
+        let mut inst = fig1_instance(2);
+        inst.audit_path_sets_mut().audit_parts_mut().1[0].l += 1;
+        let err = check_instance(&inst).unwrap_err();
+        assert_eq!(err.check, "pathset-member-roundtrip", "{err}");
+    }
+
+    #[test]
+    fn corrupted_candidate_endpoint_is_caught() {
+        // Diamond 0 → {1, 2} → 3 with two candidates; corrupt the
+        // *inactive* candidate's destination so the active mirror
+        // stays intact and the endpoints check must fire.
+        let mut b = tdmd_graph::GraphBuilder::new(4);
+        b.add_bidirectional(0, 1);
+        b.add_bidirectional(1, 3);
+        b.add_bidirectional(0, 2);
+        b.add_bidirectional(2, 3);
+        let sets = vec![tdmd_traffic::FlowPaths::new(
+            0,
+            2,
+            vec![vec![0, 1, 3], vec![0, 2, 3]],
+        )];
+        let mut inst = Instance::with_path_sets(b.build(), sets, 0.5, 1).unwrap();
+        check_instance(&inst).unwrap();
+        // Arena layout: [0,1,3, 0,2,3]; slot 5 is candidate 1's dst.
+        inst.audit_path_sets_mut().audit_parts_mut().2[5] = 1;
+        let err = check_instance(&inst).unwrap_err();
+        assert_eq!(err.check, "pathset-endpoints", "{err}");
     }
 
     #[test]

@@ -26,6 +26,15 @@
 //! `(flow, gain)` entries grouped by vertex, replacing the old
 //! `Vec<Vec<…>>` per-vertex lists (one allocation instead of `|V|`,
 //! and cache-contiguous scans in the greedy inner loop).
+//!
+//! Models always price the **active** path of each flow. Under the
+//! joint routing extension a flow's active path is one pick from its
+//! [`PathSets`](crate::instance::PathSets) candidates;
+//! [`Instance::set_active_paths`] rebuilds the underlying vertex →
+//! `(flow, l)` index after a switch, so a [`FlowIndex`] compiled
+//! before the switch is stale and must be recompiled — the joint
+//! solver re-runs its placement rounds on the fresh view for exactly
+//! this reason.
 
 use std::collections::HashMap;
 use tdmd_graph::{DiGraph, NodeId};

@@ -3,17 +3,31 @@
 use crate::error::TdmdError;
 use serde::{Deserialize, Serialize};
 use tdmd_graph::{DiGraph, NodeId};
-use tdmd_traffic::Flow;
+use tdmd_traffic::{Flow, FlowPaths};
 
 /// A complete TDMD problem: topology, flows, traffic-changing ratio
 /// `λ` and the middlebox budget `k` (Eq. 3).
 ///
-/// Construction precomputes, for every vertex `v`, the list of flows
-/// whose path crosses `v` together with the downstream hop count
-/// `l_v(f)` — the quantity every algorithm scores with. The index is
-/// one flat CSR arena (`flow_offsets` slicing `flow_entries`) rather
-/// than a `Vec` per vertex: a single allocation, and the greedy inner
-/// loops scan contiguous memory.
+/// Every flow carries a *candidate path set* ([`PathSets`]) with one
+/// **active** path — the paper's fixed-path model is the singleton
+/// case, which [`Instance::new`] constructs (one candidate per flow,
+/// always active), preserving the legacy index bit for bit.
+///
+/// Construction precomputes two CSR arenas:
+///
+/// * the **active index** — for every vertex `v`, the flows whose
+///   active path crosses `v` with the downstream hop count `l_v(f)`
+///   (the quantity every placement algorithm scores with). One flat
+///   arena (`flow_offsets` slicing `flow_entries`): a single
+///   allocation, and the greedy inner loops scan contiguous memory.
+/// * the **candidate index** — the two-level CSR of [`PathSets`]:
+///   vertex → `(flow, candidate, l)` memberships over *all* candidate
+///   paths, which the joint routing + placement solver scans to price
+///   path switches without re-walking candidate lists.
+///
+/// [`Instance::set_active_paths`] switches active paths in a batch
+/// and rebuilds the active index once, so fixed-path algorithms keep
+/// operating on plain `flows_through` rows under re-routing.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Instance {
     graph: DiGraph,
@@ -27,10 +41,57 @@ pub struct Instance {
     /// `l_v(f)` counts the path edges downstream of `v`. Within a
     /// vertex, entries are in ascending flow-id order.
     flow_entries: Vec<(u32, u32)>,
+    /// Candidate path sets with the active-path selection.
+    paths: PathSets,
+}
+
+/// Builds the active-path CSR exactly as the legacy single-path
+/// constructor did: count each vertex's row, prefix-sum into offsets,
+/// fill with per-vertex write cursors. Walking flows in id order
+/// keeps every row sorted by flow id.
+fn build_active_csr(n: usize, flows: &[Flow]) -> (Vec<u32>, Vec<(u32, u32)>) {
+    let mut flow_offsets = vec![0u32; n + 1];
+    for f in flows {
+        for &v in &f.path {
+            flow_offsets[v as usize + 1] += 1;
+        }
+    }
+    for i in 1..=n {
+        flow_offsets[i] += flow_offsets[i - 1];
+    }
+    let mut cursor: Vec<u32> = flow_offsets[..n].to_vec();
+    let mut flow_entries = vec![(0u32, 0u32); flow_offsets[n] as usize];
+    for (idx, f) in flows.iter().enumerate() {
+        let hops = f.hops() as u32;
+        for (pos, &v) in f.path.iter().enumerate() {
+            let slot = &mut cursor[v as usize];
+            flow_entries[*slot as usize] = (idx as u32, hops - pos as u32);
+            *slot += 1;
+        }
+    }
+    (flow_offsets, flow_entries)
+}
+
+/// Validates one candidate path of flow `flow` against the topology.
+fn validate_path(graph: &DiGraph, flow: u32, path: &[NodeId]) -> Result<(), TdmdError> {
+    let err = || TdmdError::InvalidPath { flow };
+    if path.len() < 2 {
+        return Err(err());
+    }
+    let mut seen = path.to_vec();
+    seen.sort_unstable();
+    if seen.windows(2).any(|w| w[0] == w[1]) {
+        return Err(err());
+    }
+    if path.windows(2).any(|w| !graph.has_edge(w[0], w[1])) {
+        return Err(err());
+    }
+    Ok(())
 }
 
 impl Instance {
-    /// Builds and validates an instance.
+    /// Builds and validates a fixed-path (singleton candidate set)
+    /// instance — the paper's original model.
     ///
     /// # Errors
     /// * [`TdmdError::BadLambda`] if `λ ∉ [0, 1]`.
@@ -52,30 +113,9 @@ impl Instance {
                 return Err(TdmdError::InvalidPath { flow: f.id });
             }
         }
-        // CSR build: count each vertex's row, prefix-sum into offsets,
-        // then fill with per-vertex write cursors. Walking flows in id
-        // order keeps every row sorted by flow id, like the nested
-        // Vec index this replaces.
         let n = graph.node_count();
-        let mut flow_offsets = vec![0u32; n + 1];
-        for f in &flows {
-            for &v in &f.path {
-                flow_offsets[v as usize + 1] += 1;
-            }
-        }
-        for i in 1..=n {
-            flow_offsets[i] += flow_offsets[i - 1];
-        }
-        let mut cursor: Vec<u32> = flow_offsets[..n].to_vec();
-        let mut flow_entries = vec![(0u32, 0u32); flow_offsets[n] as usize];
-        for (idx, f) in flows.iter().enumerate() {
-            let hops = f.hops() as u32;
-            for (pos, &v) in f.path.iter().enumerate() {
-                let slot = &mut cursor[v as usize];
-                flow_entries[*slot as usize] = (idx as u32, hops - pos as u32);
-                *slot += 1;
-            }
-        }
+        let (flow_offsets, flow_entries) = build_active_csr(n, &flows);
+        let paths = PathSets::singletons(n, &flows);
         Ok(Self {
             graph,
             flows,
@@ -83,6 +123,53 @@ impl Instance {
             k,
             flow_offsets,
             flow_entries,
+            paths,
+        })
+    }
+
+    /// Builds an instance from candidate path sets: each flow's
+    /// primary (index-0) candidate starts active, so a fixed-path
+    /// solver run on the result equals a run on the primaries.
+    ///
+    /// # Errors
+    /// * [`TdmdError::BadLambda`] if `λ ∉ [0, 1]`.
+    /// * [`TdmdError::InvalidPath`] if a flow has a zero rate, a
+    ///   non-dense id, an empty candidate list, or any candidate that
+    ///   is degenerate, non-simple, uses a missing edge, or does not
+    ///   connect the primary's `(src, dst)`.
+    pub fn with_path_sets(
+        graph: DiGraph,
+        sets: Vec<FlowPaths>,
+        lambda: f64,
+        k: usize,
+    ) -> Result<Self, TdmdError> {
+        if !(0.0..=1.0).contains(&lambda) || lambda.is_nan() {
+            return Err(TdmdError::BadLambda(lambda));
+        }
+        for (idx, s) in sets.iter().enumerate() {
+            let err = || TdmdError::InvalidPath { flow: s.id };
+            if s.id as usize != idx || s.rate == 0 || s.candidates.is_empty() {
+                return Err(err());
+            }
+            for p in &s.candidates {
+                validate_path(&graph, s.id, p)?;
+                if p[0] != s.candidates[0][0] || p.last() != s.candidates[0].last() {
+                    return Err(err());
+                }
+            }
+        }
+        let flows: Vec<Flow> = sets.iter().map(FlowPaths::primary_flow).collect();
+        let n = graph.node_count();
+        let (flow_offsets, flow_entries) = build_active_csr(n, &flows);
+        let paths = PathSets::build(n, &sets);
+        Ok(Self {
+            graph,
+            flows,
+            lambda,
+            k,
+            flow_offsets,
+            flow_entries,
+            paths,
         })
     }
 
@@ -92,7 +179,7 @@ impl Instance {
         &self.graph
     }
 
-    /// The flows.
+    /// The flows, each on its currently active path.
     #[inline]
     pub fn flows(&self) -> &[Flow] {
         &self.flows
@@ -128,12 +215,52 @@ impl Instance {
         c
     }
 
-    /// Flows crossing `v` as `(flow index, l_v(f))` pairs.
+    /// Flows whose *active* path crosses `v`, as
+    /// `(flow index, l_v(f))` pairs.
     #[inline]
     pub fn flows_through(&self, v: NodeId) -> &[(u32, u32)] {
         let lo = self.flow_offsets[v as usize] as usize;
         let hi = self.flow_offsets[v as usize + 1] as usize;
         &self.flow_entries[lo..hi]
+    }
+
+    /// The candidate path sets and their two-level membership index.
+    #[inline]
+    pub fn path_sets(&self) -> &PathSets {
+        &self.paths
+    }
+
+    /// Switches the active paths of a batch of flows and rebuilds the
+    /// active index once. `switches` holds `(flow index, candidate
+    /// index)` pairs; entries equal to the current selection are
+    /// no-ops. Returns the number of flows whose route changed.
+    ///
+    /// # Panics
+    /// Panics if a flow or candidate index is out of range (callers
+    /// produce switches from [`PathSets`] lookups, so out-of-range
+    /// indices are always a logic error).
+    pub fn set_active_paths(&mut self, switches: &[(u32, u32)]) -> usize {
+        let mut changed = 0usize;
+        for &(f, j) in switches {
+            let fi = f as usize;
+            assert!(fi < self.flows.len(), "flow index {f} out of range");
+            assert!(
+                (j as usize) < self.paths.candidate_count(fi),
+                "candidate index {j} out of range for flow {f}"
+            );
+            if self.paths.active[fi] == j {
+                continue;
+            }
+            self.paths.active[fi] = j;
+            self.flows[fi].path = self.paths.path(fi, j as usize).to_vec();
+            changed += 1;
+        }
+        if changed > 0 {
+            let (o, e) = build_active_csr(self.graph.node_count(), &self.flows);
+            self.flow_offsets = o;
+            self.flow_entries = e;
+        }
+        changed
     }
 
     /// Number of vertices in the topology.
@@ -142,8 +269,8 @@ impl Instance {
         self.graph.node_count()
     }
 
-    /// Sum of `r_f · |p_f|` — the unprocessed total bandwidth, i.e.
-    /// `b(∅)` and the `d` offset of Lemma 1.
+    /// Sum of `r_f · |p_f|` over active paths — the unprocessed total
+    /// bandwidth, i.e. `b(∅)` and the `d` offset of Lemma 1.
     pub fn unprocessed_bandwidth(&self) -> f64 {
         self.flows
             .iter()
@@ -151,12 +278,183 @@ impl Instance {
             .sum()
     }
 
-    /// Vertices that lie on at least one flow path — the only useful
-    /// middlebox locations.
+    /// Vertices that lie on at least one active flow path — the only
+    /// useful middlebox locations for a fixed routing.
     pub fn candidate_vertices(&self) -> Vec<NodeId> {
         (0..self.node_count() as NodeId)
             .filter(|&v| self.flow_offsets[v as usize] < self.flow_offsets[v as usize + 1])
             .collect()
+    }
+}
+
+/// One vertex-membership record of the candidate index: candidate
+/// `path` of flow `flow` crosses the vertex with `l` downstream hops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathMember {
+    /// Flow index.
+    pub flow: u32,
+    /// Candidate index within the flow's set (0 = primary).
+    pub path: u32,
+    /// Downstream hops `l_v(p)` on that candidate.
+    pub l: u32,
+}
+
+/// The candidate path sets of an instance, as a two-level CSR.
+///
+/// Level 1 is the path arena: flow `f`'s candidates are the global
+/// path ids `flow_offsets[f] .. flow_offsets[f + 1]`, and global path
+/// `p`'s vertices are `path_vertices[path_offsets[p] ..
+/// path_offsets[p + 1]]`. Level 2 is the membership index: vertex
+/// `v`'s [`PathMember`] records sit at `member_entries[member_offsets
+/// [v] .. member_offsets[v + 1]]`, sorted by `(flow, path)`. `active`
+/// selects one candidate per flow; [`Instance::flows_through`] is the
+/// restriction of this index to the active selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathSets {
+    /// Level-1 fence over flows: candidate global ids per flow.
+    flow_offsets: Vec<u32>,
+    /// Level-1 fence over global paths into `path_vertices`.
+    path_offsets: Vec<u32>,
+    /// Concatenated candidate paths.
+    path_vertices: Vec<NodeId>,
+    /// Active candidate index per flow.
+    active: Vec<u32>,
+    /// Level-2 fence over vertices into `member_entries`.
+    member_offsets: Vec<u32>,
+    /// Membership records grouped by vertex, sorted by `(flow, path)`.
+    member_entries: Vec<PathMember>,
+}
+
+impl PathSets {
+    /// Builds the two-level CSR from validated candidate sets.
+    fn build(n: usize, sets: &[FlowPaths]) -> Self {
+        let mut flow_offsets = vec![0u32; sets.len() + 1];
+        let total: usize = sets.iter().map(|s| s.candidates.len()).sum();
+        let mut path_offsets = Vec::with_capacity(total + 1);
+        path_offsets.push(0u32);
+        let mut path_vertices = Vec::new();
+        let mut member_offsets = vec![0u32; n + 1];
+        for (fi, s) in sets.iter().enumerate() {
+            flow_offsets[fi + 1] = flow_offsets[fi] + s.candidates.len() as u32;
+            for p in &s.candidates {
+                path_vertices.extend_from_slice(p);
+                path_offsets.push(path_vertices.len() as u32);
+                for &v in p {
+                    member_offsets[v as usize + 1] += 1;
+                }
+            }
+        }
+        for i in 1..=n {
+            member_offsets[i] += member_offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = member_offsets[..n].to_vec();
+        let mut member_entries = vec![
+            PathMember {
+                flow: 0,
+                path: 0,
+                l: 0
+            };
+            member_offsets[n] as usize
+        ];
+        // Filling in (flow, candidate, position) order keeps every
+        // vertex row sorted by (flow, path), same argument as the
+        // active CSR's sorted-by-flow rows.
+        for (fi, s) in sets.iter().enumerate() {
+            for (j, p) in s.candidates.iter().enumerate() {
+                let hops = (p.len() - 1) as u32;
+                for (pos, &v) in p.iter().enumerate() {
+                    let slot = &mut cursor[v as usize];
+                    member_entries[*slot as usize] = PathMember {
+                        flow: fi as u32,
+                        path: j as u32,
+                        l: hops - pos as u32,
+                    };
+                    *slot += 1;
+                }
+            }
+        }
+        Self {
+            flow_offsets,
+            path_offsets,
+            path_vertices,
+            active: vec![0; sets.len()],
+            member_offsets,
+            member_entries,
+        }
+    }
+
+    /// Singleton sets mirroring fixed-path flows.
+    fn singletons(n: usize, flows: &[Flow]) -> Self {
+        let sets: Vec<FlowPaths> = flows.iter().map(FlowPaths::singleton).collect();
+        Self::build(n, &sets)
+    }
+
+    /// Number of flows.
+    #[inline]
+    pub fn flow_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total number of candidate paths across all flows.
+    #[inline]
+    pub fn total_paths(&self) -> usize {
+        self.path_offsets.len() - 1
+    }
+
+    /// Number of candidates of flow `f`.
+    #[inline]
+    pub fn candidate_count(&self, f: usize) -> usize {
+        (self.flow_offsets[f + 1] - self.flow_offsets[f]) as usize
+    }
+
+    /// Global path id of flow `f`'s candidate `j`.
+    #[inline]
+    pub fn global_id(&self, f: usize, j: usize) -> usize {
+        self.flow_offsets[f] as usize + j
+    }
+
+    /// Vertices of flow `f`'s candidate `j`.
+    #[inline]
+    pub fn path(&self, f: usize, j: usize) -> &[NodeId] {
+        self.path_by_id(self.global_id(f, j))
+    }
+
+    /// Vertices of the global path `id`.
+    #[inline]
+    pub fn path_by_id(&self, id: usize) -> &[NodeId] {
+        let lo = self.path_offsets[id] as usize;
+        let hi = self.path_offsets[id + 1] as usize;
+        &self.path_vertices[lo..hi]
+    }
+
+    /// Active candidate index of flow `f`.
+    #[inline]
+    pub fn active(&self, f: usize) -> u32 {
+        self.active[f]
+    }
+
+    /// Active candidate indices of every flow.
+    #[inline]
+    pub fn actives(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// All candidate-path memberships crossing `v`, sorted by
+    /// `(flow, path)`.
+    #[inline]
+    pub fn memberships_through(&self, v: NodeId) -> &[PathMember] {
+        let lo = self.member_offsets[v as usize] as usize;
+        let hi = self.member_offsets[v as usize + 1] as usize;
+        &self.member_entries[lo..hi]
+    }
+
+    /// Fewest hops over flow `f`'s candidates — the routing lower
+    /// bound the LP certificate prices against.
+    pub fn min_hops(&self, f: usize) -> u32 {
+        (0..self.candidate_count(f))
+            .map(|j| self.path(f, j).len() as u32 - 1)
+            .min()
+            .expect("every flow has a candidate")
     }
 }
 
@@ -176,6 +474,26 @@ impl Instance {
     pub fn audit_csr_mut(&mut self) -> (&mut Vec<u32>, &mut Vec<(u32, u32)>) {
         (&mut self.flow_offsets, &mut self.flow_entries)
     }
+
+    /// Mutable candidate-index access — the corruption hook for the
+    /// path-set audit checks.
+    pub fn audit_path_sets_mut(&mut self) -> &mut PathSets {
+        &mut self.paths
+    }
+}
+
+/// Raw arena access for audit corruption tests.
+#[cfg(any(debug_assertions, feature = "audit", test))]
+impl PathSets {
+    /// Mutable access to `(active, member_entries, path_vertices)`,
+    /// for seeding violations the auditor must catch.
+    pub fn audit_parts_mut(&mut self) -> (&mut Vec<u32>, &mut Vec<PathMember>, &mut Vec<NodeId>) {
+        (
+            &mut self.active,
+            &mut self.member_entries,
+            &mut self.path_vertices,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +512,25 @@ mod tests {
             Flow::new(1, 2, vec![2, 1, 0]),
         ];
         Instance::new(g, flows, lambda, k)
+    }
+
+    /// A diamond 0 → {1, 2} → 3 plus a long detour 0 → 4 → 5 → 3.
+    fn diamond_instance() -> Instance {
+        let mut b = GraphBuilder::new(6);
+        b.add_bidirectional(0, 1);
+        b.add_bidirectional(1, 3);
+        b.add_bidirectional(0, 2);
+        b.add_bidirectional(2, 3);
+        b.add_bidirectional(0, 4);
+        b.add_bidirectional(4, 5);
+        b.add_bidirectional(5, 3);
+        let g = b.build();
+        let sets = vec![FlowPaths::new(
+            0,
+            4,
+            vec![vec![0, 1, 3], vec![0, 2, 3], vec![0, 4, 5, 3]],
+        )];
+        Instance::with_path_sets(g, sets, 0.5, 1).unwrap()
     }
 
     #[test]
@@ -217,6 +554,100 @@ mod tests {
         let mut at2 = inst.flows_through(2).to_vec();
         at2.sort_unstable();
         assert_eq!(at2, vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn singleton_path_sets_mirror_the_flows() {
+        let inst = line_instance(0.5, 2).unwrap();
+        let ps = inst.path_sets();
+        assert_eq!(ps.flow_count(), 2);
+        assert_eq!(ps.total_paths(), 2);
+        for (i, f) in inst.flows().iter().enumerate() {
+            assert_eq!(ps.candidate_count(i), 1);
+            assert_eq!(ps.active(i), 0);
+            assert_eq!(ps.path(i, 0), &f.path[..]);
+            assert_eq!(ps.min_hops(i), f.hops() as u32);
+        }
+        // Memberships at vertex 2 match the active index rows.
+        let members = ps.memberships_through(2);
+        assert_eq!(members.len(), 2);
+        assert_eq!(
+            members[0],
+            PathMember {
+                flow: 0,
+                path: 0,
+                l: 2
+            }
+        );
+    }
+
+    #[test]
+    fn with_path_sets_activates_the_primary() {
+        let inst = diamond_instance();
+        assert_eq!(inst.flows()[0].path, vec![0, 1, 3]);
+        let ps = inst.path_sets();
+        assert_eq!(ps.candidate_count(0), 3);
+        assert_eq!(ps.global_id(0, 2), 2);
+        assert_eq!(ps.path(0, 2), &[0, 4, 5, 3]);
+        assert_eq!(ps.min_hops(0), 2);
+        // Vertex 0 is on all three candidates, with per-candidate l.
+        let ls: Vec<u32> = ps.memberships_through(0).iter().map(|m| m.l).collect();
+        assert_eq!(ls, vec![2, 2, 3]);
+        // Vertex 4 only sits on the detour candidate.
+        assert_eq!(
+            inst.path_sets().memberships_through(4),
+            &[PathMember {
+                flow: 0,
+                path: 2,
+                l: 2
+            }]
+        );
+        // The active index only sees the primary.
+        assert!(inst.flows_through(4).is_empty());
+        assert_eq!(inst.flows_through(1), &[(0, 1)]);
+    }
+
+    #[test]
+    fn set_active_paths_switches_and_rebuilds() {
+        let mut inst = diamond_instance();
+        // No-op switch: already active.
+        assert_eq!(inst.set_active_paths(&[(0, 0)]), 0);
+        // Switch to the detour: flows, active index and bandwidth all follow.
+        assert_eq!(inst.set_active_paths(&[(0, 2)]), 1);
+        assert_eq!(inst.path_sets().active(0), 2);
+        assert_eq!(inst.flows()[0].path, vec![0, 4, 5, 3]);
+        assert_eq!(inst.flows_through(4), &[(0, 2)]);
+        assert!(inst.flows_through(1).is_empty());
+        assert_eq!(inst.unprocessed_bandwidth(), 12.0);
+        // Switch back: bitwise identical to a fresh build.
+        inst.set_active_paths(&[(0, 0)]);
+        let fresh = diamond_instance();
+        assert_eq!(inst.audit_csr(), fresh.audit_csr());
+        assert_eq!(inst.flows(), fresh.flows());
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate index")]
+    fn out_of_range_switch_panics() {
+        let mut inst = diamond_instance();
+        inst.set_active_paths(&[(0, 9)]);
+    }
+
+    #[test]
+    fn with_path_sets_rejects_mismatched_endpoints() {
+        let mut b = GraphBuilder::new(3);
+        b.add_bidirectional(0, 1);
+        b.add_bidirectional(1, 2);
+        let g = b.build();
+        let sets = vec![FlowPaths {
+            id: 0,
+            rate: 1,
+            candidates: vec![vec![0, 1, 2], vec![0, 1]],
+        }];
+        assert_eq!(
+            Instance::with_path_sets(g, sets, 0.5, 1).unwrap_err(),
+            TdmdError::InvalidPath { flow: 0 }
+        );
     }
 
     #[test]
@@ -267,5 +698,15 @@ mod tests {
         assert_eq!(inst.with_k(7).k(), 7);
         assert_eq!(inst.with_lambda(0.0).lambda(), 0.0);
         assert_eq!(inst.k(), 2, "original untouched");
+    }
+
+    #[test]
+    fn serde_round_trip_keeps_path_sets() {
+        let inst = diamond_instance();
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.flows(), inst.flows());
+        assert_eq!(back.path_sets(), inst.path_sets());
+        assert_eq!(back.audit_csr(), inst.audit_csr());
     }
 }

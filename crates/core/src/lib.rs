@@ -4,7 +4,9 @@
 //!
 //! * [`instance`] — a TDMD problem [`Instance`]: topology + flows +
 //!   traffic-changing ratio `λ` + middlebox budget `k`, with the
-//!   per-vertex flow index the algorithms share.
+//!   per-vertex flow index the algorithms share. Each flow carries a
+//!   candidate [`PathSets`] entry (a singleton for classic fixed-path
+//!   instances); the index always reflects the *active* selection.
 //! * [`cost`] — the [`CostModel`] trait generalizing Eq. (1)'s
 //!   pricing ([`HopCount`], [`WeightedEdges`], chain-aware models),
 //!   compiled into the CSR [`FlowIndex`] the greedy engine scans.
@@ -16,7 +18,9 @@
 //! * [`plan`] — deployments, allocations and evaluation reports.
 //! * [`algorithms`] — GTP (Alg. 1, eager/lazy/parallel), the tree DP
 //!   (Eqs. 7–10), HAT (Alg. 2), the paper's Random and Best-effort
-//!   baselines, and an exhaustive optimum for small instances.
+//!   baselines, an exhaustive optimum for small instances, and the
+//!   [`algorithms::joint`] routing + placement solver over candidate
+//!   path sets with its LP-relaxation optimality certificate.
 //!
 //! # Example
 //!
@@ -68,7 +72,7 @@ pub mod weighted;
 
 pub use cost::{CostModel, FlowIndex, HopCount, WeightedEdges};
 pub use error::TdmdError;
-pub use instance::Instance;
+pub use instance::{Instance, PathMember, PathSets};
 pub use order::TotalGain;
 pub use plan::{Allocation, Deployment, PlanReport};
 
@@ -81,6 +85,7 @@ pub mod prelude {
         exhaustive::exhaustive_optimal,
         gtp::{gtp_budgeted, gtp_derive_k, gtp_lazy, gtp_parallel},
         hat::hat,
+        joint::{joint_solve, joint_solve_with, JointConfig, JointSolution},
         local_search::{gtp_with_local_search, local_search},
         random::random_feasible,
         Algorithm,

@@ -115,6 +115,38 @@ proptest! {
         prop_assert_eq!(err.check, "csr-offsets-shape", "{}", err);
     }
 
+    /// Corrupting a flow's active-candidate index out of range is
+    /// caught with the exact path-set check id.
+    #[test]
+    fn out_of_range_active_index_is_rejected(
+        seed in any::<u64>(), n in 3usize..14, slot in any::<u64>(),
+    ) {
+        let mut inst = random_instance(seed, n, 6, 2);
+        let f = (slot as usize) % inst.flows().len();
+        let bad = inst.path_sets().candidate_count(f) as u32;
+        let ps = inst.audit_path_sets_mut();
+        let (active, _, _) = ps.audit_parts_mut();
+        active[f] = bad;
+        let err = check_instance(&inst).unwrap_err();
+        prop_assert_eq!(err.check, "pathset-active-range", "{}", err);
+    }
+
+    /// Mislabelling a membership record's downstream-hop count is
+    /// caught against the recomputed candidate-path position.
+    #[test]
+    fn corrupted_membership_hops_are_rejected(
+        seed in any::<u64>(), n in 3usize..14, slot in any::<u64>(),
+    ) {
+        let mut inst = random_instance(seed, n, 6, 2);
+        let ps = inst.audit_path_sets_mut();
+        let (_, members, _) = ps.audit_parts_mut();
+        prop_assume!(!members.is_empty());
+        let i = (slot as usize) % members.len();
+        members[i].l += 1;
+        let err = check_instance(&inst).unwrap_err();
+        prop_assert_eq!(err.check, "pathset-member-roundtrip", "{}", err);
+    }
+
     /// Deploying more than `k` middleboxes violates the budget.
     #[test]
     fn over_budget_deployment_is_rejected(

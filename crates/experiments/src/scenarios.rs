@@ -11,7 +11,7 @@ use tdmd_core::Instance;
 use tdmd_graph::generators::ark::ark_like;
 use tdmd_graph::generators::trees::random_tree;
 use tdmd_graph::{NodeId, RootedTree};
-use tdmd_traffic::{general_workload, tree_workload, WorkloadConfig};
+use tdmd_traffic::{general_workload, general_workload_pathsets, tree_workload, WorkloadConfig};
 
 /// Parameters of one experiment point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +78,33 @@ pub fn general_instance(rng: &mut StdRng, s: Scenario) -> Instance {
     }
     let flows = general_workload(&g, &dests, &WorkloadConfig::with_density(s.density), rng);
     Instance::new(g, flows, s.lambda, s.k).expect("generated general instance is valid")
+}
+
+/// Builds one Ark-like general instance whose flows carry `k_paths`
+/// candidate routes each (the joint-routing experiment setting): the
+/// multipath workload draws each flow's primary among its candidates,
+/// then the full candidate set is attached. Every entry of a
+/// `k_paths` sweep therefore carries its own fixed-routing baseline
+/// (GTP on the drawn primaries) for the joint solver to improve on.
+pub fn general_pathset_instance(rng: &mut StdRng, s: Scenario, k_paths: usize) -> Instance {
+    let clusters = ARK_CLUSTERS.min(s.size);
+    let g = ark_like(s.size.max(2), clusters, rng);
+    let mut dests: Vec<NodeId> = Vec::new();
+    let want = GENERAL_DESTINATIONS.min(clusters);
+    while dests.len() < want {
+        let d = rng.gen_range(0..clusters) as NodeId;
+        if !dests.contains(&d) {
+            dests.push(d);
+        }
+    }
+    let sets = general_workload_pathsets(
+        &g,
+        &dests,
+        &WorkloadConfig::with_density(s.density),
+        k_paths,
+        rng,
+    );
+    Instance::with_path_sets(g, sets, s.lambda, s.k).expect("generated pathset instance is valid")
 }
 
 #[cfg(test)]

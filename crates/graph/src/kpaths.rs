@@ -2,10 +2,11 @@
 //!
 //! The paper fixes one path per flow; real deployments spread traffic
 //! over several near-shortest routes (ECMP and friends). This module
-//! lets the workload generator draw each flow's fixed path from the k
-//! shortest loopless paths instead of always the single BFS path,
-//! which diversifies the vertex-coverage structure the placement
-//! algorithms face.
+//! supplies the candidate sets: the workload generator draws each
+//! flow's active path from the k shortest loopless paths instead of
+//! always the single BFS path, and the joint routing + placement
+//! solver keeps the whole set so a placement round can re-activate
+//! any of them.
 
 use crate::digraph::{DiGraph, NodeId};
 use crate::traversal::bfs;

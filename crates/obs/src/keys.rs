@@ -36,6 +36,15 @@ pub const FLOWS_DEGRADED: &str = "flows_degraded";
 /// (a subset of [`REPAIR_US`]) — the repair-latency histogram of the
 /// chaos harness.
 pub const FAILURE_REPAIR_US: &str = "failure_repair_us";
+/// Counter: flow route changes applied by the joint routing +
+/// placement solver (active-path switches across all rounds).
+pub const PATH_SWITCHES: &str = "path_switches";
+/// Counter: GTP placement rounds run by the joint solver's
+/// alternation loop (across both of its warm starts).
+pub const JOINT_ROUNDS: &str = "joint_rounds";
+/// Sample: wall-clock µs of one flownet LP-relaxation lower-bound
+/// computation (the joint solver's optimality-gap certificate).
+pub const LP_BOUND_US: &str = "lp_bound_us";
 
 /// Every registered key, in registration order. The golden test and
 /// the `obs-keys` lint rule both walk this slice.
@@ -51,6 +60,9 @@ pub const ALL: &[&str] = &[
     FLOWS_ORPHANED,
     FLOWS_DEGRADED,
     FAILURE_REPAIR_US,
+    PATH_SWITCHES,
+    JOINT_ROUNDS,
+    LP_BOUND_US,
 ];
 
 #[cfg(test)]

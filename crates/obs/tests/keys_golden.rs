@@ -22,6 +22,9 @@ fn registry_matches_the_golden_list() {
             "flows_orphaned",
             "flows_degraded",
             "failure_repair_us",
+            "path_switches",
+            "joint_rounds",
+            "lp_bound_us",
         ]
     );
 }
@@ -40,6 +43,9 @@ fn named_constants_point_into_the_registry() {
         keys::FLOWS_ORPHANED,
         keys::FLOWS_DEGRADED,
         keys::FAILURE_REPAIR_US,
+        keys::PATH_SWITCHES,
+        keys::JOINT_ROUNDS,
+        keys::LP_BOUND_US,
     ] {
         assert!(keys::ALL.contains(&key), "{key} missing from keys::ALL");
     }

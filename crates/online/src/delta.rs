@@ -372,6 +372,39 @@ impl DeltaState {
         flow.path
     }
 
+    /// Switches an active flow to a different route — a remove + insert
+    /// that preserves the key, rate and sequence-independent identity.
+    /// Used when a candidate-path re-selection (the joint solver's
+    /// routing rounds) changes a flow's active path while it is live in
+    /// the online engine. Returns the union of dirtied vertices: the
+    /// old path and the new one.
+    ///
+    /// # Panics
+    /// Panics if `key` is not active or `gains` does not match the new
+    /// path length.
+    pub fn reroute(
+        &mut self,
+        key: FlowKey,
+        path: Vec<NodeId>,
+        gains: Vec<f64>,
+        cost: f64,
+        deployment: &Deployment,
+    ) -> Vec<NodeId> {
+        let slot = *self
+            .key_to_slot
+            .get(&key)
+            .expect("reroute of an unknown flow key");
+        let rate = self.flows[ix(slot)].as_ref().expect("slot is live").rate;
+        let mut dirty = self.remove(key);
+        let new_dirty = self.insert(key, rate, path, gains, cost, deployment);
+        for v in new_dirty {
+            if !dirty.contains(&v) {
+                dirty.push(v);
+            }
+        }
+        dirty
+    }
+
     /// Re-homes every flow whose serving gain improves under a newly
     /// deployed `v` (invariant 2 restoration after an insert into the
     /// deployment). Returns the dirtied vertices: the full paths of
@@ -757,6 +790,29 @@ mod tests {
         // Not the empty `Sum<f64>`'s -0.0 — a drained state must
         // format as "0.00", not "-0.00".
         assert!(st.exact_objective().is_sign_positive());
+    }
+
+    #[test]
+    fn reroute_switches_path_and_preserves_identity() {
+        let mut st = DeltaState::new(5, 0.5);
+        let dep = Deployment::from_vertices(5, [4]);
+        // Active on 0 → 1 → 2: no deployed vertex on path, unserved.
+        add(&mut st, 7, 2, vec![0, 1, 2], &dep);
+        assert_eq!(st.objective(), 4.0); // 2·2, nothing saved
+        assert_eq!(st.unserved_count(), 1);
+        // Switch to the covered candidate 0 → 4 → 2.
+        let f = Flow::new(0, 2, vec![0, 4, 2]);
+        let pricer = HopPricer::default();
+        let (gains, cost) = (pricer.gains(&f), pricer.unprocessed_cost(&f));
+        let mut dirty = st.reroute(7, vec![0, 4, 2], gains, cost, &dep);
+        dirty.sort_unstable();
+        assert_eq!(dirty, vec![0, 1, 2, 4]); // old ∪ new path
+        assert_eq!(st.active_count(), 1);
+        assert_eq!(st.unserved_count(), 0);
+        assert_eq!(st.flow(7).unwrap().assigned, Some((4, 1.0)));
+        assert_eq!(st.objective(), 3.0); // 2·2 − 2·0.5·1
+                                         // The old route's rows are fully unlinked.
+        assert_eq!(st.marginal_gain(1), 0.0);
     }
 
     #[test]

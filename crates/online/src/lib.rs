@@ -19,7 +19,9 @@
 //! * [`delta`] — [`DeltaState`], the incrementally-maintained mirror
 //!   of the static CSR flow index: per-vertex flow rows with O(1)
 //!   removal, per-flow assignments, and the objective as a running
-//!   sum. Arrivals and departures touch only the flow's own path.
+//!   sum. Arrivals, departures and candidate-path reroutes (a live
+//!   flow switching to another candidate under the joint routing
+//!   extension) touch only the flow's own old and new paths.
 //! * [`queue`] — [`LazyQueue`], a CELF-style lazy priority queue whose
 //!   cached marginal gains survive across events under epoch-stamped
 //!   invalidation.

@@ -1,7 +1,9 @@
 //! The flow record.
 //!
-//! A flow is unsplittable (§3.1: splitting breaks TCP ordering), has a
-//! pre-determined valid path, and an integer initial rate. Integer
+//! A flow is unsplittable (§3.1: splitting breaks TCP ordering), has
+//! one valid *active* path (pre-determined in the paper; selected from
+//! a [`crate::pathset::FlowPaths`] candidate set under the joint
+//! routing extension), and an integer initial rate. Integer
 //! rates matter: the paper's tree DP is pseudo-polynomial in the
 //! largest rate, so rates are modeled in integral "rate units".
 
@@ -11,7 +13,7 @@ use tdmd_graph::{DiGraph, NodeId};
 /// Dense flow identifier.
 pub type FlowId = u32;
 
-/// An unsplittable flow with a fixed path.
+/// An unsplittable flow with its currently active path.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Flow {
     /// Flow id (dense, unique within a workload).

@@ -1,6 +1,8 @@
 //! Workload generators.
 //!
-//! §6.1: flows' paths are fixed a priori; under the tree topology all
+//! §6.1: each flow is generated with one active path (the paper fixes
+//! it a priori; the joint extension widens it into a candidate set via
+//! [`general_workload_pathsets`]); under the tree topology all
 //! destinations are the root; flow density is the experiment knob, and
 //! flows are randomly drawn from the dataset distribution. We
 //! reproduce that protocol: sample a source (a leaf for trees, any
@@ -277,11 +279,12 @@ mod tests {
     }
 }
 
-/// Multipath variant of [`general_workload`]: each flow's fixed path
+/// Multipath variant of [`general_workload`]: each flow's active path
 /// is drawn uniformly from its `k_paths` shortest loopless routes
 /// (Yen's algorithm) instead of always the single BFS path. This
-/// models ECMP-style route diversity while keeping the paper's
-/// fixed-path assumption per flow.
+/// models ECMP-style route diversity while keeping one committed
+/// route per flow; [`general_workload_pathsets`] additionally hands
+/// the whole candidate set to the joint solver.
 ///
 /// # Panics
 /// Same conditions as [`general_workload`], plus `k_paths == 0`.
@@ -333,6 +336,27 @@ pub fn general_workload_multipath<R: Rng + ?Sized>(
     flows
 }
 
+/// Candidate-set variant of [`general_workload_multipath`]: draws the
+/// same flows (identical ids, rates and active paths for the same rng
+/// stream), then widens each into a [`crate::pathset::FlowPaths`]
+/// candidate set with
+/// the drawn route as the primary and up to `k_paths - 1` k-shortest
+/// alternatives. The fixed-path baseline solves the primaries; the
+/// joint solver may re-activate any candidate.
+///
+/// # Panics
+/// Same conditions as [`general_workload_multipath`].
+pub fn general_workload_pathsets<R: Rng + ?Sized>(
+    g: &DiGraph,
+    destinations: &[NodeId],
+    cfg: &WorkloadConfig,
+    k_paths: usize,
+    rng: &mut R,
+) -> Vec<crate::pathset::FlowPaths> {
+    let flows = general_workload_multipath(g, destinations, cfg, k_paths, rng);
+    crate::pathset::candidate_sets(&flows, g, k_paths)
+}
+
 #[cfg(test)]
 mod multipath_tests {
     use super::*;
@@ -378,6 +402,25 @@ mod multipath_tests {
                 "k = 1 must be shortest"
             );
         }
+    }
+
+    #[test]
+    fn pathsets_mirror_the_multipath_draw() {
+        let g = erdos_renyi_connected(20, 0.3, &mut StdRng::seed_from_u64(63));
+        let cfg = WorkloadConfig::with_count(30);
+        let flows = general_workload_multipath(&g, &[0], &cfg, 3, &mut StdRng::seed_from_u64(64));
+        let sets = general_workload_pathsets(&g, &[0], &cfg, 3, &mut StdRng::seed_from_u64(64));
+        assert_eq!(sets.len(), flows.len());
+        for (f, s) in flows.iter().zip(&sets) {
+            assert_eq!((s.id, s.rate), (f.id, f.rate));
+            assert_eq!(s.primary(), &f.path[..], "drawn route stays primary");
+            assert!(!s.candidates.is_empty() && s.candidates.len() <= 3);
+            for p in &s.candidates {
+                assert!(Flow::new(s.id, s.rate, p.clone()).path_is_valid(&g));
+            }
+        }
+        // Route diversity: at least one flow carries a real alternative.
+        assert!(sets.iter().any(|s| s.candidates.len() > 1));
     }
 
     #[test]

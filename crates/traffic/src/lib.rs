@@ -1,18 +1,25 @@
 //! # tdmd-traffic — flows and workload generation
 //!
 //! The TDMD evaluation drives every experiment with a set of
-//! unsplittable flows: fixed paths, integer rates drawn from a CAIDA
+//! unsplittable flows: each flow routes along one *active* path (drawn
+//! from a candidate set, a singleton in the paper's original
+//! fixed-path setting), with integer rates drawn from a CAIDA
 //! 1-hour-trace-like heavy-tailed distribution, and a *flow density*
 //! knob (total traffic load / total network capacity, §6.2). This
 //! crate provides:
 //!
-//! * [`flow`] — the [`Flow`] record and path validity checks.
+//! * [`flow`] — the [`Flow`] record (one active path) and path
+//!   validity checks.
+//! * [`pathset`] — [`FlowPaths`], a flow with its candidate path set
+//!   for the joint routing + placement extension; the singleton set
+//!   recovers the paper's model.
 //! * [`distribution`] — rate samplers: constant, uniform and the
 //!   [`distribution::CaidaLike`] heavy-tailed mixture standing in for
 //!   the (non-redistributable) CAIDA trace.
 //! * [`generator`] — tree workloads (leaf sources, root destination)
 //!   and general-topology workloads (random sources, designated
-//!   destinations, BFS shortest paths), both with density targeting.
+//!   destinations, BFS shortest paths or k-shortest candidates), both
+//!   with density targeting.
 //! * [`density`] — load/capacity bookkeeping.
 //! * [`trace`] — synthetic packet-trace generation and aggregation
 //!   back into flows (the CAIDA-like end-to-end path).
@@ -24,11 +31,16 @@ pub mod density;
 pub mod distribution;
 pub mod flow;
 pub mod generator;
+pub mod pathset;
 pub mod trace;
 
 pub use distribution::{CaidaLike, RateDistribution};
 pub use flow::{Flow, FlowId};
-pub use generator::{general_workload, general_workload_multipath, tree_workload, WorkloadConfig};
+pub use generator::{
+    general_workload, general_workload_multipath, general_workload_pathsets, tree_workload,
+    WorkloadConfig,
+};
+pub use pathset::{candidate_sets, FlowPaths};
 pub use trace::{aggregate_flows, rates_from_trace, synthesize_trace, TraceConfig};
 
 /// Convenience prelude.
@@ -37,4 +49,5 @@ pub mod prelude {
     pub use crate::distribution::{CaidaLike, RateDistribution};
     pub use crate::flow::{Flow, FlowId};
     pub use crate::generator::{general_workload, tree_workload, WorkloadConfig};
+    pub use crate::pathset::{candidate_sets, FlowPaths};
 }
