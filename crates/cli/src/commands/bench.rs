@@ -38,6 +38,8 @@ pub const SOLVE_SCHEMA: &str = "tdmd-bench-solve/v1";
 pub const STREAM_SCHEMA: &str = "tdmd-bench-stream/v1";
 /// Schema tag of `BENCH_joint.json`.
 pub const JOINT_SCHEMA: &str = "tdmd-bench-joint/v1";
+/// Schema tag of `BENCH_serve.json`.
+pub const SERVE_SCHEMA: &str = "tdmd-bench-serve/v1";
 
 /// Engine-counter deltas attributed to one solve (see
 /// [`tdmd_core::obs::EngineCounters`] for the meanings).
@@ -189,6 +191,53 @@ pub struct JointBench {
     pub seed: u64,
     /// Measurements, one per swept candidate-set size.
     pub entries: Vec<JointEntry>,
+}
+
+/// Per-tenant figures of one serve-loop replay.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ServeTenantEntry {
+    /// Tenant / traffic class id.
+    pub tenant: u16,
+    /// Events attributed to the tenant over the replay.
+    pub events: u64,
+    /// Served bandwidth at shutdown (rate units).
+    pub served_bw: u64,
+    /// Degraded bandwidth at shutdown (rate units).
+    pub degraded_bw: u64,
+    /// p50 of the tenant-attributed apply latency in µs.
+    pub apply_p50_us: f64,
+    /// p99 of the tenant-attributed apply latency in µs.
+    pub apply_p99_us: f64,
+}
+
+/// `BENCH_serve.json` document: one long multi-tenant NDJSON replay
+/// through the serve loop, with a mid-stream snapshot → restore →
+/// tail-replay bitwise check.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ServeBench {
+    /// Always [`SERVE_SCHEMA`].
+    pub schema: String,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Events piped through the loop.
+    pub events: usize,
+    /// Wall-clock replay time in µs (full uninterrupted run).
+    pub wall_us: f64,
+    /// Sustained event throughput of the uninterrupted run.
+    pub events_per_sec: f64,
+    /// Event index the mid-stream snapshot was taken at.
+    pub snapshot_at: u64,
+    /// Whether the restored tail replay finished bitwise-identical to
+    /// the uninterrupted run (deployment and exact objective). The
+    /// bench fails loudly when it does not, so a committed artifact
+    /// always says `true`.
+    pub restore_bitwise: bool,
+    /// Whole-loop event latency p50 in µs.
+    pub event_p50_us: f64,
+    /// Whole-loop event latency p99 in µs.
+    pub event_p99_us: f64,
+    /// Per-tenant fairness figures, ascending by tenant id.
+    pub tenants: Vec<ServeTenantEntry>,
 }
 
 /// The two paper-default scenarios, with their bench names.
@@ -385,22 +434,122 @@ pub fn joint_bench(seed: u64) -> Result<JointBench, String> {
     })
 }
 
-/// `tdmd bench [--seed S] [--out-dir DIR]`
+/// One long multi-tenant replay through the serve loop's NDJSON
+/// pipeline (`target_events` ≈ the stream length; flows = half). The
+/// stream is generated by the same gravity lowering as
+/// `tdmd serve gen`, snapshot at mid-stream, and the tail is replayed
+/// through a restored session: the bench *fails* unless the restored
+/// run finishes bitwise-identical (deployment + exact objective) to
+/// the uninterrupted one.
+pub fn serve_bench(seed: u64, target_events: usize) -> Result<ServeBench, String> {
+    use tdmd_serve::{ServeConfig, ServeSession, Telemetry, WireRecord};
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5E_44E);
+    let graph = tdmd_graph::generators::random::erdos_renyi_connected(140, 0.05, &mut rng);
+    let lines = crate::commands::serve::generate_events(
+        &graph,
+        3,
+        400_000,
+        target_events.div_ceil(2).max(1),
+        1_000_000,
+        250_000,
+        seed,
+    )?;
+    let cut = lines.len() / 2;
+    let mut full = lines[..cut].join("\n");
+    full.push_str("\n\"Snapshot\"\n");
+    full.push_str(&lines[cut..].join("\n"));
+    full.push('\n');
+    let mut tail = lines[cut..].join("\n");
+    tail.push('\n');
+
+    let bye_of = |out: &[u8]| -> Result<Telemetry, String> {
+        let text = std::str::from_utf8(out).map_err(|e| e.to_string())?;
+        let last = text.lines().last().ok_or("serve loop wrote no records")?;
+        match serde_json::from_str(last).map_err(|e| e.to_string())? {
+            WireRecord::Bye { telemetry } => Ok(telemetry),
+            other => Err(format!("expected a final Bye record, got {other:?}")),
+        }
+    };
+    let config = ServeConfig::default();
+    let policy = RepairPolicy::default();
+
+    let engine = OnlineEngine::new(graph.clone(), 0.5, 8, HopPricer::default(), policy)
+        .map_err(|e| e.to_string())?;
+    let mut live = ServeSession::new(engine, config.clone());
+    let mut live_out = Vec::new();
+    let sw = Stopwatch::start();
+    live.run(full.as_bytes(), &mut live_out)
+        .map_err(|e| format!("serve replay: {e}"))?;
+    let wall_us = sw.elapsed_us();
+    let a = bye_of(&live_out)?;
+
+    let snap = live
+        .last_snapshot()
+        .ok_or("the Snapshot control line left no snapshot")?;
+    let mut restored = ServeSession::restore(graph, HopPricer::default(), policy, config, snap)
+        .map_err(|e| format!("serve restore: {e}"))?;
+    let mut tail_out = Vec::new();
+    restored
+        .run(tail.as_bytes(), &mut tail_out)
+        .map_err(|e| format!("serve tail replay: {e}"))?;
+    let b = bye_of(&tail_out)?;
+    let restore_bitwise = a.deployment == b.deployment
+        && a.objective.to_bits() == b.objective.to_bits()
+        && a.active_flows == b.active_flows
+        && a.degraded_flows == b.degraded_flows;
+    if !restore_bitwise {
+        return Err(format!(
+            "snapshot restore diverged from the uninterrupted run: \
+             {:?}/{} vs {:?}/{}",
+            a.deployment, a.objective, b.deployment, b.objective
+        ));
+    }
+
+    Ok(ServeBench {
+        schema: SERVE_SCHEMA.to_string(),
+        seed,
+        events: lines.len(),
+        wall_us,
+        events_per_sec: lines.len() as f64 / (wall_us / 1e6).max(1e-9),
+        snapshot_at: snap.events,
+        restore_bitwise,
+        event_p50_us: a.event_p50_us.unwrap_or(0.0),
+        event_p99_us: a.event_p99_us.unwrap_or(0.0),
+        tenants: a
+            .tenants
+            .iter()
+            .map(|t| ServeTenantEntry {
+                tenant: t.tenant,
+                events: t.events,
+                served_bw: t.served_bw,
+                degraded_bw: t.degraded_bw,
+                apply_p50_us: t.apply_p50_us.unwrap_or(0.0),
+                apply_p99_us: t.apply_p99_us.unwrap_or(0.0),
+            })
+            .collect(),
+    })
+}
+
+/// `tdmd bench [--seed S] [--out-dir DIR] [--serve-events N]`
 ///
-/// Writes `BENCH_solve.json`, `BENCH_stream.json` and
-/// `BENCH_joint.json` into `DIR` (default `.`) and prints a
+/// Writes `BENCH_solve.json`, `BENCH_stream.json`, `BENCH_joint.json`
+/// and `BENCH_serve.json` into `DIR` (default `.`) and prints a
 /// one-line-per-entry summary.
 pub fn bench(args: &Args) -> Result<String, String> {
     let seed: u64 = args.num("seed", 42)?;
     let out_dir = args.optional("out-dir").unwrap_or(".");
+    let serve_events: usize = args.num("serve-events", 100_000)?;
 
     let solve = solve_bench(seed)?;
     let stream = stream_bench(seed)?;
     let joint = joint_bench(seed)?;
+    let serve = serve_bench(seed, serve_events)?;
 
     let solve_path = format!("{out_dir}/BENCH_solve.json");
     let stream_path = format!("{out_dir}/BENCH_stream.json");
     let joint_path = format!("{out_dir}/BENCH_joint.json");
+    let serve_path = format!("{out_dir}/BENCH_serve.json");
     write_out(
         &solve_path,
         &serde_json::to_string_pretty(&solve).map_err(|e| e.to_string())?,
@@ -412,6 +561,10 @@ pub fn bench(args: &Args) -> Result<String, String> {
     write_out(
         &joint_path,
         &serde_json::to_string_pretty(&joint).map_err(|e| e.to_string())?,
+    )?;
+    write_out(
+        &serve_path,
+        &serde_json::to_string_pretty(&serve).map_err(|e| e.to_string())?,
     )?;
 
     let mut out = format!("seed {seed}\n== solve ({solve_path}) ==\n");
@@ -434,6 +587,21 @@ pub fn bench(args: &Args) -> Result<String, String> {
             "  {:>16}/k_paths={} joint {:>10.2}  fixed {:>10.2}  lp bound {:>10.2}  \
              {} switches\n",
             e.scenario, e.k_paths, e.objective, e.fixed_objective, e.lp_bound, e.path_switches
+        ));
+    }
+    out.push_str(&format!("== serve ({serve_path}) ==\n"));
+    out.push_str(&format!(
+        "  {} events  {:.0} events/sec  p99 {:.1} µs  snapshot @ {}  restore bitwise: {}\n",
+        serve.events,
+        serve.events_per_sec,
+        serve.event_p99_us,
+        serve.snapshot_at,
+        serve.restore_bitwise
+    ));
+    for t in &serve.tenants {
+        out.push_str(&format!(
+            "  tenant {}: {} events  p50 {:.1} µs  p99 {:.1} µs  served {}  degraded {}\n",
+            t.tenant, t.events, t.apply_p50_us, t.apply_p99_us, t.served_bw, t.degraded_bw
         ));
     }
     Ok(out)
@@ -518,15 +686,34 @@ mod tests {
     }
 
     #[test]
+    fn serve_bench_checks_restore_and_reports_per_tenant_percentiles() {
+        let b = serve_bench(9, 2_000).unwrap();
+        assert_eq!(b.schema, SERVE_SCHEMA);
+        assert!(b.events >= 1_000);
+        assert!(b.restore_bitwise, "bench must certify the restore");
+        assert!(b.events_per_sec > 0.0);
+        assert!(b.snapshot_at > 0 && b.snapshot_at < b.events as u64);
+        assert_eq!(b.tenants.len(), 3, "3 traffic classes");
+        for t in &b.tenants {
+            assert!(t.events > 0, "tenant {}", t.tenant);
+            assert!(t.apply_p50_us <= t.apply_p99_us, "tenant {}", t.tenant);
+        }
+    }
+
+    #[test]
     fn bench_writes_schema_stable_json() {
         let dir = std::env::temp_dir().join("tdmd-cli-test-bench");
         let out = bench(&args(&[
             ("seed", "11"),
             ("out-dir", &dir.display().to_string()),
+            // Keep the serve replay short in the debug-build test;
+            // the committed artifact uses the 100k default.
+            ("serve-events", "2000"),
         ]))
         .unwrap();
         assert!(out.contains("== solve"));
         assert!(out.contains("== stream"));
+        assert!(out.contains("== serve"));
         // Golden-schema check: the emitted JSON must round-trip into
         // the published document types.
         let solve: SolveBench =
@@ -545,6 +732,11 @@ mod tests {
                 .unwrap();
         assert_eq!(joint.schema, JOINT_SCHEMA);
         assert_eq!(joint.entries.len(), 4);
+        let serve: ServeBench =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("BENCH_serve.json")).unwrap())
+                .unwrap();
+        assert_eq!(serve.schema, SERVE_SCHEMA);
+        assert!(serve.restore_bitwise);
     }
 
     #[test]

@@ -15,9 +15,13 @@
 //! * [`commands::stream`] — `tdmd stream gen|run|inject`: span-file
 //!   generation, churn replay through the online engine, and seeded
 //!   fault injection with degradation/repair reporting.
+//! * [`commands::serve`] — `tdmd serve gen|run`: multi-tenant NDJSON
+//!   event-stream generation and the long-running placement service
+//!   (`tdmd-serve`), with snapshot/restore across runs.
 //! * [`commands::bench`] — `tdmd bench`: the machine-readable solver
 //!   and stream benchmark JSON (`tdmd-bench-solve/v1`,
-//!   `tdmd-bench-stream/v1`).
+//!   `tdmd-bench-stream/v1`, `tdmd-bench-joint/v1`,
+//!   `tdmd-bench-serve/v1`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

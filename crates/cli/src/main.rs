@@ -15,6 +15,10 @@
 //!                 --policy incremental --oracle-every 64
 //! tdmd stream inject --topo topo.json --spans spans.json --lambda 0.5 --k 8 \
 //!                    --mode targeted --period-us 5000 --mttr-us 2000 --seed 4
+//! tdmd serve gen --topo topo.json --tenants 3 --duration 100000 --seed 5 \
+//!                --out events.ndjson
+//! tdmd serve run --topo topo.json --lambda 0.5 --k 8 --in events.ndjson \
+//!                --snapshot-every 1000 --snapshot-path state.json
 //! tdmd bench --seed 42 --out-dir bench-out
 //! ```
 
@@ -73,6 +77,15 @@ fn run(argv: &[String]) -> Result<String, String> {
                 other => Err(format!("unknown stream subcommand '{other}'")),
             }
         }
+        "serve" => {
+            let (sub, rest) = rest.split_first().ok_or_else(usage)?;
+            let args = Args::parse(rest)?;
+            match sub.as_str() {
+                "gen" => commands::serve::generate(&args),
+                "run" => commands::serve::run(&args),
+                other => Err(format!("unknown serve subcommand '{other}'")),
+            }
+        }
         "place" | "solve" => commands::place::place(&Args::parse(rest)?),
         "evaluate" => commands::evaluate::evaluate(&Args::parse(rest)?),
         "bench" => commands::bench::bench(&Args::parse(rest)?),
@@ -83,7 +96,8 @@ fn run(argv: &[String]) -> Result<String, String> {
 
 fn usage() -> String {
     "usage: tdmd <topo gen|topo stats|topo dot|workload gen|place (alias: solve)|\
-     evaluate|chain place|stream gen|stream run|stream inject|bench> [--flag value ...]\n\
+     evaluate|chain place|stream gen|stream run|stream inject|serve gen|serve run|\
+     bench> [--flag value ...]\n\
      pass --audit true to place/solve and stream run to re-validate the structural\n\
      invariants (see tdmd-core::audit); see the crate docs for the full flag list"
         .to_string()

@@ -172,6 +172,76 @@ impl CostModel for WeightedEdges {
     }
 }
 
+/// Per-tenant weighting adapter over any [`CostModel`]: every metric
+/// of a flow is multiplied by its tenant's weight, so placement
+/// optimizes *weighted* bandwidth (premium tenants pull middleboxes
+/// toward their paths in proportion to their weight).
+///
+/// The Theorem 2 contract survives: multiplying a flow's whole gain
+/// profile by one non-negative constant keeps it non-negative,
+/// non-increasing along the path, and dominated by the (equally
+/// scaled) unprocessed cost — so the `(1 − 1/e)` greedy guarantee
+/// applies to the weighted objective unchanged.
+///
+/// Weights are indexed by [`Flow::tenant`]; tenants beyond the table
+/// fall back to the neutral weight `1.0`. With every weight exactly
+/// `1.0` the adapter is *bitwise* transparent (IEEE 754 guarantees
+/// `1.0 * x == x` for every finite `x`), so single-tenant pipelines
+/// can wrap unconditionally without perturbing placement.
+#[derive(Debug, Clone)]
+pub struct TenantCostModel<M> {
+    inner: M,
+    weights: Vec<f64>,
+}
+
+impl<M: CostModel> TenantCostModel<M> {
+    /// Wraps `inner`, weighting tenant `t` by `weights[t]` (missing
+    /// entries weigh `1.0`).
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or non-finite (the Theorem 2
+    /// contract needs non-negative gains).
+    pub fn new(inner: M, weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "tenant weights must be finite and non-negative"
+        );
+        Self { inner, weights }
+    }
+
+    /// The weight applied to `tenant`'s flows.
+    #[inline]
+    pub fn weight_of(&self, tenant: tdmd_traffic::TenantId) -> f64 {
+        self.weights
+            .get(usize::from(tenant))
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// The wrapped model.
+    #[inline]
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: CostModel> CostModel for TenantCostModel<M> {
+    #[inline]
+    fn serving_gain(&self, flow: &Flow, pos: usize) -> f64 {
+        self.weight_of(flow.tenant) * self.inner.serving_gain(flow, pos)
+    }
+
+    #[inline]
+    fn unprocessed_cost(&self, flow: &Flow) -> f64 {
+        self.weight_of(flow.tenant) * self.inner.unprocessed_cost(flow)
+    }
+
+    #[inline]
+    fn coverage_tiebreak(&self) -> bool {
+        self.inner.coverage_tiebreak()
+    }
+}
+
 /// A [`CostModel`] compiled against one [`Instance`]: for every vertex,
 /// the flows crossing it with their serving gains, stored as one flat
 /// CSR arena (`offsets[v] .. offsets[v + 1]` slices `entries`).
@@ -319,6 +389,54 @@ mod tests {
     }
 
     #[test]
+    fn neutral_tenant_weights_are_bitwise_transparent() {
+        let inst = fig1_instance(2);
+        let model = TenantCostModel::new(HopCount, vec![1.0; 4]);
+        for f in inst.flows() {
+            assert_eq!(
+                model.unprocessed_cost(f).to_bits(),
+                HopCount.unprocessed_cost(f).to_bits()
+            );
+            for pos in 0..f.path.len() {
+                assert_eq!(
+                    model.serving_gain(f, pos).to_bits(),
+                    HopCount.serving_gain(f, pos).to_bits(),
+                    "flow {} pos {pos}",
+                    f.id
+                );
+            }
+        }
+        assert!(model.coverage_tiebreak());
+    }
+
+    #[test]
+    fn missing_tenants_fall_back_to_weight_one() {
+        let model = TenantCostModel::new(HopCount, vec![2.0]);
+        assert_eq!(model.weight_of(0), 2.0);
+        assert_eq!(model.weight_of(7), 1.0);
+        let f = Flow::new(0, 3, vec![0, 1, 2]).with_tenant(7);
+        assert_eq!(
+            model.serving_gain(&f, 0).to_bits(),
+            HopCount.serving_gain(&f, 0).to_bits()
+        );
+    }
+
+    #[test]
+    fn tenant_weights_scale_the_metric() {
+        let model = TenantCostModel::new(HopCount, vec![1.0, 3.0]);
+        let f = Flow::new(0, 2, vec![0, 1, 2]).with_tenant(1);
+        assert_eq!(model.unprocessed_cost(&f), 6.0);
+        assert_eq!(model.serving_gain(&f, 1), 3.0);
+        assert_eq!(model.inner().serving_gain(&f, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_tenant_weights_are_rejected() {
+        TenantCostModel::new(HopCount, vec![1.0, -0.5]);
+    }
+
+    #[test]
     fn unit_weight_edges_price_like_hops() {
         // fig1's builder uses unit weights, so the weighted suffix
         // sums must coincide with downstream hop counts exactly.
@@ -386,6 +504,54 @@ mod tests {
         let expected = [0.0, 0.0, 3.0, 1.0, 4.0, 3.0];
         for (v, &want) in expected.iter().enumerate() {
             assert_eq!(index.marginal_decrement(&inst, &cur, v as NodeId), want);
+        }
+    }
+
+    mod tenant_props {
+        use super::*;
+        use crate::algorithms::gtp::gtp_lazy_with;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use tdmd_graph::generators::random::erdos_renyi_connected;
+        use tdmd_traffic::tenant::{gravity_workload, GravityConfig, TenantProfile};
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Satellite pin: with every tenant weighted `1.0`, the
+            /// wrapped model compiles to a bitwise-identical CSR and
+            /// GTP picks the identical deployment on the default
+            /// (gravity) multi-tenant workload.
+            #[test]
+            fn weight_one_model_is_bitwise_equal_on_gravity_workload(seed in any::<u64>()) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let g = erdos_renyi_connected(16, 0.25, &mut rng);
+                let cfg = GravityConfig::with_total_rate(20_000)
+                    .tenants(TenantProfile::uniform(3));
+                let flows =
+                    gravity_workload(&g, &[1, 2, 3, 5], &[0, 4], &cfg, &mut rng);
+                prop_assume!(!flows.is_empty());
+                let inst = Instance::new(g, flows, 0.5, 3).expect("gravity flows are valid");
+                let neutral = TenantCostModel::new(HopCount, vec![1.0; 3]);
+                let a = FlowIndex::build(&inst, &HopCount);
+                let b = FlowIndex::build(&inst, &neutral);
+                for v in 0..inst.node_count() as NodeId {
+                    let (xs, ys) = (a.flows_through(v), b.flows_through(v));
+                    prop_assert_eq!(xs.len(), ys.len());
+                    for (&(fi, gi), &(fj, gj)) in xs.iter().zip(ys) {
+                        prop_assert_eq!(fi, fj);
+                        prop_assert_eq!(gi.to_bits(), gj.to_bits(), "vertex {}", v);
+                    }
+                }
+                let plain = gtp_lazy_with(&inst, 3, &HopCount);
+                let wrapped = gtp_lazy_with(&inst, 3, &neutral);
+                match (plain, wrapped) {
+                    (Ok(p), Ok(w)) => prop_assert_eq!(p.vertices(), w.vertices()),
+                    (Err(_), Err(_)) => {}
+                    (p, w) => prop_assert!(false, "feasibility diverged: {:?} vs {:?}", p, w),
+                }
+            }
         }
     }
 }

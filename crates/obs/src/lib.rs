@@ -19,7 +19,8 @@
 //!   counters and raw samples for exact percentile reporting.
 //! * [`percentile`] — exact nearest-rank percentile over a sorted
 //!   sample (the one true implementation; callers must not hand-roll
-//!   it).
+//!   it), and [`percentile_opt`], its `Option`-shaped wrapper that
+//!   keeps empty samples from masquerading as a measured `0.0`.
 //! * [`normalize_zero`] — collapses IEEE `-0.0` to `+0.0` at
 //!   formatting boundaries so objective sums never print as `-0.00`.
 //!
@@ -46,7 +47,13 @@ pub use timer::Stopwatch;
 /// `p = 100` the maximum. Out-of-range `p` is clamped (and rejected by
 /// a debug assertion), as are unsorted or NaN-bearing inputs — both
 /// would silently return a wrong rank, which is exactly the bug class
-/// this function exists to prevent. An empty sample yields `0.0`.
+/// this function exists to prevent.
+///
+/// An empty sample yields the sentinel `0.0` — never NaN — which keeps
+/// legacy aggregate reports finite but is indistinguishable from a
+/// genuine zero-valued sample. Callers that must tell "no data" apart
+/// from "measured zero" (per-tenant fairness reporting, where a tenant
+/// may simply have no flows yet) should use [`percentile_opt`].
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     debug_assert!(
         (0.0..=100.0).contains(&p),
@@ -66,6 +73,23 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     let p = p.clamp(0.0, 100.0);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
     sorted[rank.min(sorted.len()) - 1]
+}
+
+/// [`percentile`] with an honest empty case: `None` when the sample is
+/// empty, `Some(percentile(..))` otherwise.
+///
+/// Use this wherever an absent measurement must not masquerade as a
+/// measured `0.0` — e.g. per-tenant latency percentiles, where a
+/// tenant with no repaired flows has no latency, not a zero one. The
+/// same input-validity debug assertions as [`percentile`] apply, and
+/// the returned value is never NaN for NaN-free input.
+#[inline]
+pub fn percentile_opt(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        None
+    } else {
+        Some(percentile(sorted, p))
+    }
 }
 
 /// Collapses signed zero: `-0.0` formats as `-0.00`, which reads as a
@@ -105,6 +129,19 @@ mod tests {
     #[test]
     fn percentile_empty_sample_is_zero() {
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_opt_distinguishes_empty_from_zero() {
+        // The safe wrapper reports "no data" as None, never as the
+        // bare-percentile 0.0 sentinel, and never as NaN.
+        assert_eq!(percentile_opt(&[], 50.0), None);
+        assert_eq!(percentile_opt(&[0.0], 50.0), Some(0.0));
+        assert_eq!(percentile_opt(&[1.0, 2.0, 3.0, 4.0], 75.0), Some(3.0));
+        assert_eq!(percentile_opt(&[1.0, 2.0, 3.0, 4.0], 0.0), Some(1.0));
+        for p in [0.0, 50.0, 100.0] {
+            assert!(!percentile_opt(&[], p).is_some_and(f64::is_nan));
+        }
     }
 
     // The rejection tests only exist in debug builds, where the

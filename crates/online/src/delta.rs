@@ -207,6 +207,17 @@ impl DeltaState {
         slots
     }
 
+    /// Active flows in arrival (seq) order — the canonical order
+    /// engine snapshots serialize and restores replay, so both sides
+    /// of a snapshot/restore round trip rebuild bitwise-identical
+    /// float sums.
+    pub fn flows_in_seq_order(&self) -> Vec<&ActiveFlow> {
+        self.slots_in_seq_order()
+            .into_iter()
+            .map(|s| self.flows[ix(s)].as_ref().expect("live slot"))
+            .collect()
+    }
+
     /// Densified snapshot of the active flows (ids re-assigned
     /// `0..n` in arrival order) — the workload of the from-scratch
     /// oracle.

@@ -34,7 +34,7 @@
 //! is re-spent greedily, so replans stay safe at the cost of the
 //! oracle-equality guarantee (restored on full recovery).
 
-use tdmd_core::num::{approx_f64, id32, ix, wide};
+use tdmd_core::num::{approx_f64, big_ix, id32, ix, wide};
 use tdmd_core::{Deployment, Instance, TdmdError};
 use tdmd_graph::{DiGraph, NodeId};
 use tdmd_obs::{NoopRecorder, Recorder, Stopwatch};
@@ -45,6 +45,7 @@ use crate::event::{Event, FlowKey, TimedEvent};
 use crate::pricer::PathPricer;
 use crate::queue::LazyQueue;
 use crate::repair::{RepairPolicy, RepairStats};
+use crate::snapshot::{EngineSnapshot, SnapshotError, SnapshotFlow, SNAPSHOT_VERSION};
 
 /// Gains below this are treated as zero by the repair loop.
 const GAIN_EPS: f64 = 1e-12;
@@ -684,6 +685,163 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
         }
         self.stats.replans += 1;
         self.recorder.count(obs_keys::REPLANS, 1);
+    }
+
+    /// Rebuilds the delta state and the CELF queue into their
+    /// canonical forms: flows re-inserted in arrival (seq) order
+    /// against the current deployment, queue entries with exact
+    /// marginal-gain bounds for every live candidate. Deployment,
+    /// failure mask and stats are untouched, assignments are the same
+    /// deterministic argmaxes, and the rebuilt queue is at least as
+    /// coherent as the auditor demands — so behavior is preserved
+    /// while insertion-history-dependent float-summation order is
+    /// normalized (see [`crate::snapshot`]).
+    fn canonicalize(&mut self) {
+        let n = self.graph.node_count();
+        let old = std::mem::replace(&mut self.state, DeltaState::new(n, self.lambda));
+        for f in old.flows_in_seq_order() {
+            self.state.insert(
+                f.key,
+                f.rate,
+                f.path.clone(),
+                f.gains.clone(),
+                f.cost,
+                &self.deployment,
+            );
+        }
+        let mut queue = LazyQueue::new(n);
+        for v in 0..id32(n) {
+            if self.failed[ix(v)] {
+                queue.block(v);
+            } else if !self.deployment.contains(v) {
+                let g = self.state.marginal_gain(v);
+                if g > GAIN_EPS {
+                    queue.reinsert(v, g);
+                }
+            }
+        }
+        self.queue = queue;
+    }
+
+    /// Captures a versioned snapshot of the replayable engine state,
+    /// canonicalizing the live engine in place as it does (see
+    /// [`crate::snapshot`] for the bitwise-restore contract: after
+    /// this call, the engine and any [`OnlineEngine::restore`] of the
+    /// returned snapshot are bitwise interchangeable under any future
+    /// event stream).
+    pub fn snapshot(&mut self) -> EngineSnapshot {
+        self.canonicalize();
+        let flows = self
+            .state
+            .flows_in_seq_order()
+            .into_iter()
+            .map(|f| SnapshotFlow {
+                key: f.key,
+                rate: f.rate,
+                path: f.path.clone(),
+                gains: f.gains.clone(),
+                cost: f.cost,
+            })
+            .collect();
+        EngineSnapshot {
+            version: SNAPSHOT_VERSION,
+            node_count: wide(self.graph.node_count()),
+            lambda: self.lambda,
+            k: wide(self.k),
+            flows,
+            deployment: self.deployment.vertices().to_vec(),
+            failed: self.failed_vertices(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot. The topology, pricer,
+    /// policy and recorder are supplied by the caller exactly as at
+    /// construction — only the replayable state (flows, deployment,
+    /// failure mask, stats) comes from the snapshot. The restored
+    /// engine is bitwise interchangeable with the engine that took
+    /// the snapshot (see [`crate::snapshot`]).
+    ///
+    /// # Errors
+    /// Rejects version/topology mismatches and structurally invalid
+    /// documents ([`SnapshotError`]).
+    pub fn restore(
+        graph: DiGraph,
+        pricer: P,
+        policy: RepairPolicy,
+        recorder: R,
+        snap: &EngineSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: snap.version,
+            });
+        }
+        let n = graph.node_count();
+        if snap.node_count != wide(n) {
+            return Err(SnapshotError::TopologyMismatch {
+                expected: snap.node_count,
+                found: wide(n),
+            });
+        }
+        if !(0.0..=1.0).contains(&snap.lambda) || snap.lambda.is_nan() {
+            return Err(SnapshotError::BadLambda(snap.lambda));
+        }
+        let k = big_ix(snap.k);
+        for &v in snap.deployment.iter().chain(&snap.failed) {
+            if ix(v) >= n {
+                return Err(SnapshotError::BadVertex { vertex: v });
+            }
+        }
+        if let Some(&v) = snap.deployment.iter().find(|v| snap.failed.contains(v)) {
+            return Err(SnapshotError::DeployedWhileFailed { vertex: v });
+        }
+        if snap.deployment.len() > k {
+            return Err(SnapshotError::OverBudget {
+                deployed: wide(snap.deployment.len()),
+                k: snap.k,
+            });
+        }
+        let mut engine = Self::with_recorder(graph, snap.lambda, k, pricer, policy, recorder)
+            .map_err(|_| SnapshotError::BadLambda(snap.lambda))?;
+        engine.deployment = Deployment::from_vertices(n, snap.deployment.iter().copied());
+        for &v in &snap.failed {
+            engine.failed[ix(v)] = true;
+            engine.failed_count += 1;
+            engine.queue.block(v);
+        }
+        for f in &snap.flows {
+            engine
+                .validate_arrival(f.key, f.rate, &f.path)
+                .map_err(|e| match e {
+                    OnlineError::DuplicateKey { key } => SnapshotError::DuplicateKey { key },
+                    _ => SnapshotError::InvalidFlow { key: f.key },
+                })?;
+            if f.gains.len() != f.path.len()
+                || f.gains.iter().any(|g| !g.is_finite())
+                || !f.cost.is_finite()
+            {
+                return Err(SnapshotError::InvalidFlow { key: f.key });
+            }
+            engine.state.insert(
+                f.key,
+                f.rate,
+                f.path.clone(),
+                f.gains.clone(),
+                f.cost,
+                &engine.deployment,
+            );
+        }
+        for v in 0..id32(n) {
+            if !engine.failed[ix(v)] && !engine.deployment.contains(v) {
+                let g = engine.state.marginal_gain(v);
+                if g > GAIN_EPS {
+                    engine.queue.reinsert(v, g);
+                }
+            }
+        }
+        engine.stats = snap.stats;
+        Ok(engine)
     }
 }
 

@@ -29,6 +29,10 @@
 //!   runs the pluggable [`RepairPolicy`]: greedy adds/drops, bounded
 //!   swap repair, and a drift-triggered full replan against a
 //!   periodically-sampled from-scratch GTP solve.
+//! * [`snapshot`] — versioned engine state capture and restore
+//!   ([`OnlineEngine::snapshot`] / [`OnlineEngine::restore`]) with a
+//!   bitwise-restore contract: the restored engine is float-for-float
+//!   interchangeable with the one that took the snapshot.
 //!
 //! # Example
 //!
@@ -73,6 +77,7 @@ pub mod event;
 pub mod pricer;
 pub mod queue;
 pub mod repair;
+pub mod snapshot;
 
 pub use delta::{DeltaState, Failover};
 pub use engine::{obs_keys, OnlineEngine, OnlineError};
@@ -80,3 +85,4 @@ pub use event::{events_from_spans, merge_events, Event, FlowKey, FlowSpan, Timed
 pub use pricer::{HopPricer, ModelPricer, PathPricer, WeightedPathPricer};
 pub use queue::LazyQueue;
 pub use repair::{RepairPolicy, RepairStats};
+pub use snapshot::{EngineSnapshot, SnapshotError, SnapshotFlow, SNAPSHOT_VERSION};

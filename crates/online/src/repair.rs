@@ -44,6 +44,8 @@
 //! repair mechanism ever deploys on, or leaves a flow assigned to, a
 //! failed vertex.
 
+use serde::{Deserialize, Serialize};
+
 /// Repair configuration of an [`OnlineEngine`](crate::OnlineEngine).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RepairPolicy {
@@ -104,7 +106,16 @@ impl RepairPolicy {
 }
 
 /// Per-engine repair telemetry.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// Serializable because engine snapshots
+/// ([`crate::snapshot::EngineSnapshot`]) carry it across a
+/// snapshot/restore round trip: `events` drives the
+/// [`RepairPolicy::sample_every`] schedule, so a restored engine must
+/// resume the drift-sampling cadence exactly where the live one left
+/// off. Every field is finite (`last_drift` is a ratio of finite
+/// objectives, 0 when never sampled), so the JSON round trip is
+/// lossless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct RepairStats {
     /// Events applied.
     pub events: u64,

@@ -1,0 +1,185 @@
+//! Versioned engine state snapshots — the crash/restart story of the
+//! `tdmd serve` daemon.
+//!
+//! A snapshot captures everything an [`OnlineEngine`] cannot re-derive
+//! from its constructor arguments: the active flows with their
+//! arrival-time pricing, the deployment, the failure mask, and the
+//! repair telemetry (whose event counter drives the drift-sampling
+//! schedule). The topology, pricer, repair policy and recorder are
+//! *not* serialized — the caller supplies them again at restore time,
+//! exactly like at construction. (The policy in particular may carry
+//! `drift_eps = ∞`, which JSON cannot round-trip.)
+//!
+//! # The bitwise-restore contract
+//!
+//! [`OnlineEngine::snapshot`] takes `&mut self` because it
+//! *canonicalizes* the live engine as it serializes it: the delta
+//! state is rebuilt by re-inserting every active flow in arrival
+//! order against the current deployment, and the CELF queue is
+//! rebuilt with exact marginal-gain bounds. [`OnlineEngine::restore`]
+//! builds the identical structures from the snapshot, so the restored
+//! engine is *bitwise* interchangeable with the one that took the
+//! snapshot: every future event stream applied to both produces
+//! identical deployments, objectives (`exact_objective().to_bits()`)
+//! and stats. Canonicalizing only the restored side would not be
+//! enough — [`DeltaState`](crate::DeltaState) row order and the
+//! float-summation order of its marginal gains depend on insertion
+//! history, so the two sides must be normalized to the *same*
+//! history.
+//!
+//! Canonicalization is behavior-preserving on the live side: the
+//! rebuilt assignments are the same deterministic `(gain, smaller
+//! id)` argmaxes, the rebuilt running sums equal
+//! [`DeltaState::exact_objective`](crate::DeltaState::exact_objective)
+//! (which is insertion-order-independent for a fixed seq order), and
+//! the rebuilt queue holds exact bounds — a superset of the coherence
+//! the auditor demands.
+//!
+//! [`OnlineEngine`]: crate::OnlineEngine
+//! [`OnlineEngine::snapshot`]: crate::OnlineEngine::snapshot
+//! [`OnlineEngine::restore`]: crate::OnlineEngine::restore
+
+use serde::{Deserialize, Serialize};
+use tdmd_graph::NodeId;
+
+use crate::event::FlowKey;
+use crate::repair::RepairStats;
+
+/// Schema version written by [`crate::OnlineEngine::snapshot`];
+/// [`crate::OnlineEngine::restore`] rejects any other value.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One active flow as serialized in a snapshot, in arrival order.
+///
+/// The arrival-time pricing (`gains`, `cost`) is stored verbatim
+/// rather than re-derived from the pricer at restore time: bitwise
+/// restore must reproduce the exact floats the live engine computed,
+/// whatever pricer state produced them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotFlow {
+    /// Stream-stable flow key.
+    pub key: FlowKey,
+    /// Rate `r_f`.
+    pub rate: u64,
+    /// Active path as a vertex sequence.
+    pub path: Vec<NodeId>,
+    /// Per-position serving gains (pricer output, fixed at arrival).
+    pub gains: Vec<f64>,
+    /// Unprocessed metric of the whole path.
+    pub cost: f64,
+}
+
+/// A versioned, serializable capture of an
+/// [`OnlineEngine`](crate::OnlineEngine)'s replayable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Vertex count of the topology the engine ran on — restore
+    /// re-checks it against the supplied graph.
+    pub node_count: u64,
+    /// Traffic-changing ratio λ.
+    pub lambda: f64,
+    /// Middlebox budget `k`.
+    pub k: u64,
+    /// Active flows in arrival (seq) order — the order restore
+    /// re-inserts them in.
+    pub flows: Vec<SnapshotFlow>,
+    /// Deployed vertices, ascending.
+    pub deployment: Vec<NodeId>,
+    /// Failed vertices, ascending.
+    pub failed: Vec<NodeId>,
+    /// Repair telemetry; `stats.events` resumes the drift-sampling
+    /// schedule.
+    pub stats: RepairStats,
+}
+
+/// Why a snapshot could not be restored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The snapshot's schema version is not [`SNAPSHOT_VERSION`].
+    UnsupportedVersion {
+        /// Version found in the document.
+        found: u32,
+    },
+    /// The supplied graph's vertex count disagrees with the snapshot.
+    TopologyMismatch {
+        /// Vertex count recorded in the snapshot.
+        expected: u64,
+        /// Vertex count of the supplied graph.
+        found: u64,
+    },
+    /// λ outside `[0, 1]` (a corrupt document — the engine never
+    /// accepts one).
+    BadLambda(f64),
+    /// A flow's path is degenerate, non-simple, off the supplied
+    /// topology, its rate is zero, or its gains do not match its
+    /// path length.
+    InvalidFlow {
+        /// Offending flow key.
+        key: FlowKey,
+    },
+    /// Two flows share a key.
+    DuplicateKey {
+        /// Offending flow key.
+        key: FlowKey,
+    },
+    /// A deployment/failed entry lies outside the topology.
+    BadVertex {
+        /// Offending vertex id.
+        vertex: NodeId,
+    },
+    /// A vertex is both deployed and failed — the engine's core
+    /// safety invariant forbids it.
+    DeployedWhileFailed {
+        /// Offending vertex id.
+        vertex: NodeId,
+    },
+    /// More vertices deployed than the budget allows.
+    OverBudget {
+        /// Deployed-vertex count in the snapshot.
+        deployed: u64,
+        /// Budget `k` recorded in the snapshot.
+        k: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (want {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::TopologyMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot taken on {expected} vertices, graph has {found}"
+                )
+            }
+            SnapshotError::BadLambda(l) => write!(f, "snapshot lambda {l} outside [0, 1]"),
+            SnapshotError::InvalidFlow { key } => {
+                write!(f, "snapshot flow {key}: invalid path, rate or gains")
+            }
+            SnapshotError::DuplicateKey { key } => {
+                write!(f, "snapshot flow key {key} appears twice")
+            }
+            SnapshotError::BadVertex { vertex } => {
+                write!(f, "snapshot vertex {vertex} is not in the topology")
+            }
+            SnapshotError::DeployedWhileFailed { vertex } => {
+                write!(f, "snapshot vertex {vertex} is both deployed and failed")
+            }
+            SnapshotError::OverBudget { deployed, k } => {
+                write!(
+                    f,
+                    "snapshot deploys {deployed} middleboxes over budget k = {k}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}

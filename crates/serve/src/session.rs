@@ -1,0 +1,436 @@
+//! [`ServeSession`] — the long-running placement service loop.
+//!
+//! A session wraps an [`OnlineEngine`] and drives it from a
+//! newline-delimited JSON event stream ([`WireEvent`]), writing
+//! placement decisions, periodic telemetry and snapshot notices
+//! ([`WireRecord`]) to an output stream. The loop never panics on bad
+//! input: malformed lines and engine-rejected events come back as
+//! [`WireRecord::Rejected`] and processing continues.
+//!
+//! # Snapshot / restore
+//!
+//! [`ServeSession::snapshot`] captures a versioned [`ServeSnapshot`]:
+//! the engine's bitwise-restorable state
+//! ([`EngineSnapshot`](tdmd_online::EngineSnapshot)) plus the
+//! session's tenant map and lifetime counters.
+//! [`ServeSession::restore`] rebuilds a session that is bitwise
+//! interchangeable with the one that took the snapshot: replaying the
+//! same remaining events yields identical deployments and objectives
+//! (`exact_objective` bit-for-bit — the engine-level property test
+//! pins this; the serve-level test pins it through the full NDJSON
+//! pipeline). Per-tenant latency samples are deliberately *not*
+//! carried across a restore — they are measurements of a process
+//! lifetime, not replayable state.
+//!
+//! # Fairness accounting
+//!
+//! Per-tenant served/degraded bandwidth is recomputed from the engine
+//! state on every telemetry tick by summing integer rates — an
+//! order-independent sum, so it never depends on event history.
+//! Per-tenant apply latency attributes arrivals/departures to the
+//! flow's tenant and failure-class events to every tenant with active
+//! flows at that moment.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io::{BufRead, Error, ErrorKind, Write};
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+use tdmd_obs::{keys, normalize_zero, percentile_opt, Recorder, StatsRecorder, Stopwatch};
+use tdmd_online::{Event, FlowKey, OnlineEngine, PathPricer, RepairPolicy, SnapshotError};
+use tdmd_traffic::TenantId;
+
+use crate::wire::{Telemetry, TenantTelemetry, WireEvent, WireRecord};
+
+/// Schema version written by [`ServeSession::snapshot`];
+/// [`ServeSession::restore`] rejects any other value.
+pub const SERVE_SNAPSHOT_VERSION: u32 = 1;
+
+/// Configuration of the serve loop's periodic work.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeConfig {
+    /// Emit a [`WireRecord::Telemetry`] every this many applied
+    /// events (`0` = only at shutdown).
+    pub telemetry_every: u64,
+    /// Take a state snapshot every this many applied events
+    /// (`0` = only on explicit [`WireEvent::Snapshot`] requests).
+    pub snapshot_every: u64,
+    /// Where to write snapshots (overwritten each time, latest wins).
+    /// With `None` the latest snapshot is only retained in memory
+    /// ([`ServeSession::last_snapshot`]).
+    pub snapshot_path: Option<PathBuf>,
+}
+
+/// A versioned capture of a serve session: the engine's
+/// bitwise-restorable state plus the session's tenant map and
+/// lifetime counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// Schema version ([`SERVE_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The wrapped engine state.
+    pub engine: tdmd_online::EngineSnapshot,
+    /// `(flow key, tenant)` of every active flow, ascending by key.
+    pub tenants: Vec<(FlowKey, TenantId)>,
+    /// Every tenant the session had ever seen, ascending — restored
+    /// sessions keep reporting these in telemetry even when a tenant
+    /// has no activity after the restore (their latency *samples* are
+    /// process-lifetime measurements and are not carried).
+    pub known_tenants: Vec<TenantId>,
+    /// Events the session had applied when the snapshot was taken.
+    pub events: u64,
+    /// Snapshots taken over the session line's history (this one
+    /// included).
+    pub snapshots_taken: u64,
+    /// Times the session line had been restored.
+    pub snapshots_restored: u64,
+}
+
+/// The long-running placement service: an [`OnlineEngine`] plus
+/// tenant accounting, telemetry and snapshot scheduling.
+pub struct ServeSession<P: PathPricer> {
+    engine: OnlineEngine<P>,
+    config: ServeConfig,
+    /// Tenant of every active flow (arrivals insert, departures
+    /// remove).
+    tenants: HashMap<FlowKey, TenantId>,
+    /// Session telemetry (event-loop latencies, snapshot counters,
+    /// per-tenant bandwidth samples) — the engine itself runs the
+    /// zero-cost [`NoopRecorder`](tdmd_obs::NoopRecorder).
+    recorder: StatsRecorder,
+    /// Per-tenant attributed apply-latency samples in µs.
+    latencies: BTreeMap<TenantId, Vec<f64>>,
+    events: u64,
+    snapshots_taken: u64,
+    snapshots_restored: u64,
+    last_snapshot: Option<ServeSnapshot>,
+}
+
+impl<P: PathPricer> ServeSession<P> {
+    /// Wraps a fresh engine.
+    pub fn new(engine: OnlineEngine<P>, config: ServeConfig) -> Self {
+        Self {
+            engine,
+            config,
+            tenants: HashMap::new(),
+            recorder: StatsRecorder::new(),
+            latencies: BTreeMap::new(),
+            events: 0,
+            snapshots_taken: 0,
+            snapshots_restored: 0,
+            last_snapshot: None,
+        }
+    }
+
+    /// Rebuilds a session from a snapshot. Topology, pricer and
+    /// policy are supplied by the caller exactly as at construction,
+    /// like [`OnlineEngine::restore`].
+    ///
+    /// # Errors
+    /// Rejects unknown versions and structurally invalid engine state
+    /// ([`SnapshotError`]).
+    pub fn restore(
+        graph: tdmd_graph::DiGraph,
+        pricer: P,
+        policy: RepairPolicy,
+        config: ServeConfig,
+        snap: &ServeSnapshot,
+    ) -> Result<Self, SnapshotError> {
+        if snap.version != SERVE_SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: snap.version,
+            });
+        }
+        let engine =
+            OnlineEngine::restore(graph, pricer, policy, tdmd_obs::NoopRecorder, &snap.engine)?;
+        let recorder = StatsRecorder::new();
+        recorder.count(keys::SNAPSHOTS_RESTORED, 1);
+        Ok(Self {
+            engine,
+            config,
+            tenants: snap.tenants.iter().copied().collect(),
+            recorder,
+            latencies: snap
+                .known_tenants
+                .iter()
+                .map(|&t| (t, Vec::new()))
+                .collect(),
+            events: snap.events,
+            snapshots_taken: snap.snapshots_taken,
+            snapshots_restored: snap.snapshots_restored + 1,
+            last_snapshot: None,
+        })
+    }
+
+    /// The wrapped engine.
+    #[inline]
+    pub fn engine(&self) -> &OnlineEngine<P> {
+        &self.engine
+    }
+
+    /// Events applied by this session line (carried across restores).
+    #[inline]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The session's telemetry recorder (event-loop latencies,
+    /// snapshot counters, per-tenant bandwidth samples).
+    #[inline]
+    pub fn recorder(&self) -> &StatsRecorder {
+        &self.recorder
+    }
+
+    /// The most recent snapshot taken by this session, if any.
+    #[inline]
+    pub fn last_snapshot(&self) -> Option<&ServeSnapshot> {
+        self.last_snapshot.as_ref()
+    }
+
+    /// Takes a state snapshot now (canonicalizing the engine in
+    /// place — see [`tdmd_online::snapshot`]), retains it as
+    /// [`ServeSession::last_snapshot`], and returns a copy. Writing
+    /// it anywhere is the caller's concern; the run loop handles the
+    /// configured [`ServeConfig::snapshot_path`].
+    pub fn snapshot(&mut self) -> ServeSnapshot {
+        self.snapshots_taken += 1;
+        self.recorder.count(keys::SNAPSHOTS_TAKEN, 1);
+        let mut tenants: Vec<(FlowKey, TenantId)> =
+            self.tenants.iter().map(|(&k, &t)| (k, t)).collect();
+        tenants.sort_unstable();
+        let known: BTreeSet<TenantId> = self
+            .latencies
+            .keys()
+            .copied()
+            .chain(self.tenants.values().copied())
+            .collect();
+        let snap = ServeSnapshot {
+            version: SERVE_SNAPSHOT_VERSION,
+            engine: self.engine.snapshot(),
+            tenants,
+            known_tenants: known.into_iter().collect(),
+            events: self.events,
+            snapshots_taken: self.snapshots_taken,
+            snapshots_restored: self.snapshots_restored,
+        };
+        self.last_snapshot = Some(snap.clone());
+        snap
+    }
+
+    /// Builds a telemetry record — and *ticks* the fairness samplers:
+    /// each call records one [`keys::TENANT_SERVED_BW`] /
+    /// [`keys::TENANT_DEGRADED_BW`] sample per tenant.
+    pub fn telemetry(&self) -> Telemetry {
+        // Order-independent integer sums over the live engine state.
+        // Every tenant the session has ever seen is listed, even when
+        // its flows have all drained.
+        let mut per: BTreeMap<TenantId, (u64, u64)> = BTreeMap::new();
+        for t in self.latencies.keys().chain(self.tenants.values()) {
+            per.entry(*t).or_insert((0, 0));
+        }
+        for f in self.engine.state().active_flows() {
+            let t = self.tenants.get(&f.key).copied().unwrap_or(0);
+            let entry = per.entry(t).or_insert((0, 0));
+            if f.assigned.is_some() {
+                entry.0 += f.rate;
+            } else {
+                entry.1 += f.rate;
+            }
+        }
+        let mut tenants = Vec::with_capacity(per.len());
+        for (t, (served, degraded)) in per {
+            self.recorder.sample(keys::TENANT_SERVED_BW, served as f64);
+            self.recorder
+                .sample(keys::TENANT_DEGRADED_BW, degraded as f64);
+            let mut lat = self.latencies.get(&t).cloned().unwrap_or_default();
+            lat.sort_by(f64::total_cmp);
+            tenants.push(TenantTelemetry {
+                tenant: t,
+                served_bw: served,
+                degraded_bw: degraded,
+                events: lat.len() as u64,
+                apply_p50_us: percentile_opt(&lat, 50.0),
+                apply_p99_us: percentile_opt(&lat, 99.0),
+            });
+        }
+        Telemetry {
+            events: self.events,
+            active_flows: self.engine.active_count() as u64,
+            deployment: self.engine.deployment().vertices().to_vec(),
+            objective: normalize_zero(self.engine.exact_objective()),
+            degraded_flows: self.engine.degraded_count() as u64,
+            event_p50_us: self.recorder.percentile_of(keys::SERVE_EVENT_US, 50.0),
+            event_p99_us: self.recorder.percentile_of(keys::SERVE_EVENT_US, 99.0),
+            snapshots_taken: self.snapshots_taken,
+            snapshots_restored: self.snapshots_restored,
+            tenants,
+        }
+    }
+
+    /// Applies one wire event to the engine with latency accounting.
+    /// Returns the engine's verdict; tenant bookkeeping only happens
+    /// on success.
+    pub fn apply(&mut self, ev: &WireEvent) -> Result<(), tdmd_online::OnlineError> {
+        let (event, tenant) = match ev {
+            WireEvent::Arrive {
+                key,
+                rate,
+                path,
+                tenant,
+            } => (
+                Event::FlowArrived {
+                    key: *key,
+                    rate: *rate,
+                    path: path.clone(),
+                },
+                Some(*tenant),
+            ),
+            WireEvent::Depart { key } => (
+                Event::FlowDeparted { key: *key },
+                self.tenants.get(key).copied(),
+            ),
+            WireEvent::Fail { vertex } => (Event::MiddleboxFailed { vertex: *vertex }, None),
+            WireEvent::Down { vertex } => (Event::VertexDown { vertex: *vertex }, None),
+            WireEvent::Recover { vertex } => (Event::MiddleboxRecovered { vertex: *vertex }, None),
+            // Control lines carry no engine event.
+            WireEvent::Snapshot | WireEvent::Telemetry | WireEvent::Shutdown => return Ok(()),
+        };
+        let sw = Stopwatch::start();
+        let result = self.engine.apply(&event);
+        let us = sw.elapsed_us();
+        self.recorder.sample(keys::SERVE_EVENT_US, us);
+        if result.is_ok() {
+            self.events += 1;
+            match ev {
+                WireEvent::Arrive { key, tenant, .. } => {
+                    self.tenants.insert(*key, *tenant);
+                }
+                WireEvent::Depart { key } => {
+                    self.tenants.remove(key);
+                }
+                _ => {}
+            }
+            match tenant {
+                Some(t) => self.latencies.entry(t).or_default().push(us),
+                None => {
+                    // Failure-class events repair every tenant's
+                    // flows; attribute the latency to each active
+                    // tenant.
+                    let affected: BTreeSet<TenantId> = self.tenants.values().copied().collect();
+                    for t in affected {
+                        self.latencies.entry(t).or_default().push(us);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Serializes `record` as one NDJSON output line.
+    fn emit(&self, writer: &mut impl Write, record: &WireRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(writer, "{line}")
+    }
+
+    /// Takes a snapshot, writes it to the configured path (if any)
+    /// and emits the [`WireRecord::Snapshot`] notice.
+    fn snapshot_and_emit(&mut self, writer: &mut impl Write) -> std::io::Result<()> {
+        let snap = self.snapshot();
+        let path = if let Some(p) = &self.config.snapshot_path {
+            let json = serde_json::to_string(&snap)
+                .map_err(|e| Error::new(ErrorKind::InvalidData, e.to_string()))?;
+            std::fs::write(p, json)?;
+            Some(p.display().to_string())
+        } else {
+            None
+        };
+        self.emit(
+            writer,
+            &WireRecord::Snapshot {
+                event: self.events,
+                path,
+            },
+        )
+    }
+
+    /// Runs the service loop: reads NDJSON events from `reader` until
+    /// end-of-stream or a [`WireEvent::Shutdown`] line, writing
+    /// [`WireRecord`] lines to `writer`. Always ends with a
+    /// [`WireRecord::Bye`] carrying the final telemetry, then
+    /// flushes.
+    ///
+    /// # Errors
+    /// Only I/O failures on `reader`/`writer` (or the snapshot path)
+    /// abort the loop — bad *input lines* are reported as
+    /// [`WireRecord::Rejected`] and skipped.
+    pub fn run(&mut self, reader: impl BufRead, mut writer: impl Write) -> std::io::Result<()> {
+        for (idx, line) in reader.lines().enumerate() {
+            let line = line?;
+            let line_no = idx as u64 + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let ev: WireEvent = match serde_json::from_str(trimmed) {
+                Ok(ev) => ev,
+                Err(e) => {
+                    self.emit(
+                        &mut writer,
+                        &WireRecord::Rejected {
+                            line: line_no,
+                            error: e.to_string(),
+                        },
+                    )?;
+                    continue;
+                }
+            };
+            match ev {
+                WireEvent::Shutdown => break,
+                WireEvent::Snapshot => self.snapshot_and_emit(&mut writer)?,
+                WireEvent::Telemetry => {
+                    let telemetry = self.telemetry();
+                    self.emit(&mut writer, &WireRecord::Telemetry { telemetry })?;
+                }
+                ref event => {
+                    let before = self.engine.deployment().vertices().to_vec();
+                    match self.apply(event) {
+                        Ok(()) => {
+                            if self.engine.deployment().vertices() != before.as_slice() {
+                                self.emit(
+                                    &mut writer,
+                                    &WireRecord::Placement {
+                                        event: self.events,
+                                        deployment: self.engine.deployment().vertices().to_vec(),
+                                        objective: normalize_zero(self.engine.exact_objective()),
+                                    },
+                                )?;
+                            }
+                            let snap_due = self.config.snapshot_every > 0
+                                && self.events.is_multiple_of(self.config.snapshot_every);
+                            if snap_due {
+                                self.snapshot_and_emit(&mut writer)?;
+                            }
+                            let tele_due = self.config.telemetry_every > 0
+                                && self.events.is_multiple_of(self.config.telemetry_every);
+                            if tele_due {
+                                let telemetry = self.telemetry();
+                                self.emit(&mut writer, &WireRecord::Telemetry { telemetry })?;
+                            }
+                        }
+                        Err(e) => self.emit(
+                            &mut writer,
+                            &WireRecord::Rejected {
+                                line: line_no,
+                                error: e.to_string(),
+                            },
+                        )?,
+                    }
+                }
+            }
+        }
+        let telemetry = self.telemetry();
+        self.emit(&mut writer, &WireRecord::Bye { telemetry })?;
+        writer.flush()
+    }
+}

@@ -41,7 +41,7 @@ pub mod prelude {
     pub use crate::chaos::{
         independent_failure_schedule, run_chaos, ChaosConfig, ChaosMode, ChaosPoint, ChaosReport,
     };
-    pub use crate::metrics::LinkMetrics;
+    pub use crate::metrics::{jain_fairness, LinkMetrics};
     pub use crate::replay::{replay, LinkLoads};
     pub use crate::runner::{run_comparison, AlgoStats, TrialConfig};
     pub use crate::timeline::{

@@ -1,6 +1,26 @@
-//! Link-utilization metrics over a replay.
+//! Link-utilization metrics over a replay, and the fairness index
+//! used by the multi-tenant serve reports.
 
 use crate::replay::LinkLoads;
+
+/// Jain's fairness index `(Σxᵢ)² / (n · Σxᵢ²)` over per-tenant
+/// allocations (e.g. served bandwidth): `1.0` when every tenant gets
+/// the same amount, down to `1/n` when a single tenant gets
+/// everything. Empty or all-zero allocations report `1.0` (a
+/// vacuously fair split). Allocations are expected to be
+/// non-negative (rates are unsigned upstream).
+pub fn jain_fairness(allocations: &[f64]) -> f64 {
+    let n = allocations.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sq_sum: f64 = allocations.iter().map(|x| x * x).sum();
+    if sq_sum.to_bits() == 0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq_sum)
+}
 
 /// Aggregate link metrics for a replayed deployment.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,5 +99,24 @@ mod tests {
         let loads = replay(&inst, &Deployment::from_vertices(6, [4, 1]));
         let m = LinkMetrics::from_loads(&loads, 0);
         assert_eq!(m.max_utilization, 0.0);
+    }
+
+    #[test]
+    fn jain_fairness_spans_its_range() {
+        // Equal split is perfectly fair.
+        assert_eq!(jain_fairness(&[5.0, 5.0, 5.0, 5.0]), 1.0);
+        // One tenant hogging everything bottoms out at 1/n.
+        let hog = jain_fairness(&[12.0, 0.0, 0.0]);
+        assert!((hog - 1.0 / 3.0).abs() < 1e-12, "{hog}");
+        // A mild skew lands strictly in between.
+        let skew = jain_fairness(&[3.0, 2.0, 1.0]);
+        assert!(skew > 1.0 / 3.0 && skew < 1.0, "{skew}");
+        // The index is scale-invariant.
+        let a = jain_fairness(&[1.0, 2.0, 3.0]);
+        let b = jain_fairness(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+        // Degenerate inputs are vacuously fair.
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
     }
 }

@@ -13,6 +13,10 @@ use tdmd_graph::{DiGraph, NodeId};
 /// Dense flow identifier.
 pub type FlowId = u32;
 
+/// Tenant (traffic-class) identifier. Tenant `0` is the default
+/// anonymous class every single-tenant workload lives in.
+pub type TenantId = u16;
+
 /// An unsplittable flow with its currently active path.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Flow {
@@ -23,10 +27,16 @@ pub struct Flow {
     /// The path `p_f` as a vertex sequence `src .. dst`
     /// (length = hop count + 1).
     pub path: Vec<NodeId>,
+    /// Tenant / traffic class the flow belongs to. Defaults to `0`
+    /// (including when absent from serialized workloads, so pre-tenant
+    /// workload files keep loading).
+    #[serde(default)]
+    pub tenant: TenantId,
 }
 
 impl Flow {
-    /// Creates a flow, validating that the path is non-degenerate.
+    /// Creates a flow (tenant `0`), validating that the path is
+    /// non-degenerate.
     ///
     /// # Panics
     /// Panics if the rate is zero (the paper's flows carry positive
@@ -40,7 +50,19 @@ impl Flow {
         seen.sort_unstable();
         let unique = seen.windows(2).all(|w| w[0] != w[1]);
         assert!(unique, "flow path must be simple");
-        Self { id, rate, path }
+        Self {
+            id,
+            rate,
+            path,
+            tenant: 0,
+        }
+    }
+
+    /// Tags the flow with a tenant / traffic class (builder style).
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// Source vertex `src_f`.
@@ -170,9 +192,19 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let f = Flow::new(7, 9, vec![1, 2, 3]);
+        let f = Flow::new(7, 9, vec![1, 2, 3]).with_tenant(3);
         let s = serde_json::to_string(&f).unwrap();
         let g: Flow = serde_json::from_str(&s).unwrap();
         assert_eq!(f, g);
+    }
+
+    #[test]
+    fn tenant_defaults_to_zero_and_tolerates_old_documents() {
+        assert_eq!(Flow::new(0, 1, vec![0, 1]).tenant, 0);
+        // Pre-tenant workload files carry no `tenant` field.
+        let old = r#"{"id":3,"rate":7,"path":[0,1,2]}"#;
+        let f: Flow = serde_json::from_str(old).unwrap();
+        assert_eq!(f, Flow::new(3, 7, vec![0, 1, 2]));
+        assert_eq!(Flow::new(0, 1, vec![0, 1]).with_tenant(9).tenant, 9);
     }
 }

@@ -20,6 +20,10 @@
 //!   and general-topology workloads (random sources, designated
 //!   destinations, BFS shortest paths or k-shortest candidates), both
 //!   with density targeting.
+//! * [`tenant`] — multi-tenant gravity-model traffic matrices:
+//!   per-vertex populations, the gravity demand matrix, and
+//!   tenant-tagged flow generation with per-class volume shares and
+//!   rate scaling (the SOL exemplar's workload shape).
 //! * [`density`] — load/capacity bookkeeping.
 //! * [`trace`] — synthetic packet-trace generation and aggregation
 //!   back into flows (the CAIDA-like end-to-end path).
@@ -32,15 +36,20 @@ pub mod distribution;
 pub mod flow;
 pub mod generator;
 pub mod pathset;
+pub mod tenant;
 pub mod trace;
 
 pub use distribution::{CaidaLike, RateDistribution};
-pub use flow::{Flow, FlowId};
+pub use flow::{Flow, FlowId, TenantId};
 pub use generator::{
     general_workload, general_workload_multipath, general_workload_pathsets, tree_workload,
     WorkloadConfig,
 };
 pub use pathset::{candidate_sets, FlowPaths};
+pub use tenant::{
+    gravity_matrix, gravity_populations, gravity_workload, tenant_rate_totals, GravityConfig,
+    TenantProfile,
+};
 pub use trace::{aggregate_flows, rates_from_trace, synthesize_trace, TraceConfig};
 
 /// Convenience prelude.
@@ -50,4 +59,5 @@ pub mod prelude {
     pub use crate::flow::{Flow, FlowId};
     pub use crate::generator::{general_workload, tree_workload, WorkloadConfig};
     pub use crate::pathset::{candidate_sets, FlowPaths};
+    pub use crate::tenant::{gravity_workload, GravityConfig, TenantProfile};
 }
