@@ -13,6 +13,15 @@
 //!   sweep: one entry per candidate-set size, comparing the joint
 //!   routing + placement solver against its fixed-path baseline and
 //!   LP lower bound.
+//! * `BENCH_scale.json` ([`SCALE_SCHEMA`], via `tdmd bench --scale
+//!   true`) — the million-flow scale tier: one sharded-parallel solve
+//!   plus a batched churn replay, pinning `events_per_sec` and
+//!   `gain_evals_per_sec`.
+//!
+//! Every measured latency/wall-clock/throughput field is rounded to
+//! three fractional digits at the serialization boundary
+//! ([`tdmd_obs::round_metric`]) so committed artifacts never churn on
+//! float noise (`8.549999999999999`); objective fields stay exact.
 //!
 //! The JSON shape is a consumer contract (CI parses it, trend tooling
 //! diffs it); grow it by *adding* fields, never renaming.
@@ -22,15 +31,18 @@ use crate::commands::write_out;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tdmd_core::algorithms::gtp::{gtp_budgeted, gtp_lazy, gtp_parallel};
+use tdmd_core::algorithms::gtp::{gtp_budgeted, gtp_lazy, gtp_parallel, gtp_sharded};
 use tdmd_core::algorithms::joint::{joint_solve_with, JointConfig};
 use tdmd_core::objective::bandwidth_of;
 use tdmd_core::{Deployment, Instance, TdmdError};
 use tdmd_experiments::scenarios::{
     general_instance, general_pathset_instance, tree_instance, Scenario,
 };
-use tdmd_obs::{normalize_zero, percentile, StatsRecorder, Stopwatch};
-use tdmd_online::{events_from_spans, obs_keys, FlowSpan, HopPricer, OnlineEngine, RepairPolicy};
+use tdmd_obs::{normalize_zero, percentile, round_metric, StatsRecorder, Stopwatch};
+use tdmd_online::{
+    events_from_spans, obs_keys, Event, FlowSpan, HopPricer, OnlineEngine, RepairPolicy,
+};
+use tdmd_traffic::GatewayWorkload;
 
 /// Schema tag of `BENCH_solve.json`.
 pub const SOLVE_SCHEMA: &str = "tdmd-bench-solve/v1";
@@ -40,6 +52,8 @@ pub const STREAM_SCHEMA: &str = "tdmd-bench-stream/v1";
 pub const JOINT_SCHEMA: &str = "tdmd-bench-joint/v1";
 /// Schema tag of `BENCH_serve.json`.
 pub const SERVE_SCHEMA: &str = "tdmd-bench-serve/v1";
+/// Schema tag of `BENCH_scale.json`.
+pub const SCALE_SCHEMA: &str = "tdmd-bench-scale/v1";
 
 /// Engine-counter deltas attributed to one solve (see
 /// [`tdmd_core::obs::EngineCounters`] for the meanings).
@@ -240,6 +254,234 @@ pub struct ServeBench {
     pub tenants: Vec<ServeTenantEntry>,
 }
 
+/// Workload knobs of the scale tier.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScaleParams {
+    /// Topology size (connected Erdős–Rényi, average degree ≈ 8).
+    pub nodes: usize,
+    /// Flows loaded before the churn phase.
+    pub flows: usize,
+    /// Mixed arrival/departure events replayed after the load.
+    pub churn_events: usize,
+    /// Events per `apply_batch` call.
+    pub batch: usize,
+    /// Middlebox budget.
+    pub k: usize,
+    /// Gateway (destination) vertices.
+    pub gateways: usize,
+    /// Traffic-changing ratio λ.
+    pub lambda: f64,
+    /// Uniform per-flow rate ceiling (integral rate units).
+    pub max_rate: u64,
+}
+
+impl ScaleParams {
+    /// The committed-artifact tier: a million flows over a
+    /// thousand-vertex topology.
+    pub fn full_tier() -> Self {
+        Self {
+            nodes: 1024,
+            flows: 1_000_000,
+            churn_events: 200_000,
+            batch: 1024,
+            k: 32,
+            gateways: 8,
+            lambda: 0.5,
+            max_rate: 10,
+        }
+    }
+
+    /// CI-sized smoke tier: same shape, ~50× smaller, minutes → a few
+    /// seconds even in debug builds.
+    pub fn smoke() -> Self {
+        Self {
+            nodes: 128,
+            flows: 20_000,
+            churn_events: 4_000,
+            batch: 256,
+            k: 8,
+            gateways: 4,
+            lambda: 0.5,
+            max_rate: 10,
+        }
+    }
+
+    /// [`ScaleParams::smoke`] when the `TDMD_BENCH_SMOKE` environment
+    /// variable is set (the CI smoke job), [`ScaleParams::full_tier`]
+    /// otherwise.
+    pub fn from_env() -> Self {
+        if std::env::var_os("TDMD_BENCH_SMOKE").is_some() {
+            Self::smoke()
+        } else {
+            Self::full_tier()
+        }
+    }
+}
+
+/// `BENCH_scale.json` document: one sharded-parallel static solve over
+/// the full workload, then a batched online replay (bulk load + mixed
+/// churn) through [`OnlineEngine::apply_batch`] under a local-only
+/// repair policy.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ScaleBench {
+    /// Always [`SCALE_SCHEMA`].
+    pub schema: String,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Workload knobs the run used (the smoke tier writes smaller
+    /// numbers here, which is how CI tells the artifacts apart).
+    pub params: ScaleParams,
+    /// Wall-clock µs of the sharded-parallel GTP solve.
+    pub solve_wall_us: f64,
+    /// Marginal-gain evaluations the solve spent.
+    pub solve_gain_evals: u64,
+    /// Gain evaluations per second sustained by the solve.
+    pub gain_evals_per_sec: f64,
+    /// Exact objective of the static solve.
+    pub solve_objective: f64,
+    /// Wall-clock µs of the bulk load (all flows arriving through
+    /// `apply_batch`).
+    pub load_wall_us: f64,
+    /// Arrival events per second sustained during the bulk load.
+    pub load_events_per_sec: f64,
+    /// Wall-clock µs of the churn replay.
+    pub churn_wall_us: f64,
+    /// Churn events per second sustained through `apply_batch`.
+    pub events_per_sec: f64,
+    /// p50 of per-batch apply latency during churn, µs.
+    pub batch_p50_us: f64,
+    /// p99 of per-batch apply latency during churn, µs.
+    pub batch_p99_us: f64,
+    /// `|objective() − exact_objective()|` after the whole replay —
+    /// the running-sum drift the Kahan accumulation bounds.
+    pub objective_drift: f64,
+    /// Exact engine objective at the end of the replay.
+    pub final_objective: f64,
+    /// Active flows at the end of the replay.
+    pub final_flows: usize,
+}
+
+/// Runs the scale tier: mint the gateway workload, solve it statically
+/// with [`gtp_sharded`], then replay it through the online engine in
+/// `params.batch`-sized batches (bulk load, then a 50/50
+/// arrival/departure churn stream).
+pub fn scale_bench(seed: u64, params: ScaleParams) -> Result<ScaleBench, String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA1E);
+    // Average degree ≈ 8 keeps BFS paths short without densifying the
+    // CSR rows into quadratic territory.
+    let p = 8.0 / (params.nodes.saturating_sub(1).max(1)) as f64;
+    let graph = tdmd_graph::generators::erdos_renyi_connected(params.nodes, p.min(1.0), &mut rng);
+    let gateways = GatewayWorkload::pick_gateways(params.nodes, params.gateways, &mut rng);
+    let workload = GatewayWorkload::new(&graph, gateways, params.max_rate);
+    let flows = workload.flows(&graph, 0, params.flows, &mut rng);
+
+    // Static solve: the sharded-parallel scale variant over the whole
+    // workload, with the gain-evaluation counter delta attributed.
+    let inst = Instance::new(graph.clone(), flows.clone(), params.lambda, params.k)
+        .map_err(|e| format!("scale instance: {e}"))?;
+    let before = tdmd_core::obs::snapshot();
+    let sw = Stopwatch::start();
+    let dep = gtp_sharded(&inst, params.k).map_err(|e| format!("scale solve: {e}"))?;
+    let solve_wall_us = sw.elapsed_us();
+    let solve_gain_evals = tdmd_core::obs::snapshot().delta_since(&before).gain_evals;
+    let solve_objective = normalize_zero(bandwidth_of(&inst, &dep));
+    drop(inst);
+
+    // Online replay under local-only repair: the oracle is what the
+    // static solve above measures; here the meter is on the batched
+    // event path itself, so telemetry stays off (NoopRecorder) and the
+    // bench times whole `apply_batch` calls externally.
+    let mut engine = OnlineEngine::new(
+        graph.clone(),
+        params.lambda,
+        params.k,
+        HopPricer::default(),
+        RepairPolicy::local_only(4),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut batch_buf: Vec<Event> = Vec::with_capacity(params.batch);
+    let sw = Stopwatch::start();
+    let mut it = flows.iter();
+    loop {
+        batch_buf.clear();
+        batch_buf.extend(it.by_ref().take(params.batch).map(|f| Event::FlowArrived {
+            key: u64::from(f.id),
+            rate: f.rate,
+            path: f.path.clone(),
+        }));
+        if batch_buf.is_empty() {
+            break;
+        }
+        engine
+            .apply_batch(&batch_buf)
+            .map_err(|e| format!("scale load: {e}"))?;
+    }
+    let load_wall_us = sw.elapsed_us();
+
+    // Churn: 50/50 departures of random active flows and arrivals of
+    // freshly minted ones, batched.
+    let mut active: Vec<u64> = flows.iter().map(|f| u64::from(f.id)).collect();
+    let mut next_id = u32::try_from(flows.len()).map_err(|_| "flow ids overflow u32")?;
+    drop(flows);
+    let mut batch_lat: Vec<f64> = Vec::new();
+    let mut remaining = params.churn_events;
+    let sw = Stopwatch::start();
+    while remaining > 0 {
+        batch_buf.clear();
+        for _ in 0..params.batch.min(remaining) {
+            if rng.gen_bool(0.5) && !active.is_empty() {
+                let victim = active.swap_remove(rng.gen_range(0..active.len()));
+                batch_buf.push(Event::FlowDeparted { key: victim });
+            } else {
+                let f = workload.flow(&graph, next_id, &mut rng);
+                next_id += 1;
+                active.push(u64::from(f.id));
+                batch_buf.push(Event::FlowArrived {
+                    key: u64::from(f.id),
+                    rate: f.rate,
+                    path: f.path,
+                });
+            }
+        }
+        remaining -= batch_buf.len();
+        let bsw = Stopwatch::start();
+        engine
+            .apply_batch(&batch_buf)
+            .map_err(|e| format!("scale churn: {e}"))?;
+        batch_lat.push(bsw.elapsed_us());
+    }
+    let churn_wall_us = sw.elapsed_us();
+    batch_lat.sort_by(f64::total_cmp);
+
+    let final_objective = engine.exact_objective();
+    let objective_drift = (engine.objective() - final_objective).abs();
+    Ok(ScaleBench {
+        schema: SCALE_SCHEMA.to_string(),
+        seed,
+        params,
+        solve_wall_us: round_metric(solve_wall_us, 3),
+        solve_gain_evals,
+        gain_evals_per_sec: round_metric(
+            solve_gain_evals as f64 / (solve_wall_us / 1e6).max(1e-9),
+            3,
+        ),
+        solve_objective,
+        load_wall_us: round_metric(load_wall_us, 3),
+        load_events_per_sec: round_metric(params.flows as f64 / (load_wall_us / 1e6).max(1e-9), 3),
+        churn_wall_us: round_metric(churn_wall_us, 3),
+        events_per_sec: round_metric(
+            params.churn_events as f64 / (churn_wall_us / 1e6).max(1e-9),
+            3,
+        ),
+        batch_p50_us: round_metric(percentile(&batch_lat, 50.0), 3),
+        batch_p99_us: round_metric(percentile(&batch_lat, 99.0), 3),
+        objective_drift,
+        final_objective: normalize_zero(final_objective),
+        final_flows: engine.active_count(),
+    })
+}
+
 /// The two paper-default scenarios, with their bench names.
 fn scenarios() -> [(&'static str, Scenario, bool); 2] {
     [
@@ -276,7 +518,7 @@ fn measure_solve(
         flows: inst.flows().len(),
         k: inst.k(),
         lambda: inst.lambda(),
-        wall_us,
+        wall_us: round_metric(wall_us, 3),
         objective: normalize_zero(bandwidth_of(inst, &dep)),
         counters: SolveCounters {
             gain_evals: spent.gain_evals,
@@ -294,12 +536,13 @@ type Variant = (
     fn(&Instance, usize) -> Result<Deployment, TdmdError>,
 );
 
-/// Runs every scenario through the three GTP drivers.
+/// Runs every scenario through the four GTP drivers.
 pub fn solve_bench(seed: u64) -> Result<SolveBench, String> {
-    const VARIANTS: [Variant; 3] = [
+    const VARIANTS: [Variant; 4] = [
         ("gtp_eager", gtp_budgeted),
         ("gtp_lazy", gtp_lazy),
         ("gtp_parallel", gtp_parallel),
+        ("gtp_sharded", gtp_sharded),
     ];
     let mut entries = Vec::new();
     for (name, s, is_tree) in scenarios() {
@@ -370,13 +613,13 @@ pub fn stream_bench(seed: u64) -> Result<StreamBench, String> {
                 scenario: name.to_string(),
                 policy: policy_name.to_string(),
                 events: events.len(),
-                wall_us,
+                wall_us: round_metric(wall_us, 3),
                 objective: normalize_zero(engine.exact_objective()),
                 latency_us: LatencyUs {
-                    p50: percentile(&lat, 50.0),
-                    p90: percentile(&lat, 90.0),
-                    p99: percentile(&lat, 99.0),
-                    max: lat.last().copied().unwrap_or(0.0),
+                    p50: round_metric(percentile(&lat, 50.0), 3),
+                    p90: round_metric(percentile(&lat, 90.0), 3),
+                    p99: round_metric(percentile(&lat, 99.0), 3),
+                    max: round_metric(lat.last().copied().unwrap_or(0.0), 3),
                 },
                 counters: StreamCounters {
                     arrivals: recorder.counter(obs_keys::ARRIVALS),
@@ -418,13 +661,13 @@ pub fn joint_bench(seed: u64) -> Result<JointBench, String> {
             flows: inst.flows().len(),
             k: inst.k(),
             lambda: inst.lambda(),
-            wall_us,
+            wall_us: round_metric(wall_us, 3),
             objective: normalize_zero(sol.objective),
             fixed_objective: normalize_zero(sol.fixed_objective),
             lp_bound: normalize_zero(sol.lp_bound),
             rounds: sol.rounds,
             path_switches: sol.path_switches,
-            lp_bound_us: lp_samples.last().copied().unwrap_or(0.0),
+            lp_bound_us: round_metric(lp_samples.last().copied().unwrap_or(0.0), 3),
         });
     }
     Ok(JointBench {
@@ -510,12 +753,12 @@ pub fn serve_bench(seed: u64, target_events: usize) -> Result<ServeBench, String
         schema: SERVE_SCHEMA.to_string(),
         seed,
         events: lines.len(),
-        wall_us,
-        events_per_sec: lines.len() as f64 / (wall_us / 1e6).max(1e-9),
+        wall_us: round_metric(wall_us, 3),
+        events_per_sec: round_metric(lines.len() as f64 / (wall_us / 1e6).max(1e-9), 3),
         snapshot_at: snap.events,
         restore_bitwise,
-        event_p50_us: a.event_p50_us.unwrap_or(0.0),
-        event_p99_us: a.event_p99_us.unwrap_or(0.0),
+        event_p50_us: round_metric(a.event_p50_us.unwrap_or(0.0), 3),
+        event_p99_us: round_metric(a.event_p99_us.unwrap_or(0.0), 3),
         tenants: a
             .tenants
             .iter()
@@ -524,22 +767,51 @@ pub fn serve_bench(seed: u64, target_events: usize) -> Result<ServeBench, String
                 events: t.events,
                 served_bw: t.served_bw,
                 degraded_bw: t.degraded_bw,
-                apply_p50_us: t.apply_p50_us.unwrap_or(0.0),
-                apply_p99_us: t.apply_p99_us.unwrap_or(0.0),
+                apply_p50_us: round_metric(t.apply_p50_us.unwrap_or(0.0), 3),
+                apply_p99_us: round_metric(t.apply_p99_us.unwrap_or(0.0), 3),
             })
             .collect(),
     })
 }
 
-/// `tdmd bench [--seed S] [--out-dir DIR] [--serve-events N]`
+/// `tdmd bench [--seed S] [--out-dir DIR] [--serve-events N]
+/// [--scale true]`
 ///
 /// Writes `BENCH_solve.json`, `BENCH_stream.json`, `BENCH_joint.json`
 /// and `BENCH_serve.json` into `DIR` (default `.`) and prints a
-/// one-line-per-entry summary.
+/// one-line-per-entry summary. With `--scale true` it instead runs the
+/// million-flow scale tier and writes only `BENCH_scale.json`
+/// (smoke-sized when `TDMD_BENCH_SMOKE` is set).
 pub fn bench(args: &Args) -> Result<String, String> {
     let seed: u64 = args.num("seed", 42)?;
     let out_dir = args.optional("out-dir").unwrap_or(".");
     let serve_events: usize = args.num("serve-events", 100_000)?;
+
+    if args.flag("scale")? {
+        let scale = scale_bench(seed, ScaleParams::from_env())?;
+        let scale_path = format!("{out_dir}/BENCH_scale.json");
+        write_out(
+            &scale_path,
+            &serde_json::to_string_pretty(&scale).map_err(|e| e.to_string())?,
+        )?;
+        return Ok(format!(
+            "seed {seed}\n== scale ({scale_path}) ==\n  {} nodes  {} flows  k={}\n  \
+             solve {:.0} µs  {:.0} gain evals/sec  objective {:.2}\n  \
+             load {:.0} events/sec  churn {:.0} events/sec  batch p99 {:.1} µs\n  \
+             drift {:e}  final flows {}\n",
+            scale.params.nodes,
+            scale.params.flows,
+            scale.params.k,
+            scale.solve_wall_us,
+            scale.gain_evals_per_sec,
+            scale.solve_objective,
+            scale.load_events_per_sec,
+            scale.events_per_sec,
+            scale.batch_p99_us,
+            scale.objective_drift,
+            scale.final_flows,
+        ));
+    }
 
     let solve = solve_bench(seed)?;
     let stream = stream_bench(seed)?;
@@ -623,18 +895,70 @@ mod tests {
     fn solve_bench_covers_every_scenario_and_variant() {
         let b = solve_bench(7).unwrap();
         assert_eq!(b.schema, SOLVE_SCHEMA);
-        assert_eq!(b.entries.len(), 6, "2 scenarios × 3 GTP variants");
+        assert_eq!(b.entries.len(), 8, "2 scenarios × 4 GTP variants");
         for e in &b.entries {
             assert!(e.wall_us >= 0.0);
             assert!(e.objective > 0.0, "{}/{}", e.scenario, e.algorithm);
             assert!(e.counters.gain_evals > 0);
             assert!(e.flows > 0 && e.nodes > 0);
         }
-        // The three variants must agree on the objective: they are
+        // The four variants must agree on the objective: they are
         // the same algorithm with different drivers.
-        for chunk in b.entries.chunks(3) {
+        for chunk in b.entries.chunks(4) {
             assert!(chunk.windows(2).all(|w| w[0].objective == w[1].objective));
         }
+    }
+
+    #[test]
+    fn scale_bench_reports_throughput_on_a_tiny_tier() {
+        // Debug-build-sized params: the full tier and the CI smoke
+        // tier share this exact code path.
+        let params = ScaleParams {
+            nodes: 48,
+            flows: 1_500,
+            churn_events: 600,
+            batch: 128,
+            k: 6,
+            gateways: 3,
+            lambda: 0.5,
+            max_rate: 10,
+        };
+        let b = scale_bench(13, params).unwrap();
+        assert_eq!(b.schema, SCALE_SCHEMA);
+        assert_eq!(b.params.flows, 1_500);
+        assert!(b.solve_gain_evals > 0);
+        assert!(b.gain_evals_per_sec > 0.0);
+        assert!(b.events_per_sec > 0.0);
+        assert!(b.load_events_per_sec > 0.0);
+        assert!(b.solve_objective > 0.0);
+        assert!(b.batch_p50_us <= b.batch_p99_us);
+        // Kahan accumulation keeps the running objective exact on
+        // integral-rate workloads.
+        assert_eq!(b.objective_drift, 0.0);
+        // 50/50 churn: the active set stays near the loaded size.
+        assert!(b.final_flows > 0);
+        // The document round-trips through its published type.
+        let json = serde_json::to_string(&b).unwrap();
+        let back: ScaleBench = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, SCALE_SCHEMA);
+        assert_eq!(back.final_flows, b.final_flows);
+    }
+
+    #[test]
+    fn bench_scale_flag_is_validated() {
+        // Running either real tier is a release-build job (the CI
+        // smoke step runs `tdmd bench --scale true` under
+        // TDMD_BENCH_SMOKE); the debug test pins the flag parsing and
+        // the tier selection table.
+        let bad = bench(&args(&[("scale", "maybe")]));
+        assert!(bad.unwrap_err().contains("expected true|false"));
+        let full = ScaleParams::full_tier();
+        assert_eq!(full.flows, 1_000_000, "the committed tier is 1M flows");
+        assert!(full.nodes >= 1_000, "thousand-vertex topology");
+        let smoke = ScaleParams::smoke();
+        assert!(smoke.flows < full.flows / 10);
+        assert!(smoke.gateways <= smoke.k, "guard stays trivially feasible");
+        assert!(full.gateways <= full.k, "guard stays trivially feasible");
     }
 
     #[test]

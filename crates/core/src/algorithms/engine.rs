@@ -317,6 +317,45 @@ pub(crate) fn parallel(ctx: &Ctx<'_>, k: usize) -> Result<Deployment, TdmdError>
     })
 }
 
+/// Sharded rayon-parallel candidate scoring; identical output to
+/// [`eager`] — bitwise, not merely same-argmax. The scale-tier
+/// variant of [`parallel`]: candidates split into contiguous shards
+/// of `shard` vertices, each shard scored *sequentially* inside one
+/// rayon task (so every per-vertex marginal-gain accumulation walks
+/// its CSR row in the exact eager order and produces the same bits),
+/// then the per-shard winners are collected back **in shard order**
+/// (rayon's indexed collect) and merged by a sequential left fold.
+/// [`Score::better_than`] is a strict total order with the vertex id
+/// in the key, so the round's maximum is unique and the merged winner
+/// is independent of the shard size — property-tested against the
+/// sequential path.
+///
+/// Versus [`parallel`], this amortizes task-scheduling overhead over
+/// `shard` gain evaluations and replaces the unordered tree reduction
+/// with a deterministic merge, which is what makes the
+/// bitwise-equality contract auditable rather than incidental.
+pub(crate) fn sharded(ctx: &Ctx<'_>, k: usize, shard: usize) -> Result<Deployment, TdmdError> {
+    let shard = shard.max(1);
+    run_greedy(ctx, Some(k), move |state, cands| {
+        cands
+            .par_chunks(shard)
+            .map(|chunk| {
+                let mut best: Option<Score> = None;
+                for &v in chunk {
+                    let s = state.score(ctx, v);
+                    if best.as_ref().is_none_or(|b| s.better_than(b)) {
+                        best = Some(s);
+                    }
+                }
+                best
+            })
+            .collect::<Vec<Option<Score>>>()
+            .into_iter()
+            .flatten()
+            .reduce(|a, b| if b.better_than(&a) { b } else { a })
+    })
+}
+
 /// CELF lazy evaluation; identical output to [`eager`]. Marginal
 /// decrements and coverage gains are both monotone non-increasing in
 /// `P` (Thm. 2), so a popped entry whose refreshed score still

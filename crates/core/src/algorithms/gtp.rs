@@ -8,7 +8,12 @@
 //! * [`gtp_budgeted`] / [`gtp_derive_k`] — eager evaluation;
 //! * [`gtp_lazy`] — CELF lazy evaluation, valid because marginal
 //!   decrements only shrink as `P` grows;
-//! * [`gtp_parallel`] — Rayon-parallel candidate scoring.
+//! * [`gtp_parallel`] — Rayon-parallel candidate scoring;
+//! * [`gtp_sharded`] — Rayon-parallel scoring over fixed-size vertex
+//!   shards with a deterministic sequential merge, the scale-tier
+//!   variant (bitwise-equal output regardless of shard size or worker
+//!   count, because each per-vertex score is computed by the same
+//!   sequential row scan and the round maximum is unique).
 //!
 //! Every variant is a thin wrapper over the generic engine in
 //! [`super::engine`] instantiated with the paper's
@@ -81,6 +86,30 @@ pub fn gtp_parallel_with<M: CostModel>(
     with_ctx(instance, model, |ctx| engine::parallel(ctx, k))
 }
 
+/// Default shard width for [`gtp_sharded`]: aim for roughly four
+/// chunks per rayon worker (good load balance without drowning the
+/// scheduler in tiny tasks), floored at 32 vertices so small instances
+/// degenerate to near-sequential scoring instead of per-vertex tasks.
+///
+/// The choice only affects wall-clock, never the result — see
+/// [`engine::sharded`] for the bitwise-determinism argument.
+fn default_shard(candidates: usize) -> usize {
+    (candidates / (rayon::current_num_threads().max(1) * 4)).max(32)
+}
+
+/// Sharded-parallel GTP under an arbitrary cost model: candidate
+/// scores are accumulated rayon-parallel per `shard`-sized vertex
+/// chunk and merged by a deterministic sequential fold. Identical
+/// (bitwise) output to [`gtp_budgeted_with`] for every shard size.
+pub fn gtp_sharded_with<M: CostModel>(
+    instance: &Instance,
+    k: usize,
+    shard: usize,
+    model: &M,
+) -> Result<Deployment, TdmdError> {
+    with_ctx(instance, model, |ctx| engine::sharded(ctx, k, shard))
+}
+
 /// CELF lazy GTP under an arbitrary cost model; identical output to
 /// [`gtp_budgeted_with`].
 pub fn gtp_lazy_with<M: CostModel>(
@@ -114,6 +143,14 @@ pub fn gtp_parallel(instance: &Instance, k: usize) -> Result<Deployment, TdmdErr
 /// [`gtp_budgeted`].
 pub fn gtp_lazy(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
     gtp_lazy_with(instance, k, &HopCount)
+}
+
+/// GTP with sharded-parallel gain accumulation and a deterministic
+/// merge (the million-flow scale-tier variant); identical output to
+/// [`gtp_budgeted`]. The shard width is derived from the rayon pool
+/// size; use [`gtp_sharded_with`] to pin it explicitly.
+pub fn gtp_sharded(instance: &Instance, k: usize) -> Result<Deployment, TdmdError> {
+    gtp_sharded_with(instance, k, default_shard(instance.node_count()), &HopCount)
 }
 
 #[cfg(test)]
@@ -175,6 +212,25 @@ mod tests {
             let eager = gtp_budgeted(&inst, k).unwrap();
             assert_eq!(gtp_lazy(&inst, k).unwrap(), eager, "k={k}");
             assert_eq!(gtp_parallel(&inst, k).unwrap(), eager, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_eager_for_any_shard_size() {
+        // The shard width must be a pure performance knob: every width
+        // (including degenerate 1-vertex shards and a single shard
+        // covering the whole candidate set) yields the eager plan.
+        for k in 1..=5 {
+            let inst = fig5_instance(k);
+            let eager = gtp_budgeted(&inst, k).unwrap();
+            assert_eq!(gtp_sharded(&inst, k).unwrap(), eager, "k={k} default shard");
+            for shard in [1usize, 2, 3, 7, 64] {
+                assert_eq!(
+                    gtp_sharded_with(&inst, k, shard, &HopCount).unwrap(),
+                    eager,
+                    "k={k} shard={shard}"
+                );
+            }
         }
     }
 

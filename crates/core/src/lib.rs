@@ -83,7 +83,7 @@ pub mod prelude {
         branch_bound::branch_and_bound,
         dp::{dp_optimal, DpSolution},
         exhaustive::exhaustive_optimal,
-        gtp::{gtp_budgeted, gtp_derive_k, gtp_lazy, gtp_parallel},
+        gtp::{gtp_budgeted, gtp_derive_k, gtp_lazy, gtp_parallel, gtp_sharded},
         hat::hat,
         joint::{joint_solve, joint_solve_with, JointConfig, JointSolution},
         local_search::{gtp_with_local_search, local_search},

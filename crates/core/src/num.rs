@@ -105,6 +105,66 @@ pub fn usize_f64(x: usize) -> f64 {
     x as f64
 }
 
+/// Neumaier-compensated running sum for long-lived float accumulators
+/// (the online engine's running objective terms).
+///
+/// A plain `f64 += / -=` accumulator drifts under long churn streams:
+/// every update rounds, and cancellation between large insertions and
+/// later removals amplifies the residue. This variant of Kahan
+/// summation carries the rounding error of each update in a separate
+/// compensation term, keeping the error of [`KahanSum::value`] at
+/// O(ε) *per stream* instead of O(ε·n).
+///
+/// Two properties the online engine relies on:
+///
+/// * **Exactness preservation** — while every update is exactly
+///   representable (integer rates × dyadic gains, the proptest
+///   regime), the compensation stays `0.0` and `value()` is bitwise
+///   the naive sum.
+/// * **Exact re-sync** — [`KahanSum::reset`] adopts an externally
+///   recomputed exact total with zero compensation, so a rebuild in
+///   canonical order restores bitwise agreement with the from-scratch
+///   sum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Adopts an exactly-known total, clearing the compensation.
+    #[inline]
+    pub fn reset(&mut self, exact: f64) {
+        self.sum = exact;
+        self.compensation = 0.0;
+    }
+
+    /// Adds `x` with Neumaier compensation (which, unlike classic
+    /// Kahan, also survives `|x|` exceeding `|sum|`).
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Subtracts `x` (adds its negation).
+    #[inline]
+    pub fn sub(&mut self, x: f64) {
+        self.add(-x);
+    }
+
+    /// The compensated running total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,9 +8,10 @@ use rand::{Rng, SeedableRng};
 use tdmd_core::algorithms::branch_bound::branch_and_bound;
 use tdmd_core::algorithms::centrality::centrality_placement;
 use tdmd_core::algorithms::exhaustive::exhaustive_optimal;
-use tdmd_core::algorithms::gtp::gtp_budgeted;
+use tdmd_core::algorithms::gtp::{gtp_budgeted, gtp_sharded_with};
 use tdmd_core::algorithms::local_search::local_search;
 use tdmd_core::capacitated::{allocate_capacitated, evaluate_capacitated};
+use tdmd_core::cost::HopCount;
 use tdmd_core::feasibility::is_feasible;
 use tdmd_core::objective::bandwidth_of;
 use tdmd_core::weighted::WeightedIndex;
@@ -124,6 +125,23 @@ proptest! {
         prop_assert!(looser.matched >= eval.matched);
         if looser.matched == eval.matched {
             prop_assert!(looser.bandwidth <= eval.bandwidth + 1e-9);
+        }
+    }
+
+    /// Sharded-parallel GTP is bitwise-equal to the sequential greedy
+    /// for every shard width on weighted random instances: the shard
+    /// width (and therefore the rayon split) is a pure performance
+    /// knob, never an output knob.
+    #[test]
+    fn sharded_gtp_equals_sequential(seed in any::<u64>(), n in 3usize..14,
+                                     k in 1usize..5, shard in 1usize..40) {
+        let inst = weighted_instance(seed, n, 5, k);
+        let eager = gtp_budgeted(&inst, k);
+        let sharded = gtp_sharded_with(&inst, k, shard, &HopCount);
+        match (eager, sharded) {
+            (Ok(e), Ok(s)) => prop_assert_eq!(e, s),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            other => prop_assert!(false, "variants disagree on feasibility: {:?}", other),
         }
     }
 

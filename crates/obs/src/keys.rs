@@ -58,6 +58,12 @@ pub const TENANT_SERVED_BW: &str = "tenant_served_bw";
 /// Sample: per-tenant degraded bandwidth (rate units of flows with no
 /// assigned middlebox), one sample per tenant per telemetry tick.
 pub const TENANT_DEGRADED_BW: &str = "tenant_degraded_bw";
+/// Counter: event batches applied through the online engine's batched
+/// path (`apply_batch` — one repair pass per batch).
+pub const BATCHES: &str = "batches";
+/// Sample: wall-clock µs of one whole `apply_batch` call (all event
+/// ingestions + the single batch-boundary repair pass).
+pub const BATCH_APPLY_US: &str = "batch_apply_us";
 
 /// Every registered key, in registration order. The golden test and
 /// the `obs-keys` lint rule both walk this slice.
@@ -81,6 +87,8 @@ pub const ALL: &[&str] = &[
     SNAPSHOTS_RESTORED,
     TENANT_SERVED_BW,
     TENANT_DEGRADED_BW,
+    BATCHES,
+    BATCH_APPLY_US,
 ];
 
 #[cfg(test)]

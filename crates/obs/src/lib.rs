@@ -23,6 +23,10 @@
 //!   keeps empty samples from masquerading as a measured `0.0`.
 //! * [`normalize_zero`] — collapses IEEE `-0.0` to `+0.0` at
 //!   formatting boundaries so objective sums never print as `-0.00`.
+//! * [`round_metric`] — fixed-precision rounding (plus the signed-zero
+//!   collapse) for latency/wall-clock/throughput metrics at the
+//!   serialization boundary, so committed bench JSON carries `8.55`
+//!   rather than `8.549999999999999`.
 //!
 //! The crate is deliberately dependency-free; serialization of
 //! snapshots (e.g. the `tdmd bench` JSON) is the caller's concern.
@@ -103,6 +107,25 @@ pub fn normalize_zero(x: f64) -> f64 {
     } else {
         x
     }
+}
+
+/// Rounds a measured metric (latency, wall-clock, throughput) to
+/// `decimals` fractional digits for serialization, collapsing signed
+/// zero like [`normalize_zero`]. Percentile interpolation and µs→s
+/// conversions leave float noise (`8.549999999999999`) that would
+/// churn committed JSON artifacts meaninglessly; rounding to the
+/// nearest representable of the `decimals`-digit value makes the
+/// serialized shortest-round-trip representation the human-scale one
+/// (`8.55`). Not for objective values — those are exact sums whose
+/// full precision is the point. Non-finite values pass through
+/// unchanged.
+#[inline]
+pub fn round_metric(x: f64, decimals: u32) -> f64 {
+    if !x.is_finite() {
+        return x;
+    }
+    let scale = 10f64.powi(decimals.min(12).try_into().unwrap_or(12));
+    normalize_zero((x * scale).round() / scale)
 }
 
 #[cfg(test)]

@@ -30,6 +30,8 @@ fn registry_matches_the_golden_list() {
             "snapshots_restored",
             "tenant_served_bw",
             "tenant_degraded_bw",
+            "batches",
+            "batch_apply_us",
         ]
     );
 }
@@ -56,6 +58,8 @@ fn named_constants_point_into_the_registry() {
         keys::SNAPSHOTS_RESTORED,
         keys::TENANT_SERVED_BW,
         keys::TENANT_DEGRADED_BW,
+        keys::BATCHES,
+        keys::BATCH_APPLY_US,
     ] {
         assert!(keys::ALL.contains(&key), "{key} missing from keys::ALL");
     }

@@ -34,9 +34,7 @@
 //! rehome/failover, rebuild); the engine's repair logic relies on
 //! them.
 
-use std::collections::HashMap;
-
-use tdmd_core::num::{approx_f64, id32, ix};
+use tdmd_core::num::{approx_f64, big_ix, id32, ix, KahanSum};
 use tdmd_core::Deployment;
 use tdmd_graph::NodeId;
 use tdmd_traffic::Flow;
@@ -91,18 +89,152 @@ struct RowEntry {
     pos: u32,
 }
 
+/// A generation-validated reference into the flow slot arena: `slot`
+/// indexes `DeltaState::flows`, and the reference resolves only while
+/// `gen` matches `DeltaState::gens[slot]` — freeing a slot bumps its
+/// generation, so a stale reference can never silently alias the next
+/// flow reusing that slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlotRef {
+    slot: u32,
+    gen: u32,
+}
+
+/// Flat open-addressing `FlowKey → SlotRef` map — the generation-
+/// indexed slot map that replaces the `HashMap` on the per-event hot
+/// path. Fibonacci hashing (multiply by ⌊2⁶⁴/φ⌋, keep the top
+/// log₂(capacity) bits), linear probing over a power-of-two bucket
+/// array, and backward-shift deletion (Knuth 6.4 Algorithm R) instead
+/// of tombstones, so probe chains stay short under churn and no
+/// per-operation allocation or SipHash state is involved. Capacity
+/// grows at 7/8 load, which guarantees an empty bucket always
+/// terminates a probe.
+#[derive(Debug, Clone, Default)]
+struct KeyIndex {
+    /// Power-of-two bucket array; `None` is empty (probe terminator).
+    table: Vec<Option<(FlowKey, SlotRef)>>,
+    len: usize,
+}
+
+impl KeyIndex {
+    const MIN_CAPACITY: usize = 8;
+
+    /// Number of mapped keys.
+    #[cfg(any(debug_assertions, feature = "audit", test))]
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Home bucket of `key` in the current table.
+    #[inline]
+    fn home(&self, key: FlowKey) -> usize {
+        debug_assert!(self.table.len().is_power_of_two());
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // The shifted value is < capacity ≤ usize::MAX, so `big_ix`
+        // never panics here.
+        big_ix(h >> (64 - self.table.len().trailing_zeros()))
+    }
+
+    /// Looks up `key`. O(probe chain), allocation-free.
+    fn get(&self, key: FlowKey) -> Option<SlotRef> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut i = self.home(key);
+        loop {
+            match self.table[i] {
+                None => return None,
+                Some((k, r)) if k == key => return Some(r),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Inserts a key the caller has verified to be absent.
+    fn insert(&mut self, key: FlowKey, r: SlotRef) {
+        self.grow_if_needed();
+        let mask = self.table.len() - 1;
+        let mut i = self.home(key);
+        while let Some((k, _)) = self.table[i] {
+            debug_assert_ne!(k, key, "key already present");
+            i = (i + 1) & mask;
+        }
+        self.table[i] = Some((key, r));
+        self.len += 1;
+    }
+
+    /// Removes `key`, returning its reference if it was present.
+    fn remove(&mut self, key: FlowKey) -> Option<SlotRef> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut gap = self.home(key);
+        let removed = loop {
+            match self.table[gap] {
+                None => return None,
+                Some((k, r)) if k == key => break r,
+                Some(_) => gap = (gap + 1) & mask,
+            }
+        };
+        self.len -= 1;
+        // Backward-shift deletion: slide the rest of the probe chain
+        // left over the gap. An entry at `j` may fill the gap iff its
+        // home bucket does not lie strictly between the gap and `j`
+        // (otherwise the shift would strand it before its home).
+        let mut j = (gap + 1) & mask;
+        while let Some((k, _)) = self.table[j] {
+            let home = self.home(k);
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(gap) & mask) {
+                self.table[gap] = self.table[j].take();
+                gap = j;
+            }
+            j = (j + 1) & mask;
+        }
+        self.table[gap] = None;
+        Some(removed)
+    }
+
+    /// Doubles the table before the 7/8 load factor is reached (and
+    /// bootstraps the first allocation).
+    fn grow_if_needed(&mut self) {
+        if self.table.is_empty() {
+            self.table = vec![None; Self::MIN_CAPACITY];
+            return;
+        }
+        if (self.len + 1) * 8 < self.table.len() * 7 {
+            return;
+        }
+        let doubled = self.table.len() * 2;
+        let old = std::mem::replace(&mut self.table, vec![None; doubled]);
+        let mask = doubled - 1;
+        for entry in old.into_iter().flatten() {
+            let mut i = self.home(entry.0);
+            while self.table[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.table[i] = Some(entry);
+        }
+    }
+}
+
 /// Incrementally-maintained flow index, assignments and objective.
 #[derive(Debug, Clone)]
 pub struct DeltaState {
     lambda: f64,
     /// Flow slots; `None` marks a freed slot awaiting reuse.
     flows: Vec<Option<ActiveFlow>>,
+    /// Slot generations (parallel to `flows`), bumped when a slot is
+    /// freed; see [`SlotRef`].
+    gens: Vec<u32>,
     free: Vec<u32>,
-    key_to_slot: HashMap<FlowKey, u32>,
+    key_index: KeyIndex,
     /// Per-vertex rows — the mutable analogue of the CSR arena.
     rows: Vec<Vec<RowEntry>>,
-    unprocessed: f64,
-    saved: f64,
+    unprocessed: KahanSum,
+    saved: KahanSum,
     /// Per-vertex saved share of the flows assigned there.
     primary_load: Vec<f64>,
     active: usize,
@@ -110,6 +242,9 @@ pub struct DeltaState {
     /// they are accounted at full rate.
     unserved: usize,
     next_seq: u64,
+    /// Reusable dirty-vertex scratch; [`DeltaState::commit`] lends it
+    /// out as a slice so the hot repair path allocates nothing.
+    dirty: Vec<NodeId>,
 }
 
 /// `(gain, smaller id)` assignment preference (invariant 2).
@@ -128,16 +263,29 @@ impl DeltaState {
         Self {
             lambda,
             flows: Vec::new(),
+            gens: Vec::new(),
             free: Vec::new(),
-            key_to_slot: HashMap::new(),
+            key_index: KeyIndex::default(),
             rows: vec![Vec::new(); n],
-            unprocessed: 0.0,
-            saved: 0.0,
+            unprocessed: KahanSum::default(),
+            saved: KahanSum::default(),
             primary_load: vec![0.0; n],
             active: 0,
             unserved: 0,
             next_seq: 0,
+            dirty: Vec::new(),
         }
+    }
+
+    /// Resolves `key` to its live slot, validating the generation
+    /// stamp (a mismatch means the slot was freed and reused since the
+    /// reference was minted — structurally impossible while the key
+    /// index is maintained, hence the debug assert).
+    #[inline]
+    fn lookup(&self, key: FlowKey) -> Option<u32> {
+        let r = self.key_index.get(key)?;
+        debug_assert_eq!(self.gens[ix(r.slot)], r.gen, "stale slot reference");
+        (self.gens[ix(r.slot)] == r.gen).then_some(r.slot)
     }
 
     /// `1 − λ`, the diminishing factor every saving is scaled by.
@@ -171,20 +319,22 @@ impl DeltaState {
     /// True if `key` is currently active.
     #[inline]
     pub fn is_active(&self, key: FlowKey) -> bool {
-        self.key_to_slot.contains_key(&key)
+        self.lookup(key).is_some()
     }
 
     /// Running objective: unprocessed total minus savings (invariant
-    /// 3). O(1), but accumulates float drift under long streams — see
-    /// [`DeltaState::exact_objective`].
+    /// 3). O(1). Both terms are Neumaier-compensated
+    /// ([`KahanSum`]), so the drift against
+    /// [`DeltaState::exact_objective`] stays O(ε) per stream instead
+    /// of growing with the event count.
     #[inline]
     pub fn objective(&self) -> f64 {
-        self.unprocessed - self.saved
+        self.unprocessed.value() - self.saved.value()
     }
 
     /// The active flow stored under `key`.
     pub fn flow(&self, key: FlowKey) -> Option<&ActiveFlow> {
-        let &slot = self.key_to_slot.get(&key)?;
+        let slot = self.lookup(key)?;
         self.flows[ix(slot)].as_ref()
     }
 
@@ -275,8 +425,9 @@ impl DeltaState {
     }
 
     /// Inserts an arriving flow and computes its assignment against
-    /// `deployment`. Returns the flow's path vertices (the caller
-    /// dirties them). O(path length).
+    /// `deployment`. The caller dirties the path vertices it already
+    /// holds — no copy is returned. O(path length), zero allocation
+    /// beyond the flow's own storage.
     ///
     /// # Panics
     /// Panics if `key` is already active or `gains` does not match the
@@ -289,8 +440,8 @@ impl DeltaState {
         gains: Vec<f64>,
         cost: f64,
         deployment: &Deployment,
-    ) -> Vec<NodeId> {
-        assert!(!self.key_to_slot.contains_key(&key), "duplicate flow key");
+    ) {
+        assert!(self.lookup(key).is_none(), "duplicate flow key");
         assert_eq!(gains.len(), path.len(), "one gain per path position");
         let factor = self.factor();
         // Best deployed on-path vertex under the (gain, smaller id)
@@ -305,6 +456,7 @@ impl DeltaState {
             Some(s) => s,
             None => {
                 self.flows.push(None);
+                self.gens.push(0);
                 id32(self.flows.len() - 1)
             }
         };
@@ -317,15 +469,14 @@ impl DeltaState {
                 pos: id32(pos),
             });
         }
-        self.unprocessed += approx_f64(rate) * cost;
+        self.unprocessed.add(approx_f64(rate) * cost);
         if let Some((v, g)) = assigned {
             let s = approx_f64(rate) * factor * g;
-            self.saved += s;
+            self.saved.add(s);
             self.primary_load[ix(v)] += s;
         } else {
             self.unserved += 1;
         }
-        let dirty = path.clone();
         self.flows[ix(slot)] = Some(ActiveFlow {
             key,
             rate,
@@ -337,9 +488,14 @@ impl DeltaState {
             row_pos,
         });
         self.next_seq += 1;
-        self.key_to_slot.insert(key, slot);
+        self.key_index.insert(
+            key,
+            SlotRef {
+                slot,
+                gen: self.gens[ix(slot)],
+            },
+        );
         self.active += 1;
-        dirty
     }
 
     /// Removes a departing flow, subtracting its contributions and
@@ -349,16 +505,21 @@ impl DeltaState {
     /// # Panics
     /// Panics if `key` is not active.
     pub fn remove(&mut self, key: FlowKey) -> Vec<NodeId> {
-        let slot = self
-            .key_to_slot
-            .remove(&key)
+        let r = self
+            .key_index
+            .remove(key)
             .expect("departure of an unknown flow key");
+        debug_assert_eq!(self.gens[ix(r.slot)], r.gen, "stale slot reference");
+        let slot = r.slot;
         let flow = self.flows[ix(slot)].take().expect("slot is live");
+        // Bump the generation so any reference minted for the departed
+        // flow can never resolve against the slot's next tenant.
+        self.gens[ix(slot)] = self.gens[ix(slot)].wrapping_add(1);
         let factor = self.factor();
-        self.unprocessed -= approx_f64(flow.rate) * flow.cost;
+        self.unprocessed.sub(approx_f64(flow.rate) * flow.cost);
         if let Some((v, g)) = flow.assigned {
             let s = approx_f64(flow.rate) * factor * g;
-            self.saved -= s;
+            self.saved.sub(s);
             self.primary_load[ix(v)] -= s;
         } else {
             self.unserved -= 1;
@@ -401,18 +562,15 @@ impl DeltaState {
         cost: f64,
         deployment: &Deployment,
     ) -> Vec<NodeId> {
-        let slot = *self
-            .key_to_slot
-            .get(&key)
-            .expect("reroute of an unknown flow key");
+        let slot = self.lookup(key).expect("reroute of an unknown flow key");
         let rate = self.flows[ix(slot)].as_ref().expect("slot is live").rate;
         let mut dirty = self.remove(key);
-        let new_dirty = self.insert(key, rate, path, gains, cost, deployment);
-        for v in new_dirty {
+        for &v in &path {
             if !dirty.contains(&v) {
                 dirty.push(v);
             }
         }
+        self.insert(key, rate, path, gains, cost, deployment);
         dirty
     }
 
@@ -420,11 +578,19 @@ impl DeltaState {
     /// deployed `v` (invariant 2 restoration after an insert into the
     /// deployment). Returns the dirtied vertices: the full paths of
     /// every re-homed flow (their marginal gains changed everywhere).
-    pub fn commit(&mut self, v: NodeId) -> Vec<NodeId> {
+    ///
+    /// The returned slice borrows an internal scratch buffer — the hot
+    /// repair path neither clones the vertex row nor allocates a fresh
+    /// dirty vector. The slice is valid until the next `commit`.
+    pub fn commit(&mut self, v: NodeId) -> &[NodeId] {
         let factor = self.factor();
-        let mut dirty = Vec::new();
-        let entries: Vec<RowEntry> = self.rows[ix(v)].clone();
-        for e in entries {
+        self.dirty.clear();
+        // Index-based row walk: `RowEntry` is `Copy`, so each entry is
+        // read out before the flow table is borrowed mutably — no
+        // snapshot clone of the row is needed, and `commit` itself
+        // never mutates the row.
+        for i in 0..self.rows[ix(v)].len() {
+            let e = self.rows[ix(v)][i];
             let f = self.flows[ix(e.slot)].as_mut().expect("row entry is live");
             let g = f.gains[ix(e.pos)];
             if !better_assignment((v, g), f.assigned) {
@@ -432,18 +598,18 @@ impl DeltaState {
             }
             if let Some((ov, og)) = f.assigned {
                 let s = approx_f64(f.rate) * factor * og;
-                self.saved -= s;
+                self.saved.sub(s);
                 self.primary_load[ix(ov)] -= s;
             } else {
                 self.unserved -= 1;
             }
             let s = approx_f64(f.rate) * factor * g;
-            self.saved += s;
+            self.saved.add(s);
             self.primary_load[ix(v)] += s;
             f.assigned = Some((v, g));
-            dirty.extend_from_slice(&f.path);
+            self.dirty.extend_from_slice(&f.path);
         }
-        dirty
+        &self.dirty
     }
 
     /// Re-homes every flow assigned to `v` after `v` was removed from
@@ -486,11 +652,11 @@ impl DeltaState {
                 }
             }
             let s_old = approx_f64(f.rate) * factor * old;
-            self.saved -= s_old;
+            self.saved.sub(s_old);
             self.primary_load[ix(v)] -= s_old;
             if let Some((nv, ng)) = next {
                 let s = approx_f64(f.rate) * factor * ng;
-                self.saved += s;
+                self.saved.add(s);
                 self.primary_load[ix(nv)] += s;
                 out.reassigned += 1;
             } else {
@@ -529,14 +695,15 @@ impl DeltaState {
 
     /// Recomputes every assignment and all running sums from scratch
     /// against `deployment` (after a full replan adopts a new
-    /// deployment wholesale). Sums are rebuilt in arrival order, so
-    /// the running objective coincides with
-    /// [`DeltaState::exact_objective`] right after a rebuild.
+    /// deployment wholesale). Sums are rebuilt in arrival order and
+    /// adopted via [`KahanSum::reset`] (exact re-sync, zero
+    /// compensation), so the running objective coincides with
+    /// [`DeltaState::exact_objective`] bitwise right after a rebuild.
     pub fn rebuild_assignments(&mut self, deployment: &Deployment) {
         let factor = self.factor();
         self.primary_load.iter_mut().for_each(|l| *l = 0.0);
-        self.saved = 0.0;
-        self.unprocessed = 0.0;
+        let mut unprocessed = 0.0f64;
+        let mut saved = 0.0f64;
         self.unserved = 0;
         for slot in self.slots_in_seq_order() {
             let f = self.flows[ix(slot)].as_mut().expect("live slot");
@@ -547,15 +714,47 @@ impl DeltaState {
                 }
             }
             f.assigned = best;
-            self.unprocessed += approx_f64(f.rate) * f.cost;
+            unprocessed += approx_f64(f.rate) * f.cost;
             if let Some((v, g)) = best {
                 let s = approx_f64(f.rate) * factor * g;
-                self.saved += s;
+                saved += s;
                 self.primary_load[ix(v)] += s;
             } else {
                 self.unserved += 1;
             }
         }
+        self.unprocessed.reset(unprocessed);
+        self.saved.reset(saved);
+    }
+
+    /// The objective `deployment` would yield against the current
+    /// active flows, with every assignment recomputed from scratch —
+    /// what cloning the state, calling
+    /// [`DeltaState::rebuild_assignments`] and reading
+    /// [`DeltaState::exact_objective`] would report, evaluated
+    /// read-only without materializing the copy. Term-for-term the
+    /// same arrival-order sum, so the agreement is bitwise.
+    pub fn objective_under(&self, deployment: &Deployment) -> f64 {
+        let factor = self.factor();
+        self.slots_in_seq_order()
+            .into_iter()
+            .map(|s| {
+                let f = self.flows[ix(s)].as_ref().expect("live slot");
+                let mut best: Option<(NodeId, f64)> = None;
+                for (pos, &u) in f.path.iter().enumerate() {
+                    if deployment.contains(u) && better_assignment((u, f.gains[pos]), best) {
+                        best = Some((u, f.gains[pos]));
+                    }
+                }
+                let full = approx_f64(f.rate) * f.cost;
+                match best {
+                    Some((_, g)) => full - approx_f64(f.rate) * factor * g,
+                    None => full,
+                }
+            })
+            .sum::<f64>()
+            // Same -0.0 normalization as `exact_objective`.
+            + 0.0
     }
 }
 
@@ -588,10 +787,17 @@ impl DeltaState {
         for (slot, f) in self.flows.iter().enumerate() {
             let Some(f) = f else { continue };
             live += 1;
-            if self.key_to_slot.get(&f.key) != Some(&id32(slot)) {
+            let expected = SlotRef {
+                slot: id32(slot),
+                gen: self.gens[slot],
+            };
+            if self.key_index.get(f.key) != Some(expected) {
                 return err(
                     "delta-key-map",
-                    format!("flow key {} not mapped to its slot {slot}", f.key),
+                    format!(
+                        "flow key {} not mapped to slot {slot} at generation {}",
+                        f.key, expected.gen
+                    ),
                 );
             }
             if f.gains.len() != f.path.len() || f.row_pos.len() != f.path.len() {
@@ -607,13 +813,13 @@ impl DeltaState {
                 );
             }
         }
-        if live != self.active || self.key_to_slot.len() != live {
+        if live != self.active || self.key_index.len() != live {
             return err(
                 "delta-active-census",
                 format!(
                     "{live} live slots, active = {}, key map = {}",
                     self.active,
-                    self.key_to_slot.len()
+                    self.key_index.len()
                 ),
             );
         }
@@ -705,16 +911,19 @@ impl DeltaState {
                 None => unserved += 1,
             }
         }
-        if (self.unprocessed - unprocessed).abs() > tol(unprocessed) {
+        if (self.unprocessed.value() - unprocessed).abs() > tol(unprocessed) {
             return err(
                 "delta-sum-unprocessed",
-                format!("running {} vs rebuilt {unprocessed}", self.unprocessed),
+                format!(
+                    "running {} vs rebuilt {unprocessed}",
+                    self.unprocessed.value()
+                ),
             );
         }
-        if (self.saved - saved).abs() > tol(saved) {
+        if (self.saved.value() - saved).abs() > tol(saved) {
             return err(
                 "delta-sum-saved",
-                format!("running {} vs rebuilt {saved}", self.saved),
+                format!("running {} vs rebuilt {saved}", self.saved.value()),
             );
         }
         for (v, (&a, &b)) in self.primary_load.iter().zip(&primary).enumerate() {
@@ -740,7 +949,9 @@ impl DeltaState {
     /// # Panics
     /// Panics if `key` is not active.
     pub fn audit_force_assignment(&mut self, key: FlowKey, assigned: Option<(NodeId, f64)>) {
-        let slot = self.key_to_slot[&key];
+        let Some(slot) = self.lookup(key) else {
+            panic!("corrupting an unknown flow key")
+        };
         self.flows[ix(slot)]
             .as_mut()
             .expect("slot is live")
@@ -750,7 +961,7 @@ impl DeltaState {
     /// Corruption hook: skews the running `saved` sum — breaks
     /// invariant 3.
     pub fn audit_skew_saved(&mut self, delta: f64) {
-        self.saved += delta;
+        self.saved.add(delta);
     }
 
     /// Corruption hook: swaps the first two entries of `v`'s row
@@ -920,5 +1131,107 @@ mod tests {
         let dep = Deployment::empty(3);
         add(&mut st, 0, 1, vec![0, 1], &dep);
         add(&mut st, 0, 1, vec![1, 2], &dep);
+    }
+
+    #[test]
+    fn key_index_survives_grow_and_backward_shift_churn() {
+        // Adversarial keys: multiples of the table capacity collide in
+        // the low bits; Fibonacci hashing must still spread them, and
+        // backward-shift deletion must keep every survivor reachable
+        // across interleaved insert/remove waves that force growth.
+        let mut idx = KeyIndex::default();
+        for slot in 0..512u32 {
+            idx.insert(u64::from(slot) * 64, SlotRef { slot, gen: 0 });
+        }
+        assert_eq!(idx.len(), 512);
+        for slot in (0..512u32).step_by(2) {
+            assert!(idx.remove(u64::from(slot) * 64).is_some());
+        }
+        assert_eq!(idx.len(), 256);
+        for slot in 0..512u32 {
+            let got = idx.get(u64::from(slot) * 64);
+            if slot % 2 == 0 {
+                assert_eq!(got, None, "removed key {slot} resurfaced");
+            } else {
+                assert_eq!(
+                    got,
+                    Some(SlotRef { slot, gen: 0 }),
+                    "surviving key {slot} lost"
+                );
+            }
+        }
+        assert_eq!(idx.remove(9_999_999), None);
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let mut st = DeltaState::new(4, 0.5);
+        let dep = Deployment::empty(4);
+        add(&mut st, 10, 1, vec![0, 1], &dep);
+        st.remove(10);
+        assert!(!st.is_active(10));
+        assert!(st.flow(10).is_none());
+        // Key 20 reuses slot 0 under a bumped generation; the old
+        // key's references are dead, the new key's resolve.
+        add(&mut st, 20, 2, vec![1, 2], &dep);
+        assert_eq!(st.gens[0], 1);
+        assert!(st.is_active(20));
+        assert_eq!(st.flow(20).unwrap().rate, 2);
+        assert!(st.flow(10).is_none());
+    }
+
+    #[test]
+    fn commit_reuses_the_dirty_scratch_across_calls() {
+        let mut st = DeltaState::new(4, 0.0);
+        let mut dep = Deployment::from_vertices(4, [1]);
+        add(&mut st, 0, 1, vec![3, 2, 1, 0], &dep);
+        dep.insert(2);
+        assert_eq!(st.commit(2), vec![3, 2, 1, 0]);
+        // The second commit clears and refills the same scratch; a
+        // no-improvement commit yields an empty dirty set.
+        dep.insert(3);
+        assert_eq!(st.commit(3), vec![3, 2, 1, 0]);
+        assert_eq!(st.commit(1), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn objective_under_matches_clone_rebuild_bitwise() {
+        let mut st = DeltaState::new(5, 0.3);
+        let dep = Deployment::empty(5);
+        add(&mut st, 0, 2, vec![4, 3, 2, 1, 0], &dep);
+        add(&mut st, 1, 5, vec![3, 2, 1], &dep);
+        add(&mut st, 2, 3, vec![2, 1, 0], &dep);
+        for probe in [
+            Deployment::from_vertices(5, [2]),
+            Deployment::from_vertices(5, [1, 4]),
+            Deployment::from_vertices(5, [0, 2, 3]),
+            Deployment::empty(5),
+        ] {
+            let mut cloned = st.clone();
+            cloned.rebuild_assignments(&probe);
+            assert_eq!(
+                st.objective_under(&probe).to_bits(),
+                cloned.exact_objective().to_bits(),
+                "probe {probe:?}"
+            );
+        }
+        // The read-only probe did not disturb the live state.
+        st.check_invariants(&dep).unwrap();
+    }
+
+    #[test]
+    fn kahan_sums_recover_exactness_after_rebuild() {
+        let mut st = DeltaState::new(4, 0.5);
+        let mut dep = Deployment::empty(4);
+        for key in 0..64u64 {
+            add(&mut st, key, 1 + key % 7, vec![3, 2, 1, 0], &dep);
+        }
+        for key in (0..64u64).step_by(3) {
+            st.remove(key);
+        }
+        dep.insert(1);
+        st.commit(1);
+        st.rebuild_assignments(&dep);
+        assert_eq!(st.objective().to_bits(), st.exact_objective().to_bits());
     }
 }

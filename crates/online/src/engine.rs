@@ -123,8 +123,8 @@ impl std::error::Error for OnlineError {}
 /// API.
 pub mod obs_keys {
     pub use tdmd_obs::keys::{
-        ARRIVALS, DEPARTURES, EVENT_APPLY_US, FAILURES, FAILURE_REPAIR_US, FLOWS_DEGRADED,
-        FLOWS_ORPHANED, RECOVERIES, REPAIR_US, REPLANS, REPLAN_US,
+        ARRIVALS, BATCHES, BATCH_APPLY_US, DEPARTURES, EVENT_APPLY_US, FAILURES, FAILURE_REPAIR_US,
+        FLOWS_DEGRADED, FLOWS_ORPHANED, RECOVERIES, REPAIR_US, REPLANS, REPLAN_US,
     };
 }
 
@@ -296,20 +296,19 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
 
     /// Objective the active flows would cost under `dep` (each flow
     /// served by its best on-path vertex in `dep`), summed in arrival
-    /// order like [`OnlineEngine::exact_objective`].
+    /// order like [`OnlineEngine::exact_objective`]. Evaluated
+    /// read-only against the live state — no clone of the per-flow
+    /// tables is materialized for the probe.
     pub fn evaluate_deployment(&self, dep: &Deployment) -> f64 {
-        let mut probe = self.state.clone();
-        probe.rebuild_assignments(dep);
-        probe.exact_objective()
+        self.state.objective_under(dep)
     }
 
-    /// Applies one event and repairs.
-    ///
-    /// # Errors
-    /// Rejects malformed events ([`OnlineError`]); the engine state
-    /// is unchanged on error.
-    pub fn apply(&mut self, event: &Event) -> Result<(), OnlineError> {
-        let sw = R::ENABLED.then(Stopwatch::start);
+    /// Ingests one event — state mutation, queue dirtying, per-event
+    /// counters — without running the repair policy. Shared by
+    /// [`OnlineEngine::apply`] (repair after every event) and
+    /// [`OnlineEngine::apply_batch`] (one repair per batch). Returns
+    /// whether the event was a failure event.
+    fn ingest(&mut self, event: &Event) -> Result<bool, OnlineError> {
         let mut failure = false;
         match event {
             Event::FlowArrived { key, rate, path } => {
@@ -333,6 +332,17 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
             }
         }
         self.stats.events += 1;
+        Ok(failure)
+    }
+
+    /// Applies one event and repairs.
+    ///
+    /// # Errors
+    /// Rejects malformed events ([`OnlineError`]); the engine state
+    /// is unchanged on error.
+    pub fn apply(&mut self, event: &Event) -> Result<(), OnlineError> {
+        let sw = R::ENABLED.then(Stopwatch::start);
+        let failure = self.ingest(event)?;
         self.repair(failure);
         if let Some(sw) = sw {
             self.recorder
@@ -343,6 +353,61 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
             tdmd_core::audit::enforce(self.audit_now());
         }
         Ok(())
+    }
+
+    /// Applies `events` as one batch: every event is ingested back to
+    /// back (the CELF lazy queue's dirty stamps union naturally —
+    /// each touched vertex is re-settled at most once afterwards) and
+    /// the repair policy runs **once** at the batch boundary instead
+    /// of per event. This is the scale-tier hot path: repair cost is
+    /// amortized over the batch, and a sampled policy's replan
+    /// schedule is preserved by counting events, not calls — the pass
+    /// is sampled iff the batch crossed a `sample_every` boundary, so
+    /// a batch of one is exactly [`OnlineEngine::apply`].
+    ///
+    /// Under a forced-replan policy the final state is bitwise
+    /// identical to applying the same events one by one (the repair
+    /// ends in an oracle adoption that is a pure function of the
+    /// active-flow set; property-tested over arbitrary partitions of
+    /// mixed arrival/departure/failure streams).
+    ///
+    /// # Errors
+    /// Stops at the first malformed event. The already-ingested
+    /// prefix is repaired before returning, so the engine is left in
+    /// the same state as applying that prefix — never with dangling
+    /// unrepaired mutations.
+    pub fn apply_batch(&mut self, events: &[Event]) -> Result<(), OnlineError> {
+        let sw = R::ENABLED.then(Stopwatch::start);
+        let events_before = self.stats.events;
+        let mut failure = false;
+        let mut result = Ok(());
+        for ev in events {
+            match self.ingest(ev) {
+                Ok(f) => failure |= f,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        if self.stats.events > events_before {
+            let policy = self.policy;
+            let sampled = policy.force_replan
+                || (policy.sample_every > 0
+                    && self.stats.events / policy.sample_every
+                        != events_before / policy.sample_every);
+            self.repair_with(failure, sampled);
+            self.recorder.count(obs_keys::BATCHES, 1);
+        }
+        if let Some(sw) = sw {
+            self.recorder
+                .sample(obs_keys::BATCH_APPLY_US, sw.elapsed_us());
+        }
+        #[cfg(any(debug_assertions, feature = "audit", test))]
+        if self.audit {
+            tdmd_core::audit::enforce(self.audit_now());
+        }
+        result
     }
 
     /// Applies a whole timed stream in order.
@@ -481,10 +546,18 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
     /// `failure` flags a failure event, enabling the degradation-aware
     /// off-schedule drift check and the failure-repair-latency sample.
     fn repair(&mut self, failure: bool) {
-        let sw = R::ENABLED.then(Stopwatch::start);
         let policy = self.policy;
         let sampled = policy.force_replan
             || (policy.sample_every > 0 && self.stats.events.is_multiple_of(policy.sample_every));
+        self.repair_with(failure, sampled);
+    }
+
+    /// Repair pass with the sampling decision already made (the batch
+    /// path computes it from crossed event-count boundaries rather
+    /// than the current count alone).
+    fn repair_with(&mut self, failure: bool, sampled: bool) {
+        let sw = R::ENABLED.then(Stopwatch::start);
+        let policy = self.policy;
         let replanned = sampled && self.drift_check(policy.force_replan);
         if !replanned {
             self.local_repair(policy.move_budget);
@@ -509,8 +582,7 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
     /// propagating queue invalidations.
     fn commit(&mut self, v: NodeId) {
         self.deployment.insert(v);
-        let dirty = self.state.commit(v);
-        for u in dirty {
+        for &u in self.state.commit(v) {
             self.queue.touch_down(u);
         }
     }

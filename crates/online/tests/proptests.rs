@@ -203,6 +203,39 @@ proptest! {
         }
     }
 
+    /// Over a long churn stream the Kahan-compensated running
+    /// objective stays within float-ulp relative distance of the
+    /// from-scratch exact sum — the accumulated error no longer grows
+    /// with stream length. Exercised at both a dyadic λ (where the
+    /// sums are exact and the drift must be literally zero) and a
+    /// non-dyadic λ that forces the compensation term to do work.
+    #[test]
+    fn running_objective_does_not_drift_over_long_streams(
+        seed in any::<u64>(),
+        n in 4usize..12,
+        len in 50usize..250,
+        dyadic in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi_connected(n, 0.3, &mut rng);
+        let lambda = if dyadic { 0.5 } else { 0.3 };
+        let mut engine = OnlineEngine::new(
+            g.clone(), lambda, 3, HopPricer::default(), RepairPolicy::local_only(2),
+        ).unwrap();
+        for ev in random_events(&g, seed ^ 0xD81F7, len) {
+            engine.apply(&ev).unwrap();
+        }
+        let exact = engine.exact_objective();
+        let drift = (engine.objective() - exact).abs();
+        prop_assert!(
+            drift <= 1e-9 * exact.abs().max(1.0),
+            "drift {} vs exact {} after {} events", drift, exact, len
+        );
+        if dyadic {
+            prop_assert_eq!(engine.objective().to_bits(), exact.to_bits());
+        }
+    }
+
     /// Departing every flow in any order drains the engine to an
     /// exactly-empty state: zero objective, zero deployment load.
     #[test]

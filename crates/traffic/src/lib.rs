@@ -24,6 +24,9 @@
 //!   per-vertex populations, the gravity demand matrix, and
 //!   tenant-tagged flow generation with per-class volume shares and
 //!   rate scaling (the SOL exemplar's workload shape).
+//! * [`scale`] — the million-flow scale-tier workload: gateway
+//!   destinations with eagerly precomputed per-gateway BFS trees, so
+//!   minting a flow is an O(path) slice copy.
 //! * [`density`] — load/capacity bookkeeping.
 //! * [`trace`] — synthetic packet-trace generation and aggregation
 //!   back into flows (the CAIDA-like end-to-end path).
@@ -36,6 +39,7 @@ pub mod distribution;
 pub mod flow;
 pub mod generator;
 pub mod pathset;
+pub mod scale;
 pub mod tenant;
 pub mod trace;
 
@@ -46,6 +50,7 @@ pub use generator::{
     WorkloadConfig,
 };
 pub use pathset::{candidate_sets, FlowPaths};
+pub use scale::GatewayWorkload;
 pub use tenant::{
     gravity_matrix, gravity_populations, gravity_workload, tenant_rate_totals, GravityConfig,
     TenantProfile,

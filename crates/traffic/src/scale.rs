@@ -1,0 +1,195 @@
+//! Million-flow scale-tier workload: gateway-destination gravity
+//! traffic over a general topology.
+//!
+//! The scale benchmark needs to mint flows by the million without
+//! re-running a BFS per flow, and it needs the resulting instance to
+//! stay *feasible* under a small middlebox budget (a budgeted greedy
+//! over a million flows with a thousand random destinations would need
+//! a thousand-vertex cover). [`GatewayWorkload`] solves both at once:
+//!
+//! * every flow terminates at one of `G` designated **gateway**
+//!   vertices (the data-center egress model — G ≪ k keeps greedy
+//!   set-cover feasibility trivially cheap to certify);
+//! * one BFS per gateway on the (bidirectional) topology is run
+//!   eagerly at construction; a flow's path is then the reversed
+//!   BFS-tree path `gateway → src`, an O(path length) slice copy with
+//!   no further graph traversal.
+//!
+//! Rates are uniform integers in `1..=max_rate` — the scale tier
+//! measures throughput, not tail-rate realism (use
+//! [`crate::distribution::CaidaLike`] workloads for that).
+
+use rand::Rng;
+use tdmd_graph::traversal::{bfs, BfsResult};
+use tdmd_graph::{DiGraph, NodeId};
+
+use crate::flow::{Flow, FlowId};
+
+/// Precomputed gateway routing state: one BFS tree per gateway.
+#[derive(Debug, Clone)]
+pub struct GatewayWorkload {
+    gateways: Vec<NodeId>,
+    trees: Vec<BfsResult>,
+    max_rate: u64,
+}
+
+impl GatewayWorkload {
+    /// Builds the per-gateway BFS trees. `g` must be bidirectional
+    /// (every generator in [`tdmd_graph::generators`] used by the
+    /// scale tier is) and connected, so every source reaches every
+    /// gateway.
+    ///
+    /// # Panics
+    /// Panics if `gateways` is empty, contains an out-of-range vertex,
+    /// or `max_rate` is zero.
+    pub fn new(g: &DiGraph, gateways: Vec<NodeId>, max_rate: u64) -> Self {
+        assert!(!gateways.is_empty(), "need at least one gateway");
+        assert!(max_rate > 0, "rates are positive integers");
+        let n = g.node_count();
+        for &gw in &gateways {
+            assert!((gw as usize) < n, "gateway {gw} outside the graph");
+        }
+        let trees = gateways.iter().map(|&gw| bfs(g, gw)).collect();
+        Self {
+            gateways,
+            trees,
+            max_rate,
+        }
+    }
+
+    /// The designated gateway (destination) vertices.
+    pub fn gateways(&self) -> &[NodeId] {
+        &self.gateways
+    }
+
+    /// Mints one flow: uniform random non-gateway-colocated source,
+    /// uniform random gateway, uniform rate in `1..=max_rate`, path =
+    /// the reversed BFS-tree walk (shortest by hop count).
+    ///
+    /// # Panics
+    /// Panics if the chosen source cannot reach the chosen gateway —
+    /// impossible on the connected bidirectional graphs this type is
+    /// documented for.
+    pub fn flow<R: Rng + ?Sized>(&self, g: &DiGraph, id: FlowId, rng: &mut R) -> Flow {
+        let n = g.node_count();
+        loop {
+            let which = rng.gen_range(0..self.gateways.len());
+            let src = rng.gen_range(0..n) as NodeId;
+            if src == self.gateways[which] {
+                continue;
+            }
+            let Some(mut path) = self.trees[which].path_to(src) else {
+                panic!("scale workload requires a connected topology")
+            };
+            // BFS ran from the gateway, so the tree path runs
+            // gateway → src; the flow travels src → gateway.
+            path.reverse();
+            let rate = rng.gen_range(1..=self.max_rate);
+            return Flow::new(id, rate, path);
+        }
+    }
+
+    /// Mints `count` flows with dense ids `first_id..`.
+    pub fn flows<R: Rng + ?Sized>(
+        &self,
+        g: &DiGraph,
+        first_id: FlowId,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<Flow> {
+        let Ok(count) = u32::try_from(count) else {
+            panic!("flow count exceeds u32::MAX")
+        };
+        let mut out = Vec::with_capacity(count as usize);
+        for id in first_id..first_id + count {
+            out.push(self.flow(g, id, rng));
+        }
+        out
+    }
+
+    /// Picks `count` distinct gateway vertices uniformly at random
+    /// from `0..n` — a convenience for benchmark setup.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero or exceeds `n`.
+    pub fn pick_gateways<R: Rng + ?Sized>(n: usize, count: usize, rng: &mut R) -> Vec<NodeId> {
+        assert!(count > 0, "need at least one gateway");
+        assert!(count <= n, "more gateways than vertices");
+        let mut picked: Vec<NodeId> = Vec::with_capacity(count);
+        while picked.len() < count {
+            let v = rng.gen_range(0..n) as NodeId;
+            if !picked.contains(&v) {
+                picked.push(v);
+            }
+        }
+        picked.sort_unstable();
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tdmd_graph::generators::erdos_renyi_connected;
+
+    fn topology(seed: u64) -> DiGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        erdos_renyi_connected(64, 0.05, &mut rng)
+    }
+
+    #[test]
+    fn flows_are_valid_paths_ending_at_gateways() {
+        let g = topology(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let gateways = GatewayWorkload::pick_gateways(64, 4, &mut rng);
+        let w = GatewayWorkload::new(&g, gateways.clone(), 10);
+        let flows = w.flows(&g, 0, 500, &mut rng);
+        assert_eq!(flows.len(), 500);
+        for f in &flows {
+            assert!(f.path_is_valid(&g), "flow {} path invalid", f.id);
+            assert!(gateways.contains(&f.dst()), "flow {} misses gateways", f.id);
+            assert!((1..=10).contains(&f.rate));
+        }
+        // Dense ids from the requested base.
+        assert!(flows.iter().enumerate().all(|(i, f)| f.id as usize == i));
+    }
+
+    #[test]
+    fn paths_are_shortest_by_hops() {
+        let g = topology(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = GatewayWorkload::new(&g, vec![0], 5);
+        for id in 0..50 {
+            let f = w.flow(&g, id, &mut rng);
+            let shortest = tdmd_graph::traversal::bfs_path(&g, f.src(), f.dst()).unwrap();
+            assert_eq!(f.hops() + 1, shortest.len(), "flow {id} not shortest");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let g = topology(5);
+        let w = GatewayWorkload::new(&g, vec![1, 7, 13], 10);
+        let a = w.flows(&g, 100, 200, &mut StdRng::seed_from_u64(6));
+        let b = w.flows(&g, 100, 200, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pick_gateways_is_distinct_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let gws = GatewayWorkload::pick_gateways(16, 8, &mut rng);
+        assert_eq!(gws.len(), 8);
+        assert!(gws.windows(2).all(|w| w[0] < w[1]));
+        assert!(gws.iter().all(|&v| (v as usize) < 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gateway")]
+    fn empty_gateway_set_rejected() {
+        let g = topology(8);
+        let _ = GatewayWorkload::new(&g, vec![], 10);
+    }
+}

@@ -100,6 +100,24 @@ pub mod prelude {
             self.into_iter()
         }
     }
+
+    /// Sequential stand-in for `rayon::slice::ParallelSlice`: exposes
+    /// `par_chunks`, which a real rayon services with one task per
+    /// chunk; here it is plain [`slice::chunks`](slice::chunks), which
+    /// visits the chunks in order — the stricter of the two contracts,
+    /// so callers relying on rayon's indexed collect keep their
+    /// ordering guarantees.
+    pub trait ParallelSlice<T: Sync> {
+        /// Iterator over `chunk_size`-element chunks (last may be
+        /// shorter). `chunk_size` must be non-zero.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
 }
 
 /// Runs both closures (sequentially here) and returns their results.
@@ -135,5 +153,12 @@ mod tests {
     fn range_into_par_iter_collects() {
         let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn par_chunks_visits_chunks_in_order() {
+        let v = vec![1u32, 2, 3, 4, 5];
+        let sums: Vec<u32> = v.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 7, 5], "ordered chunks, short tail last");
     }
 }
