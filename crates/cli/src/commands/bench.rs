@@ -17,6 +17,10 @@
 //!   true`) — the million-flow scale tier: one sharded-parallel solve
 //!   plus a batched churn replay, pinning `events_per_sec` and
 //!   `gain_evals_per_sec`.
+//! * `BENCH_reconfig.json` ([`RECONFIG_SCHEMA`]) — the
+//!   migration-budget sweep: the same churn stream replayed at
+//!   decreasing [`ReconfigBudget`] levels, pinning the moves/event
+//!   curve and the objective gap vs. the unconstrained baseline.
 //!
 //! Every measured latency/wall-clock/throughput field is rounded to
 //! three fractional digits at the serialization boundary
@@ -40,7 +44,8 @@ use tdmd_experiments::scenarios::{
 };
 use tdmd_obs::{normalize_zero, percentile, round_metric, StatsRecorder, Stopwatch};
 use tdmd_online::{
-    events_from_spans, obs_keys, Event, FlowSpan, HopPricer, OnlineEngine, RepairPolicy,
+    events_from_spans, obs_keys, Event, FlowSpan, HopPricer, OnlineEngine, ReconfigBudget,
+    RepairPolicy,
 };
 use tdmd_traffic::GatewayWorkload;
 
@@ -54,6 +59,8 @@ pub const JOINT_SCHEMA: &str = "tdmd-bench-joint/v1";
 pub const SERVE_SCHEMA: &str = "tdmd-bench-serve/v1";
 /// Schema tag of `BENCH_scale.json`.
 pub const SCALE_SCHEMA: &str = "tdmd-bench-scale/v1";
+/// Schema tag of `BENCH_reconfig.json`.
+pub const RECONFIG_SCHEMA: &str = "tdmd-bench-reconfig/v1";
 
 /// Engine-counter deltas attributed to one solve (see
 /// [`tdmd_core::obs::EngineCounters`] for the meanings).
@@ -252,6 +259,61 @@ pub struct ServeBench {
     pub event_p99_us: f64,
     /// Per-tenant fairness figures, ascending by tenant id.
     pub tenants: Vec<ServeTenantEntry>,
+}
+
+/// One budget level of the reconfiguration sweep.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ReconfigEntry {
+    /// Sweep-point name (`unlimited` is the baseline every gap is
+    /// measured against).
+    pub name: String,
+    /// Token refill per applied event (`0` for the unlimited
+    /// baseline — `∞` is not representable in JSON).
+    pub refill_per_event: f64,
+    /// Token-bucket capacity (`0` reported for the unlimited
+    /// baseline).
+    pub burst: f64,
+    /// Tokens charged per middlebox moved.
+    pub box_move_cost: f64,
+    /// Tokens charged per flow reassigned.
+    pub flow_reassign_cost: f64,
+    /// Swap hysteresis margin.
+    pub hysteresis: f64,
+    /// Events replayed.
+    pub events: usize,
+    /// Middleboxes moved over the replay.
+    pub boxes_moved: u64,
+    /// Flow reassignments caused by those moves.
+    pub flows_reassigned: u64,
+    /// `boxes_moved / events` — the migration-rate curve the sweep
+    /// exists to plot.
+    pub moves_per_event: f64,
+    /// Reconfigurations the budget deferred.
+    pub budget_deferrals: u64,
+    /// Migration cost charged against the budget (token units).
+    pub budget_spent: f64,
+    /// Mean of the maintained objective over all events (the streams
+    /// drain, so the final objective is uninformative; the mean tracks
+    /// how much bandwidth saving the budgeted engine held *during*
+    /// churn).
+    pub mean_objective: f64,
+    /// `mean_objective / mean_objective(unlimited) − 1` — the price of
+    /// the budget as extra bandwidth consumed (positive = worse than
+    /// unconstrained). `0` for the baseline; may go slightly negative
+    /// when hysteresis happens to avoid an unprofitable greedy move.
+    pub objective_gap_vs_unconstrained: f64,
+}
+
+/// `BENCH_reconfig.json` document: the migration-budget sweep on the
+/// general-default churn scenario under drift-sampled repair.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ReconfigBench {
+    /// Always [`RECONFIG_SCHEMA`].
+    pub schema: String,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Measurements, unlimited baseline first.
+    pub entries: Vec<ReconfigEntry>,
 }
 
 /// Workload knobs of the scale tier.
@@ -639,6 +701,99 @@ pub fn stream_bench(seed: u64) -> Result<StreamBench, String> {
     })
 }
 
+/// The migration-budget sweep: the general-default churn stream
+/// replayed under drift-sampled incremental repair at decreasing
+/// reconfiguration budgets (plus one hysteresis and one
+/// flow-cost point), each compared against the unlimited baseline on
+/// the mean maintained objective and the moves/event rate.
+pub fn reconfig_bench(seed: u64) -> Result<ReconfigBench, String> {
+    let s = Scenario::general_default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inst = general_instance(&mut rng, s);
+    let spans = spans_for(&inst, seed);
+    let events = events_from_spans(&spans);
+    if events.is_empty() {
+        return Err("reconfig bench: empty event stream".to_string());
+    }
+    let sweep: Vec<(&str, ReconfigBudget)> = vec![
+        ("unlimited", ReconfigBudget::unlimited()),
+        ("windowed-8/16", ReconfigBudget::windowed(8.0, 16)),
+        ("windowed-4/64", ReconfigBudget::windowed(4.0, 64)),
+        ("windowed-2/256", ReconfigBudget::windowed(2.0, 256)),
+        (
+            "windowed-2/256+hyst-0.25",
+            ReconfigBudget::windowed(2.0, 256).with_hysteresis(0.25),
+        ),
+        (
+            "windowed-8/16+flow-cost",
+            ReconfigBudget::windowed(8.0, 16).with_costs(1.0, 0.05),
+        ),
+    ];
+    let mut entries = Vec::new();
+    let mut baseline_mean = 0.0;
+    for (name, budget) in sweep {
+        let policy = RepairPolicy {
+            sample_every: 64,
+            budget,
+            ..RepairPolicy::default()
+        };
+        let mut engine = OnlineEngine::new(
+            inst.graph().clone(),
+            s.lambda,
+            s.k,
+            HopPricer::default(),
+            policy,
+        )
+        .map_err(|e| format!("reconfig/{name}: {e}"))?;
+        let mut obj_sum = 0.0;
+        for ev in &events {
+            engine
+                .apply(&ev.event)
+                .map_err(|e| format!("reconfig/{name}: {e}"))?;
+            obj_sum += engine.objective();
+        }
+        let mean_objective = normalize_zero(obj_sum / events.len() as f64);
+        if name == "unlimited" {
+            baseline_mean = mean_objective;
+        }
+        let gap = if baseline_mean > 0.0 {
+            mean_objective / baseline_mean - 1.0
+        } else {
+            0.0
+        };
+        let stats = engine.stats();
+        entries.push(ReconfigEntry {
+            name: name.to_string(),
+            refill_per_event: if budget.is_unlimited() {
+                0.0
+            } else {
+                budget.refill_per_event
+            },
+            burst: if budget.is_unlimited() {
+                0.0
+            } else {
+                budget.burst
+            },
+            box_move_cost: budget.box_move_cost,
+            flow_reassign_cost: budget.flow_reassign_cost,
+            hysteresis: budget.hysteresis,
+            events: events.len(),
+            boxes_moved: stats.boxes_moved,
+            flows_reassigned: stats.flows_reassigned,
+            moves_per_event: round_metric(stats.boxes_moved as f64 / events.len() as f64, 6),
+            budget_deferrals: stats.budget_deferrals,
+            budget_spent: round_metric(stats.budget_spent, 6),
+            mean_objective,
+            objective_gap_vs_unconstrained: round_metric(normalize_zero(gap), 6),
+        });
+    }
+    Ok(ReconfigBench {
+        schema: RECONFIG_SCHEMA.to_string(),
+        seed,
+        entries,
+    })
+}
+
 /// Route-diversity sweep: the general-default scenario re-drawn with
 /// `k_paths ∈ {1, 2, 3, 4}` candidates per flow, each entry solved
 /// jointly and compared against its own fixed-path GTP baseline.
@@ -777,8 +932,9 @@ pub fn serve_bench(seed: u64, target_events: usize) -> Result<ServeBench, String
 /// `tdmd bench [--seed S] [--out-dir DIR] [--serve-events N]
 /// [--scale true]`
 ///
-/// Writes `BENCH_solve.json`, `BENCH_stream.json`, `BENCH_joint.json`
-/// and `BENCH_serve.json` into `DIR` (default `.`) and prints a
+/// Writes `BENCH_solve.json`, `BENCH_stream.json`,
+/// `BENCH_joint.json`, `BENCH_serve.json` and `BENCH_reconfig.json`
+/// into `DIR` (default `.`) and prints a
 /// one-line-per-entry summary. With `--scale true` it instead runs the
 /// million-flow scale tier and writes only `BENCH_scale.json`
 /// (smoke-sized when `TDMD_BENCH_SMOKE` is set).
@@ -817,11 +973,13 @@ pub fn bench(args: &Args) -> Result<String, String> {
     let stream = stream_bench(seed)?;
     let joint = joint_bench(seed)?;
     let serve = serve_bench(seed, serve_events)?;
+    let reconfig = reconfig_bench(seed)?;
 
     let solve_path = format!("{out_dir}/BENCH_solve.json");
     let stream_path = format!("{out_dir}/BENCH_stream.json");
     let joint_path = format!("{out_dir}/BENCH_joint.json");
     let serve_path = format!("{out_dir}/BENCH_serve.json");
+    let reconfig_path = format!("{out_dir}/BENCH_reconfig.json");
     write_out(
         &solve_path,
         &serde_json::to_string_pretty(&solve).map_err(|e| e.to_string())?,
@@ -837,6 +995,10 @@ pub fn bench(args: &Args) -> Result<String, String> {
     write_out(
         &serve_path,
         &serde_json::to_string_pretty(&serve).map_err(|e| e.to_string())?,
+    )?;
+    write_out(
+        &reconfig_path,
+        &serde_json::to_string_pretty(&reconfig).map_err(|e| e.to_string())?,
     )?;
 
     let mut out = format!("seed {seed}\n== solve ({solve_path}) ==\n");
@@ -874,6 +1036,16 @@ pub fn bench(args: &Args) -> Result<String, String> {
         out.push_str(&format!(
             "  tenant {}: {} events  p50 {:.1} µs  p99 {:.1} µs  served {}  degraded {}\n",
             t.tenant, t.events, t.apply_p50_us, t.apply_p99_us, t.served_bw, t.degraded_bw
+        ));
+    }
+    out.push_str(&format!("== reconfig ({reconfig_path}) ==\n"));
+    for e in &reconfig.entries {
+        out.push_str(&format!(
+            "  {:>24}: {:.4} moves/event  {} deferrals  gap {:.2}%\n",
+            e.name,
+            e.moves_per_event,
+            e.budget_deferrals,
+            100.0 * e.objective_gap_vs_unconstrained
         ));
     }
     Ok(out)
@@ -1010,6 +1182,61 @@ mod tests {
     }
 
     #[test]
+    fn reconfig_bench_sweeps_budgets_against_the_unlimited_baseline() {
+        let b = reconfig_bench(42).unwrap();
+        assert_eq!(b.schema, RECONFIG_SCHEMA);
+        assert!(b.entries.len() >= 5, "baseline + at least 4 sweep points");
+        let base = &b.entries[0];
+        assert_eq!(base.name, "unlimited");
+        assert_eq!(base.objective_gap_vs_unconstrained, 0.0);
+        assert_eq!(base.budget_deferrals, 0, "an infinite bucket never defers");
+        assert_eq!(base.budget_spent, 0.0, "unlimited moves are free");
+        assert!(base.boxes_moved > 0 && base.mean_objective > 0.0);
+        for e in &b.entries[1..] {
+            assert!(e.events == base.events, "{}: same stream", e.name);
+            // Amortized spend bound: burst + refill × events, plus
+            // the post-hoc flow debit of the overdrawing move (one
+            // move's reassignments ≤ the total, so this slack is a
+            // provable over-approximation).
+            let cap = e.burst
+                + e.refill_per_event * e.events as f64
+                + e.flow_reassign_cost * e.flows_reassigned as f64;
+            assert!(
+                e.budget_spent <= cap + 1e-6,
+                "{}: spent {} > cap {}",
+                e.name,
+                e.budget_spent,
+                cap
+            );
+            // A finite budget can only reduce migration activity.
+            assert!(
+                e.boxes_moved <= base.boxes_moved,
+                "{}: {} boxes > unconstrained {}",
+                e.name,
+                e.boxes_moved,
+                base.boxes_moved
+            );
+            // The objective price of the budget stays a constant
+            // factor, not a collapse — and a budget cannot make the
+            // engine meaningfully *better* than unconstrained.
+            assert!(
+                e.objective_gap_vs_unconstrained < 0.5 && e.objective_gap_vs_unconstrained > -0.05,
+                "{}: gap {}",
+                e.name,
+                e.objective_gap_vs_unconstrained
+            );
+        }
+        // At least one tight point actually deferred something,
+        // otherwise the sweep is not exercising the budget.
+        assert!(b.entries[1..].iter().any(|e| e.budget_deferrals > 0));
+        // Determinism: the committed artifact never churns.
+        let again = reconfig_bench(42).unwrap();
+        let a = serde_json::to_string(&b).unwrap();
+        let c = serde_json::to_string(&again).unwrap();
+        assert_eq!(a, c, "reconfig bench is bit-deterministic");
+    }
+
+    #[test]
     fn serve_bench_checks_restore_and_reports_per_tenant_percentiles() {
         let b = serve_bench(9, 2_000).unwrap();
         assert_eq!(b.schema, SERVE_SCHEMA);
@@ -1061,6 +1288,12 @@ mod tests {
                 .unwrap();
         assert_eq!(serve.schema, SERVE_SCHEMA);
         assert!(serve.restore_bitwise);
+        let reconfig: ReconfigBench = serde_json::from_str(
+            &std::fs::read_to_string(dir.join("BENCH_reconfig.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(reconfig.schema, RECONFIG_SCHEMA);
+        assert_eq!(reconfig.entries[0].name, "unlimited");
     }
 
     #[test]

@@ -10,9 +10,45 @@ pub mod stream;
 pub mod topo;
 pub mod workload;
 
+use crate::args::Args;
 use tdmd_graph::io::TopologyDoc;
 use tdmd_graph::DiGraph;
+use tdmd_online::ReconfigBudget;
 use tdmd_traffic::Flow;
+
+/// Parses the migration-budget flags shared by `stream run`,
+/// `stream inject` and `serve run` into a [`ReconfigBudget`]:
+///
+/// * `--budget R` — migration tokens refilled per applied event;
+///   absent means an unlimited budget (the pre-budget behaviour).
+/// * `--burst B` — token-bucket capacity; defaults to
+///   `R × max(sample_every, 1)`, i.e. the bucket can bank up to one
+///   drift-sampling window of refill so a periodic replan stays
+///   affordable.
+/// * `--box-cost C` — tokens per middlebox moved (default 1).
+/// * `--flow-cost C` — tokens per flow reassigned (default 0).
+/// * `--hysteresis M` — swap hysteresis margin (default 0; applies
+///   even without `--budget`).
+pub fn budget_from(args: &Args) -> Result<ReconfigBudget, String> {
+    let hysteresis: f64 = args.num("hysteresis", 0.0)?;
+    let budget = match args.optional("budget") {
+        None => ReconfigBudget::unlimited().with_hysteresis(hysteresis),
+        Some(_) => {
+            let refill: f64 = args.num_required("budget")?;
+            let sample_every: u64 = args.num("sample-every", 256)?;
+            let burst: f64 = args.num("burst", refill * sample_every.max(1) as f64)?;
+            ReconfigBudget {
+                box_move_cost: args.num("box-cost", 1.0)?,
+                flow_reassign_cost: args.num("flow-cost", 0.0)?,
+                refill_per_event: refill,
+                burst,
+                hysteresis,
+            }
+        }
+    };
+    budget.validate().map_err(|e| format!("--budget: {e}"))?;
+    Ok(budget)
+}
 
 /// Loads a topology JSON file.
 pub fn load_topology(path: &str) -> Result<DiGraph, String> {

@@ -142,13 +142,17 @@ pub fn generate(args: &Args) -> Result<String, String> {
     ))
 }
 
-/// Parses the repair-policy flags shared with `stream run`.
+/// Parses the repair-policy flags shared with `stream run`, including
+/// the migration-budget flags (`--budget`, `--burst`, `--box-cost`,
+/// `--flow-cost`, `--hysteresis` — see
+/// [`crate::commands::budget_from`]).
 fn policy_from(args: &Args) -> Result<RepairPolicy, String> {
     match args.optional("policy").unwrap_or("incremental") {
         "incremental" => Ok(RepairPolicy {
             move_budget: args.num("move-budget", 4)?,
             drift_eps: args.num("eps", 0.05)?,
             sample_every: args.num("sample-every", 256)?,
+            budget: crate::commands::budget_from(args)?,
             ..RepairPolicy::default()
         }),
         "replanned" => Ok(RepairPolicy::forced_replan()),
@@ -166,7 +170,8 @@ fn load_snapshot(path: &str) -> Result<ServeSnapshot, String> {
 /// [--out records.ndjson] [--telemetry-every N] [--snapshot-every N]
 /// [--snapshot-path state.json] [--restore-from state.json]
 /// [--policy incremental|replanned] [--move-budget N] [--eps E]
-/// [--sample-every N]`
+/// [--sample-every N] [--budget R] [--burst B] [--box-cost C]
+/// [--flow-cost C] [--hysteresis M]`
 ///
 /// Runs the serve loop over the event file (stdin when `--in` is
 /// omitted), writing NDJSON records to `--out` (stdout when omitted).

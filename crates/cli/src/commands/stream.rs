@@ -10,7 +10,7 @@
 //! kills) and reports the degradation/repair telemetry.
 
 use crate::args::Args;
-use crate::commands::{load_topology, load_workload, write_out};
+use crate::commands::{budget_from, load_topology, load_workload, write_out};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tdmd_obs::{normalize_zero, percentile, StatsRecorder, Stopwatch};
@@ -70,13 +70,17 @@ pub fn load_spans(path: &str) -> Result<Vec<FlowSpan>, String> {
 
 /// `tdmd stream run --topo t.json --spans spans.json --lambda L --k K
 /// [--policy incremental|replanned] [--move-budget N] [--eps E]
-/// [--sample-every N] [--oracle-every N] [--audit true]`
+/// [--sample-every N] [--budget R] [--burst B] [--box-cost C]
+/// [--flow-cost C] [--hysteresis M] [--oracle-every N] [--audit true]`
 ///
 /// Replays the span file event by event, measuring the wall-clock
 /// latency of each apply+repair step, and samples the gap between the
 /// maintained objective and a from-scratch GTP solve every
 /// `--oracle-every` events (0 disables gap sampling; the final event
-/// is always sampled).
+/// is always sampled). With `--budget`, repair moves are admitted
+/// against a migration token bucket (see
+/// [`tdmd_online::ReconfigBudget`]) and the report adds the
+/// moves/deferral/spend accounting.
 pub fn run(args: &Args) -> Result<String, String> {
     let graph = load_topology(args.required("topo")?)?;
     let spans = load_spans(args.required("spans")?)?;
@@ -88,6 +92,7 @@ pub fn run(args: &Args) -> Result<String, String> {
             move_budget: args.num("move-budget", 4)?,
             drift_eps: args.num("eps", 0.05)?,
             sample_every: args.num("sample-every", 256)?,
+            budget: budget_from(args)?,
             ..RepairPolicy::default()
         },
         "replanned" => RepairPolicy::forced_replan(),
@@ -147,6 +152,20 @@ pub fn run(args: &Args) -> Result<String, String> {
         "repairs:      {} adds, {} drops, {} swaps, {} replans\n",
         stats.adds, stats.drops, stats.swaps, stats.replans
     ));
+    out.push_str(&format!(
+        "migrations:   {} boxes moved, {} flows reassigned ({:.3} moves/event)\n",
+        stats.boxes_moved,
+        stats.flows_reassigned,
+        stats.boxes_moved as f64 / total as f64,
+    ));
+    if !engine.budget_tokens().is_infinite() {
+        out.push_str(&format!(
+            "budget:       {:.2} tokens spent, {} deferrals, {:.2} tokens left\n",
+            stats.budget_spent,
+            stats.budget_deferrals,
+            engine.budget_tokens()
+        ));
+    }
     if gaps.is_empty() {
         out.push_str("oracle gap:   n/a (stream drained or oracle infeasible)\n");
     } else {
@@ -177,7 +196,8 @@ pub fn run(args: &Args) -> Result<String, String> {
 /// `tdmd stream inject --topo t.json --spans spans.json --lambda L
 /// --k K [--mode independent|targeted] [--mtbf-us N] [--mttr-us N]
 /// [--period-us N] [--seed S] [--policy incremental|replanned|local]
-/// [--move-budget N] [--eps E] [--sample-every N]`
+/// [--move-budget N] [--eps E] [--sample-every N] [--budget R]
+/// [--burst B] [--box-cost C] [--flow-cost C] [--hysteresis M]`
 ///
 /// Replays the span file through the incremental engine while
 /// injecting middlebox failures: `independent` draws per-vertex
@@ -211,10 +231,14 @@ pub fn inject(args: &Args) -> Result<String, String> {
             move_budget: args.num("move-budget", 4)?,
             drift_eps: args.num("eps", 0.05)?,
             sample_every: args.num("sample-every", 256)?,
+            budget: budget_from(args)?,
             ..RepairPolicy::default()
         },
         "replanned" => RepairPolicy::forced_replan(),
-        "local" => RepairPolicy::local_only(args.num("move-budget", 4)?),
+        "local" => RepairPolicy {
+            budget: budget_from(args)?,
+            ..RepairPolicy::local_only(args.num("move-budget", 4)?)
+        },
         other => {
             return Err(format!(
                 "unknown policy '{other}' (incremental|replanned|local)"
@@ -250,6 +274,16 @@ pub fn inject(args: &Args) -> Result<String, String> {
             percentile(lat, 90.0),
             percentile(lat, 99.0),
             lat.len()
+        ));
+    }
+    out.push_str(&format!(
+        "migrations:     {} boxes moved, {} flows reassigned\n",
+        report.boxes_moved, report.flows_reassigned
+    ));
+    if report.budget_spent > 0.0 || report.budget_deferrals > 0 {
+        out.push_str(&format!(
+            "budget:         {:.2} tokens spent, {} deferrals\n",
+            report.budget_spent, report.budget_deferrals
         ));
     }
     match report.points.last() {
@@ -395,6 +429,63 @@ mod tests {
             report.contains("mean 0.00% / max 0.00%"),
             "forced replans track the oracle exactly: {report}"
         );
+    }
+
+    #[test]
+    fn budgeted_run_reports_spend_and_deferrals() {
+        let (topo_path, wl) = fixture();
+        let spans_path = tmp("stream-budget-spans.json");
+        generate(&args(&[
+            ("workload", &wl),
+            ("duration", "1000"),
+            ("seed", "7"),
+            ("out", &spans_path),
+        ]))
+        .unwrap();
+        let report = run(&args(&[
+            ("topo", &topo_path),
+            ("spans", &spans_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+            ("budget", "0.25"),
+            ("burst", "1"),
+            ("hysteresis", "0.1"),
+        ]))
+        .unwrap();
+        assert!(report.contains("migrations:"), "{report}");
+        assert!(report.contains("budget:"), "{report}");
+        assert!(report.contains("tokens spent"), "{report}");
+        // Without --budget the budget line disappears.
+        let free = run(&args(&[
+            ("topo", &topo_path),
+            ("spans", &spans_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+        ]))
+        .unwrap();
+        assert!(free.contains("migrations:"), "{free}");
+        assert!(!free.contains("budget:"), "{free}");
+    }
+
+    #[test]
+    fn bad_budget_flags_are_rejected() {
+        let (topo_path, wl) = fixture();
+        let spans_path = tmp("stream-badbudget-spans.json");
+        generate(&args(&[
+            ("workload", &wl),
+            ("duration", "100"),
+            ("out", &spans_path),
+        ]))
+        .unwrap();
+        let err = run(&args(&[
+            ("topo", &topo_path),
+            ("spans", &spans_path),
+            ("lambda", "0.5"),
+            ("k", "4"),
+            ("budget", "-1"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--budget"), "{err}");
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub enum TdmdError {
         /// The configured cap.
         cap: u128,
     },
+    /// A reconfiguration-budget configuration is malformed (negative,
+    /// NaN, or an infinite cost/refill/margin) — see
+    /// `tdmd_online::ReconfigBudget::validate` for the field rules.
+    BadReconfigBudget {
+        /// Which field is malformed.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for TdmdError {
@@ -71,6 +78,9 @@ impl std::fmt::Display for TdmdError {
                     f,
                     "exhaustive search over {subsets} subsets exceeds cap {cap}"
                 )
+            }
+            TdmdError::BadReconfigBudget { reason } => {
+                write!(f, "bad reconfiguration budget: {reason}")
             }
         }
     }

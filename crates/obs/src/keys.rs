@@ -64,6 +64,20 @@ pub const BATCHES: &str = "batches";
 /// Sample: wall-clock µs of one whole `apply_batch` call (all event
 /// ingestions + the single batch-boundary repair pass).
 pub const BATCH_APPLY_US: &str = "batch_apply_us";
+/// Counter: middleboxes deployed or undeployed by chargeable repair
+/// moves (greedy adds, both legs of a swap, the symmetric difference
+/// of an adopted replan; free zero-load drops are exempt).
+pub const BOXES_MOVED: &str = "boxes_moved";
+/// Counter: flow→middlebox assignment changes caused by chargeable
+/// repair moves (failure-induced orphaning is not charged — it is not
+/// a reconfiguration the engine chose).
+pub const FLOWS_REASSIGNED: &str = "flows_reassigned";
+/// Counter: repair moves (adds, swaps or replans) skipped because the
+/// reconfiguration token bucket could not cover their migration cost.
+pub const BUDGET_DEFERRALS: &str = "budget_deferrals";
+/// Sample: migration cost debited from the reconfiguration token
+/// bucket by one chargeable repair move.
+pub const BUDGET_SPEND: &str = "budget_spend";
 
 /// Every registered key, in registration order. The golden test and
 /// the `obs-keys` lint rule both walk this slice.
@@ -89,6 +103,10 @@ pub const ALL: &[&str] = &[
     TENANT_DEGRADED_BW,
     BATCHES,
     BATCH_APPLY_US,
+    BOXES_MOVED,
+    FLOWS_REASSIGNED,
+    BUDGET_DEFERRALS,
+    BUDGET_SPEND,
 ];
 
 #[cfg(test)]

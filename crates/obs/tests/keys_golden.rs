@@ -32,6 +32,10 @@ fn registry_matches_the_golden_list() {
             "tenant_degraded_bw",
             "batches",
             "batch_apply_us",
+            "boxes_moved",
+            "flows_reassigned",
+            "budget_deferrals",
+            "budget_spend",
         ]
     );
 }
@@ -60,6 +64,10 @@ fn named_constants_point_into_the_registry() {
         keys::TENANT_DEGRADED_BW,
         keys::BATCHES,
         keys::BATCH_APPLY_US,
+        keys::BOXES_MOVED,
+        keys::FLOWS_REASSIGNED,
+        keys::BUDGET_DEFERRALS,
+        keys::BUDGET_SPEND,
     ] {
         assert!(keys::ALL.contains(&key), "{key} missing from keys::ALL");
     }

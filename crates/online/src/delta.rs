@@ -245,6 +245,13 @@ pub struct DeltaState {
     /// Reusable dirty-vertex scratch; [`DeltaState::commit`] lends it
     /// out as a slice so the hot repair path allocates nothing.
     dirty: Vec<NodeId>,
+    /// Monotone census of assignment changes applied by
+    /// [`DeltaState::commit`], [`DeltaState::fail_rehome`] and
+    /// [`DeltaState::rebuild_assignments`] (arrival-time initial
+    /// assignments are not changes). The engine reads it differentially
+    /// around each repair move to price flow reassignments, so the
+    /// absolute value carries no meaning and is not serialized.
+    reassignments: u64,
 }
 
 /// `(gain, smaller id)` assignment preference (invariant 2).
@@ -274,7 +281,15 @@ impl DeltaState {
             unserved: 0,
             next_seq: 0,
             dirty: Vec::new(),
+            reassignments: 0,
         }
+    }
+
+    /// Monotone count of assignment changes (see the field doc) —
+    /// meaningful only as a difference across one mutation.
+    #[inline]
+    pub fn reassignments(&self) -> u64 {
+        self.reassignments
     }
 
     /// Resolves `key` to its live slot, validating the generation
@@ -607,6 +622,7 @@ impl DeltaState {
             self.saved.add(s);
             self.primary_load[ix(v)] += s;
             f.assigned = Some((v, g));
+            self.reassignments += 1;
             self.dirty.extend_from_slice(&f.path);
         }
         &self.dirty
@@ -664,6 +680,7 @@ impl DeltaState {
                 out.degraded += 1;
             }
             f.assigned = next;
+            self.reassignments += 1;
             out.dirty.extend_from_slice(&f.path);
         }
         out
@@ -712,6 +729,9 @@ impl DeltaState {
                 if deployment.contains(u) && better_assignment((u, f.gains[pos]), best) {
                     best = Some((u, f.gains[pos]));
                 }
+            }
+            if f.assigned.map(|(v, _)| v) != best.map(|(v, _)| v) {
+                self.reassignments += 1;
             }
             f.assigned = best;
             unprocessed += approx_f64(f.rate) * f.cost;

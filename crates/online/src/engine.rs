@@ -33,6 +33,18 @@
 //! of failed vertices before evaluation/adoption and the freed budget
 //! is re-spent greedily, so replans stay safe at the cost of the
 //! oracle-equality guarantee (restored on full recovery).
+//!
+//! # Bounded reconfiguration
+//!
+//! Every chargeable repair move — greedy add, swap, adopted replan —
+//! is admitted against the policy's
+//! [`ReconfigBudget`](crate::ReconfigBudget) token bucket and charged
+//! its migration cost (boxes moved plus flows reassigned); replans
+//! the bucket cannot cover are deferred in favor of budget-capped
+//! local repair. Under the default unlimited budget no move is ever
+//! deferred and the engine behaves exactly as documented above (see
+//! [`crate::budget`] for the cost model and DESIGN.md §15 for the
+//! bound).
 
 use tdmd_core::num::{approx_f64, big_ix, id32, ix, wide};
 use tdmd_core::{Deployment, Instance, TdmdError};
@@ -92,6 +104,13 @@ pub enum OnlineError {
         /// Offending vertex id.
         vertex: NodeId,
     },
+    /// The policy's [`ReconfigBudget`](crate::ReconfigBudget) is
+    /// malformed (negative, NaN, or an infinite cost/refill/margin).
+    BadBudget {
+        /// Which field is malformed
+        /// ([`ReconfigBudget::validate`](crate::ReconfigBudget::validate)).
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for OnlineError {
@@ -109,6 +128,9 @@ impl std::fmt::Display for OnlineError {
             OnlineError::NoMiddleboxAt { vertex } => {
                 write!(f, "no middlebox deployed at vertex {vertex}")
             }
+            OnlineError::BadBudget { reason } => {
+                write!(f, "bad reconfiguration budget: {reason}")
+            }
         }
     }
 }
@@ -123,8 +145,9 @@ impl std::error::Error for OnlineError {}
 /// API.
 pub mod obs_keys {
     pub use tdmd_obs::keys::{
-        ARRIVALS, BATCHES, BATCH_APPLY_US, DEPARTURES, EVENT_APPLY_US, FAILURES, FAILURE_REPAIR_US,
-        FLOWS_DEGRADED, FLOWS_ORPHANED, RECOVERIES, REPAIR_US, REPLANS, REPLAN_US,
+        ARRIVALS, BATCHES, BATCH_APPLY_US, BOXES_MOVED, BUDGET_DEFERRALS, BUDGET_SPEND, DEPARTURES,
+        EVENT_APPLY_US, FAILURES, FAILURE_REPAIR_US, FLOWS_DEGRADED, FLOWS_ORPHANED,
+        FLOWS_REASSIGNED, RECOVERIES, REPAIR_US, REPLANS, REPLAN_US,
     };
 }
 
@@ -146,6 +169,10 @@ pub struct OnlineEngine<P: PathPricer, R: Recorder = NoopRecorder> {
     failed: Vec<bool>,
     failed_count: usize,
     stats: RepairStats,
+    /// Reconfiguration token level (`∞` under an unlimited budget,
+    /// `≤ policy.budget.burst` always; may overdraw below zero by the
+    /// post-hoc flow cost of the last admitted move).
+    tokens: f64,
     recorder: R,
     /// Per-event auditing ([`OnlineEngine::enable_audit`]): every
     /// `apply` re-validates the full invariant stack.
@@ -187,6 +214,9 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
         if !(0.0..=1.0).contains(&lambda) || lambda.is_nan() {
             return Err(OnlineError::BadLambda(lambda));
         }
+        if let Err(reason) = policy.budget.validate() {
+            return Err(OnlineError::BadBudget { reason });
+        }
         let n = graph.node_count();
         Ok(Self {
             graph,
@@ -200,6 +230,7 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
             failed: vec![false; n],
             failed_count: 0,
             stats: RepairStats::default(),
+            tokens: policy.budget.initial_tokens(),
             recorder,
             #[cfg(any(debug_assertions, feature = "audit", test))]
             audit: false,
@@ -267,6 +298,14 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
         &self.stats
     }
 
+    /// Current reconfiguration token level (`∞` under an unlimited
+    /// budget; may be negative while an admitted move's post-hoc flow
+    /// cost is being refilled — see [`crate::budget`]).
+    #[inline]
+    pub fn budget_tokens(&self) -> f64 {
+        self.tokens
+    }
+
     /// The maintained per-flow/assignment state.
     #[inline]
     pub fn state(&self) -> &DeltaState {
@@ -332,7 +371,52 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
             }
         }
         self.stats.events += 1;
+        // Amortized refill: each applied event earns migration tokens,
+        // clamped at the bucket's burst capacity. Under an unlimited
+        // budget the level is already `∞` and never moves.
+        let budget = self.policy.budget;
+        if self.tokens < budget.burst {
+            self.tokens = (self.tokens + budget.refill_per_event).min(budget.burst);
+        }
         Ok(failure)
+    }
+
+    /// A-priori migration cost of moving `boxes` middleboxes — the
+    /// admission price of a repair move.
+    #[inline]
+    fn box_cost(&self, boxes: u64) -> f64 {
+        self.policy.budget.box_move_cost * approx_f64(boxes)
+    }
+
+    /// Whether the token bucket admits a move of a-priori cost `cost`.
+    #[inline]
+    fn afford(&self, cost: f64) -> bool {
+        cost <= self.tokens
+    }
+
+    /// Debits a completed move: `boxes` middleboxes deployed or
+    /// undeployed and `flows` assignments changed. The flow share may
+    /// overdraw the bucket (it is only known post-hoc); subsequent
+    /// moves are blocked until the refill clears the debt.
+    fn charge(&mut self, boxes: u64, flows: u64) {
+        let budget = self.policy.budget;
+        let cost = budget.box_move_cost * approx_f64(boxes)
+            + budget.flow_reassign_cost * approx_f64(flows);
+        if cost > 0.0 {
+            self.tokens -= cost;
+            self.stats.budget_spent += cost;
+            self.recorder.sample(obs_keys::BUDGET_SPEND, cost);
+        }
+        self.stats.boxes_moved += boxes;
+        self.stats.flows_reassigned += flows;
+        self.recorder.count(obs_keys::BOXES_MOVED, boxes);
+        self.recorder.count(obs_keys::FLOWS_REASSIGNED, flows);
+    }
+
+    /// Records a move the bucket could not admit.
+    fn defer(&mut self) {
+        self.stats.budget_deferrals += 1;
+        self.recorder.count(obs_keys::BUDGET_DEFERRALS, 1);
     }
 
     /// Applies one event and repairs.
@@ -624,7 +708,8 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
         //    with the queue's best candidate when that provably
         //    improves the objective (candidate gain exceeds the
         //    victim's primary load, an upper bound on its removal
-        //    loss).
+        //    loss) by more than the hysteresis share of the swap's
+        //    migration cost — and the token bucket admits the move.
         for _ in 0..move_budget {
             if self.deployment.len() < self.k {
                 break; // spare budget: adds already handled it
@@ -641,12 +726,19 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
             else {
                 break;
             };
-            if gain <= load + GAIN_EPS {
-                break; // no provable improvement left
+            let cost = self.box_cost(2); // undeploy victim + deploy cand
+            if gain <= load + self.policy.budget.hysteresis * cost + GAIN_EPS {
+                break; // no improvement worth a migration left
             }
+            if !self.afford(cost) {
+                self.defer();
+                break;
+            }
+            let moved_before = self.state.reassignments();
             self.queue.take(cand);
             self.uncommit(victim);
             self.commit(cand);
+            self.charge(2, self.state.reassignments() - moved_before);
             self.stats.swaps += 1;
         }
     }
@@ -663,8 +755,14 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
             if gain <= GAIN_EPS {
                 break;
             }
+            if !self.afford(self.box_cost(1)) {
+                self.defer();
+                break;
+            }
+            let moved_before = self.state.reassignments();
             self.queue.take(v);
             self.commit(v);
+            self.charge(1, self.state.reassignments() - moved_before);
             self.stats.adds += 1;
         }
     }
@@ -680,18 +778,26 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
     /// Forces an immediate full replan: the from-scratch oracle is
     /// solved and adopted unconditionally (failed vertices stripped
     /// while failures are active). Returns `false` only when the
-    /// oracle itself fails (infeasible budget). With no active
-    /// failures the resulting deployment is bitwise the from-scratch
-    /// GTP answer — the recovery-transparency property.
+    /// oracle itself fails (infeasible budget) or the reconfiguration
+    /// token bucket cannot cover the adoption's deployment diff (a
+    /// deferral; never happens under the default unlimited
+    /// [`ReconfigBudget`](crate::ReconfigBudget)). With no active
+    /// failures and an admitting budget the resulting deployment is
+    /// bitwise the from-scratch GTP answer — the
+    /// recovery-transparency property.
     pub fn replan_now(&mut self) -> bool {
         self.drift_check(true)
     }
 
     /// Samples the from-scratch oracle; adopts its deployment when
-    /// forced or drifted beyond ε. While failures are active the
-    /// oracle's deployment is stripped of failed vertices before
-    /// evaluation, and stripped budget is re-spent by a greedy fill
-    /// after adoption. Returns whether a replan was adopted.
+    /// forced or drifted beyond ε *and* the token bucket admits the
+    /// migration (the symmetric difference between the current and
+    /// oracle deployments, priced per box) — otherwise the adoption is
+    /// deferred and the caller falls back to budget-capped local
+    /// repair. While failures are active the oracle's deployment is
+    /// stripped of failed vertices before evaluation, and stripped
+    /// budget is re-spent by a greedy fill after adoption. Returns
+    /// whether a replan was adopted.
     fn drift_check(&mut self, force: bool) -> bool {
         self.stats.drift_samples += 1;
         let instance = match self.snapshot_instance() {
@@ -729,7 +835,18 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
         if !(force || drifted) {
             return false;
         }
+        // Bounded reconfiguration: adopting the oracle migrates the
+        // symmetric difference of the two deployments. Gate on its
+        // a-priori box cost; an unaffordable adoption is deferred and
+        // the caller falls back to budget-capped local repair.
+        let boxes = self.deployment_diff(&oracle);
+        if !self.afford(self.box_cost(boxes)) {
+            self.defer();
+            return false;
+        }
+        let moved_before = self.state.reassignments();
         self.adopt(oracle);
+        self.charge(boxes, self.state.reassignments() - moved_before);
         if stripped {
             // Spend the stripped slots on the best surviving
             // candidates (never engages without active failures, so
@@ -737,6 +854,23 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
             self.greedy_fill();
         }
         true
+    }
+
+    /// Size of the symmetric difference between the current deployment
+    /// and `next` — the middleboxes an adoption would move.
+    fn deployment_diff(&self, next: &Deployment) -> u64 {
+        let leaving = self
+            .deployment
+            .vertices()
+            .iter()
+            .filter(|&&v| !next.contains(v))
+            .count();
+        let entering = next
+            .vertices()
+            .iter()
+            .filter(|&&v| !self.deployment.contains(v))
+            .count();
+        wide(leaving + entering)
     }
 
     /// Adopts `new_dep` wholesale: rebuild assignments, then restore
@@ -824,6 +958,13 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
             deployment: self.deployment.vertices().to_vec(),
             failed: self.failed_vertices(),
             stats: self.stats,
+            // `∞` (unlimited budget) does not survive JSON; restore
+            // re-derives it from the caller-supplied policy.
+            budget_tokens: if self.tokens.is_finite() {
+                self.tokens
+            } else {
+                0.0
+            },
         }
     }
 
@@ -874,6 +1015,12 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
                 k: snap.k,
             });
         }
+        if !snap.budget_tokens.is_finite() {
+            return Err(SnapshotError::BadBudgetState(snap.budget_tokens));
+        }
+        if !snap.stats.budget_spent.is_finite() {
+            return Err(SnapshotError::BadBudgetState(snap.stats.budget_spent));
+        }
         let mut engine = Self::with_recorder(graph, snap.lambda, k, pricer, policy, recorder)
             .map_err(|_| SnapshotError::BadLambda(snap.lambda))?;
         engine.deployment = Deployment::from_vertices(n, snap.deployment.iter().copied());
@@ -913,6 +1060,12 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
             }
         }
         engine.stats = snap.stats;
+        // An unlimited policy keeps the `∞` level it was constructed
+        // with; a finite budget resumes the serialized level exactly
+        // (bitwise restore covers the token bucket too).
+        if !policy.budget.is_unlimited() {
+            engine.tokens = snap.budget_tokens;
+        }
         Ok(engine)
     }
 }
@@ -981,6 +1134,24 @@ impl<P: PathPricer, R: Recorder> OnlineEngine<P, R> {
                     format!("vertex {v}: queue block does not mirror the failure mask"),
                 );
             }
+        }
+        if self.tokens.is_nan() || self.tokens > self.policy.budget.burst {
+            return err(
+                "engine-budget-tokens",
+                format!(
+                    "token level {} outside (-∞, burst = {}]",
+                    self.tokens, self.policy.budget.burst
+                ),
+            );
+        }
+        if !self.stats.budget_spent.is_finite() || self.stats.budget_spent < 0.0 {
+            return err(
+                "engine-budget-spend",
+                format!(
+                    "amortized spend {} is not finite non-negative",
+                    self.stats.budget_spent
+                ),
+            );
         }
         self.state.check_invariants(&self.deployment)?;
         self.queue
@@ -1275,6 +1446,7 @@ mod tests {
             sample_every: 0,
             force_replan: false,
             replan_on_degraded: true,
+            ..RepairPolicy::default()
         };
         let mut e = engine(2, policy);
         for ev in fig1_arrivals() {

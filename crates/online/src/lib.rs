@@ -27,8 +27,15 @@
 //!   invalidation.
 //! * [`engine`] / [`repair`] — [`OnlineEngine`] applies events and
 //!   runs the pluggable [`RepairPolicy`]: greedy adds/drops, bounded
-//!   swap repair, and a drift-triggered full replan against a
-//!   periodically-sampled from-scratch GTP solve.
+//!   swap repair, and a drift-triggered replan against a
+//!   periodically-sampled from-scratch GTP solve — each move admitted
+//!   against the policy's migration budget, so a replan the budget
+//!   cannot cover is deferred to budget-capped local repair rather
+//!   than adopted unconditionally.
+//! * [`budget`] — [`ReconfigBudget`], the migration-cost model: per
+//!   box-move and per flow-reassignment costs, an amortized
+//!   token-bucket budget and a swap-hysteresis margin. The default
+//!   [`ReconfigBudget::unlimited`] is bitwise the unbudgeted engine.
 //! * [`snapshot`] — versioned engine state capture and restore
 //!   ([`OnlineEngine::snapshot`] / [`OnlineEngine::restore`]) with a
 //!   bitwise-restore contract: the restored engine is float-for-float
@@ -71,6 +78,7 @@
 
 #[cfg(any(debug_assertions, feature = "audit", test))]
 pub mod audit;
+pub mod budget;
 pub mod delta;
 pub mod engine;
 pub mod event;
@@ -79,6 +87,7 @@ pub mod queue;
 pub mod repair;
 pub mod snapshot;
 
+pub use budget::ReconfigBudget;
 pub use delta::{DeltaState, Failover};
 pub use engine::{obs_keys, OnlineEngine, OnlineError};
 pub use event::{events_from_spans, merge_events, Event, FlowKey, FlowSpan, TimedEvent};

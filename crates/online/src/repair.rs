@@ -16,17 +16,30 @@
 //!   pricer's from-scratch oracle on a densified snapshot of the
 //!   active flows. If the incremental objective exceeds the oracle's
 //!   by more than a factor of `1 + drift_eps`, the oracle's
-//!   deployment is adopted wholesale. With
-//!   [`RepairPolicy::force_replan`] the oracle is adopted
-//!   *unconditionally on every event*, which makes the engine
-//!   bit-for-bit equivalent to a per-event from-scratch solve — the
-//!   property tests pin that equivalence.
+//!   deployment is adopted. With [`RepairPolicy::force_replan`] the
+//!   oracle is adopted *unconditionally on every event*, which makes
+//!   the engine bit-for-bit equivalent to a per-event from-scratch
+//!   solve — the property tests pin that equivalence.
 //!
-//! The documented bound: at every sampled event the objective is
-//! within `1 + drift_eps` of the from-scratch solve (exactly equal
-//! under `force_replan`); between samples only local repair runs, so
-//! the instantaneous gap is bounded by the drift accumulated since
-//! the last sample.
+//! Both mechanisms are additionally subject to the policy's
+//! [`ReconfigBudget`]: every chargeable move
+//! (greedy add, swap, adopted replan) must be admitted by the
+//! migration token bucket, swaps must beat their migration cost by
+//! the configured hysteresis margin, and a replan whose deployment
+//! diff the bucket cannot cover is *deferred* — repair falls back to
+//! budget-capped local repair instead (see [`crate::budget`]). Under
+//! the default [`ReconfigBudget::unlimited`](crate::ReconfigBudget::unlimited)
+//! budget no move is ever deferred and the engine is bitwise the
+//! unbudgeted engine described above.
+//!
+//! The documented bound: at every sampled event where the replan was
+//! admitted (always, under an unlimited or sufficient budget — see
+//! DESIGN.md §15) the objective is within `1 + drift_eps` of the
+//! from-scratch solve (exactly equal under `force_replan`); between
+//! admitted samples only budget-capped local repair runs, so the
+//! instantaneous gap is bounded by the drift accumulated since the
+//! last admitted sample, with every deferral counted in
+//! [`RepairStats::budget_deferrals`].
 //!
 //! # Degradation-aware repair
 //!
@@ -45,6 +58,8 @@
 //! failed vertex.
 
 use serde::{Deserialize, Serialize};
+
+use crate::budget::ReconfigBudget;
 
 /// Repair configuration of an [`OnlineEngine`](crate::OnlineEngine).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,6 +81,11 @@ pub struct RepairPolicy {
     /// budget slot, run an off-schedule drift check so a full replan
     /// can recover coverage without waiting for the next sample.
     pub replan_on_degraded: bool,
+    /// Migration-cost model and amortized reconfiguration budget every
+    /// chargeable repair move is admitted against (see
+    /// [`crate::budget`]). The default
+    /// [`ReconfigBudget::unlimited`] never defers a move.
+    pub budget: ReconfigBudget,
 }
 
 impl Default for RepairPolicy {
@@ -76,6 +96,7 @@ impl Default for RepairPolicy {
             sample_every: 256,
             force_replan: false,
             replan_on_degraded: true,
+            budget: ReconfigBudget::unlimited(),
         }
     }
 }
@@ -90,6 +111,7 @@ impl RepairPolicy {
             sample_every: 0,
             force_replan: false,
             replan_on_degraded: false,
+            budget: ReconfigBudget::unlimited(),
         }
     }
 
@@ -101,6 +123,17 @@ impl RepairPolicy {
             sample_every: 1,
             force_replan: true,
             replan_on_degraded: true,
+            budget: ReconfigBudget::unlimited(),
+        }
+    }
+
+    /// The default policy running under `budget` — the "operating
+    /// under a migration budget" configuration of the README
+    /// quickstart.
+    pub fn budgeted(budget: ReconfigBudget) -> Self {
+        Self {
+            budget,
+            ..Self::default()
         }
     }
 }
@@ -148,4 +181,25 @@ pub struct RepairStats {
     /// Relative drift observed at the last sample
     /// (`objective / oracle − 1`; 0 when never sampled).
     pub last_drift: f64,
+    /// Middleboxes deployed/undeployed by chargeable repair moves
+    /// (adds, both legs of a swap, the symmetric difference of an
+    /// adopted replan; free zero-load drops are exempt).
+    ///
+    /// The four budget fields carry `#[serde(default)]` so pre-budget
+    /// snapshot documents still *parse* — restore then rejects them on
+    /// the snapshot version, never silently zero-filling live budget
+    /// state.
+    #[serde(default)]
+    pub boxes_moved: u64,
+    /// Flow→middlebox assignment changes caused by chargeable repair
+    /// moves (failure-induced orphaning is not charged).
+    #[serde(default)]
+    pub flows_reassigned: u64,
+    /// Repair moves skipped because the reconfiguration token bucket
+    /// could not cover their migration cost.
+    #[serde(default)]
+    pub budget_deferrals: u64,
+    /// Total migration cost debited from the token bucket.
+    #[serde(default)]
+    pub budget_spent: f64,
 }

@@ -47,7 +47,16 @@ use crate::repair::RepairStats;
 
 /// Schema version written by [`crate::OnlineEngine::snapshot`];
 /// [`crate::OnlineEngine::restore`] rejects any other value.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — flows, deployment, failure mask, repair stats.
+/// * **2** — adds the reconfiguration-budget state
+///   ([`EngineSnapshot::budget_tokens`] and the budget fields of
+///   [`RepairStats`]). Version-1 documents are *rejected*, not
+///   upgraded: restoring one silently would zero-fill the live token
+///   level and amortized spend, and `tdmd-serve` must never resume a
+///   budgeted session with a refilled bucket.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// One active flow as serialized in a snapshot, in arrival order.
 ///
@@ -90,8 +99,18 @@ pub struct EngineSnapshot {
     /// Failed vertices, ascending.
     pub failed: Vec<NodeId>,
     /// Repair telemetry; `stats.events` resumes the drift-sampling
-    /// schedule.
+    /// schedule and the budget fields resume the amortized-spend
+    /// accounting.
     pub stats: RepairStats,
+    /// Reconfiguration token level at snapshot time. Stored as `0`
+    /// when the engine ran under an unlimited budget (`∞` does not
+    /// survive JSON); restore re-derives `∞` from the caller-supplied
+    /// policy, so the round trip stays bitwise for both unlimited and
+    /// finite budgets. `#[serde(default)]` lets version-1 documents
+    /// *parse* — the version check then rejects them explicitly
+    /// instead of a deserialization error.
+    #[serde(default)]
+    pub budget_tokens: f64,
 }
 
 /// Why a snapshot could not be restored.
@@ -142,6 +161,12 @@ pub enum SnapshotError {
         /// Budget `k` recorded in the snapshot.
         k: u64,
     },
+    /// The reconfiguration-budget state is corrupt: a non-finite token
+    /// level or spend (the engine serializes finite values only).
+    BadBudgetState(
+        /// Offending value.
+        f64,
+    ),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -177,6 +202,9 @@ impl std::fmt::Display for SnapshotError {
                     f,
                     "snapshot deploys {deployed} middleboxes over budget k = {k}"
                 )
+            }
+            SnapshotError::BadBudgetState(x) => {
+                write!(f, "snapshot budget state {x} is not finite")
             }
         }
     }

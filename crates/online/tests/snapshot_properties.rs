@@ -22,8 +22,8 @@ use tdmd_graph::traversal::bfs;
 use tdmd_graph::{DiGraph, NodeId};
 use tdmd_obs::NoopRecorder;
 use tdmd_online::{
-    EngineSnapshot, Event, FlowKey, HopPricer, OnlineEngine, RepairPolicy, SnapshotError,
-    SNAPSHOT_VERSION,
+    EngineSnapshot, Event, FlowKey, HopPricer, OnlineEngine, ReconfigBudget, RepairPolicy,
+    SnapshotError, SNAPSHOT_VERSION,
 };
 
 /// BFS shortest path `src → dst` (the generator guarantees
@@ -102,6 +102,7 @@ fn sampling_policy() -> RepairPolicy {
         sample_every: 3,
         force_replan: false,
         replan_on_degraded: true,
+        ..RepairPolicy::default()
     }
 }
 
@@ -198,6 +199,68 @@ proptest! {
     }
 }
 
+/// A budgeted variant of [`sampling_policy`], used to check the
+/// budget state rides through snapshot/restore bitwise.
+fn budgeted_policy() -> RepairPolicy {
+    RepairPolicy {
+        budget: ReconfigBudget::windowed(3.0, 8).with_hysteresis(0.1),
+        ..sampling_policy()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The migration-budget token level survives snapshot → restore:
+    /// both engines spend, defer and refill identically through the
+    /// suffix, and their stats (including `budget_spent` /
+    /// `budget_deferrals`) stay bitwise equal.
+    #[test]
+    fn budget_state_round_trips_through_snapshots(
+        seed in any::<u64>(),
+        n in 4usize..14,
+        prefix in 0usize..24,
+        suffix in 1usize..24,
+        k in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi_connected(n, 0.3, &mut rng);
+        let mut live = OnlineEngine::new(
+            g.clone(), 0.5, k, HopPricer::default(), budgeted_policy(),
+        ).unwrap();
+        let events = random_events(&g, seed ^ 0xBD, prefix + suffix);
+        for ev in &events[..prefix.min(events.len())] {
+            live.apply(ev).unwrap();
+        }
+        let snap = live.snapshot();
+        prop_assert!(
+            snap.budget_tokens.is_finite(),
+            "finite-budget snapshots persist a finite token level"
+        );
+        let mut restored = OnlineEngine::restore(
+            g.clone(),
+            HopPricer::default(),
+            budgeted_policy(),
+            NoopRecorder,
+            &snap,
+        ).expect("engine-produced snapshots restore");
+        prop_assert_eq!(
+            live.budget_tokens().to_bits(),
+            restored.budget_tokens().to_bits()
+        );
+        for ev in &events[prefix.min(events.len())..] {
+            prop_assert_eq!(live.apply(ev), restored.apply(ev));
+            prop_assert_eq!(live.deployment(), restored.deployment());
+            prop_assert_eq!(
+                live.budget_tokens().to_bits(),
+                restored.budget_tokens().to_bits()
+            );
+            prop_assert_eq!(live.stats(), restored.stats());
+        }
+        prop_assert_eq!(live.snapshot(), restored.snapshot());
+    }
+}
+
 /// A tiny deterministic snapshot to corrupt in the validation tests.
 fn small_snapshot() -> (DiGraph, EngineSnapshot) {
     let mut rng = StdRng::seed_from_u64(7);
@@ -235,6 +298,60 @@ fn unsupported_versions_are_rejected() {
             found: SNAPSHOT_VERSION + 1
         }
     );
+}
+
+#[test]
+fn pre_budget_v1_documents_are_rejected_not_silently_upgraded() {
+    // A v1 document parses (the budget field is `#[serde(default)]`)
+    // but must be refused at restore: silently defaulting the token
+    // level would break the bitwise-restore contract for budgeted
+    // engines, so `tdmd-serve` never resumes from a pre-budget
+    // snapshot without an explicit re-snapshot.
+    let (g, snap) = small_snapshot();
+    let json = serde_json::to_string(&snap).unwrap();
+    assert!(json.contains("\"version\":2"), "{json}");
+    let json = json.replacen("\"version\":2", "\"version\":1", 1);
+    // Drop the budget field textually, mimicking a document written
+    // before the field existed.
+    let field = ",\"budget_tokens\":";
+    let start = json.find(field).expect("field serialized");
+    let value_len = json[start + field.len()..]
+        .find([',', '}'])
+        .expect("well-formed JSON");
+    let json = format!(
+        "{}{}",
+        &json[..start],
+        &json[start + field.len() + value_len..]
+    );
+    let v1: EngineSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(v1.version, 1);
+    assert_eq!(v1.budget_tokens, 0.0, "the serde default fills the gap");
+    let err = OnlineEngine::restore(
+        g,
+        HopPricer::default(),
+        RepairPolicy::default(),
+        NoopRecorder,
+        &v1,
+    )
+    .err()
+    .expect("restore must fail");
+    assert_eq!(err, SnapshotError::UnsupportedVersion { found: 1 });
+}
+
+#[test]
+fn non_finite_budget_state_is_rejected() {
+    let (g, mut snap) = small_snapshot();
+    snap.budget_tokens = f64::NAN;
+    let err = OnlineEngine::restore(
+        g,
+        HopPricer::default(),
+        RepairPolicy::default(),
+        NoopRecorder,
+        &snap,
+    )
+    .err()
+    .expect("restore must fail");
+    assert!(matches!(err, SnapshotError::BadBudgetState(_)));
 }
 
 #[test]

@@ -263,6 +263,15 @@ impl<P: PathPricer> ServeSession<P> {
             event_p99_us: self.recorder.percentile_of(keys::SERVE_EVENT_US, 99.0),
             snapshots_taken: self.snapshots_taken,
             snapshots_restored: self.snapshots_restored,
+            boxes_moved: self.engine.stats().boxes_moved,
+            flows_reassigned: self.engine.stats().flows_reassigned,
+            budget_deferrals: self.engine.stats().budget_deferrals,
+            budget_spent: self.engine.stats().budget_spent,
+            budget_tokens: self
+                .engine
+                .budget_tokens()
+                .is_finite()
+                .then(|| self.engine.budget_tokens()),
             tenants,
         }
     }

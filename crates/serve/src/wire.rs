@@ -109,6 +109,26 @@ pub struct Telemetry {
     pub snapshots_taken: u64,
     /// Times this session line was restored from a snapshot.
     pub snapshots_restored: u64,
+    /// Middleboxes moved (deployed or dropped) by repair and replans
+    /// over the engine's lifetime. Defaults keep pre-budget telemetry
+    /// consumers replaying unchanged.
+    #[serde(default)]
+    pub boxes_moved: u64,
+    /// Flow→middlebox reassignments caused by those moves.
+    #[serde(default)]
+    pub flows_reassigned: u64,
+    /// Reconfigurations skipped because the migration budget could not
+    /// cover them (deferred to later events).
+    #[serde(default)]
+    pub budget_deferrals: u64,
+    /// Migration cost charged against the budget over the engine's
+    /// lifetime (token units).
+    #[serde(default)]
+    pub budget_spent: f64,
+    /// Migration tokens currently available. `None` when the engine
+    /// runs an unlimited budget (no bucket to report).
+    #[serde(default)]
+    pub budget_tokens: Option<f64>,
     /// Per-tenant fairness figures, ascending by tenant id.
     pub tenants: Vec<TenantTelemetry>,
 }

@@ -95,6 +95,7 @@ fn policy() -> RepairPolicy {
         sample_every: 3,
         force_replan: false,
         replan_on_degraded: true,
+        ..RepairPolicy::default()
     }
 }
 

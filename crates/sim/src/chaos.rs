@@ -105,6 +105,18 @@ pub struct ChaosReport {
     /// Ascending-sorted wall-clock µs of each post-failure repair pass
     /// (feed to [`tdmd_obs::percentile`]).
     pub repair_latency_us: Vec<f64>,
+    /// Middleboxes moved by repair and replans across the run —
+    /// degraded repair charges the same migration budget as churn
+    /// repair, so under a tight [`RepairPolicy::budget`] this stays
+    /// bounded by the bucket's refill schedule.
+    pub boxes_moved: u64,
+    /// Flow→middlebox reassignments caused by those moves
+    /// (failure-induced orphaning itself is never charged).
+    pub flows_reassigned: u64,
+    /// Reconfigurations the migration budget deferred.
+    pub budget_deferrals: u64,
+    /// Total migration cost charged against the budget (token units).
+    pub budget_spent: f64,
     /// Per-event timeline.
     pub points: Vec<ChaosPoint>,
 }
@@ -292,6 +304,10 @@ pub fn run_chaos(
         flows_degraded: stats.flows_degraded,
         degraded_flow_us: run.degraded_flow_us,
         repair_latency_us: recorder.sorted_samples(obs_keys::FAILURE_REPAIR_US),
+        boxes_moved: stats.boxes_moved,
+        flows_reassigned: stats.flows_reassigned,
+        budget_deferrals: stats.budget_deferrals,
+        budget_spent: stats.budget_spent,
         points: run.points,
     })
 }
@@ -453,6 +469,74 @@ mod tests {
             report.repair_latency_us.len() as u64,
             report.failures,
             "one repair-latency sample per failure"
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_chaos_spends_nothing() {
+        let report = run_chaos(
+            &scenario(),
+            RepairPolicy::default(),
+            &ChaosConfig {
+                mode: ChaosMode::Independent {
+                    mtbf_us: 300,
+                    mttr_us: 100,
+                },
+                seed: 7,
+            },
+        )
+        .unwrap();
+        assert!(report.boxes_moved > 0, "churn + failures move boxes");
+        assert_eq!(report.budget_spent, 0.0, "unlimited moves are free");
+        assert_eq!(report.budget_deferrals, 0);
+    }
+
+    #[test]
+    fn degraded_repair_respects_the_migration_budget() {
+        use tdmd_online::ReconfigBudget;
+        let scn = scenario();
+        let budget = ReconfigBudget::windowed(1.0, 4);
+        let policy = RepairPolicy::budgeted(budget);
+        let report = run_chaos(
+            &scn,
+            policy,
+            &ChaosConfig {
+                mode: ChaosMode::Targeted {
+                    period_us: 150,
+                    mttr_us: 100,
+                },
+                seed: 0,
+            },
+        )
+        .unwrap();
+        assert!(report.failures > 0, "targeted kills fire");
+        // Amortized bound: spend never exceeds the initial burst plus
+        // everything refilled over the run (flow costs are zero here).
+        let events = report.points.len() as f64;
+        let cap = budget.burst + budget.refill_per_event * events;
+        assert!(
+            report.budget_spent <= cap + 1e-9,
+            "spent {} > amortized cap {}",
+            report.budget_spent,
+            cap
+        );
+        // The unbudgeted run moves strictly more boxes, so a tight
+        // bucket must have deferred something.
+        let free = run_chaos(
+            &scn,
+            RepairPolicy::default(),
+            &ChaosConfig {
+                mode: ChaosMode::Targeted {
+                    period_us: 150,
+                    mttr_us: 100,
+                },
+                seed: 0,
+            },
+        )
+        .unwrap();
+        assert!(
+            report.boxes_moved < free.boxes_moved || report.budget_deferrals > 0,
+            "a tight budget either moves less or records deferrals"
         );
     }
 

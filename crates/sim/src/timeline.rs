@@ -282,6 +282,7 @@ pub(crate) fn lift(err: OnlineError) -> TdmdError {
         | OnlineError::AlreadyFailed { vertex }
         | OnlineError::NotFailed { vertex }
         | OnlineError::NoMiddleboxAt { vertex } => TdmdError::FailedVertex { vertex },
+        OnlineError::BadBudget { reason } => TdmdError::BadReconfigBudget { reason },
     }
 }
 
