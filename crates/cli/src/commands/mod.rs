@@ -5,6 +5,7 @@ pub mod bench;
 pub mod chain;
 pub mod evaluate;
 pub mod place;
+pub mod race;
 pub mod serve;
 pub mod stream;
 pub mod topo;

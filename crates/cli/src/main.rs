@@ -20,6 +20,7 @@
 //! tdmd serve run --topo topo.json --lambda 0.5 --k 8 --in events.ndjson \
 //!                --snapshot-every 1000 --snapshot-path state.json
 //! tdmd bench --seed 42 --out-dir bench-out
+//! tdmd race --seeds 1,2,3,4 --threads 4
 //! ```
 
 #![forbid(unsafe_code)]
@@ -89,6 +90,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "place" | "solve" => commands::place::place(&Args::parse(rest)?),
         "evaluate" => commands::evaluate::evaluate(&Args::parse(rest)?),
         "bench" => commands::bench::bench(&Args::parse(rest)?),
+        "race" => commands::race::run(&Args::parse(rest)?),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     }
@@ -97,7 +99,7 @@ fn run(argv: &[String]) -> Result<String, String> {
 fn usage() -> String {
     "usage: tdmd <topo gen|topo stats|topo dot|workload gen|place (alias: solve)|\
      evaluate|chain place|stream gen|stream run|stream inject|serve gen|serve run|\
-     bench> [--flag value ...]\n\
+     bench|race> [--flag value ...]\n\
      pass --audit true to place/solve and stream run to re-validate the structural\n\
      invariants (see tdmd-core::audit); see the crate docs for the full flag list"
         .to_string()

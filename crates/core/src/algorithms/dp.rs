@@ -72,7 +72,14 @@ pub(crate) fn validate_tree_instance(
     instance: &Instance,
 ) -> Result<(RootedTree, Vec<u64>), TdmdError> {
     let flows = instance.flows();
-    let root = flows[0].dst();
+    let root = match flows.first() {
+        Some(f) => f.dst(),
+        None => {
+            return Err(TdmdError::NotATreeInstance(
+                "a tree instance needs at least one flow to fix the root".to_string(),
+            ))
+        }
+    };
     if let Some(f) = flows.iter().find(|f| f.dst() != root) {
         return Err(TdmdError::NotATreeInstance(format!(
             "flow {} ends at {} but the common destination is {root}",

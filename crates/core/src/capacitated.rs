@@ -282,7 +282,7 @@ mod tests {
         assert_eq!(d.len(), 4);
         assert!(alloc.is_complete());
         // Each box serves exactly one flow.
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for a in alloc.assigned.iter().flatten() {
             *counts.entry(*a).or_insert(0usize) += 1;
         }

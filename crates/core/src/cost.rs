@@ -36,7 +36,6 @@
 //! solver re-runs its placement rounds on the fresh view for exactly
 //! this reason.
 
-use std::collections::HashMap;
 use tdmd_graph::{DiGraph, NodeId};
 use tdmd_traffic::Flow;
 
@@ -95,24 +94,32 @@ impl CostModel for HopCount {
 /// `DiGraph` stores weights positionally (parallel to the adjacency
 /// lists), so resolving one edge weight used to cost an `O(deg)`
 /// neighbor scan — quadratic in degree when pricing whole paths. This
-/// table is built once in `O(|E|)` and serves `O(1)` lookups. With
-/// parallel edges the *first* occurrence wins, matching the
-/// `position()`-based scan it replaces.
+/// table is built once in `O(|E| log |E|)` and serves `O(log |E|)`
+/// binary-search lookups from one contiguous, deterministically
+/// ordered allocation (a `HashMap` here would be the lone
+/// hash-ordered container in the solver core — see the
+/// `map-iter-order` lint). With parallel edges the *first* occurrence
+/// wins, matching the `position()`-based scan it replaces.
 #[derive(Debug, Clone)]
 pub struct EdgeWeights {
-    map: HashMap<(NodeId, NodeId), f64>,
+    /// `(u, v) → weight`, sorted by key, one entry per distinct edge.
+    table: Vec<((NodeId, NodeId), f64)>,
 }
 
 impl EdgeWeights {
     /// Indexes every directed edge of `g`.
     pub fn new(g: &DiGraph) -> Self {
-        let mut map = HashMap::new();
+        let mut table: Vec<((NodeId, NodeId), f64)> = Vec::new();
         for u in 0..g.node_count() as NodeId {
             for (&v, &w) in g.out_neighbors(u).iter().zip(g.out_weights(u)) {
-                map.entry((u, v)).or_insert(w as f64);
+                table.push(((u, v), w as f64));
             }
         }
-        Self { map }
+        // Stable sort + first-of-run dedup preserves adjacency order
+        // among parallel edges, so the first occurrence's weight wins.
+        table.sort_by_key(|&(key, _)| key);
+        table.dedup_by_key(|&mut (key, _)| key);
+        Self { table }
     }
 
     /// Weight of the directed edge `u → v`.
@@ -122,10 +129,11 @@ impl EdgeWeights {
     /// validated flow paths.
     #[inline]
     pub fn get(&self, u: NodeId, v: NodeId) -> f64 {
-        *self
-            .map
-            .get(&(u, v))
-            .expect("edge weight lookup on a non-edge; flow paths are validated")
+        let i = self
+            .table
+            .binary_search_by_key(&(u, v), |&(key, _)| key)
+            .expect("edge weight lookup on a non-edge; flow paths are validated");
+        self.table[i].1
     }
 }
 

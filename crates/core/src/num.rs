@@ -80,6 +80,10 @@ pub fn big_ix(x: u64) -> usize {
 
 /// Widens a slice index to a `u64` rate total. Lossless on every
 /// supported target (usize ≤ 64 bits).
+///
+/// # Panics
+/// Never on supported targets; the error arm exists only for a
+/// hypothetical >64-bit `usize` platform.
 #[inline]
 pub fn wide(i: usize) -> u64 {
     match u64::try_from(i) {

@@ -59,6 +59,9 @@ impl GraphBuilder {
     }
 
     /// Adds a directed edge `u -> v` with the given weight.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is not a declared vertex.
     pub fn add_weighted_edge(&mut self, u: NodeId, v: NodeId, w: u64) {
         assert!((u as usize) < self.n, "edge source {u} out of range");
         assert!((v as usize) < self.n, "edge target {v} out of range");
@@ -105,6 +108,9 @@ impl DiGraph {
     /// The edge list is canonicalized (sorted by source, then target)
     /// so that two graphs with the same edge *set* compare equal
     /// regardless of insertion order.
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is `>= n`.
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId, u64)]) -> Self {
         let mut edges = edges.to_vec();
         edges.sort_unstable();

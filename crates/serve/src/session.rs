@@ -31,7 +31,7 @@
 //! flow's tenant and failure-class events to every tenant with active
 //! flows at that moment.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{BufRead, Error, ErrorKind, Write};
 use std::path::PathBuf;
 
@@ -92,8 +92,9 @@ pub struct ServeSession<P: PathPricer> {
     engine: OnlineEngine<P>,
     config: ServeConfig,
     /// Tenant of every active flow (arrivals insert, departures
-    /// remove).
-    tenants: HashMap<FlowKey, TenantId>,
+    /// remove). Ordered so that snapshots and telemetry iterate it
+    /// deterministically — see the `map-iter-order` lint.
+    tenants: BTreeMap<FlowKey, TenantId>,
     /// Session telemetry (event-loop latencies, snapshot counters,
     /// per-tenant bandwidth samples) — the engine itself runs the
     /// zero-cost [`NoopRecorder`](tdmd_obs::NoopRecorder).
@@ -112,7 +113,7 @@ impl<P: PathPricer> ServeSession<P> {
         Self {
             engine,
             config,
-            tenants: HashMap::new(),
+            tenants: BTreeMap::new(),
             recorder: StatsRecorder::new(),
             latencies: BTreeMap::new(),
             events: 0,
@@ -195,9 +196,10 @@ impl<P: PathPricer> ServeSession<P> {
     pub fn snapshot(&mut self) -> ServeSnapshot {
         self.snapshots_taken += 1;
         self.recorder.count(keys::SNAPSHOTS_TAKEN, 1);
-        let mut tenants: Vec<(FlowKey, TenantId)> =
+        // BTreeMap iteration is already ascending by key — exactly
+        // the snapshot's documented order.
+        let tenants: Vec<(FlowKey, TenantId)> =
             self.tenants.iter().map(|(&k, &t)| (k, t)).collect();
-        tenants.sort_unstable();
         let known: BTreeSet<TenantId> = self
             .latencies
             .keys()

@@ -28,6 +28,7 @@
 
 pub mod chaos;
 pub mod metrics;
+pub mod race;
 pub mod replay;
 pub mod runner;
 pub mod timeline;
@@ -42,6 +43,10 @@ pub mod prelude {
         independent_failure_schedule, run_chaos, ChaosConfig, ChaosMode, ChaosPoint, ChaosReport,
     };
     pub use crate::metrics::{jain_fairness, LinkMetrics};
+    pub use crate::race::{
+        adversarial_shards, batch_race_with, run_race, shard_race_with, Divergence, RaceConfig,
+        RaceReport,
+    };
     pub use crate::replay::{replay, LinkLoads};
     pub use crate::runner::{run_comparison, AlgoStats, TrialConfig};
     pub use crate::timeline::{

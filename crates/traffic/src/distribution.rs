@@ -43,6 +43,10 @@ impl RateDistribution {
     }
 
     /// Samples one integral rate (always ≥ 1).
+    ///
+    /// # Panics
+    /// Panics on an inverted `Uniform` range or an `Empirical`
+    /// distribution with no samples.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         match self {
             RateDistribution::Constant(r) => (*r).max(1),

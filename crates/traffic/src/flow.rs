@@ -66,6 +66,10 @@ impl Flow {
     }
 
     /// Source vertex `src_f`.
+    ///
+    /// # Panics
+    /// Panics on an empty path — unreachable for flows built through
+    /// [`Flow::new`], which validates the path.
     #[inline]
     pub fn src(&self) -> NodeId {
         self.path[0]

@@ -75,24 +75,40 @@ impl FlowPaths {
     }
 
     /// The primary (index-0) candidate.
+    ///
+    /// # Panics
+    /// Panics on an empty candidate list — unreachable for sets built
+    /// through [`FlowPaths::new`], which validates the shape.
     #[inline]
     pub fn primary(&self) -> &[NodeId] {
         &self.candidates[0]
     }
 
     /// Shared source of every candidate.
+    ///
+    /// # Panics
+    /// Panics on an empty or zero-length primary candidate —
+    /// unreachable for sets built through [`FlowPaths::new`].
     #[inline]
     pub fn src(&self) -> NodeId {
         self.candidates[0][0]
     }
 
     /// Shared destination of every candidate.
+    ///
+    /// # Panics
+    /// Panics on an empty primary candidate — unreachable for sets
+    /// built through [`FlowPaths::new`].
     #[inline]
     pub fn dst(&self) -> NodeId {
         *self.candidates[0].last().expect("candidate is non-empty")
     }
 
     /// The flow record a fixed-path solver sees: the primary route.
+    ///
+    /// # Panics
+    /// Panics on an empty candidate list — unreachable for sets built
+    /// through [`FlowPaths::new`].
     pub fn primary_flow(&self) -> Flow {
         Flow::new(self.id, self.rate, self.candidates[0].clone())
     }

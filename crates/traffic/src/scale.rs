@@ -90,6 +90,10 @@ impl GatewayWorkload {
     }
 
     /// Mints `count` flows with dense ids `first_id..`.
+    ///
+    /// # Panics
+    /// Panics if `count` exceeds `u32::MAX` (flow ids are dense
+    /// `u32`s) or the topology is not connected.
     pub fn flows<R: Rng + ?Sized>(
         &self,
         g: &DiGraph,

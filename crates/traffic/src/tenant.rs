@@ -50,6 +50,9 @@ impl TenantProfile {
     /// `count` identical tenants splitting the volume evenly, all
     /// weight 1 — the multi-tenant workload that must be
     /// placement-equivalent to the anonymous one.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero.
     pub fn uniform(count: usize) -> Vec<Self> {
         assert!(count > 0, "need at least one tenant");
         vec![Self::even(1.0 / count as f64); count]
@@ -90,6 +93,9 @@ impl GravityConfig {
 }
 
 /// Samples one population per vertex from the configured range.
+///
+/// # Panics
+/// Panics if the configured population range is not `1 ≤ lo ≤ hi`.
 pub fn gravity_populations<R: Rng + ?Sized>(
     count: usize,
     cfg: &GravityConfig,

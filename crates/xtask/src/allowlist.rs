@@ -83,6 +83,14 @@ fn validate(a: &Allow) -> Result<(), String> {
     if a.rule.is_empty() || a.path.is_empty() {
         return Err(format!("{}: entry needs both rule and path", a.line));
     }
+    if !crate::rules::RULES.contains(&a.rule.as_str()) {
+        return Err(format!(
+            "{}: unknown rule '{}' (known: {})",
+            a.line,
+            a.rule,
+            crate::rules::RULES.join(", ")
+        ));
+    }
     if a.reason.trim().is_empty() {
         return Err(format!(
             "{}: entry for {} lacks a reason — unexplained suppressions are not allowed",
@@ -119,6 +127,12 @@ mod tests {
         assert!(entries[0].matches("unwrap-expect", "crates/a/src/x.rs", "m.lock().unwrap()"));
         assert!(!entries[0].matches("unwrap-expect", "crates/a/src/x.rs", "v.pop().unwrap()"));
         assert!(!entries[0].matches("float-eq", "crates/a/src/x.rs", "m.lock().unwrap()"));
+    }
+
+    #[test]
+    fn unknown_rule_id_is_rejected() {
+        let toml = "[[allow]]\nrule = \"no-such-rule\"\npath = \"x.rs\"\nreason = \"r\"\n";
+        assert!(parse(toml).unwrap_err().contains("unknown rule"));
     }
 
     #[test]
